@@ -1,0 +1,279 @@
+// Package repro_test is the benchmark harness of the reproduction: one
+// benchmark per published figure/result (see DESIGN.md §4 and
+// EXPERIMENTS.md) plus ablation micro-benchmarks for the design choices the
+// implementation makes (incremental vs full evaluation, closure vs DFS
+// cycle checks, adaptive vs fixed schedules and move selection).
+//
+// The figure-level benchmarks run a reduced number of seeds per iteration
+// so `go test -bench=.` stays fast; the cmd/ tools run the full published
+// protocols.
+package repro_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/anneal"
+	"repro/internal/apps"
+	"repro/internal/combi"
+	"repro/internal/core"
+	"repro/internal/ga"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+func motionSetup(nclb int) (*model.App, *model.Arch) {
+	cfg := apps.DefaultMotionConfig()
+	return apps.MotionDetection(cfg), apps.MotionArch(nclb, cfg)
+}
+
+// ---------- E1: Figure 2 — one typical annealing run ----------
+
+func BenchmarkFig2TypicalRun(b *testing.B) {
+	app, arch := motionSetup(2000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.Seed = int64(i)
+		cfg.Deadline = apps.MotionDeadline
+		res, err := core.Explore(app, arch, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.BestEval.Makespan <= 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// ---------- E2: Figure 3 — the device-size sweep (reduced) ----------
+
+func BenchmarkFig3DeviceSweep(b *testing.B) {
+	app, _ := motionSetup(2000)
+	sizes := []int{200, 800, 2000, 10000}
+	for i := 0; i < b.N; i++ {
+		for _, nclb := range sizes {
+			arch := apps.MotionArch(nclb, apps.DefaultMotionConfig())
+			cfg := core.DefaultConfig()
+			cfg.Seed = int64(i)
+			cfg.MaxIters = 2000
+			cfg.Warmup = 400
+			cfg.QuenchIters = 1000
+			cfg.EnableCtxSplit = false // paper mode
+			if _, err := core.Explore(app, arch, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// ---------- E3: SA vs GA comparison ----------
+
+func BenchmarkSA(b *testing.B) {
+	app, arch := motionSetup(2000)
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.Seed = int64(i)
+		if _, err := core.Explore(app, arch, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGA(b *testing.B) {
+	app, arch := motionSetup(2000)
+	for i := 0; i < b.N; i++ {
+		cfg := ga.DefaultConfig()
+		cfg.Population = 300 // the published population
+		cfg.Generations = 40 // bounded for benchmarking
+		cfg.Stall = 15
+		cfg.Seed = int64(i)
+		if _, err := ga.Explore(app, arch, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------- E4: solution-space counting ----------
+
+func BenchmarkSolutionSpaceCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		n := combi.ComputePaperNumbers()
+		if n.Orders.Int64() != 348840 {
+			b.Fatal("count mismatch")
+		}
+	}
+}
+
+// ---------- evaluator micro-benchmarks ----------
+
+func BenchmarkEvaluateMapping(b *testing.B) {
+	app, arch := motionSetup(2000)
+	rng := rand.New(rand.NewSource(1))
+	m, err := sched.RandomMapping(app, arch, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := sched.NewEvaluator(app, arch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Evaluate(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation: incremental longest-path maintenance vs full re-evaluation on a
+// large random DAG under repeated local edits (the Woodbury-substitute of
+// DESIGN.md §3).
+func benchLargeDAG(n int, seed int64) (*graph.DAG, []int64) {
+	r := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	dur := make([]int64, n)
+	for i := range dur {
+		dur[i] = int64(r.Intn(1000))
+	}
+	for u := 0; u < n; u++ {
+		for k := 0; k < 4; k++ {
+			v := u + 1 + r.Intn(n-u)
+			if v < n {
+				g.AddEdge(u, v, int64(r.Intn(100))) //nolint:errcheck
+			}
+		}
+	}
+	return g, dur
+}
+
+func BenchmarkEvalIncremental(b *testing.B) {
+	g, dur := benchLargeDAG(2000, 7)
+	e, err := graph.NewEvaluator(g, append([]int64(nil), dur...))
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.Flush()
+	r := rand.New(rand.NewSource(8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := r.Intn(2000)
+		e.SetDur(v, int64(r.Intn(1000)))
+		e.Flush()
+	}
+}
+
+func BenchmarkEvalFull(b *testing.B) {
+	g, dur := benchLargeDAG(2000, 7)
+	r := rand.New(rand.NewSource(8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dur[r.Intn(2000)] = int64(r.Intn(1000))
+		if _, _, err := graph.Longest(g, dur); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation: O(1) closure cycle pre-check vs DFS reachability.
+func BenchmarkCycleCheckClosure(b *testing.B) {
+	g, _ := benchLargeDAG(1000, 9)
+	c, err := graph.NewClosure(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(10))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, v := r.Intn(1000), r.Intn(1000)
+		_ = c.WouldCycle(u, v)
+	}
+}
+
+func BenchmarkCycleCheckDFS(b *testing.B) {
+	g, _ := benchLargeDAG(1000, 9)
+	r := rand.New(rand.NewSource(10))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, v := r.Intn(1000), r.Intn(1000)
+		_ = u == v || g.Reaches(v, u)
+	}
+}
+
+// Ablation: cooling schedules on the same problem and budget.
+func benchWithSchedule(b *testing.B, mk func() anneal.Schedule) {
+	b.Helper()
+	app, arch := motionSetup(2000)
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.Seed = int64(i)
+		cfg.MaxIters = 3000
+		cfg.QuenchIters = 0
+		cfg.Schedule = mk()
+		if _, err := core.Explore(app, arch, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScheduleLam(b *testing.B) {
+	benchWithSchedule(b, func() anneal.Schedule { return anneal.NewLam(0.05, 600) })
+}
+
+func BenchmarkScheduleModifiedLam(b *testing.B) {
+	benchWithSchedule(b, func() anneal.Schedule { return anneal.NewModifiedLam(3000, 5) })
+}
+
+func BenchmarkScheduleGeometric(b *testing.B) {
+	benchWithSchedule(b, func() anneal.Schedule { return anneal.NewGeometric(20, 0.95, 30, 1e-4) })
+}
+
+// Ablation: adaptive vs fixed move-kind generation.
+func BenchmarkAdaptiveMoves(b *testing.B) {
+	app, arch := motionSetup(2000)
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.Seed = int64(i)
+		cfg.MaxIters = 3000
+		cfg.AdaptiveMoves = true
+		if _, err := core.Explore(app, arch, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFixedMoves(b *testing.B) {
+	app, arch := motionSetup(2000)
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.Seed = int64(i)
+		cfg.MaxIters = 3000
+		cfg.AdaptiveMoves = false
+		if _, err := core.Explore(app, arch, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Scalability: exploration cost on larger random graphs.
+func BenchmarkExploreLayered120(b *testing.B) {
+	rcfg := apps.DefaultRandomConfig(3)
+	rcfg.Tasks = 120
+	rcfg.Layers = 15
+	app, err := apps.Layered(rcfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arch := apps.MotionArch(2000, apps.DefaultMotionConfig())
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.Seed = int64(i)
+		cfg.MaxIters = 2000
+		cfg.Warmup = 400
+		cfg.QuenchIters = 500
+		if _, err := core.Explore(app, arch, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Command dsesweep regenerates Figure 3 of the paper: average execution
+// time, reconfiguration times (initial and dynamic) and number of contexts
+// versus FPGA size, each point averaged over many annealing runs of the
+// motion-detection application.
+//
+// Usage:
+//
+//	dsesweep [-sizes 100,200,...] [-runs 100] [-splits=false] [-csv out.csv]
+//
+// With -splits=false contexts are created only through capacity overflow
+// (the paper's mechanism); this is the mode that reproduces the published
+// curve, including the single-context plateau at large devices.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dsesweep: ")
+	var (
+		sizesFlag = flag.String("sizes", "100,200,400,600,800,1200,1600,2000,3000,4000,5000,7000,10000", "comma-separated FPGA sizes (CLBs)")
+		runs      = flag.Int("runs", 100, "annealing runs per size (paper: 100)")
+		iters     = flag.Int("iters", 5000, "annealing iterations per run")
+		splits    = flag.Bool("splits", false, "enable the context-splitting extension move (paper mode: off)")
+		csvPath   = flag.String("csv", "", "write results to this CSV file")
+		noplot    = flag.Bool("noplot", false, "suppress the ASCII plot")
+	)
+	flag.Parse()
+
+	sizes, err := parseSizes(*sizesFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mcfg := apps.DefaultMotionConfig()
+	app := apps.MotionDetection(mcfg)
+
+	fmt.Printf("Figure 3 — device-size sweep on %q (%d runs/size, %d iterations, splits=%v)\n\n",
+		app.Name, *runs, *iters, *splits)
+
+	tb := report.NewTable("nclb", "exec_ms", "init_reconf_ms", "dyn_reconf_ms", "contexts", "met_40ms", "best_ms")
+	var xs, yExec, yCtx, yRcI, yRcD []float64
+	start := time.Now()
+	for _, nclb := range sizes {
+		arch := apps.MotionArch(nclb, mcfg)
+		var exec, rcI, rcD, ctxs, met float64
+		best := 1e18
+		for s := 0; s < *runs; s++ {
+			cfg := core.DefaultConfig()
+			cfg.Seed = int64(s)
+			cfg.MaxIters = *iters
+			cfg.Deadline = apps.MotionDeadline
+			cfg.EnableCtxSplit = *splits
+			res, err := core.Explore(app, arch, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			b := res.BestEval
+			m := b.Makespan.Millis()
+			exec += m
+			if m < best {
+				best = m
+			}
+			if res.MetDeadline {
+				met++
+			}
+			rcI += b.InitialReconfig.Millis()
+			rcD += b.DynamicReconfig.Millis()
+			ctxs += float64(b.Contexts)
+		}
+		n := float64(*runs)
+		tb.AddRow(nclb, exec/n, rcI/n, rcD/n, ctxs/n,
+			fmt.Sprintf("%.0f/%d", met, *runs), best)
+		xs = append(xs, float64(nclb))
+		yExec = append(yExec, exec/n)
+		yCtx = append(yCtx, ctxs/n)
+		yRcI = append(yRcI, rcI/n)
+		yRcD = append(yRcD, rcD/n)
+	}
+
+	if err := tb.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntotal wall time: %v\n", time.Since(start).Round(time.Millisecond))
+
+	if !*noplot {
+		fmt.Println("\nexecution time / reconfiguration times (ms) and contexts vs FPGA size:")
+		err := report.Plot(os.Stdout, 78, 16,
+			report.Series{Name: "execution time (ms)", X: xs, Y: yExec},
+			report.Series{Name: "number of contexts", X: xs, Y: yCtx},
+			report.Series{Name: "initial reconfiguration (ms)", X: xs, Y: yRcI},
+			report.Series{Name: "dynamic reconfiguration (ms)", X: xs, Y: yRcD},
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := tb.CSV(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("results written to %s\n", *csvPath)
+	}
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("invalid size %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no sizes given")
+	}
+	return out, nil
+}

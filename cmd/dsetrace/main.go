@@ -1,0 +1,103 @@
+// Command dsetrace regenerates Figure 2 of the paper: the evolution of the
+// execution time and of the number of FPGA contexts during one annealing
+// run on the motion-detection application (2000-CLB device, ~1200
+// infinite-temperature iterations, 5000 iterations total).
+//
+// Usage:
+//
+//	dsetrace [-nclb 2000] [-iters 5000] [-warmup 1200] [-seed 1]
+//	         [-quality 0.05] [-csv trace.csv] [-noplot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dsetrace: ")
+	var (
+		nclb    = flag.Int("nclb", 2000, "FPGA capacity in CLBs")
+		iters   = flag.Int("iters", 5000, "annealing iterations")
+		warmup  = flag.Int("warmup", 1200, "infinite-temperature warmup iterations")
+		seed    = flag.Int64("seed", 1, "random seed")
+		quality = flag.Float64("quality", 0.05, "Lam schedule quality (λ)")
+		csvPath = flag.String("csv", "", "write the per-iteration trace to this CSV file")
+		noplot  = flag.Bool("noplot", false, "suppress the ASCII plots")
+		splits  = flag.Bool("splits", false, "enable the context-splitting extension move")
+	)
+	flag.Parse()
+
+	mcfg := apps.DefaultMotionConfig()
+	app := apps.MotionDetection(mcfg)
+	arch := apps.MotionArch(*nclb, mcfg)
+
+	cfg := core.DefaultConfig()
+	cfg.MaxIters = *iters
+	cfg.Warmup = *warmup
+	cfg.Seed = *seed
+	cfg.Quality = *quality
+	cfg.Deadline = apps.MotionDeadline
+	cfg.EnableCtxSplit = *splits
+
+	var its, ctxs, exec []float64
+	cfg.Trace = func(p core.TracePoint) {
+		its = append(its, float64(p.Iter))
+		exec = append(exec, p.Makespan.Millis())
+		ctxs = append(ctxs, float64(p.Contexts))
+	}
+
+	start := time.Now()
+	res, err := core.Explore(app, arch, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("Figure 2 — typical run on %q, FPGA %d CLBs\n\n", app.Name, *nclb)
+	fmt.Printf("  all-software execution time : %v (paper: 76.4 ms)\n", app.TotalSW())
+	fmt.Printf("  initial random solution     : %v (paper: 67.9 ms)\n", res.InitialEval.Makespan)
+	fmt.Printf("  final best execution time   : %v (paper: 18.1 ms)\n", res.BestEval.Makespan)
+	fmt.Printf("  final contexts              : %d (paper: 3)\n", res.BestEval.Contexts)
+	fmt.Printf("  40 ms constraint met        : %v\n", res.MetDeadline)
+	fmt.Printf("  breakdown: sw=%v hw=%v comm=%v reconfig(init)=%v reconfig(dyn)=%v\n",
+		res.BestEval.ComputeSW, res.BestEval.ComputeHW, res.BestEval.Comm,
+		res.BestEval.InitialReconfig, res.BestEval.DynamicReconfig)
+	fmt.Printf("  iterations=%d accepted=%d rejected=%d infeasible=%d wall=%v (paper: <10 s)\n\n",
+		res.Stats.Iters, res.Stats.Accepted, res.Stats.Rejected, res.Stats.Infeasible, elapsed.Round(time.Millisecond))
+
+	if !*noplot && len(its) > 0 {
+		fmt.Println("execution time (ms) vs iteration:")
+		if err := report.Plot(os.Stdout, 78, 16, report.Series{Name: "execution time (ms)", X: its, Y: exec}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("\nnumber of contexts vs iteration:")
+		if err := report.Plot(os.Stdout, 78, 10, report.Series{Name: "contexts", X: its, Y: ctxs}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *csvPath != "" {
+		tb := report.NewTable("iteration", "execution_ms", "contexts")
+		for i := range its {
+			tb.AddRow(int(its[i]), exec[i], int(ctxs[i]))
+		}
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := tb.CSV(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace written to %s\n", *csvPath)
+	}
+}

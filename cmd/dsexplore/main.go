@@ -1,0 +1,158 @@
+// Command dsexplore is the general design-space exploration CLI: it maps an
+// application (JSON, or the built-in motion-detection benchmark) onto a
+// reconfigurable architecture (JSON, or the built-in ARM922+Virtex-E) and
+// prints the best mapping found, its timing breakdown, and optionally a
+// Gantt chart of the schedule.
+//
+// Usage:
+//
+//	dsexplore -motion [-nclb 2000] [-gantt]
+//	dsexplore -app app.json -arch arch.json [-deadline 40] [-gantt]
+//	dsexplore -dump-app app.json -dump-arch arch.json    # emit built-ins
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/report"
+	"repro/internal/sched"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dsexplore: ")
+	var (
+		appPath    = flag.String("app", "", "application JSON file")
+		archPath   = flag.String("arch", "", "architecture JSON file")
+		motion     = flag.Bool("motion", false, "use the built-in motion-detection benchmark")
+		nclb       = flag.Int("nclb", 2000, "FPGA capacity for the built-in architecture")
+		iters      = flag.Int("iters", 5000, "annealing iterations")
+		seed       = flag.Int64("seed", 1, "random seed")
+		quality    = flag.Float64("quality", 0.05, "Lam schedule quality (λ): smaller = slower, better")
+		deadlineMS = flag.Float64("deadline", 0, "real-time constraint in ms (0 = none)")
+		gantt      = flag.Bool("gantt", false, "print the schedule as a Gantt listing")
+		assign     = flag.Bool("assign", true, "print the per-task assignment table")
+		dumpApp    = flag.String("dump-app", "", "write the built-in application JSON here and exit")
+		dumpArch   = flag.String("dump-arch", "", "write the built-in architecture JSON here and exit")
+	)
+	flag.Parse()
+
+	mcfg := apps.DefaultMotionConfig()
+	if *dumpApp != "" || *dumpArch != "" {
+		if *dumpApp != "" {
+			writeJSON(*dumpApp, func(f *os.File) error { return model.WriteApp(f, apps.MotionDetection(mcfg)) })
+			fmt.Printf("wrote %s\n", *dumpApp)
+		}
+		if *dumpArch != "" {
+			writeJSON(*dumpArch, func(f *os.File) error { return model.WriteArch(f, apps.MotionArch(*nclb, mcfg)) })
+			fmt.Printf("wrote %s\n", *dumpArch)
+		}
+		return
+	}
+
+	var (
+		app  *model.App
+		arch *model.Arch
+		err  error
+	)
+	switch {
+	case *motion || (*appPath == "" && *archPath == ""):
+		app = apps.MotionDetection(mcfg)
+		arch = apps.MotionArch(*nclb, mcfg)
+		if *deadlineMS == 0 {
+			*deadlineMS = apps.MotionDeadline.Millis()
+		}
+	default:
+		if *appPath == "" || *archPath == "" {
+			log.Fatal("need both -app and -arch (or -motion)")
+		}
+		if app, err = model.LoadApp(*appPath); err != nil {
+			log.Fatal(err)
+		}
+		if arch, err = model.LoadArch(*archPath); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.MaxIters = *iters
+	cfg.Seed = *seed
+	cfg.Quality = *quality
+	cfg.Deadline = model.FromMillis(*deadlineMS)
+
+	start := time.Now()
+	res, err := core.Explore(app, arch, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	b := res.BestEval
+	fmt.Printf("application %q (%d tasks) on %q\n\n", app.Name, app.N(), arch.Name)
+	fmt.Printf("  initial random solution : %v\n", res.InitialEval.Makespan)
+	fmt.Printf("  best execution time     : %v\n", b.Makespan)
+	if cfg.Deadline > 0 {
+		fmt.Printf("  constraint %v met    : %v\n", cfg.Deadline, res.MetDeadline)
+	}
+	fmt.Printf("  contexts                : %d\n", b.Contexts)
+	fmt.Printf("  compute sw/hw           : %v / %v\n", b.ComputeSW, b.ComputeHW)
+	fmt.Printf("  bus communication       : %v\n", b.Comm)
+	fmt.Printf("  reconfiguration         : initial %v + dynamic %v\n", b.InitialReconfig, b.DynamicReconfig)
+	fmt.Printf("  optimizer wall time     : %v (%d iterations)\n\n", elapsed.Round(time.Millisecond), res.Stats.Iters)
+
+	if *assign {
+		tb := report.NewTable("task", "name", "resource", "impl", "clbs", "time")
+		for t := 0; t < app.N(); t++ {
+			pl := res.Best.Assign[t]
+			task := &app.Tasks[t]
+			switch pl.Kind {
+			case model.KindProcessor:
+				tb.AddRow(t, task.Name, fmt.Sprintf("proc%d", pl.Res), "-", "-", task.SW.String())
+			case model.KindRC:
+				im := task.HW[res.Best.Impl[t]]
+				tb.AddRow(t, task.Name, fmt.Sprintf("rc%d/ctx%d", pl.Res, pl.Ctx),
+					res.Best.Impl[t], im.CLBs, im.Time.String())
+			case model.KindASIC:
+				im := task.HW[res.Best.Impl[t]]
+				tb.AddRow(t, task.Name, fmt.Sprintf("asic%d", pl.Res),
+					res.Best.Impl[t], im.CLBs, im.Time.String())
+			}
+		}
+		if err := tb.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+
+	if *gantt {
+		e := sched.NewEvaluator(app, arch)
+		if _, err := e.Evaluate(res.Best); err != nil {
+			log.Fatal(err)
+		}
+		tb := report.NewTable("lane", "start", "end", "activity")
+		for _, en := range sched.Gantt(e, res.Best) {
+			tb.AddRow(en.Lane, en.Start.String(), en.End.String(), en.Label)
+		}
+		if err := tb.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func writeJSON(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,153 @@
+// Package dse is the public API of the design-space explorer for
+// dynamically reconfigurable architectures — a reproduction of Miramond &
+// Delosme, "Design Space Exploration for Dynamically Reconfigurable
+// Architectures" (DATE 2005).
+//
+// The explorer maps an application, described as an acyclic precedence
+// graph of coarse-grain tasks, onto a heterogeneous architecture built from
+// programmable processors and dynamically reconfigurable circuits. It
+// simultaneously searches the HW/SW spatial partitioning, the temporal
+// partitioning of hardware tasks into reconfiguration contexts, the
+// software schedules, and the per-task hardware implementation choice,
+// using simulated annealing with the adaptive Lam–Delosme cooling schedule.
+//
+// Quick start:
+//
+//	app := dse.MotionDetection()
+//	arch := dse.MotionArch(2000)
+//	res, err := dse.Explore(app, arch, dse.DefaultOptions())
+//	if err != nil { ... }
+//	fmt.Println(res.BestEval.Makespan) // e.g. "33.12ms"
+package dse
+
+import (
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/ga"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// Model types (see the respective internal packages for full details).
+type (
+	// App is an application: a named acyclic precedence graph of tasks.
+	App = model.App
+	// Task is one coarse-grain computation with software and hardware
+	// execution-time estimates.
+	Task = model.Task
+	// Impl is one hardware implementation point (CLB count, time).
+	Impl = model.Impl
+	// Flow is a data dependency between two tasks.
+	Flow = model.Flow
+	// Arch is a target architecture.
+	Arch = model.Arch
+	// Processor is a programmable processor.
+	Processor = model.Processor
+	// RC is a dynamically reconfigurable circuit.
+	RC = model.RC
+	// ASIC is a dedicated hardware resource.
+	ASIC = model.ASIC
+	// Bus is the shared communication medium.
+	Bus = model.Bus
+	// Time is a duration in nanoseconds.
+	Time = model.Time
+	// Mapping is a complete candidate solution.
+	Mapping = sched.Mapping
+	// Evaluation summarizes the timing of a mapping.
+	Evaluation = sched.Result
+	// GanttEntry is one bar of a schedule chart.
+	GanttEntry = sched.GanttEntry
+)
+
+// Time unit constants.
+const (
+	Nanosecond  = model.Nanosecond
+	Microsecond = model.Microsecond
+	Millisecond = model.Millisecond
+	Second      = model.Second
+)
+
+// ResourceKind discriminates processing-element classes in placements.
+type ResourceKind = model.ResourceKind
+
+// Resource kinds.
+const (
+	KindProcessor = model.KindProcessor
+	KindRC        = model.KindRC
+	KindASIC      = model.KindASIC
+)
+
+// FromMillis converts milliseconds to Time.
+func FromMillis(ms float64) Time { return model.FromMillis(ms) }
+
+// FromMicros converts microseconds to Time.
+func FromMicros(us float64) Time { return model.FromMicros(us) }
+
+// Options configures an exploration; see core.Config for field docs.
+type Options = core.Config
+
+// TracePoint is per-iteration telemetry (Figure 2's data stream).
+type TracePoint = core.TracePoint
+
+// Result is the outcome of an exploration.
+type Result = core.Result
+
+// DefaultOptions mirrors the paper's Figure 2 run configuration.
+func DefaultOptions() Options { return core.DefaultConfig() }
+
+// Explore runs the annealing design-space exploration.
+func Explore(app *App, arch *Arch, opts Options) (*Result, error) {
+	return core.Explore(app, arch, opts)
+}
+
+// GAOptions configures the genetic-algorithm baseline.
+type GAOptions = ga.Config
+
+// GAResult is the baseline's outcome.
+type GAResult = ga.Result
+
+// DefaultGAOptions mirrors the published baseline setting (population 300).
+func DefaultGAOptions() GAOptions { return ga.DefaultConfig() }
+
+// ExploreGA runs the genetic-algorithm baseline of Ben Chehida & Auguin.
+func ExploreGA(app *App, arch *Arch, opts GAOptions) (*GAResult, error) {
+	return ga.Explore(app, arch, opts)
+}
+
+// Evaluate times a mapping against an application and architecture.
+func Evaluate(app *App, arch *Arch, m *Mapping) (Evaluation, error) {
+	if err := sched.CheckMapping(app, arch, m); err != nil {
+		return Evaluation{}, err
+	}
+	return sched.NewEvaluator(app, arch).Evaluate(m)
+}
+
+// Gantt extracts the schedule chart of a mapping.
+func Gantt(app *App, arch *Arch, m *Mapping) ([]GanttEntry, error) {
+	if err := sched.CheckMapping(app, arch, m); err != nil {
+		return nil, err
+	}
+	e := sched.NewEvaluator(app, arch)
+	if _, err := e.Evaluate(m); err != nil {
+		return nil, err
+	}
+	return sched.Gantt(e, m), nil
+}
+
+// MotionDetection builds the synthetic 28-task motion-detection benchmark
+// (the paper's Section 5 workload; see DESIGN.md for the substitution of
+// the proprietary EPICURE estimates).
+func MotionDetection() *App { return apps.MotionDetection(apps.DefaultMotionConfig()) }
+
+// MotionArch builds the ARM922+Virtex-E reference architecture with the
+// given FPGA capacity in CLBs (tR = 22.5 µs/CLB as in the paper).
+func MotionArch(nclb int) *Arch { return apps.MotionArch(nclb, apps.DefaultMotionConfig()) }
+
+// MotionDeadline is the benchmark's 40 ms real-time constraint.
+const MotionDeadline = Time(apps.MotionDeadline)
+
+// LoadApp reads a validated application from a JSON file.
+func LoadApp(path string) (*App, error) { return model.LoadApp(path) }
+
+// LoadArch reads a validated architecture from a JSON file.
+func LoadArch(path string) (*Arch, error) { return model.LoadArch(path) }

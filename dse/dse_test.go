@@ -1,0 +1,67 @@
+package dse_test
+
+import (
+	"testing"
+
+	"repro/dse"
+)
+
+func TestPublicQuickstart(t *testing.T) {
+	app := dse.MotionDetection()
+	arch := dse.MotionArch(2000)
+	opts := dse.DefaultOptions()
+	opts.MaxIters = 1500
+	opts.Warmup = 300
+	opts.QuenchIters = 500
+	res, err := dse.Explore(app, arch, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestEval.Makespan <= 0 || res.BestEval.Makespan >= dse.FromMillis(76.4) {
+		t.Fatalf("implausible makespan %v", res.BestEval.Makespan)
+	}
+	// Re-evaluate the returned mapping through the public API.
+	ev, err := dse.Evaluate(app, arch, res.Best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev != res.BestEval {
+		t.Fatalf("public Evaluate disagrees: %+v vs %+v", ev, res.BestEval)
+	}
+	entries, err := dse.Gantt(app, arch, res.Best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < app.N() {
+		t.Fatalf("Gantt has %d entries for %d tasks", len(entries), app.N())
+	}
+}
+
+func TestPublicGABaseline(t *testing.T) {
+	app := dse.MotionDetection()
+	arch := dse.MotionArch(2000)
+	opts := dse.DefaultGAOptions()
+	opts.Population = 30
+	opts.Generations = 10
+	opts.Stall = 5
+	res, err := dse.ExploreGA(app, arch, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestEval.Makespan >= dse.FromMillis(76.4) {
+		t.Fatalf("GA failed to improve: %v", res.BestEval.Makespan)
+	}
+}
+
+func TestPublicConstants(t *testing.T) {
+	if dse.MotionDeadline != dse.FromMillis(40) {
+		t.Fatal("deadline constant wrong")
+	}
+	if dse.FromMicros(22.5) != 22500*dse.Nanosecond {
+		t.Fatal("unit conversion wrong")
+	}
+	app := dse.MotionDetection()
+	if app.TotalSW() != dse.FromMillis(76.4) {
+		t.Fatal("benchmark invariant wrong")
+	}
+}

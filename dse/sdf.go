@@ -1,0 +1,19 @@
+package dse
+
+import "repro/internal/sdf"
+
+// SDF model-of-computation front end (the paper's announced extension):
+// describe a streaming application as a synchronous-dataflow graph, expand
+// one iteration into a precedence graph, and explore it like any other
+// application.
+type (
+	// SDFGraph is a synchronous-dataflow graph.
+	SDFGraph = sdf.Graph
+	// SDFActor is an SDF node.
+	SDFActor = sdf.Actor
+	// SDFChannel is an SDF arc with production/consumption rates.
+	SDFChannel = sdf.Channel
+)
+
+// ErrSDFInconsistent is returned for rate-inconsistent SDF graphs.
+var ErrSDFInconsistent = sdf.ErrInconsistent

@@ -1,0 +1,83 @@
+// Architecture exploration (moves m3/m4 of the paper): instead of fixing
+// the platform, give the explorer a template of candidate resources with
+// costs and let it minimize system cost subject to the real-time
+// constraint. Unused template resources cost nothing — removing a resource
+// (m3) empties it, creating one (m4) populates it. Run with:
+//
+//	go run ./examples/archexplore
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/dse"
+)
+
+func main() {
+	app := dse.MotionDetection()
+
+	// Candidate platform: two processors, a large and a small FPGA, and an
+	// ASIC, each with a cost. The explorer chooses which to instantiate.
+	arch := &dse.Arch{
+		Name: "candidate-template",
+		Processors: []dse.Processor{
+			{Name: "arm922-a", Cost: 10},
+			{Name: "arm922-b", Cost: 10},
+		},
+		RCs: []dse.RC{
+			{Name: "virtex-2000", NCLB: 2000, TR: dse.FromMicros(22.5), Cost: 25},
+			{Name: "virtex-800", NCLB: 800, TR: dse.FromMicros(22.5), Cost: 12},
+		},
+		ASICs: []dse.ASIC{{Name: "labeling-asic", Cost: 40}},
+		Bus:   dse.Bus{Rate: 80_000_000, Contention: true},
+	}
+
+	opts := dse.DefaultOptions()
+	opts.ExploreArch = true
+	opts.Deadline = dse.MotionDeadline
+	opts.PenaltyWeight = 50 // cost units per ms of constraint violation
+	opts.MaxIters = 8000
+	opts.Warmup = 1500
+
+	res, err := dse.Explore(app, arch, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("architecture exploration under a %v constraint\n\n", dse.MotionDeadline)
+	fmt.Printf("  best execution time: %v (met: %v)\n", res.BestEval.Makespan, res.MetDeadline)
+	fmt.Printf("  final cost (used resources + any penalty): %.1f\n\n", res.Stats.BestCost)
+
+	// Which template resources did the final architecture instantiate?
+	usedProc := map[int]int{}
+	usedRC := map[int]int{}
+	usedASIC := map[int]int{}
+	for _, pl := range res.Best.Assign {
+		switch pl.Kind {
+		case dse.KindProcessor:
+			usedProc[pl.Res]++
+		case dse.KindRC:
+			usedRC[pl.Res]++
+		case dse.KindASIC:
+			usedASIC[pl.Res]++
+		}
+	}
+	fmt.Println("instantiated resources:")
+	for i, p := range arch.Processors {
+		if n := usedProc[i]; n > 0 {
+			fmt.Printf("  %-12s cost %4.1f  %2d tasks\n", p.Name, p.Cost, n)
+		}
+	}
+	for i, r := range arch.RCs {
+		if n := usedRC[i]; n > 0 {
+			fmt.Printf("  %-12s cost %4.1f  %2d tasks in %d contexts\n",
+				r.Name, r.Cost, n, res.Best.NumContexts(i))
+		}
+	}
+	for i, a := range arch.ASICs {
+		if n := usedASIC[i]; n > 0 {
+			fmt.Printf("  %-12s cost %4.1f  %2d tasks\n", a.Name, a.Cost, n)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// The paper's Section 5 experiment: map the 28-task motion-detection
+// application (all-software 76.4 ms, real-time constraint 40 ms/image) onto
+// an ARM922-class processor plus a 2000-CLB Virtex-E-class FPGA with
+// tR = 22.5 µs/CLB. Run with:
+//
+//	go run ./examples/motiondetect
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/dse"
+)
+
+func main() {
+	app := dse.MotionDetection()
+	arch := dse.MotionArch(2000)
+
+	opts := dse.DefaultOptions()
+	opts.Deadline = dse.MotionDeadline
+	opts.Seed = 3
+
+	start := time.Now()
+	res, err := dse.Explore(app, arch, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	b := res.BestEval
+	fmt.Printf("motion detection on %s\n", arch.Name)
+	fmt.Printf("  all-software          : %v (must be < 40ms after acceleration)\n", app.TotalSW())
+	fmt.Printf("  initial random mapping: %v\n", res.InitialEval.Makespan)
+	fmt.Printf("  best mapping          : %v — constraint met: %v\n", b.Makespan, res.MetDeadline)
+	fmt.Printf("  contexts              : %d\n", b.Contexts)
+	fmt.Printf("  time breakdown        : sw %v, hw %v, bus %v, reconfig %v+%v\n",
+		b.ComputeSW, b.ComputeHW, b.Comm, b.InitialReconfig, b.DynamicReconfig)
+	fmt.Printf("  optimizer             : %d iterations in %v\n\n",
+		res.Stats.Iters, elapsed.Round(time.Millisecond))
+
+	// Which functions were pulled into hardware?
+	fmt.Println("hardware-accelerated tasks:")
+	for t, pl := range res.Best.Assign {
+		if pl.Kind != dse.KindRC {
+			continue
+		}
+		impl := app.Tasks[t].HW[res.Best.Impl[t]]
+		fmt.Printf("  ctx%d  %-12s %4d CLBs  %8v (sw was %v)\n",
+			pl.Ctx, app.Tasks[t].Name, impl.CLBs, impl.Time, app.Tasks[t].SW)
+	}
+
+	// The schedule, lane by lane.
+	fmt.Println("\nschedule:")
+	entries, err := dse.Gantt(app, arch, res.Best)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range entries {
+		fmt.Printf("  %-11s %9v – %-9v %s\n", e.Lane, e.Start, e.End, e.Label)
+	}
+}

@@ -1,0 +1,69 @@
+// Quickstart: describe a four-stage processing pipeline, a processor+FPGA
+// architecture, and let the explorer find a mapping. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/dse"
+)
+
+func main() {
+	// A small pipeline: capture -> filter -> detect -> encode, with an
+	// area/time trade-off for every hardware-capable stage.
+	app := &dse.App{
+		Name: "pipeline",
+		Tasks: []dse.Task{
+			{Name: "capture", SW: dse.FromMillis(2)},
+			{Name: "filter", SW: dse.FromMillis(12), HW: []dse.Impl{
+				{CLBs: 150, Time: dse.FromMillis(1.5)},
+				{CLBs: 300, Time: dse.FromMillis(0.8)},
+			}},
+			{Name: "detect", SW: dse.FromMillis(9), HW: []dse.Impl{
+				{CLBs: 200, Time: dse.FromMillis(1.2)},
+			}},
+			{Name: "encode", SW: dse.FromMillis(4)},
+		},
+		Flows: []dse.Flow{
+			{From: 0, To: 1, Qty: 64 * 1024},
+			{From: 1, To: 2, Qty: 64 * 1024},
+			{From: 2, To: 3, Qty: 16 * 1024},
+		},
+	}
+
+	arch := &dse.Arch{
+		Name:       "cpu+fpga",
+		Processors: []dse.Processor{{Name: "cpu"}},
+		RCs: []dse.RC{{
+			Name: "fpga",
+			NCLB: 400,
+			TR:   dse.FromMicros(22.5), // per-CLB reconfiguration time
+		}},
+		Bus: dse.Bus{Rate: 100_000_000, Contention: true},
+	}
+
+	opts := dse.DefaultOptions()
+	opts.MaxIters = 3000
+	opts.Deadline = dse.FromMillis(15)
+
+	res, err := dse.Explore(app, arch, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("all-software time : %v\n", app.TotalSW())
+	fmt.Printf("best mapping      : %v (deadline 15ms met: %v)\n",
+		res.BestEval.Makespan, res.MetDeadline)
+	fmt.Printf("contexts          : %d\n", res.BestEval.Contexts)
+	for t, pl := range res.Best.Assign {
+		where := "cpu"
+		if pl.Kind == dse.KindRC {
+			impl := app.Tasks[t].HW[res.Best.Impl[t]]
+			where = fmt.Sprintf("fpga ctx%d (%d CLBs, %v)", pl.Ctx, impl.CLBs, impl.Time)
+		}
+		fmt.Printf("  %-8s -> %s\n", app.Tasks[t].Name, where)
+	}
+}

@@ -1,0 +1,72 @@
+// SDF front end (the paper's announced multiple-models-of-computation
+// extension): describe a multirate digital front end as a synchronous-
+// dataflow graph, expand one iteration into a precedence graph, and explore
+// it. Run with:
+//
+//	go run ./examples/sdfapp
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/dse"
+)
+
+func main() {
+	hw := func(clbs int, us float64) []dse.Impl {
+		return []dse.Impl{
+			{CLBs: clbs, Time: dse.FromMicros(us)},
+			{CLBs: clbs * 2, Time: dse.FromMicros(us / 2)},
+		}
+	}
+	// A 1→4 upsampling chain with a decimating output stage:
+	// source --1:1--> fir(×4 firings) --4:2--> mixer(×2) --2:1--> sink.
+	g := &dse.SDFGraph{
+		Name: "frontend",
+		Actors: []dse.SDFActor{
+			{Name: "source", SW: dse.FromMicros(400)},
+			{Name: "fir", SW: dse.FromMicros(900), HW: hw(180, 60)},
+			{Name: "mixer", SW: dse.FromMicros(700), HW: hw(140, 90)},
+			{Name: "sink", SW: dse.FromMicros(300)},
+		},
+		Channels: []dse.SDFChannel{
+			{From: 0, To: 1, Prod: 4, Cons: 1, TokenBytes: 256},
+			{From: 1, To: 2, Prod: 2, Cons: 4, TokenBytes: 256},
+			{From: 2, To: 3, Prod: 1, Cons: 2, TokenBytes: 512},
+		},
+	}
+
+	q, err := g.Repetitions()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("repetition vector: %v\n", q)
+
+	app, err := g.Expand()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("expanded: %d firings, %d dependencies, all-software %v\n",
+		app.N(), len(app.Flows), app.TotalSW())
+
+	arch := &dse.Arch{
+		Name:       "dsp+fpga",
+		Processors: []dse.Processor{{Name: "dsp"}},
+		RCs:        []dse.RC{{Name: "fpga", NCLB: 600, TR: dse.FromMicros(22.5)}},
+		Bus:        dse.Bus{Rate: 200_000_000, Contention: true},
+	}
+	opts := dse.DefaultOptions()
+	opts.MaxIters = 4000
+	res, err := dse.Explore(app, arch, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best mapping: %v with %d contexts (from %v initial)\n",
+		res.BestEval.Makespan, res.BestEval.Contexts, res.InitialEval.Makespan)
+	for t, pl := range res.Best.Assign {
+		if pl.Kind == dse.KindRC {
+			fmt.Printf("  hw: %-8s ctx%d\n", app.Tasks[t].Name, pl.Ctx)
+		}
+	}
+}

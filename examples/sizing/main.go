@@ -1,0 +1,60 @@
+// Device sizing (the paper's Figure 3 question): how small an FPGA still
+// meets the 40 ms constraint, and where does adding CLBs stop helping?
+// This example runs a reduced sweep through the public API. Run with:
+//
+//	go run ./examples/sizing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/dse"
+)
+
+func main() {
+	app := dse.MotionDetection()
+	sizes := []int{100, 400, 800, 2000, 5000}
+	const runs = 5
+
+	fmt.Println("FPGA sizing for motion detection (40 ms budget):")
+	fmt.Println()
+	fmt.Printf("%8s  %12s  %12s  %9s  %s\n", "CLBs", "avg exec", "best exec", "contexts", "meets 40ms")
+
+	smallest := 0
+	for _, nclb := range sizes {
+		arch := dse.MotionArch(nclb)
+		var sum dse.Time
+		best := dse.Time(1 << 62)
+		met := 0
+		ctxs := 0
+		for seed := int64(0); seed < runs; seed++ {
+			opts := dse.DefaultOptions()
+			opts.Seed = seed
+			opts.MaxIters = 4000
+			opts.Deadline = dse.MotionDeadline
+			res, err := dse.Explore(app, arch, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sum += res.BestEval.Makespan
+			if res.BestEval.Makespan < best {
+				best = res.BestEval.Makespan
+			}
+			if res.MetDeadline {
+				met++
+			}
+			ctxs += res.BestEval.Contexts
+		}
+		fmt.Printf("%8d  %12v  %12v  %9.1f  %d/%d\n",
+			nclb, sum/runs, best, float64(ctxs)/runs, met, runs)
+		if smallest == 0 && met > runs/2 {
+			smallest = nclb
+		}
+	}
+	if smallest > 0 {
+		fmt.Printf("\nsmallest device meeting the constraint on most runs: %d CLBs\n", smallest)
+	} else {
+		fmt.Println("\nno device in the sweep reliably met the constraint")
+	}
+}

@@ -1,0 +1,171 @@
+// Package anneal implements the local-search engine of the paper: simulated
+// annealing with the adaptive cooling schedule of Lam and Delosme, plus a
+// budgeted "modified Lam" schedule and a classical geometric schedule for
+// ablation.
+//
+// The adaptive schedule treats the cost function as the energy of a
+// dynamical system and maximizes the cooling rate subject to maintaining
+// quasi-equilibrium; its control law is expressed purely in terms of online
+// statistics of the cost signal (acceptance ratio and cost dispersion), so
+// the schedule requires no problem-specific tuning — the property the paper
+// highlights against tabu search and genetic algorithms. A single scalar
+// "quality" knob trades optimization quality for computing time, exactly as
+// the tool's user-facing knob described in the abstract.
+package anneal
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Move is one candidate transition between solutions. Apply mutates the
+// problem state and reports whether the move was feasible (an infeasible
+// move, e.g. one that would create a precedence cycle, must leave the state
+// untouched and return false). Revert undoes a successfully applied move.
+type Move interface {
+	Apply() bool
+	Revert()
+	// Kind tags the move class for adaptive generation statistics.
+	Kind() int
+}
+
+// Problem is the optimization problem seen by the annealer.
+type Problem interface {
+	// Cost returns the cost of the current solution (lower is better).
+	Cost() float64
+	// Propose draws a random candidate move. It may return nil when no
+	// move is available for this draw (counted as infeasible).
+	Propose(rng *rand.Rand) Move
+}
+
+// BestKeeper is optionally implemented by problems that want to snapshot
+// their state whenever the annealer observes a new best cost.
+type BestKeeper interface {
+	KeepBest()
+}
+
+// Observation is the per-iteration telemetry passed to trace callbacks.
+type Observation struct {
+	Iter        int
+	Cost        float64
+	Best        float64
+	Temperature float64
+	Accepted    bool
+	MoveKind    int
+}
+
+// Options configures a run.
+type Options struct {
+	// Schedule controls the temperature; required.
+	Schedule Schedule
+	// MaxIters bounds the number of iterations (proposed moves). Zero
+	// means run until the schedule reports Done.
+	MaxIters int
+	// Seed seeds the internal RNG; runs are fully deterministic for a
+	// given seed.
+	Seed int64
+	// TargetCost stops the search early once the best cost reaches the
+	// target or below. Use NaN (or simply leave the zero Options value
+	// untouched via NewOptions) to disable.
+	TargetCost float64
+	// Trace, when non-nil, receives one observation per iteration. The
+	// paper's Figure 2 is produced from this stream.
+	Trace func(Observation)
+	// Stop, when non-nil, is polled between iterations; returning true
+	// interrupts the run (the tool "can be interrupted by the user at any
+	// time and will then return the current solution").
+	Stop func() bool
+}
+
+// NewOptions returns Options with the target disabled.
+func NewOptions(s Schedule) Options {
+	return Options{Schedule: s, TargetCost: math.NaN()}
+}
+
+// Stats summarizes a finished run.
+type Stats struct {
+	Iters      int
+	Accepted   int
+	Rejected   int
+	Infeasible int
+	BestCost   float64
+	BestIter   int
+	FinalCost  float64
+}
+
+// Run executes simulated annealing on p and returns run statistics. The
+// problem is left in its final state; if it implements BestKeeper it has
+// been told to snapshot each improving solution, so callers can recover the
+// best one.
+func Run(p Problem, opt Options) Stats {
+	if opt.Schedule == nil {
+		panic("anneal: Options.Schedule is required")
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	cost := p.Cost()
+	st := Stats{BestCost: cost, FinalCost: cost}
+	keeper, _ := p.(BestKeeper)
+	if keeper != nil {
+		keeper.KeepBest()
+	}
+
+	for it := 0; opt.MaxIters == 0 || it < opt.MaxIters; it++ {
+		if opt.Schedule.Done() {
+			break
+		}
+		if opt.Stop != nil && it%64 == 0 && opt.Stop() {
+			break
+		}
+		st.Iters++
+
+		mv := p.Propose(rng)
+		applied := mv != nil && mv.Apply()
+		kind := -1
+		if mv != nil {
+			kind = mv.Kind()
+		}
+		accepted := false
+		if !applied {
+			st.Infeasible++
+		} else {
+			newCost := p.Cost()
+			delta := newCost - cost
+			if delta <= 0 || rng.Float64() < math.Exp(-delta/opt.Schedule.Temperature()) {
+				accepted = true
+				cost = newCost
+				st.Accepted++
+				if cost < st.BestCost {
+					st.BestCost = cost
+					st.BestIter = it
+					if keeper != nil {
+						keeper.KeepBest()
+					}
+				}
+			} else {
+				mv.Revert()
+				st.Rejected++
+			}
+		}
+		// Every attempt informs the schedule: an infeasible proposal is a
+		// rejected transition of the chain (it stayed in place), so the
+		// acceptance statistics reflect the true mixing rate and the
+		// warmup phase ends after a predictable number of iterations.
+		opt.Schedule.Observe(cost, accepted)
+
+		if opt.Trace != nil {
+			opt.Trace(Observation{
+				Iter:        it,
+				Cost:        cost,
+				Best:        st.BestCost,
+				Temperature: opt.Schedule.Temperature(),
+				Accepted:    accepted,
+				MoveKind:    kind,
+			})
+		}
+		if !math.IsNaN(opt.TargetCost) && st.BestCost <= opt.TargetCost {
+			break
+		}
+	}
+	st.FinalCost = cost
+	return st
+}

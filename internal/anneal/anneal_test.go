@@ -1,0 +1,347 @@
+package anneal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// quadratic is a toy 1-D problem: minimize (x-3)² over integers scaled by
+// step moves. Global minimum 0 at x=3.
+type quadratic struct {
+	x    float64
+	best float64
+	kept int
+}
+
+type quadMove struct {
+	p     *quadratic
+	delta float64
+}
+
+func (m *quadMove) Apply() bool { m.p.x += m.delta; return true }
+func (m *quadMove) Revert()     { m.p.x -= m.delta }
+func (m *quadMove) Kind() int   { return 0 }
+
+func (q *quadratic) Cost() float64 { return (q.x - 3) * (q.x - 3) }
+func (q *quadratic) Propose(rng *rand.Rand) Move {
+	return &quadMove{p: q, delta: rng.NormFloat64()}
+}
+func (q *quadratic) KeepBest() { q.best = q.x; q.kept++ }
+
+func TestRunConvergesOnQuadratic(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		s    Schedule
+	}{
+		{"lam", NewLam(0.05, 200)},
+		{"modifiedLam", NewModifiedLam(4000, 50)},
+		{"geometric", NewGeometric(50, 0.95, 50, 1e-4)},
+	} {
+		q := &quadratic{x: 50}
+		opt := NewOptions(tc.s)
+		opt.MaxIters = 8000
+		opt.Seed = 1
+		st := Run(q, opt)
+		if st.BestCost > 0.5 {
+			t.Errorf("%s: best cost %v after %d iters, want < 0.5", tc.name, st.BestCost, st.Iters)
+		}
+		if math.Abs(q.best-3) > 1 {
+			t.Errorf("%s: kept best x=%v, want ≈3", tc.name, q.best)
+		}
+		if q.kept == 0 {
+			t.Errorf("%s: KeepBest never called", tc.name)
+		}
+	}
+}
+
+func TestRunDeterministicForSeed(t *testing.T) {
+	run := func() Stats {
+		q := &quadratic{x: 20}
+		opt := NewOptions(NewLam(0.05, 100))
+		opt.MaxIters = 2000
+		opt.Seed = 42
+		return Run(q, opt)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("runs differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunHonorsTargetCost(t *testing.T) {
+	q := &quadratic{x: 100}
+	opt := NewOptions(NewLam(0.05, 10))
+	opt.MaxIters = 100000
+	opt.TargetCost = 25 // stop once within 5 of the optimum
+	st := Run(q, opt)
+	if st.BestCost > 25 {
+		t.Fatalf("did not reach target: %v", st.BestCost)
+	}
+	if st.Iters == 100000 {
+		t.Fatal("ran to exhaustion despite reaching target")
+	}
+}
+
+func TestRunStopCallback(t *testing.T) {
+	q := &quadratic{x: 100}
+	opt := NewOptions(NewLam(0.05, 10))
+	opt.MaxIters = 100000
+	calls := 0
+	opt.Stop = func() bool { calls++; return calls > 3 }
+	st := Run(q, opt)
+	if st.Iters >= 100000 {
+		t.Fatal("Stop callback ignored")
+	}
+}
+
+func TestRunTraceStream(t *testing.T) {
+	q := &quadratic{x: 10}
+	opt := NewOptions(NewLam(0.05, 50))
+	opt.MaxIters = 300
+	var n int
+	lastIter := -1
+	opt.Trace = func(o Observation) {
+		if o.Iter != lastIter+1 {
+			t.Fatalf("trace iteration jumped from %d to %d", lastIter, o.Iter)
+		}
+		lastIter = o.Iter
+		if o.Best > o.Cost+1e9 {
+			t.Fatal("best worse than current cost")
+		}
+		n++
+	}
+	Run(q, opt)
+	if n != 300 {
+		t.Fatalf("trace called %d times, want 300", n)
+	}
+}
+
+// infeasibleProblem returns nil moves half the time and infeasible moves
+// the other half; the annealer must count them without crashing.
+type infeasibleProblem struct{ quadratic }
+
+type infeasibleMove struct{}
+
+func (infeasibleMove) Apply() bool { return false }
+func (infeasibleMove) Revert()     { panic("revert of unapplied move") }
+func (infeasibleMove) Kind() int   { return 1 }
+
+func (p *infeasibleProblem) Propose(rng *rand.Rand) Move {
+	if rng.Intn(2) == 0 {
+		return nil
+	}
+	return infeasibleMove{}
+}
+
+func TestRunCountsInfeasible(t *testing.T) {
+	p := &infeasibleProblem{quadratic{x: 5}}
+	opt := NewOptions(NewLam(0.05, 10))
+	opt.MaxIters = 100
+	st := Run(p, opt)
+	if st.Infeasible != 100 {
+		t.Fatalf("infeasible = %d, want 100", st.Infeasible)
+	}
+	if st.Accepted != 0 || st.Rejected != 0 {
+		t.Fatalf("unexpected accepts/rejects: %+v", st)
+	}
+}
+
+func TestLamWarmupIsInfiniteTemperature(t *testing.T) {
+	l := NewLam(0.01, 100)
+	for i := 0; i < 99; i++ {
+		l.Observe(float64(i%10), true)
+		if !math.IsInf(l.Temperature(), 1) {
+			t.Fatalf("temperature finite during warmup at obs %d", i)
+		}
+	}
+	l.Observe(5, true) // 100th observation ends warmup
+	if math.IsInf(l.Temperature(), 1) {
+		t.Fatal("temperature still infinite after warmup")
+	}
+	if l.Temperature() <= 0 {
+		t.Fatal("non-positive post-warmup temperature")
+	}
+}
+
+func TestLamCoolsUnderStationaryCosts(t *testing.T) {
+	l := NewLam(0.05, 100)
+	r := rand.New(rand.NewSource(18))
+	for i := 0; i < 100; i++ {
+		l.Observe(10+r.Float64(), true)
+	}
+	t0 := l.Temperature()
+	for i := 0; i < 3000; i++ {
+		l.Observe(10+r.Float64(), r.Float64() < 0.6)
+	}
+	if l.Temperature() >= t0 {
+		t.Fatalf("temperature did not decrease: %v -> %v", t0, l.Temperature())
+	}
+}
+
+func TestLamFreezeDetection(t *testing.T) {
+	l := NewLam(0.05, 10)
+	r := rand.New(rand.NewSource(19))
+	for i := 0; i < 10; i++ {
+		l.Observe(r.Float64(), true)
+	}
+	if l.Done() {
+		t.Fatal("done immediately after warmup")
+	}
+	// Thousands of rejections: acceptance EWMA collapses, Done trips.
+	for i := 0; i < 10000 && !l.Done(); i++ {
+		l.Observe(1, false)
+	}
+	if !l.Done() {
+		t.Fatal("freeze not detected after sustained rejection")
+	}
+}
+
+func TestLamRhoShape(t *testing.T) {
+	if lamRho(0) != 0 || lamRho(1) != 0 {
+		t.Fatal("rho must vanish at the extremes")
+	}
+	// Maximum near 0.44.
+	best, bestA := 0.0, 0.0
+	for a := 0.01; a < 1; a += 0.01 {
+		if r := lamRho(a); r > best {
+			best, bestA = r, a
+		}
+	}
+	if math.Abs(bestA-LamTargetAcceptance) > 0.02 {
+		t.Fatalf("rho maximized at %v, want ≈0.44", bestA)
+	}
+}
+
+func TestModifiedLamTargetTrajectory(t *testing.T) {
+	m := NewModifiedLam(1000, 1)
+	if got := m.target(0); math.Abs(got-1.0) > 0.01 {
+		t.Fatalf("target(0) = %v, want ≈1", got)
+	}
+	if got := m.target(400); got != 0.44 {
+		t.Fatalf("target(400) = %v, want 0.44", got)
+	}
+	if got := m.target(999); got > 0.01 {
+		t.Fatalf("target(end) = %v, want ≈0", got)
+	}
+	if !sortedDescending(m) {
+		t.Fatal("target trajectory is not non-increasing")
+	}
+}
+
+func sortedDescending(m *ModifiedLam) bool {
+	prev := math.Inf(1)
+	for i := 0; i < m.budget; i++ {
+		v := m.target(i)
+		if v > prev+1e-9 {
+			return false
+		}
+		prev = v
+	}
+	return true
+}
+
+func TestModifiedLamSteersTemperature(t *testing.T) {
+	m := NewModifiedLam(1000, 10)
+	// All rejections in the hold phase: temperature must rise to chase the
+	// 0.44 target.
+	for i := 0; i < 300; i++ {
+		m.Observe(0, false)
+	}
+	if m.Temperature() <= 10 {
+		t.Fatalf("temperature %v did not rise under rejection", m.Temperature())
+	}
+	mAccept := NewModifiedLam(1000, 10)
+	for i := 0; i < 300; i++ {
+		mAccept.Observe(0, true)
+	}
+	if mAccept.Temperature() >= 10 {
+		t.Fatalf("temperature %v did not fall under acceptance", mAccept.Temperature())
+	}
+}
+
+func TestGeometricSchedule(t *testing.T) {
+	g := NewGeometric(100, 0.5, 10, 1)
+	for i := 0; i < 10; i++ {
+		if g.Done() {
+			t.Fatal("done too early")
+		}
+		g.Observe(0, true)
+	}
+	if g.Temperature() != 50 {
+		t.Fatalf("temperature after one chain = %v, want 50", g.Temperature())
+	}
+	for !g.Done() {
+		g.Observe(0, false)
+	}
+	if g.Temperature() >= 1 {
+		t.Fatalf("final temperature %v not below floor", g.Temperature())
+	}
+}
+
+func TestGeometricPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad params accepted")
+		}
+	}()
+	NewGeometric(-1, 0.5, 10, 1)
+}
+
+func TestFixedSelectorDistribution(t *testing.T) {
+	s := NewFixedSelector([]float64{1, 0, 3})
+	r := rand.New(rand.NewSource(20))
+	counts := make([]int, 3)
+	for i := 0; i < 40000; i++ {
+		counts[s.Pick(r)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight kind drawn %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("weight ratio = %v, want ≈3", ratio)
+	}
+	s.Observe(0, true) // no-op, must not panic
+}
+
+func TestAdaptiveSelectorShiftsWeight(t *testing.T) {
+	s := NewAdaptiveSelector([]float64{1, 1})
+	// Kind 0 always rejected; kind 1 accepted half the time.
+	for i := 0; i < 2000; i++ {
+		s.Observe(0, false)
+		s.Observe(1, i%2 == 0)
+	}
+	r := rand.New(rand.NewSource(21))
+	counts := make([]int, 2)
+	for i := 0; i < 20000; i++ {
+		counts[s.Pick(r)]++
+	}
+	if counts[1] <= counts[0] {
+		t.Fatalf("informative kind not favoured: %v", counts)
+	}
+	if counts[0] == 0 {
+		t.Fatal("starved kind despite floor")
+	}
+}
+
+func TestAdaptiveSelectorRespectsZeroBase(t *testing.T) {
+	s := NewAdaptiveSelector([]float64{0, 1})
+	r := rand.New(rand.NewSource(22))
+	for i := 0; i < 1000; i++ {
+		if s.Pick(r) == 0 {
+			t.Fatal("zero-base kind drawn")
+		}
+	}
+	s.Observe(-1, true) // out of range must be ignored
+	s.Observe(5, true)
+}
+
+func TestRunPanicsWithoutSchedule(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("missing schedule accepted")
+		}
+	}()
+	Run(&quadratic{}, Options{})
+}

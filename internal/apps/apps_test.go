@@ -1,0 +1,210 @@
+package apps
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/pareto"
+)
+
+func TestMotionDetectionPublishedInvariants(t *testing.T) {
+	app := MotionDetection(DefaultMotionConfig())
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if app.N() != 28 {
+		t.Fatalf("task count = %d, want 28 (paper)", app.N())
+	}
+	if got := app.TotalSW(); got != model.FromMillis(76.4) {
+		t.Fatalf("total SW time = %v, want exactly 76.4ms (paper)", got)
+	}
+	for i, task := range app.Tasks {
+		if len(task.HW) == 0 {
+			t.Fatalf("task %d (%s) has no hardware implementation", i, task.Name)
+		}
+		if len(task.HW) > 6 {
+			t.Fatalf("task %d has %d implementations, paper says 5-6", i, len(task.HW))
+		}
+		if !pareto.IsFront(task.HW) {
+			t.Fatalf("task %d implementation set is not Pareto-dominant: %v", i, task.HW)
+		}
+	}
+	if MotionTR != model.FromMicros(22.5) {
+		t.Fatalf("tR = %v, want 22.5us (paper)", MotionTR)
+	}
+	if MotionDeadline != model.FromMillis(40) {
+		t.Fatalf("deadline = %v, want 40ms (paper)", model.Time(MotionDeadline))
+	}
+}
+
+// The topology must be exactly the series-parallel shape whose linear
+// extensions the paper counts: head 7-chain, then 7-chain ∥ (6-chain →
+// (2-chain ∥ 1) → 5-chain).
+func TestMotionDetectionTopology(t *testing.T) {
+	app := MotionDetection(DefaultMotionConfig())
+	g := app.Precedence()
+	// Sources and sinks.
+	if g.InDegree(0) != 0 {
+		t.Fatal("task 0 must be the unique source")
+	}
+	for v := 1; v < app.N(); v++ {
+		if g.InDegree(v) == 0 {
+			t.Fatalf("unexpected extra source %d (%s)", v, app.Tasks[v].Name)
+		}
+	}
+	// The fork at the end of the head chain.
+	if g.OutDegree(6) != 2 || !g.HasEdge(6, 7) || !g.HasEdge(6, 14) {
+		t.Fatal("head chain must fork to both branches at task 6")
+	}
+	// Branch A is a sink-terminated chain.
+	for v := 7; v < 13; v++ {
+		if !g.HasEdge(v, v+1) {
+			t.Fatalf("branch A missing edge %d->%d", v, v+1)
+		}
+	}
+	if g.OutDegree(13) != 0 {
+		t.Fatal("branch A must end in a sink")
+	}
+	// The inner fork/join around tasks 20-22.
+	if !g.HasEdge(19, 20) || !g.HasEdge(20, 21) || !g.HasEdge(19, 22) {
+		t.Fatal("inner fork wrong")
+	}
+	if !g.HasEdge(21, 23) || !g.HasEdge(22, 23) {
+		t.Fatal("inner join wrong")
+	}
+	if g.OutDegree(27) != 0 {
+		t.Fatal("tail must end in a sink")
+	}
+}
+
+func TestMotionDetectionDeterministic(t *testing.T) {
+	a := MotionDetection(DefaultMotionConfig())
+	b := MotionDetection(DefaultMotionConfig())
+	if a.N() != b.N() {
+		t.Fatal("nondeterministic task count")
+	}
+	for i := range a.Tasks {
+		if a.Tasks[i].SW != b.Tasks[i].SW || len(a.Tasks[i].HW) != len(b.Tasks[i].HW) {
+			t.Fatalf("task %d differs between builds", i)
+		}
+		for j := range a.Tasks[i].HW {
+			if a.Tasks[i].HW[j] != b.Tasks[i].HW[j] {
+				t.Fatalf("impl %d/%d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestMotionArch(t *testing.T) {
+	arch := MotionArch(2000, DefaultMotionConfig())
+	if err := arch.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if arch.RCs[0].NCLB != 2000 || arch.RCs[0].TR != model.FromMicros(22.5) {
+		t.Fatalf("arch constants wrong: %+v", arch.RCs[0])
+	}
+	if !arch.Bus.Contention {
+		t.Fatal("paper's bus serializes transactions")
+	}
+}
+
+func TestSynthHWProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 50; trial++ {
+		sw := model.FromMicros(float64(100 + rng.Intn(50_000)))
+		pts := SynthHW(rng, sw, 6, 40, 400, 4, 30)
+		if len(pts) == 0 {
+			t.Fatal("empty implementation set")
+		}
+		if !pareto.IsFront(pts) {
+			t.Fatalf("not a Pareto front: %v", pts)
+		}
+		for _, p := range pts {
+			if p.Time <= 0 || p.Time >= sw {
+				t.Fatalf("implementation not faster than software: %v vs %v", p.Time, sw)
+			}
+			if p.CLBs < 40 {
+				t.Fatalf("implementation below minimum area: %v", p)
+			}
+		}
+	}
+}
+
+func TestScaleToTotalExact(t *testing.T) {
+	tasks := []model.Task{{SW: 333}, {SW: 334}, {SW: 333}}
+	scaleToTotal(tasks, model.FromMillis(76.4))
+	var sum model.Time
+	for _, task := range tasks {
+		sum += task.SW
+	}
+	if sum != model.FromMillis(76.4) {
+		t.Fatalf("sum = %v, want exactly 76.4ms", sum)
+	}
+}
+
+func TestLayeredGenerator(t *testing.T) {
+	app, err := Layered(DefaultRandomConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.N() != 40 {
+		t.Fatalf("N = %d", app.N())
+	}
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Layered(RandomConfig{Tasks: 2, Layers: 5}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestChainGenerator(t *testing.T) {
+	app := Chain(28, model.FromMillis(1), 1024, 9)
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if app.N() != 28 || len(app.Flows) != 27 {
+		t.Fatalf("chain shape wrong: %d tasks, %d flows", app.N(), len(app.Flows))
+	}
+}
+
+func TestJPEGPipeline(t *testing.T) {
+	app := JPEG()
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if app.N() < 10 {
+		t.Fatalf("JPEG pipeline suspiciously small: %d tasks", app.N())
+	}
+	// Three parallel component pipelines must exist.
+	names := map[string]bool{}
+	for _, task := range app.Tasks {
+		names[task.Name] = true
+	}
+	for _, want := range []string{"dct_y", "dct_cb", "dct_cr", "huffman"} {
+		if !names[want] {
+			t.Fatalf("missing stage %s", want)
+		}
+	}
+}
+
+func TestFFTGraph(t *testing.T) {
+	app, err := FFT(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 8-point FFT: bit-reverse + 3 ranks × 4 butterflies + collect = 14.
+	if app.N() != 14 {
+		t.Fatalf("N = %d, want 14", app.N())
+	}
+	if _, err := FFT(6); err == nil {
+		t.Fatal("non-power-of-two accepted")
+	}
+	if _, err := FFT(2); err == nil {
+		t.Fatal("too-small FFT accepted")
+	}
+}

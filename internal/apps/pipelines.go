@@ -1,0 +1,122 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/model"
+)
+
+// JPEG builds a baseline-JPEG encoder task graph: color conversion, level
+// shift, then per-component (Y, Cb, Cr) DCT → quantization → zigzag
+// pipelines that join into entropy coding and bitstream packing. It is the
+// "streaming media" example application of the README.
+func JPEG() *model.App {
+	rng := rand.New(rand.NewSource(77))
+	app := &model.App{Name: "jpeg-encoder"}
+	add := func(name string, swMs float64, minCLB, maxCLB int, minSp, maxSp float64) int {
+		sw := model.FromMillis(swMs)
+		app.Tasks = append(app.Tasks, model.Task{
+			Name: name,
+			SW:   sw,
+			HW:   SynthHW(rng, sw, 5+rng.Intn(2), minCLB, maxCLB, minSp, maxSp),
+		})
+		return len(app.Tasks) - 1
+	}
+	flow := func(from, to int, qty int64) {
+		app.Flows = append(app.Flows, model.Flow{From: from, To: to, Qty: qty})
+	}
+
+	const block = 64 * 1024 // one striped image plane
+
+	src := add("capture", 1.5, 40, 120, 5, 15)
+	csc := add("rgb2ycbcr", 4.0, 80, 300, 10, 40)
+	shift := add("level_shift", 1.0, 40, 160, 8, 30)
+	flow(src, csc, 3*block)
+	flow(csc, shift, 3*block)
+
+	var packs []int
+	for _, comp := range []string{"y", "cb", "cr"} {
+		dct := add("dct_"+comp, 6.0, 120, 500, 12, 50)
+		q := add("quant_"+comp, 2.0, 60, 220, 8, 30)
+		zz := add("zigzag_"+comp, 1.2, 40, 150, 6, 20)
+		flow(shift, dct, block)
+		flow(dct, q, block)
+		flow(q, zz, block)
+		packs = append(packs, zz)
+	}
+
+	rle := add("rle", 2.5, 60, 200, 4, 12)
+	huff := add("huffman", 5.0, 80, 280, 3, 10)
+	out := add("bitstream", 1.0, 40, 120, 3, 8)
+	for _, p := range packs {
+		flow(p, rle, block/2)
+	}
+	flow(rle, huff, block/2)
+	flow(huff, out, block/4)
+	return app
+}
+
+// FFT builds a radix-2 decimation-in-time FFT task graph with n points
+// (n must be a power of two ≥ 4): a bit-reversal stage, log2(n) butterfly
+// ranks of n/2 parallel butterfly tasks each, and a collection stage. This
+// is the "signal processing" example application.
+func FFT(n int) (*model.App, error) {
+	if n < 4 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("apps: FFT size %d is not a power of two ≥ 4", n)
+	}
+	rng := rand.New(rand.NewSource(int64(n)))
+	app := &model.App{Name: fmt.Sprintf("fft-%d", n)}
+	add := func(name string, swUs float64) int {
+		sw := model.FromMicros(swUs)
+		app.Tasks = append(app.Tasks, model.Task{
+			Name: name,
+			SW:   sw,
+			HW:   SynthHW(rng, sw, 5, 30, 200, 6, 25),
+		})
+		return len(app.Tasks) - 1
+	}
+	flow := func(from, to int, qty int64) {
+		app.Flows = append(app.Flows, model.Flow{From: from, To: to, Qty: qty})
+	}
+
+	const sample = 8 // bytes per complex sample
+	bitrev := add("bit_reverse", 300)
+
+	stages := 0
+	for s := n; s > 1; s >>= 1 {
+		stages++
+	}
+	half := n / 2
+	prev := make([]int, half) // previous rank's butterfly per lane pair
+	for i := range prev {
+		prev[i] = bitrev
+	}
+	for s := 0; s < stages; s++ {
+		cur := make([]int, half)
+		for b := 0; b < half; b++ {
+			t := add(fmt.Sprintf("bfly_s%d_%d", s, b), 150)
+			cur[b] = t
+			// Each butterfly consumes two lanes of the previous rank; the
+			// lane mapping of radix-2 DIT pairs lanes at distance 2^s.
+			span := 1 << s
+			lane0 := (b/span)*(2*span) + b%span
+			lane1 := lane0 + span
+			p0, p1 := prev[lane0%half], prev[lane1%half]
+			flow(p0, t, 2*sample)
+			if p1 != p0 {
+				flow(p1, t, 2*sample)
+			}
+		}
+		prev = cur
+	}
+	collect := add("collect", 200)
+	seen := map[int]bool{}
+	for _, p := range prev {
+		if !seen[p] {
+			seen[p] = true
+			flow(p, collect, int64(n)*sample/int64(len(prev)))
+		}
+	}
+	return app, app.Validate()
+}

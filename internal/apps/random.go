@@ -1,0 +1,89 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/model"
+)
+
+// RandomConfig parameterizes the layered random task-graph generator used
+// by the stress tests and the scalability benchmarks.
+type RandomConfig struct {
+	Seed   int64
+	Tasks  int
+	Layers int
+	// EdgeProb is the probability of a flow between tasks in consecutive
+	// layers.
+	EdgeProb float64
+	// SWMin/SWMax bound the software execution times.
+	SWMin, SWMax model.Time
+	// QtyMax bounds flow volumes in bytes.
+	QtyMax int64
+}
+
+// DefaultRandomConfig returns a medium-sized generator setting.
+func DefaultRandomConfig(seed int64) RandomConfig {
+	return RandomConfig{
+		Seed:     seed,
+		Tasks:    40,
+		Layers:   8,
+		EdgeProb: 0.35,
+		SWMin:    model.FromMicros(200),
+		SWMax:    model.FromMillis(5),
+		QtyMax:   32 * 1024,
+	}
+}
+
+// Layered generates a layered random DAG: tasks are dealt into layers and
+// flows connect consecutive layers. Every task carries a synthesized
+// hardware Pareto set, so any HW/SW partition is feasible.
+func Layered(cfg RandomConfig) (*model.App, error) {
+	if cfg.Tasks < 1 || cfg.Layers < 1 || cfg.Layers > cfg.Tasks {
+		return nil, fmt.Errorf("apps: invalid layered config: %d tasks, %d layers", cfg.Tasks, cfg.Layers)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	app := &model.App{Name: fmt.Sprintf("layered-%d", cfg.Seed)}
+	layerOf := make([]int, cfg.Tasks)
+	for i := 0; i < cfg.Tasks; i++ {
+		// Guarantee at least one task per layer, then deal the rest.
+		if i < cfg.Layers {
+			layerOf[i] = i
+		} else {
+			layerOf[i] = rng.Intn(cfg.Layers)
+		}
+		sw := cfg.SWMin + model.Time(rng.Int63n(int64(cfg.SWMax-cfg.SWMin+1)))
+		app.Tasks = append(app.Tasks, model.Task{
+			Name: fmt.Sprintf("t%02d", i),
+			SW:   sw,
+			HW:   SynthHW(rng, sw, 5+rng.Intn(2), 40, 400, 4, 30),
+		})
+	}
+	for u := 0; u < cfg.Tasks; u++ {
+		for v := 0; v < cfg.Tasks; v++ {
+			if layerOf[v] == layerOf[u]+1 && rng.Float64() < cfg.EdgeProb {
+				app.Flows = append(app.Flows, model.Flow{From: u, To: v, Qty: rng.Int63n(cfg.QtyMax + 1)})
+			}
+		}
+	}
+	return app, app.Validate()
+}
+
+// Chain generates an n-task pipeline with uniform software times and one
+// flow of qty bytes between consecutive tasks — the structure of the
+// paper's solution-space counting argument.
+func Chain(n int, sw model.Time, qty int64, seed int64) *model.App {
+	rng := rand.New(rand.NewSource(seed))
+	app := &model.App{Name: fmt.Sprintf("chain-%d", n)}
+	for i := 0; i < n; i++ {
+		app.Tasks = append(app.Tasks, model.Task{
+			Name: fmt.Sprintf("s%02d", i),
+			SW:   sw,
+			HW:   SynthHW(rng, sw, 5, 40, 300, 5, 25),
+		})
+		if i > 0 {
+			app.Flows = append(app.Flows, model.Flow{From: i - 1, To: i, Qty: qty})
+		}
+	}
+	return app
+}

@@ -1,0 +1,71 @@
+// Package apps provides the workloads of the evaluation: a synthetic
+// reconstruction of the paper's 28-task motion-detection application
+// (Section 5), random task-graph generators for stress testing, and two
+// domain example pipelines (JPEG encoding and a radix-2 FFT).
+//
+// The per-task EPICURE estimates the paper used are proprietary project
+// data; see DESIGN.md §3 for the substitution rationale. Every published
+// structural invariant of the application is preserved exactly: the 28-node
+// series-parallel topology whose linear-extension count the paper computes,
+// the 76.4 ms total ARM922 software time, 5–6 Pareto-dominant hardware
+// implementation points per function, and the 22.5 µs/CLB reconfiguration
+// time of the Virtex-E target.
+package apps
+
+import (
+	"math/rand"
+
+	"repro/internal/model"
+	"repro/internal/pareto"
+)
+
+// SynthHW generates a Pareto-dominant set of nPoints hardware
+// implementations for a task with software time sw. The smallest point
+// occupies minCLBs blocks with speedup minSpeedup; successive points grow
+// in area and speedup up to maxSpeedup, with multiplicative jitter drawn
+// from rng. The result is dominance-filtered, so it may contain fewer than
+// nPoints entries in degenerate draws.
+func SynthHW(rng *rand.Rand, sw model.Time, nPoints, minCLBs, maxCLBs int, minSpeedup, maxSpeedup float64) []model.Impl {
+	if nPoints < 1 {
+		return nil
+	}
+	pts := make([]model.Impl, 0, nPoints)
+	for i := 0; i < nPoints; i++ {
+		f := 0.0
+		if nPoints > 1 {
+			f = float64(i) / float64(nPoints-1)
+		}
+		clbs := minCLBs + int(f*float64(maxCLBs-minCLBs))
+		clbs += rng.Intn(1 + clbs/10)
+		speedup := minSpeedup + f*(maxSpeedup-minSpeedup)
+		speedup *= 0.9 + 0.2*rng.Float64()
+		t := model.Time(float64(sw) / speedup)
+		if t < model.Microsecond {
+			t = model.Microsecond
+		}
+		pts = append(pts, model.Impl{CLBs: clbs, Time: t})
+	}
+	return pareto.Front(pts)
+}
+
+// scaleToTotal rescales the software times of tasks so they sum exactly to
+// total (the residue of integer rounding is folded into the last task).
+func scaleToTotal(tasks []model.Task, total model.Time) {
+	var sum model.Time
+	for i := range tasks {
+		sum += tasks[i].SW
+	}
+	if sum == 0 {
+		return
+	}
+	var acc model.Time
+	for i := range tasks {
+		if i == len(tasks)-1 {
+			tasks[i].SW = total - acc
+			break
+		}
+		scaled := model.Time(int64(tasks[i].SW) * int64(total) / int64(sum))
+		tasks[i].SW = scaled
+		acc += scaled
+	}
+}

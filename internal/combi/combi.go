@@ -1,0 +1,109 @@
+// Package combi reproduces the solution-space size analysis of Section 5:
+// exact linear-extension counts for series-parallel task graphs and the
+// context-placement combination counts the paper reports for the 28-node
+// motion-detection application.
+package combi
+
+import "math/big"
+
+// Binomial returns C(n, k) exactly.
+func Binomial(n, k int) *big.Int {
+	if k < 0 || k > n {
+		return big.NewInt(0)
+	}
+	return new(big.Int).Binomial(int64(n), int64(k))
+}
+
+// SP is a series-parallel poset. Linear extensions compose exactly:
+// series multiplies counts; parallel multiplies counts and the number of
+// interleavings C(|A|+|B|, |A|).
+type SP struct {
+	size  int
+	count *big.Int
+}
+
+// Node is a single-element poset.
+func Node() SP { return SP{size: 1, count: big.NewInt(1)} }
+
+// Chain is an n-element total order (n ≥ 0).
+func Chain(n int) SP {
+	if n < 0 {
+		n = 0
+	}
+	return SP{size: n, count: big.NewInt(1)}
+}
+
+// Series composes posets so every element of the earlier operand precedes
+// every element of the later one.
+func Series(parts ...SP) SP {
+	out := SP{size: 0, count: big.NewInt(1)}
+	for _, p := range parts {
+		out.size += p.size
+		out.count = new(big.Int).Mul(out.count, p.count)
+	}
+	return out
+}
+
+// Parallel composes incomparable posets: counts multiply and interleavings
+// contribute a multinomial factor.
+func Parallel(parts ...SP) SP {
+	out := SP{size: 0, count: big.NewInt(1)}
+	for _, p := range parts {
+		interleave := Binomial(out.size+p.size, p.size)
+		out.count = new(big.Int).Mul(out.count, p.count)
+		out.count.Mul(out.count, interleave)
+		out.size += p.size
+	}
+	return out
+}
+
+// Size returns the number of elements.
+func (p SP) Size() int { return p.size }
+
+// LinearExtensions returns the number of total orders consistent with the
+// poset.
+func (p SP) LinearExtensions() *big.Int { return new(big.Int).Set(p.count) }
+
+// MotionPoset is the structure of the paper's 28-node application: a 7-node
+// chain followed by a 7-node chain in parallel with (a 6-node chain, then a
+// 2-node chain in parallel with one node, then a 5-node chain).
+func MotionPoset() SP {
+	branchB := Series(Chain(6), Parallel(Chain(2), Node()), Chain(5))
+	return Series(Chain(7), Parallel(Chain(7), branchB))
+}
+
+// ContextCombos is the paper's count of context-change placements: for a
+// graph linearized over n nodes with k changes of context the paper uses
+// C(n, k) (378 for n=28, k=2; 376,740 for k=6).
+func ContextCombos(n, k int) *big.Int { return Binomial(n, k) }
+
+// TotalCombos multiplies the number of total orders by the context
+// placements: orders × C(n, k).
+func TotalCombos(orders *big.Int, n, k int) *big.Int {
+	return new(big.Int).Mul(orders, ContextCombos(n, k))
+}
+
+// PaperNumbers bundles every solution-space figure quoted in Section 5.
+type PaperNumbers struct {
+	// ChainCombos2 and ChainCombos6: a 28-node chain with 2 and 6 context
+	// changes (378 and 376,740).
+	ChainCombos2, ChainCombos6 *big.Int
+	// Orders: total orders of the 28-node application (3·C(21,7) =
+	// 348,840).
+	Orders *big.Int
+	// Combos2 and Combos4: orders × C(28,2) = 131,861,520 and
+	// orders × C(28,4) = 7,142,499,000.
+	Combos2, Combos4 *big.Int
+}
+
+// ComputePaperNumbers evaluates all Section 5 counts from first principles.
+func ComputePaperNumbers() PaperNumbers {
+	orders := MotionPoset().LinearExtensions()
+	return PaperNumbers{
+		ChainCombos2: ContextCombos(28, 2),
+		ChainCombos6: ContextCombos(28, 6),
+		Orders:       orders,
+		Combos2:      TotalCombos(orders, 28, 2),
+		Combos4:      TotalCombos(orders, 28, 4),
+	}
+}

@@ -1,0 +1,130 @@
+package combi
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func wantInt(t *testing.T, got *big.Int, want int64, label string) {
+	t.Helper()
+	if got.Cmp(big.NewInt(want)) != 0 {
+		t.Fatalf("%s = %v, want %d", label, got, want)
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	wantInt(t, Binomial(28, 2), 378, "C(28,2)")
+	wantInt(t, Binomial(28, 6), 376740, "C(28,6)")
+	wantInt(t, Binomial(21, 7), 116280, "C(21,7)")
+	wantInt(t, Binomial(5, 0), 1, "C(5,0)")
+	wantInt(t, Binomial(5, 7), 0, "C(5,7)")
+	wantInt(t, Binomial(5, -1), 0, "C(5,-1)")
+}
+
+func TestSPComposition(t *testing.T) {
+	wantInt(t, Chain(7).LinearExtensions(), 1, "chain LE")
+	if Chain(7).Size() != 7 {
+		t.Fatal("chain size")
+	}
+	p := Parallel(Chain(2), Node())
+	wantInt(t, p.LinearExtensions(), 3, "2-chain ∥ node")
+	s := Series(Chain(6), p, Chain(5))
+	wantInt(t, s.LinearExtensions(), 3, "branch B")
+	if s.Size() != 14 {
+		t.Fatalf("branch B size = %d, want 14", s.Size())
+	}
+	two := Parallel(Chain(3), Chain(4))
+	wantInt(t, two.LinearExtensions(), 35, "C(7,3)")
+}
+
+// Every number quoted in Section 5 of the paper, computed from first
+// principles.
+func TestPaperNumbersExact(t *testing.T) {
+	n := ComputePaperNumbers()
+	wantInt(t, n.ChainCombos2, 378, "chain, 2 context changes")
+	wantInt(t, n.ChainCombos6, 376740, "chain, 6 context changes")
+	wantInt(t, n.Orders, 348840, "total orders 3·C(21,7)")
+	wantInt(t, n.Combos2, 131861520, "orders × C(28,2)")
+	wantInt(t, n.Combos4, 7142499000, "orders × C(28,4)")
+}
+
+func TestMotionPosetSize(t *testing.T) {
+	if MotionPoset().Size() != 28 {
+		t.Fatalf("motion poset size = %d, want 28", MotionPoset().Size())
+	}
+}
+
+func TestBruteMatchesClosedFormOnChains(t *testing.T) {
+	for n := 0; n <= 8; n++ {
+		got := BruteLinearExtensions(BuildChainGraph(n))
+		wantInt(t, got, 1, "chain brute LE")
+	}
+}
+
+func TestBruteMatchesParallelChains(t *testing.T) {
+	// Two disjoint chains of length a and b: LE = C(a+b, a).
+	for _, c := range [][2]int{{1, 1}, {2, 3}, {3, 3}, {4, 2}, {5, 5}} {
+		a, b := c[0], c[1]
+		g := graph.New(a + b)
+		for i := 0; i+1 < a; i++ {
+			g.AddEdge(i, i+1, 0) //nolint:errcheck
+		}
+		for i := a; i+1 < a+b; i++ {
+			g.AddEdge(i, i+1, 0) //nolint:errcheck
+		}
+		got := BruteLinearExtensions(g)
+		want := Binomial(a+b, a)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("parallel chains (%d,%d): brute %v, formula %v", a, b, got, want)
+		}
+	}
+}
+
+// The inner structure of the motion-detection application (branch B alone):
+// 6-chain → (2-chain ∥ node) → 5-chain has exactly 3 linear extensions.
+func TestBruteMatchesBranchB(t *testing.T) {
+	g := graph.New(14)
+	chain := func(from, to int) {
+		for i := from; i < to; i++ {
+			g.AddEdge(i, i+1, 0) //nolint:errcheck
+		}
+	}
+	chain(0, 5)        // 6-chain: 0..5
+	g.AddEdge(5, 6, 0) //nolint:errcheck // 2-chain: 6,7
+	g.AddEdge(6, 7, 0) //nolint:errcheck
+	g.AddEdge(5, 8, 0) //nolint:errcheck // lone node: 8
+	g.AddEdge(7, 9, 0) //nolint:errcheck // join into 5-chain: 9..13
+	g.AddEdge(8, 9, 0) //nolint:errcheck
+	chain(9, 13)
+	got := BruteLinearExtensions(g)
+	wantInt(t, got, 3, "branch B brute LE")
+}
+
+// A diamond (not series-parallel decomposed the same way, still validates
+// the DP): 0 -> {1,2} -> 3 has 2 extensions.
+func TestBruteDiamond(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 0) //nolint:errcheck
+	g.AddEdge(0, 2, 0) //nolint:errcheck
+	g.AddEdge(1, 3, 0) //nolint:errcheck
+	g.AddEdge(2, 3, 0) //nolint:errcheck
+	wantInt(t, BruteLinearExtensions(g), 2, "diamond LE")
+}
+
+func TestBruteEmptyAndLimits(t *testing.T) {
+	wantInt(t, BruteLinearExtensions(graph.New(0)), 1, "empty graph")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized brute count accepted")
+		}
+	}()
+	BruteLinearExtensions(graph.New(25))
+}
+
+func TestTotalCombos(t *testing.T) {
+	orders := big.NewInt(348840)
+	got := TotalCombos(orders, 28, 4)
+	wantInt(t, got, 7142499000, "total combos k=4")
+}

@@ -1,0 +1,217 @@
+// Package core implements the design-space explorer of Miramond & Delosme
+// (DATE'05): an adaptive simulated annealing over complete mappings of a
+// task graph onto a reconfigurable architecture. One annealing state is a
+// full solution — spatial HW/SW partitioning, temporal partitioning into
+// reconfiguration contexts, per-processor total orders, per-task hardware
+// implementation choice — and the moves m1–m4 of Section 4.2 (plus an
+// implementation-change and a context-reorder move) mutate it in place.
+// Every move is realized by editing sequentialization edges of the search
+// graph; moves that would create a cycle are infeasible and leave the state
+// untouched.
+package core
+
+import (
+	"math"
+
+	"repro/internal/anneal"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// Move kinds, indexing the generation-probability vectors. The names follow
+// Section 4.2 of the paper.
+const (
+	// MoveReorder is m1: change the total execution order on a processor.
+	MoveReorder = iota
+	// MoveReassign is m2: switch the source task to the destination task's
+	// resource (a processor, an RC context — spawning a context when the
+	// capacity overflows — or an ASIC).
+	MoveReassign
+	// MoveRemoveRes is m3: delete a resource holding a single task,
+	// reassigning that task (architecture exploration only).
+	MoveRemoveRes
+	// MoveCreateRes is m4: instantiate an unused resource and move a task
+	// onto it (architecture exploration only).
+	MoveCreateRes
+	// MoveImpl re-selects the hardware implementation point of a hardware
+	// task among its area/time Pareto set.
+	MoveImpl
+	// MoveCtxSwap exchanges two adjacent contexts in an RC's sequential
+	// context order Lc.
+	MoveCtxSwap
+	// MoveCtxSplit divides a context in two (temporal-partitioning move):
+	// the paper's capacity-overflow rule only ever creates contexts on
+	// small devices, so the explorer also needs an explicit splitting move
+	// to discover multi-context solutions on large ones — splitting lets
+	// the first context finish configuring (and start computing) earlier.
+	// On an RC with no context yet, the move seeds the first context with
+	// a hardware-capable task.
+	MoveCtxSplit
+	numMoveKinds
+)
+
+// Config parameterizes an exploration run. The zero value is not usable;
+// call DefaultConfig.
+type Config struct {
+	// Quality is the λ knob of the adaptive schedule: smaller cools more
+	// slowly and finds better solutions at the cost of more iterations.
+	Quality float64
+	// Warmup is the number of initial moves performed at infinite
+	// temperature (1200 in the paper's Figure 2 run).
+	Warmup int
+	// MaxIters bounds the run length (5000 in the Figure 2 run).
+	MaxIters int
+	// Seed makes runs reproducible.
+	Seed int64
+	// Deadline is the real-time constraint; in fixed-architecture mode it
+	// is reported but the pure execution time is still the cost (the
+	// paper: "the criterion to be optimized becomes here the execution
+	// time"). In architecture exploration mode exceeding it is penalized.
+	Deadline model.Time
+	// ExploreArch enables moves m3/m4. When false — the paper's Section 5
+	// setting — "the probability of generating a 0 is set to 0" and the
+	// architecture stays fixed.
+	ExploreArch bool
+	// PenaltyWeight converts deadline violation (in milliseconds) into
+	// cost units during architecture exploration.
+	PenaltyWeight float64
+	// AdaptiveMoves enables the adaptive move-kind selector; when false a
+	// fixed generation-probability vector is used.
+	AdaptiveMoves bool
+	// QuenchIters bounds the zero-temperature descent performed from the
+	// best annealed solution after the adaptive schedule freezes (the
+	// "frozen configuration" of Figure 2). Zero disables the quench.
+	QuenchIters int
+	// EnableCtxSplit adds an explicit context-splitting move. The paper
+	// creates contexts only through capacity overflow (and so do the
+	// defaults here — this is what shapes Figure 3); the splitting move is
+	// an extension that lets large devices discover pipelined
+	// multi-context solutions too. Seeding the first context of an empty
+	// RC is always available regardless of this flag.
+	EnableCtxSplit bool
+	// Schedule overrides the default Lam schedule when non-nil.
+	Schedule anneal.Schedule
+	// Trace, when non-nil, receives one point per iteration (Figure 2's
+	// data stream).
+	Trace func(TracePoint)
+	// Stop, when non-nil, is polled during the run; returning true
+	// interrupts the search, which then returns the best solution so far.
+	Stop func() bool
+	// Paranoid re-validates every mapping mutation against
+	// sched.CheckMapping; used by the test suite to catch state
+	// corruption, far too slow for production runs.
+	Paranoid bool
+}
+
+// DefaultConfig mirrors the paper's Figure 2 run: 1200 warmup iterations,
+// 5000 iterations total, fixed architecture.
+func DefaultConfig() Config {
+	return Config{
+		Quality:        0.05,
+		Warmup:         1200,
+		MaxIters:       5000,
+		Seed:           1,
+		Deadline:       0,
+		PenaltyWeight:  100,
+		AdaptiveMoves:  true,
+		QuenchIters:    4000,
+		EnableCtxSplit: false,
+	}
+}
+
+// TracePoint is one iteration of telemetry.
+type TracePoint struct {
+	Iter        int
+	Cost        float64
+	Makespan    model.Time
+	BestCost    float64
+	Contexts    int
+	Temperature float64
+	Accepted    bool
+	MoveKind    int
+}
+
+// Result is the outcome of an exploration run.
+type Result struct {
+	// Best is the best mapping found.
+	Best *sched.Mapping
+	// BestEval is its evaluation.
+	BestEval sched.Result
+	// InitialEval is the evaluation of the random initial solution.
+	InitialEval sched.Result
+	// Stats carries the annealer's run statistics.
+	Stats anneal.Stats
+	// MetDeadline reports whether the best solution satisfies the
+	// configured deadline (vacuously true when no deadline is set).
+	MetDeadline bool
+}
+
+// moveWeights returns the base generation-probability vector. In
+// fixed-architecture mode m3/m4 have probability zero, matching the paper.
+func moveWeights(exploreArch bool) []float64 {
+	w := make([]float64, numMoveKinds)
+	w[MoveReorder] = 0.20
+	w[MoveReassign] = 0.45
+	w[MoveImpl] = 0.15
+	w[MoveCtxSwap] = 0.10
+	w[MoveCtxSplit] = 0.10
+	if exploreArch {
+		w[MoveRemoveRes] = 0.05
+		w[MoveCreateRes] = 0.05
+	}
+	return w
+}
+
+// ctxTieBreak is a microscopic per-context cost (one microsecond in
+// millisecond units) that breaks ties among equal-makespan solutions toward
+// fewer contexts, so zero-delta splitting moves do not let the context
+// count drift upward for free.
+const ctxTieBreak = 1e-3
+
+// costOf converts an evaluation into the scalar annealing cost: execution
+// time in milliseconds in fixed-architecture mode; instantiated-resource
+// cost plus deadline-violation penalty in architecture-exploration mode.
+func (e *Explorer) costOf(res sched.Result) float64 {
+	if !e.cfg.ExploreArch {
+		return res.Makespan.Millis() + ctxTieBreak*float64(res.Contexts)
+	}
+	c := e.usedResourceCost()
+	if e.cfg.Deadline > 0 && res.Makespan > e.cfg.Deadline {
+		over := (res.Makespan - e.cfg.Deadline).Millis()
+		c += e.cfg.PenaltyWeight * over
+	}
+	return c
+}
+
+// usedResourceCost sums the costs of resources that currently execute at
+// least one task. Unused template resources are "not part" of the explored
+// architecture (this realizes m3/m4 over a fixed maximal template).
+func (e *Explorer) usedResourceCost() float64 {
+	var c float64
+	for p := range e.arch.Processors {
+		if len(e.cur.SWOrders[p]) > 0 {
+			c += e.arch.Processors[p].Cost
+		}
+	}
+	for r := range e.arch.RCs {
+		if e.cur.NumContexts(r) > 0 {
+			c += e.arch.RCs[r].Cost
+		}
+	}
+	asicUsed := make([]bool, len(e.arch.ASICs))
+	for _, pl := range e.cur.Assign {
+		if pl.Kind == model.KindASIC {
+			asicUsed[pl.Res] = true
+		}
+	}
+	for i, used := range asicUsed {
+		if used {
+			c += e.arch.ASICs[i].Cost
+		}
+	}
+	return c
+}
+
+// nanIfUnset disables the annealer's target-cost stop unless a deadline is
+// meaningful for the run.
+func nanIfUnset() float64 { return math.NaN() }

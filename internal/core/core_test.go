@@ -1,0 +1,410 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+func motionSetup(nclb int) (*model.App, *model.Arch) {
+	cfg := apps.DefaultMotionConfig()
+	return apps.MotionDetection(cfg), apps.MotionArch(nclb, cfg)
+}
+
+func TestExploreMotionImprovesAndStaysValid(t *testing.T) {
+	app, arch := motionSetup(2000)
+	cfg := DefaultConfig()
+	cfg.MaxIters = 3000
+	cfg.Warmup = 600
+	cfg.Seed = 7
+	cfg.Paranoid = true // every accepted state re-validated
+	res, err := Explore(app, arch, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestEval.Makespan >= res.InitialEval.Makespan {
+		t.Fatalf("no improvement: best %v vs initial %v", res.BestEval.Makespan, res.InitialEval.Makespan)
+	}
+	if err := sched.CheckMapping(app, arch, res.Best); err != nil {
+		t.Fatalf("best mapping invalid: %v", err)
+	}
+	// The stored evaluation must match a fresh evaluation of the mapping.
+	fresh, err := sched.NewEvaluator(app, arch).Evaluate(res.Best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh != res.BestEval {
+		t.Fatalf("stored evaluation %+v != fresh %+v", res.BestEval, fresh)
+	}
+	if res.Stats.Accepted == 0 || res.Stats.Iters == 0 {
+		t.Fatalf("implausible stats: %+v", res.Stats)
+	}
+}
+
+func TestExploreDeterministicForSeed(t *testing.T) {
+	run := func() model.Time {
+		app, arch := motionSetup(2000)
+		cfg := DefaultConfig()
+		cfg.MaxIters = 1500
+		cfg.Warmup = 300
+		cfg.Seed = 99
+		res, err := Explore(app, arch, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.BestEval.Makespan
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func TestExploreSeedsDiffer(t *testing.T) {
+	results := map[model.Time]bool{}
+	for seed := int64(1); seed <= 3; seed++ {
+		app, arch := motionSetup(2000)
+		cfg := DefaultConfig()
+		cfg.MaxIters = 800
+		cfg.Warmup = 200
+		cfg.Seed = seed
+		res, err := Explore(app, arch, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[res.BestEval.Makespan] = true
+	}
+	if len(results) < 2 {
+		t.Log("warning: three seeds converged to identical makespans (possible but unlikely)")
+	}
+}
+
+func TestParanoidRandomApps(t *testing.T) {
+	// Hammer the move machinery on random layered graphs; Paranoid mode
+	// panics on any mapping corruption.
+	for seed := int64(0); seed < 4; seed++ {
+		rcfg := apps.DefaultRandomConfig(seed)
+		rcfg.Tasks = 25
+		app, err := apps.Layered(rcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arch := apps.MotionArch(1200, apps.DefaultMotionConfig())
+		cfg := DefaultConfig()
+		cfg.MaxIters = 1200
+		cfg.Warmup = 200
+		cfg.Seed = seed
+		cfg.Paranoid = true
+		if _, err := Explore(app, arch, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStopInterruptsRun(t *testing.T) {
+	app, arch := motionSetup(2000)
+	cfg := DefaultConfig()
+	cfg.MaxIters = 100000
+	calls := 0
+	cfg.Stop = func() bool { calls++; return calls > 2 }
+	res, err := Explore(app, arch, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Iters >= 100000 {
+		t.Fatal("Stop ignored")
+	}
+	if res.Best == nil {
+		t.Fatal("interrupted run returned no solution")
+	}
+}
+
+func TestTraceStream(t *testing.T) {
+	app, arch := motionSetup(2000)
+	cfg := DefaultConfig()
+	cfg.MaxIters = 500
+	cfg.Warmup = 100
+	var points []TracePoint
+	cfg.Trace = func(p TracePoint) { points = append(points, p) }
+	if _, err := Explore(app, arch, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 500 {
+		t.Fatalf("trace points = %d, want 500", len(points))
+	}
+	for i, p := range points {
+		if p.Iter != i {
+			t.Fatalf("iteration %d labeled %d", i, p.Iter)
+		}
+		if p.Contexts < 0 || p.Cost < 0 {
+			t.Fatalf("nonsense trace point %+v", p)
+		}
+		if p.Makespan <= 0 {
+			t.Fatalf("non-positive makespan at iter %d", i)
+		}
+	}
+}
+
+func TestNewValidatesInputs(t *testing.T) {
+	app, arch := motionSetup(2000)
+	if _, err := New(&model.App{}, arch, DefaultConfig()); err == nil {
+		t.Fatal("empty app accepted")
+	}
+	if _, err := New(app, &model.Arch{}, DefaultConfig()); err == nil {
+		t.Fatal("empty arch accepted")
+	}
+	noProc := &model.Arch{RCs: arch.RCs, Bus: arch.Bus}
+	if _, err := New(app, noProc, DefaultConfig()); err == nil {
+		t.Fatal("processor-less arch accepted")
+	}
+}
+
+// mustExplorer builds an explorer without running it.
+func mustExplorer(t *testing.T, app *model.App, arch *model.Arch, seed int64) *Explorer {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.Paranoid = true
+	e, err := New(app, arch, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestMoveMechanicsDirect(t *testing.T) {
+	app, arch := motionSetup(2000)
+	e := mustExplorer(t, app, arch, 5)
+	rng := rand.New(rand.NewSource(6))
+
+	applied, infeasible := 0, 0
+	for i := 0; i < 4000; i++ {
+		mv := e.Propose(rng)
+		if mv == nil {
+			infeasible++
+			continue
+		}
+		before := e.curCost
+		if !mv.Apply() {
+			infeasible++
+			// State must be untouched after a failed apply.
+			if e.curCost != before {
+				t.Fatal("failed Apply changed the cost")
+			}
+			if err := sched.CheckMapping(app, arch, e.cur); err != nil {
+				t.Fatalf("failed Apply corrupted mapping: %v", err)
+			}
+			continue
+		}
+		applied++
+		if i%3 == 0 {
+			mv.Revert()
+			if e.curCost != before {
+				t.Fatalf("Revert did not restore cost: %v vs %v", e.curCost, before)
+			}
+			if err := sched.CheckMapping(app, arch, e.cur); err != nil {
+				t.Fatalf("Revert corrupted mapping: %v", err)
+			}
+		}
+	}
+	if applied == 0 {
+		t.Fatal("no move ever applied")
+	}
+}
+
+func TestContextSpawnOnOverflow(t *testing.T) {
+	// Tiny device: two tasks cannot share a context.
+	app := &model.App{
+		Name: "two",
+		Tasks: []model.Task{
+			{Name: "a", SW: model.FromMillis(1), HW: []model.Impl{{CLBs: 90, Time: model.FromMicros(100)}}},
+			{Name: "b", SW: model.FromMillis(1), HW: []model.Impl{{CLBs: 90, Time: model.FromMicros(100)}}},
+		},
+		Flows: []model.Flow{{From: 0, To: 1, Qty: 100}},
+	}
+	arch := &model.Arch{
+		Processors: []model.Processor{{Name: "p"}},
+		RCs:        []model.RC{{Name: "rc", NCLB: 100, TR: model.FromMicros(10)}},
+		Bus:        model.Bus{Rate: 1_000_000},
+	}
+	e := mustExplorer(t, app, arch, 1)
+	// Force: a in hardware context 0, b in software.
+	m, _ := sched.NewMapping(app, arch)
+	m.SWOrders[0] = []int{1}
+	m.Assign[0] = sched.Placement{Kind: model.KindRC, Res: 0, Ctx: 0}
+	m.Contexts[0] = []sched.Context{{Tasks: []int{0}}}
+	if err := e.reset(m); err != nil {
+		t.Fatal(err)
+	}
+	// Move b into a's context: must spawn a second context.
+	if !e.doReassignTo(1, model.KindRC, 0, 0, -1) {
+		t.Fatal("reassign failed")
+	}
+	if err := sched.CheckMapping(app, arch, e.cur); err != nil {
+		t.Fatalf("after spawn: %v", err)
+	}
+	if got := e.cur.NumContexts(0); got != 2 {
+		t.Fatalf("contexts = %d, want 2 (spawned)", got)
+	}
+	if e.cur.Assign[1].Ctx != 1 {
+		t.Fatalf("b landed in context %d, want the spawned context 1", e.cur.Assign[1].Ctx)
+	}
+}
+
+func TestEmptiedContextIsDeleted(t *testing.T) {
+	app, arch := motionSetup(2000)
+	e := mustExplorer(t, app, arch, 2)
+	// Build: tasks 0 and 1 in their own contexts, rest in software.
+	m, _ := sched.NewMapping(app, arch)
+	remove := func(t int) {
+		for i, x := range m.SWOrders[0] {
+			if x == t {
+				m.SWOrders[0] = append(m.SWOrders[0][:i], m.SWOrders[0][i+1:]...)
+				return
+			}
+		}
+	}
+	remove(0)
+	remove(1)
+	m.Assign[0] = sched.Placement{Kind: model.KindRC, Res: 0, Ctx: 0}
+	m.Assign[1] = sched.Placement{Kind: model.KindRC, Res: 0, Ctx: 1}
+	m.Contexts[0] = []sched.Context{{Tasks: []int{0}}, {Tasks: []int{1}}}
+	if err := e.reset(m); err != nil {
+		t.Fatal(err)
+	}
+	// Move task 0 (sole occupant of context 0) to software before task 2.
+	if !e.doReassignTo(0, model.KindProcessor, 0, -1, 2) {
+		t.Fatal("reassign failed")
+	}
+	if err := sched.CheckMapping(app, arch, e.cur); err != nil {
+		t.Fatalf("after delete: %v", err)
+	}
+	if got := len(e.cur.Contexts[0]); got != 1 {
+		t.Fatalf("contexts = %d, want 1 (emptied context deleted)", got)
+	}
+	if e.cur.Assign[1].Ctx != 0 {
+		t.Fatalf("task 1 context not renumbered: %d", e.cur.Assign[1].Ctx)
+	}
+}
+
+func TestCtxSwapRenumbers(t *testing.T) {
+	app, arch := motionSetup(2000)
+	e := mustExplorer(t, app, arch, 3)
+	m, _ := sched.NewMapping(app, arch)
+	remove := func(t int) {
+		for i, x := range m.SWOrders[0] {
+			if x == t {
+				m.SWOrders[0] = append(m.SWOrders[0][:i], m.SWOrders[0][i+1:]...)
+				return
+			}
+		}
+	}
+	// Two independent tasks (13 is a branch-A sink, 27 the tail sink).
+	remove(13)
+	remove(27)
+	m.Assign[13] = sched.Placement{Kind: model.KindRC, Res: 0, Ctx: 0}
+	m.Assign[27] = sched.Placement{Kind: model.KindRC, Res: 0, Ctx: 1}
+	m.Contexts[0] = []sched.Context{{Tasks: []int{13}}, {Tasks: []int{27}}}
+	if err := e.reset(m); err != nil {
+		t.Fatal(err)
+	}
+	if !e.doCtxSwap(0, 0) {
+		t.Fatal("swap failed")
+	}
+	if err := sched.CheckMapping(app, arch, e.cur); err != nil {
+		t.Fatalf("after swap: %v", err)
+	}
+	if e.cur.Assign[27].Ctx != 0 || e.cur.Assign[13].Ctx != 1 {
+		t.Fatal("context back-references not swapped")
+	}
+}
+
+func TestArchitectureExploration(t *testing.T) {
+	app, _ := motionSetup(2000)
+	// Template with extra resources: exploration may or may not use them.
+	arch := &model.Arch{
+		Name: "template",
+		Processors: []model.Processor{
+			{Name: "arm0", Cost: 10},
+			{Name: "arm1", Cost: 10},
+		},
+		RCs: []model.RC{
+			{Name: "fpga0", NCLB: 2000, TR: model.FromMicros(22.5), Cost: 25},
+			{Name: "fpga1", NCLB: 1000, TR: model.FromMicros(22.5), Cost: 15},
+		},
+		ASICs: []model.ASIC{{Name: "asic0", Cost: 40}},
+		Bus:   model.Bus{Rate: 80_000_000, Contention: true},
+	}
+	cfg := DefaultConfig()
+	cfg.MaxIters = 2500
+	cfg.Warmup = 400
+	cfg.Seed = 11
+	cfg.ExploreArch = true
+	cfg.Deadline = model.Time(apps.MotionDeadline)
+	cfg.Paranoid = true
+	res, err := Explore(app, arch, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.CheckMapping(app, arch, res.Best); err != nil {
+		t.Fatalf("best mapping invalid: %v", err)
+	}
+	// Architecture-exploration cost must be bounded by the full template
+	// cost plus any penalty, and by at least the cheapest processor.
+	if res.Stats.BestCost < 10 {
+		t.Fatalf("cost %v below cheapest-resource bound", res.Stats.BestCost)
+	}
+}
+
+func TestCostOfArchMode(t *testing.T) {
+	app, arch := motionSetup(2000)
+	cfg := DefaultConfig()
+	cfg.ExploreArch = true
+	cfg.Deadline = model.FromMillis(1) // absurdly tight: must be violated
+	cfg.PenaltyWeight = 100
+	e, err := New(app, arch, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.costOf(e.curRes)
+	if c <= e.usedResourceCost() {
+		t.Fatalf("cost %v does not include deadline penalty", c)
+	}
+	// Without violation the cost is exactly the resource cost.
+	cfg.Deadline = model.FromMillis(10_000)
+	e2, _ := New(app, arch, cfg)
+	if got := e2.costOf(e2.curRes); got != e2.usedResourceCost() {
+		t.Fatalf("unconstrained cost %v != resource cost %v", got, e2.usedResourceCost())
+	}
+}
+
+func TestAdaptiveVsFixedMovesBothRun(t *testing.T) {
+	for _, adaptive := range []bool{true, false} {
+		app, arch := motionSetup(2000)
+		cfg := DefaultConfig()
+		cfg.MaxIters = 600
+		cfg.Warmup = 150
+		cfg.AdaptiveMoves = adaptive
+		cfg.Seed = 21
+		res, err := Explore(app, arch, cfg)
+		if err != nil {
+			t.Fatalf("adaptive=%v: %v", adaptive, err)
+		}
+		if res.BestEval.Makespan <= 0 {
+			t.Fatalf("adaptive=%v: empty result", adaptive)
+		}
+	}
+}
+
+func TestMoveWeightsVector(t *testing.T) {
+	w := moveWeights(false)
+	if w[MoveRemoveRes] != 0 || w[MoveCreateRes] != 0 {
+		t.Fatal("fixed-architecture mode must zero m3/m4 (paper: P(0)=0)")
+	}
+	w = moveWeights(true)
+	if w[MoveRemoveRes] == 0 || w[MoveCreateRes] == 0 {
+		t.Fatal("architecture exploration must enable m3/m4")
+	}
+}

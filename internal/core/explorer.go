@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/anneal"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// Explorer is the annealing problem: it owns the current mapping, its
+// evaluation, and the machinery to propose, apply and revert moves.
+type Explorer struct {
+	app  *model.App
+	arch *model.Arch
+	cfg  Config
+
+	eval *sched.Evaluator
+	// precReach is the transitive closure of the (static) precedence
+	// graph, used as the O(1) legality pre-check of Section 4.3 before the
+	// full cycle detection performed by evaluation.
+	precReach *graph.Closure
+
+	// topoPos[t] is task t's rank in a fixed topological order of the
+	// precedence graph, used to keep context splits acyclic.
+	topoPos []int
+
+	cur     *sched.Mapping
+	curRes  sched.Result
+	curCost float64
+
+	spare   *sched.Mapping // pre-move snapshot for O(1) revert
+	best    *sched.Mapping
+	bestRes sched.Result
+
+	selector anneal.Selector
+	mv       move
+	rng      *rand.Rand // move-parameter randomness (separate from the annealer's)
+}
+
+// New validates the inputs and builds an explorer with a random initial
+// solution (the paper's initialization: a random number of tasks moved one
+// by one to the reconfigurable circuit).
+func New(app *model.App, arch *model.Arch, cfg Config) (*Explorer, error) {
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	if err := arch.Validate(); err != nil {
+		return nil, err
+	}
+	if len(arch.Processors) == 0 {
+		return nil, fmt.Errorf("core: the explorer needs at least one processor")
+	}
+	if cfg.Quality <= 0 {
+		cfg.Quality = 0.01
+	}
+	if cfg.Warmup <= 0 {
+		cfg.Warmup = 1200
+	}
+	if cfg.MaxIters <= 0 {
+		cfg.MaxIters = 5000
+	}
+	prec, err := graph.NewClosure(app.Precedence())
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	order, err := graph.Topo(app.Precedence())
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	topoPos := make([]int, app.N())
+	for i, t := range order {
+		topoPos[t] = i
+	}
+	e := &Explorer{
+		app:       app,
+		arch:      arch,
+		cfg:       cfg,
+		eval:      sched.NewEvaluator(app, arch),
+		precReach: prec,
+		topoPos:   topoPos,
+		spare:     &sched.Mapping{},
+		best:      &sched.Mapping{},
+		rng:       rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+	}
+	weights := moveWeights(cfg.ExploreArch)
+	if cfg.AdaptiveMoves {
+		e.selector = anneal.NewAdaptiveSelector(weights)
+	} else {
+		e.selector = anneal.NewFixedSelector(weights)
+	}
+	e.mv.e = e
+
+	m, err := sched.RandomMapping(app, arch, e.rng)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.reset(m); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// reset installs a mapping as the current solution.
+func (e *Explorer) reset(m *sched.Mapping) error {
+	if err := sched.CheckMapping(e.app, e.arch, m); err != nil {
+		return err
+	}
+	res, err := e.eval.Evaluate(m)
+	if err != nil {
+		return err
+	}
+	e.cur = m
+	e.curRes = res
+	e.curCost = e.costOf(res)
+	return nil
+}
+
+// Current returns the current mapping and its evaluation (read-only).
+func (e *Explorer) Current() (*sched.Mapping, sched.Result) { return e.cur, e.curRes }
+
+// Cost implements anneal.Problem.
+func (e *Explorer) Cost() float64 { return e.curCost }
+
+// KeepBest implements anneal.BestKeeper: snapshot the current solution.
+func (e *Explorer) KeepBest() {
+	e.cur.CopyInto(e.best)
+	e.bestRes = e.curRes
+}
+
+// Propose implements anneal.Problem: draw a move kind from the selector and
+// instantiate its parameters. A nil return means this draw found no
+// applicable move (e.g. m1 with no processor running two tasks).
+func (e *Explorer) Propose(rng *rand.Rand) anneal.Move {
+	kind := e.selector.Pick(rng)
+	ok := false
+	switch kind {
+	case MoveReorder:
+		ok = e.proposeReorder(rng)
+	case MoveReassign:
+		ok = e.proposeReassign(rng)
+	case MoveRemoveRes:
+		ok = e.proposeRemoveRes(rng)
+	case MoveCreateRes:
+		ok = e.proposeCreateRes(rng)
+	case MoveImpl:
+		ok = e.proposeImpl(rng)
+	case MoveCtxSwap:
+		ok = e.proposeCtxSwap(rng)
+	case MoveCtxSplit:
+		ok = e.proposeCtxSplit(rng)
+	}
+	if !ok {
+		// A kind that cannot even produce a candidate in the current state
+		// is a wasted draw: teach the selector so generation shifts toward
+		// productive kinds.
+		e.selector.Observe(kind, false)
+		return nil
+	}
+	e.mv.kind = kind
+	return &e.mv
+}
+
+// Run executes the exploration and returns the best solution found.
+func (e *Explorer) Run() (*Result, error) {
+	sched0 := e.cfg.Schedule
+	if sched0 == nil {
+		sched0 = anneal.NewLam(e.cfg.Quality, e.cfg.Warmup)
+	}
+	initial := e.curRes
+
+	opt := anneal.Options{
+		Schedule:   sched0,
+		MaxIters:   e.cfg.MaxIters,
+		Seed:       e.cfg.Seed,
+		TargetCost: nanIfUnset(),
+		Stop:       e.cfg.Stop,
+	}
+	opt.Trace = func(o anneal.Observation) {
+		if o.MoveKind >= 0 {
+			e.selector.Observe(o.MoveKind, o.Accepted)
+		}
+		if e.cfg.Trace != nil {
+			e.cfg.Trace(TracePoint{
+				Iter:        o.Iter,
+				Cost:        o.Cost,
+				Makespan:    e.curRes.Makespan,
+				BestCost:    o.Best,
+				Contexts:    e.cur.TotalContexts(),
+				Temperature: o.Temperature,
+				Accepted:    o.Accepted,
+				MoveKind:    o.MoveKind,
+			})
+		}
+	}
+
+	st := anneal.Run(e, opt)
+
+	// Final quench: restart from the best annealed solution and take only
+	// improving moves until the budget runs out.
+	if e.cfg.QuenchIters > 0 {
+		if err := e.reset(e.best.Clone()); err != nil {
+			return nil, fmt.Errorf("core: restoring best solution: %w", err)
+		}
+		qopt := anneal.Options{
+			Schedule:   anneal.Greedy{},
+			MaxIters:   e.cfg.QuenchIters,
+			Seed:       e.cfg.Seed ^ 0x9e3779b9,
+			TargetCost: nanIfUnset(),
+			Stop:       e.cfg.Stop,
+		}
+		qst := anneal.Run(e, qopt)
+		st.Iters += qst.Iters
+		st.Accepted += qst.Accepted
+		st.Rejected += qst.Rejected
+		st.Infeasible += qst.Infeasible
+		if qst.BestCost < st.BestCost {
+			st.BestCost = qst.BestCost
+		}
+		st.FinalCost = qst.FinalCost
+	}
+
+	res := &Result{
+		Best:        e.best.Clone(),
+		BestEval:    e.bestRes,
+		InitialEval: initial,
+		Stats:       st,
+		MetDeadline: e.cfg.Deadline <= 0 || e.bestRes.Makespan <= e.cfg.Deadline,
+	}
+	return res, nil
+}
+
+// Explore is the one-call convenience API: build an explorer and run it.
+func Explore(app *model.App, arch *model.Arch, cfg Config) (*Result, error) {
+	e, err := New(app, arch, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run()
+}

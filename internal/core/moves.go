@@ -1,0 +1,727 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// move is the single reusable anneal.Move of an explorer. Propose fills in
+// kind and parameters; Apply snapshots the mapping, mutates it, and
+// evaluates the new search graph — an evaluation cycle (contradictory
+// orders) makes the move infeasible and restores the snapshot, realizing
+// the "a move will not be performed if a cycle appears" rule of Section
+// 4.3. Revert restores the snapshot.
+type move struct {
+	e    *Explorer
+	kind int
+	// Parameters; meaning depends on kind. For reassignments: a = task,
+	// b = destination resource kind, c = resource index, d = context
+	// index (-1 = fresh), p = insert-before task (-1 = append).
+	a, b, c, d, p int
+
+	prevRes  sched.Result
+	prevCost float64
+}
+
+// Kind implements anneal.Move.
+func (m *move) Kind() int { return m.kind }
+
+// Apply implements anneal.Move.
+func (m *move) Apply() bool {
+	e := m.e
+	e.cur.CopyInto(e.spare)
+	m.prevRes, m.prevCost = e.curRes, e.curCost
+	if !m.mutate() {
+		e.spare.CopyInto(e.cur)
+		return false
+	}
+	res, err := e.eval.Evaluate(e.cur)
+	if err != nil {
+		e.spare.CopyInto(e.cur)
+		return false
+	}
+	if e.cfg.Paranoid {
+		if err := sched.CheckMapping(e.app, e.arch, e.cur); err != nil {
+			panic(fmt.Sprintf("core: move kind %d corrupted the mapping: %v", m.kind, err))
+		}
+	}
+	e.curRes, e.curCost = res, e.costOf(res)
+	return true
+}
+
+// Revert implements anneal.Move.
+func (m *move) Revert() {
+	e := m.e
+	e.spare.CopyInto(e.cur)
+	e.curRes, e.curCost = m.prevRes, m.prevCost
+}
+
+func (m *move) mutate() bool {
+	switch m.kind {
+	case MoveReorder:
+		return m.e.doReorder(m.a, m.b, m.c)
+	case MoveReassign, MoveRemoveRes:
+		return m.e.doReassignTo(m.a, model.ResourceKind(m.b), m.c, m.d, m.p)
+	case MoveCreateRes:
+		return m.e.doCreate(m.a, model.ResourceKind(m.b), m.c)
+	case MoveImpl:
+		return m.e.doImpl(m.a, m.b)
+	case MoveCtxSwap:
+		return m.e.doCtxSwap(m.a, m.b)
+	case MoveCtxSplit:
+		return m.e.doCtxSplit(m.a, m.b, m.c)
+	}
+	return false
+}
+
+// destination identifies a reassignment target resource.
+type destination struct {
+	kind   model.ResourceKind
+	res    int
+	ctx    int // context index within the RC; -1 = open a fresh context
+	before int // software insertion point (task id); -1 = append
+}
+
+// ---------- proposal helpers (parameter drawing) ----------
+
+// proposeReorder draws m1: a processor with at least two tasks and a
+// (source, destination) pair in its order.
+func (e *Explorer) proposeReorder(rng *rand.Rand) bool {
+	procs := make([]int, 0, len(e.cur.SWOrders))
+	for p, order := range e.cur.SWOrders {
+		if len(order) >= 2 {
+			procs = append(procs, p)
+		}
+	}
+	if len(procs) == 0 {
+		return false
+	}
+	p := procs[rng.Intn(len(procs))]
+	order := e.cur.SWOrders[p]
+draw:
+	for attempt := 0; attempt < 6; attempt++ {
+		i := rng.Intn(len(order))
+		j := rng.Intn(len(order))
+		if i == j {
+			continue
+		}
+		vs, vd := order[i], order[j]
+		// Legality pre-check on the (static) precedence closure, O(1) per
+		// element of the displaced segment: moving vs before vd drags it
+		// past the tasks in between, which must not be precedence-ordered
+		// against it. Paths through other resources can still produce a
+		// cycle; the evaluation's cycle detection remains the final
+		// arbiter.
+		if i > j { // vs moves earlier, jumping over order[j..i-1]
+			for _, y := range order[j:i] {
+				if e.precReach.Reaches(y, vs) {
+					continue draw
+				}
+			}
+		} else { // vs moves later, letting order[i+1..j-1] overtake it
+			for _, y := range order[i+1 : j] {
+				if e.precReach.Reaches(vs, y) {
+					continue draw
+				}
+			}
+		}
+		e.mv.a, e.mv.b, e.mv.c = p, vs, vd
+		return true
+	}
+	return false
+}
+
+// proposeReassign draws m2: a source task and a destination resource drawn
+// uniformly among every resource able to host it (each RC context counts as
+// a resource, Section 3.3; an RC without contexts offers a fresh one). A
+// draw fails only when the source genuinely has nowhere to go. Drawing
+// resources rather than destination *tasks* keeps the chain irreducible:
+// with task-indexed draws an all-hardware state could never repopulate the
+// (empty) processor.
+func (e *Explorer) proposeReassign(rng *rand.Rand) bool {
+	vs := rng.Intn(e.app.N())
+	dest, ok := e.pickDestination(rng, vs)
+	if !ok {
+		return false
+	}
+	e.mv.a, e.mv.b, e.mv.c, e.mv.d, e.mv.p = vs, int(dest.kind), dest.res, dest.ctx, dest.before
+	return true
+}
+
+// pickDestination reservoir-samples a hosting resource for task vs,
+// excluding the one it currently occupies. Destinations are weighted by
+// their current task population — the paper draws a destination *task*, so
+// larger resources attract proportionally more reassignments, which is
+// what consolidates hardware tasks into few large contexts — with a floor
+// of one so that empty resources (in particular an emptied processor)
+// remain reachable and the chain stays irreducible.
+func (e *Explorer) pickDestination(rng *rand.Rand, vs int) (destination, bool) {
+	task := &e.app.Tasks[vs]
+	pl := e.cur.Assign[vs]
+	var chosen destination
+	total := 0
+	consider := func(d destination, weight int) {
+		if weight < 1 {
+			weight = 1
+		}
+		total += weight
+		if rng.Intn(total) < weight {
+			chosen = d
+		}
+	}
+	if task.CanSW() {
+		for p := range e.arch.Processors {
+			if pl.Kind == model.KindProcessor && pl.Res == p {
+				continue
+			}
+			before := -1
+			if order := e.cur.SWOrders[p]; len(order) > 0 {
+				before = order[rng.Intn(len(order))]
+			}
+			consider(destination{kind: model.KindProcessor, res: p, ctx: -1, before: before}, len(e.cur.SWOrders[p]))
+		}
+	}
+	if task.CanHW() {
+		for r := range e.arch.RCs {
+			if task.MinCLBs() > e.arch.RCs[r].NCLB {
+				continue
+			}
+			if len(e.cur.Contexts[r]) == 0 {
+				consider(destination{kind: model.KindRC, res: r, ctx: -1}, 1)
+				continue
+			}
+			for ci := range e.cur.Contexts[r] {
+				if pl.Kind == model.KindRC && pl.Res == r && pl.Ctx == ci {
+					continue
+				}
+				consider(destination{kind: model.KindRC, res: r, ctx: ci}, len(e.cur.Contexts[r][ci].Tasks))
+			}
+		}
+		asicLoad := 0
+		for _, p := range e.cur.Assign {
+			if p.Kind == model.KindASIC {
+				asicLoad++
+			}
+		}
+		for x := range e.arch.ASICs {
+			if pl.Kind == model.KindASIC && pl.Res == x {
+				continue
+			}
+			consider(destination{kind: model.KindASIC, res: x, ctx: -1}, asicLoad)
+		}
+	}
+	return chosen, total > 0
+}
+
+// proposeRemoveRes draws m3: a resource executing a single task loses it to
+// the destination task's resource, emptying (removing) the source resource.
+func (e *Explorer) proposeRemoveRes(rng *rand.Rand) bool {
+	var singles []int // the lone tasks of singleton resources
+	for _, order := range e.cur.SWOrders {
+		if len(order) == 1 {
+			singles = append(singles, order[0])
+		}
+	}
+	for r := range e.cur.Contexts {
+		total, last := 0, -1
+		for _, c := range e.cur.Contexts[r] {
+			total += len(c.Tasks)
+			if len(c.Tasks) > 0 {
+				last = c.Tasks[0]
+			}
+		}
+		if total == 1 {
+			singles = append(singles, last)
+		}
+	}
+	asicCount := make(map[int][]int)
+	for t, pl := range e.cur.Assign {
+		if pl.Kind == model.KindASIC {
+			asicCount[pl.Res] = append(asicCount[pl.Res], t)
+		}
+	}
+	for _, ts := range asicCount {
+		if len(ts) == 1 {
+			singles = append(singles, ts[0])
+		}
+	}
+	if len(singles) == 0 {
+		return false
+	}
+	vs := singles[rng.Intn(len(singles))]
+	dest, ok := e.pickDestination(rng, vs)
+	if !ok {
+		return false
+	}
+	e.mv.a, e.mv.b, e.mv.c, e.mv.d, e.mv.p = vs, int(dest.kind), dest.res, dest.ctx, dest.before
+	return true
+}
+
+// proposeCreateRes draws m4: an unused template resource is instantiated
+// with a randomly chosen task.
+func (e *Explorer) proposeCreateRes(rng *rand.Rand) bool {
+	type slot struct {
+		kind model.ResourceKind
+		res  int
+	}
+	var empty []slot
+	for p, order := range e.cur.SWOrders {
+		if len(order) == 0 {
+			empty = append(empty, slot{model.KindProcessor, p})
+		}
+	}
+	for r := range e.cur.Contexts {
+		if e.cur.NumContexts(r) == 0 {
+			empty = append(empty, slot{model.KindRC, r})
+		}
+	}
+	used := make([]bool, len(e.arch.ASICs))
+	for _, pl := range e.cur.Assign {
+		if pl.Kind == model.KindASIC {
+			used[pl.Res] = true
+		}
+	}
+	for x, u := range used {
+		if !u {
+			empty = append(empty, slot{model.KindASIC, x})
+		}
+	}
+	if len(empty) == 0 {
+		return false
+	}
+	s := empty[rng.Intn(len(empty))]
+	for try := 0; try < 8; try++ {
+		vs := rng.Intn(e.app.N())
+		if !e.canHost(vs, sched.Placement{Kind: s.kind, Res: s.res}) {
+			continue
+		}
+		e.mv.a, e.mv.b, e.mv.c = vs, int(s.kind), s.res
+		return true
+	}
+	return false
+}
+
+// proposeImpl draws an implementation change for a hardware task with more
+// than one Pareto point.
+func (e *Explorer) proposeImpl(rng *rand.Rand) bool {
+	n := e.app.N()
+	off := rng.Intn(n)
+	for i := 0; i < n; i++ {
+		t := (off + i) % n
+		pl := e.cur.Assign[t]
+		if pl.Kind == model.KindProcessor || len(e.app.Tasks[t].HW) < 2 {
+			continue
+		}
+		j := rng.Intn(len(e.app.Tasks[t].HW) - 1)
+		if j >= e.cur.Impl[t] {
+			j++
+		}
+		e.mv.a, e.mv.b = t, j
+		return true
+	}
+	return false
+}
+
+// proposeCtxSwap draws an adjacent transposition in some RC's context order.
+func (e *Explorer) proposeCtxSwap(rng *rand.Rand) bool {
+	var rcs []int
+	for r := range e.cur.Contexts {
+		if len(e.cur.Contexts[r]) >= 2 {
+			rcs = append(rcs, r)
+		}
+	}
+	if len(rcs) == 0 {
+		return false
+	}
+	r := rcs[rng.Intn(len(rcs))]
+	i := rng.Intn(len(e.cur.Contexts[r]) - 1)
+	// Pre-filter: the swap is hopeless when a precedence path leads from
+	// the earlier context into the later one.
+	for _, a := range e.cur.Contexts[r][i].Tasks {
+		for _, b := range e.cur.Contexts[r][i+1].Tasks {
+			if e.precReach.Reaches(a, b) {
+				return false
+			}
+		}
+	}
+	e.mv.a, e.mv.b = r, i
+	return true
+}
+
+// proposeCtxSplit draws a temporal-partitioning move: either split a
+// multi-task context in two, or — when an RC has no context at all — seed
+// its first context with a hardware-capable task.
+func (e *Explorer) proposeCtxSplit(rng *rand.Rand) bool {
+	// Seed an empty RC first if one exists: hardware is otherwise
+	// unreachable when the initial partition placed everything in software.
+	for r := range e.cur.Contexts {
+		if len(e.cur.Contexts[r]) > 0 {
+			continue
+		}
+		n := e.app.N()
+		off := rng.Intn(n)
+		for i := 0; i < n; i++ {
+			t := (off + i) % n
+			if e.canHost(t, sched.Placement{Kind: model.KindRC, Res: r}) {
+				e.mv.a, e.mv.b, e.mv.c = r, -1, t
+				return true
+			}
+		}
+		return false
+	}
+	if !e.cfg.EnableCtxSplit {
+		// Paper-faithful mode: contexts are created only by capacity
+		// overflow in m2 (and the seeding above).
+		return false
+	}
+	var splittable [][2]int // (rc, ctx) pairs with ≥2 tasks
+	for r := range e.cur.Contexts {
+		for ci := range e.cur.Contexts[r] {
+			if len(e.cur.Contexts[r][ci].Tasks) >= 2 {
+				splittable = append(splittable, [2]int{r, ci})
+			}
+		}
+	}
+	if len(splittable) == 0 {
+		return false
+	}
+	pick := splittable[rng.Intn(len(splittable))]
+	size := len(e.cur.Contexts[pick[0]][pick[1]].Tasks)
+	e.mv.a, e.mv.b, e.mv.c = pick[0], pick[1], 1+rng.Intn(size-1)
+	return true
+}
+
+// ---------- mutation primitives ----------
+
+// sameResource reports whether two tasks occupy the same resource, with
+// each RC context counting as a resource of its own (Section 3.3).
+func (e *Explorer) sameResource(x, y int) bool {
+	a, b := e.cur.Assign[x], e.cur.Assign[y]
+	if a.Kind != b.Kind || a.Res != b.Res {
+		return false
+	}
+	if a.Kind == model.KindRC {
+		return a.Ctx == b.Ctx
+	}
+	return true
+}
+
+// canHost reports whether task t may execute on the given placement's
+// resource.
+func (e *Explorer) canHost(t int, dest sched.Placement) bool {
+	task := &e.app.Tasks[t]
+	switch dest.Kind {
+	case model.KindProcessor:
+		return task.CanSW()
+	case model.KindRC:
+		return task.CanHW() && task.MinCLBs() <= e.arch.RCs[dest.Res].NCLB
+	case model.KindASIC:
+		return task.CanHW()
+	}
+	return false
+}
+
+// doReorder realizes m1: remove vs from processor p's order and reinsert it
+// immediately before vd (the paper's example: vs=B, vd=A turns A,C,B into
+// B,A,C).
+func (e *Explorer) doReorder(p, vs, vd int) bool {
+	order := &e.cur.SWOrders[p]
+	if !removeInt(order, vs) {
+		return false
+	}
+	pos := indexOf(*order, vd)
+	if pos < 0 {
+		return false
+	}
+	insertAt(order, pos, vs)
+	return true
+}
+
+// doReassignTo realizes m2/m3: detach vs from its resource and attach it to
+// the destination resource. Detaching may delete vs's emptied context,
+// shifting later context indices of the same RC, so the destination index
+// is adjusted first.
+func (e *Explorer) doReassignTo(vs int, kind model.ResourceKind, res, ctx, before int) bool {
+	pl := e.cur.Assign[vs]
+	if kind == model.KindRC && pl.Kind == model.KindRC && pl.Res == res && ctx >= 0 &&
+		len(e.cur.Contexts[pl.Res][pl.Ctx].Tasks) == 1 {
+		if pl.Ctx == ctx {
+			return false // sole occupant moving into its own dying context
+		}
+		if pl.Ctx < ctx {
+			ctx--
+		}
+	}
+	e.detach(vs)
+	switch kind {
+	case model.KindProcessor:
+		if !e.app.Tasks[vs].CanSW() {
+			return false
+		}
+		e.attachSWBefore(vs, res, before)
+		return true
+	case model.KindRC:
+		return e.attachCtx(vs, res, ctx)
+	case model.KindASIC:
+		return e.attachASIC(vs, res)
+	}
+	return false
+}
+
+// doCreate realizes m4: detach vs and attach it to the (currently unused)
+// resource slot.
+func (e *Explorer) doCreate(vs int, kind model.ResourceKind, res int) bool {
+	e.detach(vs)
+	switch kind {
+	case model.KindProcessor:
+		if !e.app.Tasks[vs].CanSW() {
+			return false
+		}
+		e.attachSWBefore(vs, res, -1)
+		return true
+	case model.KindRC:
+		return e.attachCtx(vs, res, -1)
+	case model.KindASIC:
+		return e.attachASIC(vs, res)
+	}
+	return false
+}
+
+// doImpl changes the implementation point of a hardware task, respecting
+// the capacity of its context.
+func (e *Explorer) doImpl(t, j int) bool {
+	pl := e.cur.Assign[t]
+	task := &e.app.Tasks[t]
+	if j < 0 || j >= len(task.HW) {
+		return false
+	}
+	switch pl.Kind {
+	case model.KindASIC:
+		e.cur.Impl[t] = j
+		return true
+	case model.KindRC:
+		delta := task.HW[j].CLBs - task.HW[e.cur.Impl[t]].CLBs
+		if e.cur.ContextCLBs(e.app, pl.Res, pl.Ctx)+delta > e.arch.RCs[pl.Res].NCLB {
+			return false
+		}
+		e.cur.Impl[t] = j
+		return true
+	}
+	return false
+}
+
+// doCtxSwap exchanges contexts i and i+1 of RC r in the sequential order Lc.
+func (e *Explorer) doCtxSwap(r, i int) bool {
+	ctxs := e.cur.Contexts[r]
+	if i < 0 || i+1 >= len(ctxs) {
+		return false
+	}
+	ctxs[i], ctxs[i+1] = ctxs[i+1], ctxs[i]
+	for _, t := range ctxs[i].Tasks {
+		e.cur.Assign[t].Ctx = i
+	}
+	for _, t := range ctxs[i+1].Tasks {
+		e.cur.Assign[t].Ctx = i + 1
+	}
+	return true
+}
+
+// doCtxSplit realizes the temporal-partitioning move. With ci == -1 it
+// seeds RC r's first context with task h; otherwise it moves the h
+// topologically latest tasks of context ci into a fresh context inserted
+// immediately after it. Splitting along the topological order guarantees
+// the precedence relation never points from the new (later) context back
+// into the old one, so the split itself cannot create a cycle.
+func (e *Explorer) doCtxSplit(r, ci, h int) bool {
+	if ci == -1 {
+		e.detach(h)
+		return e.attachCtx(h, r, -1)
+	}
+	if ci >= len(e.cur.Contexts[r]) {
+		return false
+	}
+	if h <= 0 || h >= len(e.cur.Contexts[r][ci].Tasks) {
+		return false
+	}
+	sortByTopo(e.cur.Contexts[r][ci].Tasks, e.topoPos)
+	e.insertContext(r, ci+1)
+	src := &e.cur.Contexts[r][ci]
+	dst := &e.cur.Contexts[r][ci+1]
+	moved := src.Tasks[len(src.Tasks)-h:]
+	dst.Tasks = append(dst.Tasks, moved...)
+	src.Tasks = src.Tasks[:len(src.Tasks)-h]
+	for _, t := range dst.Tasks {
+		e.cur.Assign[t] = sched.Placement{Kind: model.KindRC, Res: r, Ctx: ci + 1}
+	}
+	return true
+}
+
+// sortByTopo orders tasks by ascending topological rank (insertion sort —
+// contexts hold a handful of tasks).
+func sortByTopo(tasks []int, pos []int) {
+	for i := 1; i < len(tasks); i++ {
+		t := tasks[i]
+		j := i - 1
+		for j >= 0 && pos[tasks[j]] > pos[t] {
+			tasks[j+1] = tasks[j]
+			j--
+		}
+		tasks[j+1] = t
+	}
+}
+
+// detach removes task t from its resource containers; an emptied context is
+// deleted from its RC's context list. Assign[t] is left stale — every
+// caller re-places the task immediately.
+func (e *Explorer) detach(t int) {
+	pl := e.cur.Assign[t]
+	switch pl.Kind {
+	case model.KindProcessor:
+		removeInt(&e.cur.SWOrders[pl.Res], t)
+	case model.KindRC:
+		ctx := &e.cur.Contexts[pl.Res][pl.Ctx]
+		removeInt(&ctx.Tasks, t)
+		if len(ctx.Tasks) == 0 {
+			e.deleteContext(pl.Res, pl.Ctx)
+		}
+	case model.KindASIC:
+		// ASICs keep no container.
+	}
+}
+
+// deleteContext removes context ci of RC r, renumbering the back-references
+// of the tasks in later contexts.
+func (e *Explorer) deleteContext(r, ci int) {
+	ctxs := e.cur.Contexts[r]
+	copy(ctxs[ci:], ctxs[ci+1:])
+	// Zero the vacated tail slot: its stale Tasks header would otherwise
+	// alias the backing array of the (shifted) last context, corrupting a
+	// later in-place snapshot restore that re-extends the slice.
+	ctxs[len(ctxs)-1] = sched.Context{}
+	e.cur.Contexts[r] = ctxs[:len(ctxs)-1]
+	for t := range e.cur.Assign {
+		pl := &e.cur.Assign[t]
+		if pl.Kind == model.KindRC && pl.Res == r && pl.Ctx > ci {
+			pl.Ctx--
+		}
+	}
+}
+
+// insertContext inserts an empty context at position at of RC r,
+// renumbering the back-references of the tasks at or after that position.
+func (e *Explorer) insertContext(r, at int) {
+	ctxs := append(e.cur.Contexts[r], sched.Context{})
+	copy(ctxs[at+1:], ctxs[at:])
+	ctxs[at] = sched.Context{}
+	e.cur.Contexts[r] = ctxs
+	for t := range e.cur.Assign {
+		pl := &e.cur.Assign[t]
+		if pl.Kind == model.KindRC && pl.Res == r && pl.Ctx >= at {
+			pl.Ctx++
+		}
+	}
+}
+
+// attachSWBefore inserts t into processor p's order immediately before
+// task before (append when before is absent or -1).
+func (e *Explorer) attachSWBefore(t, p, before int) {
+	order := &e.cur.SWOrders[p]
+	pos := len(*order)
+	if before >= 0 {
+		if i := indexOf(*order, before); i >= 0 {
+			pos = i
+		}
+	}
+	insertAt(order, pos, t)
+	e.cur.Assign[t] = sched.Placement{Kind: model.KindProcessor, Res: p}
+}
+
+// attachCtx places t into context ci of RC r (ci == -1 appends a fresh
+// context at the end of Lc). When the destination context cannot fit the
+// task, "another context is spawned" immediately after it (Section 4.3).
+func (e *Explorer) attachCtx(t, r, ci int) bool {
+	task := &e.app.Tasks[t]
+	rc := &e.arch.RCs[r]
+	impl := e.cur.Impl[t]
+	if impl < 0 || impl >= len(task.HW) || task.HW[impl].CLBs > rc.NCLB {
+		impl = smallestImpl(task)
+	}
+	need := task.HW[impl].CLBs
+	if need > rc.NCLB {
+		return false
+	}
+	if ci == -1 {
+		ci = len(e.cur.Contexts[r])
+		e.insertContext(r, ci)
+	} else if e.cur.ContextCLBs(e.app, r, ci)+need > rc.NCLB {
+		e.insertContext(r, ci+1)
+		ci++
+	}
+	ctx := &e.cur.Contexts[r][ci]
+	ctx.Tasks = append(ctx.Tasks, t)
+	e.cur.Assign[t] = sched.Placement{Kind: model.KindRC, Res: r, Ctx: ci}
+	e.cur.Impl[t] = impl
+	return true
+}
+
+// attachASIC places t onto ASIC res with its fastest implementation (a
+// dedicated circuit is synthesized for speed; area is not a constraint in
+// the ASIC model).
+func (e *Explorer) attachASIC(t, res int) bool {
+	task := &e.app.Tasks[t]
+	if !task.CanHW() {
+		return false
+	}
+	e.cur.Assign[t] = sched.Placement{Kind: model.KindASIC, Res: res}
+	e.cur.Impl[t] = fastestImpl(task)
+	return true
+}
+
+// ---------- small utilities ----------
+
+func smallestImpl(task *model.Task) int {
+	best := 0
+	for i, im := range task.HW {
+		if im.CLBs < task.HW[best].CLBs {
+			best = i
+		}
+	}
+	return best
+}
+
+func fastestImpl(task *model.Task) int {
+	best := 0
+	for i, im := range task.HW {
+		if im.Time < task.HW[best].Time {
+			best = i
+		}
+	}
+	return best
+}
+
+func indexOf(xs []int, v int) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+func removeInt(xs *[]int, v int) bool {
+	i := indexOf(*xs, v)
+	if i < 0 {
+		return false
+	}
+	*xs = append((*xs)[:i], (*xs)[i+1:]...)
+	return true
+}
+
+func insertAt(xs *[]int, pos, v int) {
+	*xs = append(*xs, 0)
+	copy((*xs)[pos+1:], (*xs)[pos:])
+	(*xs)[pos] = v
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// Regression test: with every task in hardware the processor is empty, yet
+// m2 must still be able to repopulate it (destination draws are
+// resource-indexed with a weight floor; a task-indexed draw would make the
+// all-hardware region absorbing).
+func TestAllHardwareStateCanReturnToSoftware(t *testing.T) {
+	app, arch := motionSetup(20000) // capacity for everything at once
+	e := mustExplorer(t, app, arch, 4)
+
+	// Build the all-hardware mapping: every task in one big context.
+	m, _ := sched.NewMapping(app, arch)
+	m.SWOrders[0] = nil
+	var ctx sched.Context
+	for t2 := 0; t2 < app.N(); t2++ {
+		impl := smallestImpl(&app.Tasks[t2])
+		m.Assign[t2] = sched.Placement{Kind: model.KindRC, Res: 0, Ctx: 0}
+		m.Impl[t2] = impl
+		ctx.Tasks = append(ctx.Tasks, t2)
+	}
+	m.Contexts[0] = []sched.Context{ctx}
+	if err := e.reset(m); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(5))
+	sawProcessor := false
+	for i := 0; i < 200 && !sawProcessor; i++ {
+		if dest, ok := e.pickDestination(rng, rng.Intn(app.N())); ok {
+			if dest.kind == model.KindProcessor {
+				sawProcessor = true
+			}
+		}
+	}
+	if !sawProcessor {
+		t.Fatal("processor unreachable from the all-hardware state (absorbing region)")
+	}
+}
+
+func TestPickDestinationWeightsBySize(t *testing.T) {
+	app, arch := motionSetup(2000)
+	e := mustExplorer(t, app, arch, 6)
+	// Hand-build: big context (5 tasks) and small context (1 task); the
+	// big context must attract clearly more reassignments.
+	m, _ := sched.NewMapping(app, arch)
+	take := func(ts ...int) []int {
+		for _, x := range ts {
+			for i, y := range m.SWOrders[0] {
+				if y == x {
+					m.SWOrders[0] = append(m.SWOrders[0][:i], m.SWOrders[0][i+1:]...)
+					break
+				}
+			}
+		}
+		return ts
+	}
+	big := take(2, 3, 5, 6, 9)
+	small := take(13)
+	for _, x := range big {
+		m.Assign[x] = sched.Placement{Kind: model.KindRC, Res: 0, Ctx: 0}
+	}
+	for _, x := range small {
+		m.Assign[x] = sched.Placement{Kind: model.KindRC, Res: 0, Ctx: 1}
+	}
+	m.Contexts[0] = []sched.Context{{Tasks: big}, {Tasks: small}}
+	if err := e.reset(m); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	counts := map[int]int{}
+	const draws = 3000
+	for i := 0; i < draws; i++ {
+		// Source on the processor so both contexts are candidates.
+		dest, ok := e.pickDestination(rng, m.SWOrders[0][0])
+		if !ok {
+			t.Fatal("no destination found")
+		}
+		if dest.kind == model.KindRC {
+			counts[dest.ctx]++
+		}
+	}
+	if counts[0] <= counts[1] {
+		t.Fatalf("larger context not favoured: big=%d small=%d", counts[0], counts[1])
+	}
+}
+
+func TestQuenchNeverWorsensBest(t *testing.T) {
+	app, arch := motionSetup(2000)
+	for seed := int64(0); seed < 3; seed++ {
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		cfg.MaxIters = 1200
+		cfg.Warmup = 300
+		cfg.QuenchIters = 0
+		noQuench, err := Explore(app, arch, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.QuenchIters = 2000
+		quench, err := Explore(app, arch, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if quench.BestEval.Makespan > noQuench.BestEval.Makespan {
+			t.Fatalf("seed %d: quench worsened best: %v > %v",
+				seed, quench.BestEval.Makespan, noQuench.BestEval.Makespan)
+		}
+	}
+}
+
+func TestCtxSplitMoveWhenEnabled(t *testing.T) {
+	app, arch := motionSetup(20000)
+	cfg := DefaultConfig()
+	cfg.EnableCtxSplit = true
+	cfg.Seed = 9
+	cfg.Paranoid = true
+	e, err := New(app, arch, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force a known state: two tasks in one context.
+	m, _ := sched.NewMapping(app, arch)
+	take := func(x int) {
+		for i, y := range m.SWOrders[0] {
+			if y == x {
+				m.SWOrders[0] = append(m.SWOrders[0][:i], m.SWOrders[0][i+1:]...)
+				return
+			}
+		}
+	}
+	take(5)
+	take(6)
+	m.Assign[5] = sched.Placement{Kind: model.KindRC, Res: 0, Ctx: 0}
+	m.Assign[6] = sched.Placement{Kind: model.KindRC, Res: 0, Ctx: 0}
+	m.Contexts[0] = []sched.Context{{Tasks: []int{5, 6}}}
+	if err := e.reset(m); err != nil {
+		t.Fatal(err)
+	}
+	if !e.doCtxSplit(0, 0, 1) {
+		t.Fatal("split failed")
+	}
+	if err := sched.CheckMapping(app, arch, e.cur); err != nil {
+		t.Fatal(err)
+	}
+	if e.cur.NumContexts(0) != 2 {
+		t.Fatalf("contexts after split = %d", e.cur.NumContexts(0))
+	}
+	// 5 precedes 6 in the pipeline: the topological split must put 5 in
+	// the earlier context.
+	if e.cur.Assign[5].Ctx != 0 || e.cur.Assign[6].Ctx != 1 {
+		t.Fatalf("split order wrong: 5@%d 6@%d", e.cur.Assign[5].Ctx, e.cur.Assign[6].Ctx)
+	}
+}
+
+func TestSplitDisabledByDefaultButSeedingWorks(t *testing.T) {
+	app, arch := motionSetup(2000)
+	cfg := DefaultConfig()
+	if cfg.EnableCtxSplit {
+		t.Fatal("paper mode must be the default (splits off)")
+	}
+	cfg.Seed = 10
+	e, err := New(app, arch, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force all-software, then check the seeding branch can still open
+	// hardware.
+	m, _ := sched.NewMapping(app, arch)
+	if err := e.reset(m); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	seeded := false
+	for i := 0; i < 100 && !seeded; i++ {
+		if e.proposeCtxSplit(rng) {
+			seeded = e.mv.b == -1 // the seeding variant
+		}
+	}
+	if !seeded {
+		t.Fatal("empty-RC seeding unavailable with splits disabled")
+	}
+}
+
+func TestReorderPrefilterBlocksOrderedPairs(t *testing.T) {
+	app, arch := motionSetup(2000)
+	e := mustExplorer(t, app, arch, 12)
+	// All-software mapping in topological order: moving a chain successor
+	// before its predecessor must be filtered or rejected, never accepted
+	// into an invalid state.
+	m, _ := sched.NewMapping(app, arch)
+	if err := e.reset(m); err != nil {
+		t.Fatal(err)
+	}
+	// Task 1 directly follows task 0 in the head chain; moving 1 before 0
+	// contradicts precedence.
+	if e.doReorder(0, 1, 0) {
+		// The mutation itself went through; evaluation must catch it.
+		if _, err := e.eval.Evaluate(e.cur); err == nil {
+			t.Fatal("precedence-violating reorder evaluated cleanly")
+		}
+	}
+}

@@ -1,0 +1,231 @@
+// Package graph provides the directed-graph substrate of the design-space
+// explorer: dynamic edge insertion and removal, reachability queries, a
+// transitive closure with O(1) cycle pre-checks, dynamic topological order
+// maintenance, and longest-path (makespan) evaluation over node- and
+// edge-weighted DAGs.
+//
+// The explorer mutates a "search graph" thousands of times per second
+// (sequentialization edges come and go on every annealing move), so every
+// operation here is designed for cheap incremental update with a
+// full-recompute fallback used by the tests as ground truth.
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCycle is returned by operations that would create or that detect a
+// cycle in a graph that must remain acyclic.
+var ErrCycle = errors.New("graph: cycle detected")
+
+// DAG is a directed graph over nodes 0..N-1 with int64 edge weights.
+// Despite the name, the structure itself does not forbid cycles; acyclicity
+// is enforced by the callers (via Closure or DynTopo) because the explorer
+// needs to *test* whether an edge insertion would create a cycle before
+// committing to it.
+type DAG struct {
+	succ []map[int]int64
+	pred []map[int]int64
+	m    int // number of edges
+}
+
+// New returns an edgeless graph with n nodes.
+func New(n int) *DAG {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	g := &DAG{
+		succ: make([]map[int]int64, n),
+		pred: make([]map[int]int64, n),
+	}
+	for i := 0; i < n; i++ {
+		g.succ[i] = make(map[int]int64)
+		g.pred[i] = make(map[int]int64)
+	}
+	return g
+}
+
+// N returns the number of nodes.
+func (g *DAG) N() int { return len(g.succ) }
+
+// M returns the number of edges.
+func (g *DAG) M() int { return g.m }
+
+// check panics when u is out of range; mutation through an invalid node id
+// is a programming error in the caller, never a data error.
+func (g *DAG) check(u int) {
+	if u < 0 || u >= len(g.succ) {
+		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", u, len(g.succ)))
+	}
+}
+
+// AddEdge inserts edge (u,v) with weight w, overwriting the weight if the
+// edge already exists. Self-loops are rejected with ErrCycle. It reports
+// whether a new edge was created (false when only the weight changed).
+func (g *DAG) AddEdge(u, v int, w int64) (bool, error) {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		return false, ErrCycle
+	}
+	_, existed := g.succ[u][v]
+	g.succ[u][v] = w
+	g.pred[v][u] = w
+	if !existed {
+		g.m++
+	}
+	return !existed, nil
+}
+
+// RemoveEdge deletes edge (u,v) and reports whether it existed.
+func (g *DAG) RemoveEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	if _, ok := g.succ[u][v]; !ok {
+		return false
+	}
+	delete(g.succ[u], v)
+	delete(g.pred[v], u)
+	g.m--
+	return true
+}
+
+// HasEdge reports whether edge (u,v) exists.
+func (g *DAG) HasEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	_, ok := g.succ[u][v]
+	return ok
+}
+
+// Weight returns the weight of edge (u,v); ok is false when the edge does
+// not exist.
+func (g *DAG) Weight(u, v int) (w int64, ok bool) {
+	g.check(u)
+	g.check(v)
+	w, ok = g.succ[u][v]
+	return w, ok
+}
+
+// SetWeight changes the weight of an existing edge. It reports whether the
+// edge existed.
+func (g *DAG) SetWeight(u, v int, w int64) bool {
+	if !g.HasEdge(u, v) {
+		return false
+	}
+	g.succ[u][v] = w
+	g.pred[v][u] = w
+	return true
+}
+
+// EachSucc calls fn for every successor v of u with the edge weight.
+// Iteration order is unspecified.
+func (g *DAG) EachSucc(u int, fn func(v int, w int64)) {
+	g.check(u)
+	for v, w := range g.succ[u] {
+		fn(v, w)
+	}
+}
+
+// EachPred calls fn for every predecessor u of v with the edge weight.
+// Iteration order is unspecified.
+func (g *DAG) EachPred(v int, fn func(u int, w int64)) {
+	g.check(v)
+	for u, w := range g.pred[v] {
+		fn(u, w)
+	}
+}
+
+// OutDegree returns the number of successors of u.
+func (g *DAG) OutDegree(u int) int { g.check(u); return len(g.succ[u]) }
+
+// InDegree returns the number of predecessors of v.
+func (g *DAG) InDegree(v int) int { g.check(v); return len(g.pred[v]) }
+
+// Succs returns the successors of u as a fresh slice (unordered).
+func (g *DAG) Succs(u int) []int {
+	g.check(u)
+	out := make([]int, 0, len(g.succ[u]))
+	for v := range g.succ[u] {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Preds returns the predecessors of v as a fresh slice (unordered).
+func (g *DAG) Preds(v int) []int {
+	g.check(v)
+	out := make([]int, 0, len(g.pred[v]))
+	for u := range g.pred[v] {
+		out = append(out, u)
+	}
+	return out
+}
+
+// Edge is an (u,v,weight) triple, used for bulk edge listing and for
+// recording undo information in the explorer.
+type Edge struct {
+	U, V int
+	W    int64
+}
+
+// Edges returns every edge. The order is unspecified.
+func (g *DAG) Edges() []Edge {
+	out := make([]Edge, 0, g.m)
+	for u := range g.succ {
+		for v, w := range g.succ[u] {
+			out = append(out, Edge{u, v, w})
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *DAG) Clone() *DAG {
+	c := New(g.N())
+	for u := range g.succ {
+		for v, w := range g.succ[u] {
+			c.succ[u][v] = w
+			c.pred[v][u] = w
+		}
+	}
+	c.m = g.m
+	return c
+}
+
+// ReachableFrom returns the set of nodes reachable from u by one or more
+// edges (u itself is excluded unless it lies on a cycle through u).
+func (g *DAG) ReachableFrom(u int) Bits {
+	g.check(u)
+	seen := NewBits(g.N())
+	stack := make([]int, 0, 16)
+	for v := range g.succ[u] {
+		if !seen.Get(v) {
+			seen.Set(v)
+			stack = append(stack, v)
+		}
+	}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for v := range g.succ[x] {
+			if !seen.Get(v) {
+				seen.Set(v)
+				stack = append(stack, v)
+			}
+		}
+	}
+	return seen
+}
+
+// Reaches reports whether v is reachable from u by one or more edges, using
+// a DFS. Closure.Reaches answers the same question in O(1) when a closure
+// is maintained.
+func (g *DAG) Reaches(u, v int) bool {
+	if u == v {
+		// A node trivially "reaches" itself only via a cycle; detect it.
+		return g.ReachableFrom(u).Get(u)
+	}
+	return g.ReachableFrom(u).Get(v)
+}

@@ -1,0 +1,162 @@
+package graph
+
+import "sort"
+
+// DynTopo maintains a topological order of a DAG under edge insertions using
+// the Pearce–Kelly algorithm (Pearce & Kelly, "A dynamic topological sort
+// algorithm for directed acyclic graphs", JEA 2007). Insertions that would
+// create a cycle are detected and reported without modifying the order.
+//
+// The incremental makespan evaluator rides on this order: after a move edits
+// a handful of sequentialization edges, only the affected region between the
+// endpoints needs reordering, and only downstream nodes need their longest
+// path lengths refreshed.
+//
+// Edge *removals* never invalidate a topological order, so they are free.
+type DynTopo struct {
+	g   *DAG
+	ord []int // ord[v] = position of v
+	pos []int // pos[i] = node at position i (inverse of ord)
+
+	// scratch buffers reused across operations
+	visited Bits
+	deltaF  []int
+	deltaB  []int
+}
+
+// NewDynTopo builds an initial order for g. It returns ErrCycle if g is
+// already cyclic.
+func NewDynTopo(g *DAG) (*DynTopo, error) {
+	order, err := Topo(g)
+	if err != nil {
+		return nil, err
+	}
+	d := &DynTopo{
+		g:       g,
+		ord:     make([]int, g.N()),
+		pos:     make([]int, g.N()),
+		visited: NewBits(g.N()),
+	}
+	for i, v := range order {
+		d.ord[v] = i
+		d.pos[i] = v
+	}
+	return d, nil
+}
+
+// Pos returns the position of node v in the maintained order.
+func (d *DynTopo) Pos(v int) int { return d.ord[v] }
+
+// NodeAt returns the node at position i.
+func (d *DynTopo) NodeAt(i int) int { return d.pos[i] }
+
+// Order returns the maintained topological order as a fresh slice.
+func (d *DynTopo) Order() []int {
+	out := make([]int, len(d.pos))
+	copy(out, d.pos)
+	return out
+}
+
+// OnAddEdge restores topological order after edge (u,v) was inserted into
+// the underlying graph. If the insertion created a cycle it returns
+// ErrCycle and leaves the order unchanged; the caller must then remove the
+// offending edge from the graph.
+func (d *DynTopo) OnAddEdge(u, v int) error {
+	lb, ub := d.ord[v], d.ord[u]
+	if lb > ub {
+		return nil // order already consistent
+	}
+	// Discover the affected region: deltaF = nodes reachable from v with
+	// position <= ub, deltaB = nodes reaching u with position >= lb.
+	d.deltaF = d.deltaF[:0]
+	d.deltaB = d.deltaB[:0]
+	d.visited.Reset()
+	if !d.dfsForward(v, ub) {
+		// u is reachable from v: inserting (u,v)'s counterpart created a
+		// cycle. (u itself was encountered during the forward walk.)
+		return ErrCycle
+	}
+	d.dfsBackward(u, lb)
+	d.reorder()
+	return nil
+}
+
+// dfsForward collects nodes reachable from w whose position is ≤ ub into
+// deltaF. It returns false when it encounters a node at position ub (that
+// node must be u, proving a cycle).
+func (d *DynTopo) dfsForward(w, ub int) bool {
+	d.visited.Set(w)
+	d.deltaF = append(d.deltaF, w)
+	ok := true
+	d.g.EachSucc(w, func(s int, _ int64) {
+		if !ok || d.visited.Get(s) {
+			return
+		}
+		if d.ord[s] == ub {
+			ok = false // found u ⇒ cycle
+			return
+		}
+		if d.ord[s] < ub {
+			if !d.dfsForward(s, ub) {
+				ok = false
+			}
+		}
+	})
+	return ok
+}
+
+// dfsBackward collects nodes that reach w with position ≥ lb into deltaB.
+func (d *DynTopo) dfsBackward(w, lb int) {
+	d.visited.Set(w)
+	d.deltaB = append(d.deltaB, w)
+	d.g.EachPred(w, func(p int, _ int64) {
+		if !d.visited.Get(p) && d.ord[p] > lb {
+			d.dfsBackward(p, lb)
+		}
+	})
+}
+
+// reorder reassigns the positions occupied by deltaB ∪ deltaF so that every
+// node of deltaB precedes every node of deltaF, preserving relative order
+// within each set.
+func (d *DynTopo) reorder() {
+	sort.Slice(d.deltaB, func(i, j int) bool { return d.ord[d.deltaB[i]] < d.ord[d.deltaB[j]] })
+	sort.Slice(d.deltaF, func(i, j int) bool { return d.ord[d.deltaF[i]] < d.ord[d.deltaF[j]] })
+
+	nodes := make([]int, 0, len(d.deltaB)+len(d.deltaF))
+	nodes = append(nodes, d.deltaB...)
+	nodes = append(nodes, d.deltaF...)
+
+	slots := make([]int, len(nodes))
+	for i, w := range nodes {
+		slots[i] = d.ord[w]
+	}
+	sort.Ints(slots)
+	for i, w := range nodes {
+		d.ord[w] = slots[i]
+		d.pos[slots[i]] = w
+	}
+}
+
+// Verify reports whether the maintained order is a valid topological order
+// of the underlying graph (every edge goes forward). Used by tests.
+func (d *DynTopo) Verify() bool {
+	for u := 0; u < d.g.N(); u++ {
+		ok := true
+		d.g.EachSucc(u, func(v int, _ int64) {
+			if d.ord[u] >= d.ord[v] {
+				ok = false
+			}
+		})
+		if !ok {
+			return false
+		}
+	}
+	// pos and ord must be inverse permutations.
+	for i, v := range d.pos {
+		if d.ord[v] != i {
+			return false
+		}
+	}
+	return true
+}

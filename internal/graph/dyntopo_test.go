@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDynTopoBasicInsertions(t *testing.T) {
+	g := New(4)
+	d, err := NewDynTopo(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := func(u, v int) {
+		t.Helper()
+		g.AddEdge(u, v, 0) //nolint:errcheck
+		if err := d.OnAddEdge(u, v); err != nil {
+			t.Fatalf("OnAddEdge(%d,%d) = %v", u, v, err)
+		}
+		if !d.Verify() {
+			t.Fatalf("order invalid after edge %d->%d", u, v)
+		}
+	}
+	// Insert edges that force reordering: 3->2->1->0.
+	add(3, 2)
+	add(2, 1)
+	add(1, 0)
+	if d.Pos(3) >= d.Pos(0) {
+		t.Fatal("3 must precede 0")
+	}
+}
+
+func TestDynTopoDetectsCycle(t *testing.T) {
+	g := New(3)
+	d, _ := NewDynTopo(g)
+	g.AddEdge(0, 1, 0) //nolint:errcheck
+	if err := d.OnAddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	g.AddEdge(1, 2, 0) //nolint:errcheck
+	if err := d.OnAddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	g.AddEdge(2, 0, 0) //nolint:errcheck
+	if err := d.OnAddEdge(2, 0); err != ErrCycle {
+		t.Fatalf("err = %v, want ErrCycle", err)
+	}
+	// Caller contract: remove the offending edge; order must still verify.
+	g.RemoveEdge(2, 0)
+	if !d.Verify() {
+		t.Fatal("order corrupted by rejected insertion")
+	}
+}
+
+func TestDynTopoRandomSequences(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + r.Intn(40)
+		g := New(n)
+		d, err := NewDynTopo(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rejected, accepted := 0, 0
+		for k := 0; k < n*4; k++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			wouldCycle := g.Reaches(v, u)
+			g.AddEdge(u, v, 0) //nolint:errcheck
+			err := d.OnAddEdge(u, v)
+			if wouldCycle {
+				if err != ErrCycle {
+					t.Fatalf("missed cycle inserting %d->%d", u, v)
+				}
+				g.RemoveEdge(u, v)
+				rejected++
+			} else {
+				if err != nil {
+					t.Fatalf("false cycle alarm inserting %d->%d: %v", u, v, err)
+				}
+				accepted++
+			}
+			if !d.Verify() {
+				t.Fatalf("invalid order after %d insertions", accepted)
+			}
+		}
+		_ = rejected
+	}
+}
+
+func TestDynTopoRemovalsAreFree(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	g := randomDAG(r, 20, 0.3)
+	d, err := NewDynTopo(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Edges() {
+		g.RemoveEdge(e.U, e.V)
+		if !d.Verify() {
+			t.Fatal("order invalidated by removal")
+		}
+	}
+}
+
+func TestDynTopoOrderAccessors(t *testing.T) {
+	g := New(3)
+	g.AddEdge(2, 0, 0) //nolint:errcheck
+	g.AddEdge(0, 1, 0) //nolint:errcheck
+	d, err := NewDynTopo(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := d.Order()
+	for i, v := range order {
+		if d.Pos(v) != i || d.NodeAt(i) != v {
+			t.Fatalf("accessor mismatch at %d", i)
+		}
+	}
+}

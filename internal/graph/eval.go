@@ -1,0 +1,180 @@
+package graph
+
+import "container/heap"
+
+// Evaluator maintains the longest-path start times of a changing DAG
+// incrementally. After a batch of edge insertions/removals and duration
+// changes, Flush refreshes only the downstream region that the batch can
+// have affected, processing nodes in the dynamically maintained topological
+// order.
+//
+// This stands in for the paper's "Woodbury-type update formula" (Section
+// 4.4, citing Carré): the published text does not give the formula, so we
+// substitute the standard worklist re-evaluation over a Pearce–Kelly
+// dynamic order, which has the same property the paper exploits — local
+// moves touch only a local region of the search graph. Property tests check
+// it against Longest (the from-scratch evaluation) on random edit sequences.
+type Evaluator struct {
+	g   *DAG
+	dt  *DynTopo
+	dur []int64
+
+	start []int64
+	fin   []int64
+
+	dirty   Bits
+	pending posHeap
+}
+
+// NewEvaluator builds an evaluator over g with node durations dur. The
+// slice is used in place; use SetDur to change durations so that the
+// evaluator can track what to refresh. Returns ErrCycle if g is cyclic.
+func NewEvaluator(g *DAG, dur []int64) (*Evaluator, error) {
+	if len(dur) != g.N() {
+		panic("graph: duration slice length mismatch")
+	}
+	dt, err := NewDynTopo(g)
+	if err != nil {
+		return nil, err
+	}
+	e := &Evaluator{
+		g:     g,
+		dt:    dt,
+		dur:   dur,
+		start: make([]int64, g.N()),
+		fin:   make([]int64, g.N()),
+		dirty: NewBits(g.N()),
+	}
+	e.fullEval()
+	return e, nil
+}
+
+// fullEval recomputes every start/fin following the maintained order.
+func (e *Evaluator) fullEval() {
+	for i := 0; i < e.g.N(); i++ {
+		v := e.dt.NodeAt(i)
+		e.start[v] = e.recomputeStart(v)
+		e.fin[v] = e.start[v] + e.dur[v]
+	}
+}
+
+func (e *Evaluator) recomputeStart(v int) int64 {
+	var s int64
+	e.g.EachPred(v, func(u int, w int64) {
+		if c := e.fin[u] + w; c > s {
+			s = c
+		}
+	})
+	return s
+}
+
+// AddEdge inserts edge (u,v,w) into the underlying graph, maintaining the
+// topological order. If the edge would create a cycle it is not inserted
+// and ErrCycle is returned. Weight updates of existing edges are allowed.
+func (e *Evaluator) AddEdge(u, v int, w int64) error {
+	created, err := e.g.AddEdge(u, v, w)
+	if err != nil {
+		return err
+	}
+	if created {
+		if err := e.dt.OnAddEdge(u, v); err != nil {
+			e.g.RemoveEdge(u, v)
+			return err
+		}
+	}
+	e.mark(v)
+	return nil
+}
+
+// RemoveEdge deletes edge (u,v) and reports whether it existed.
+func (e *Evaluator) RemoveEdge(u, v int) bool {
+	if !e.g.RemoveEdge(u, v) {
+		return false
+	}
+	e.mark(v)
+	return true
+}
+
+// SetDur changes the duration of node v.
+func (e *Evaluator) SetDur(v int, d int64) {
+	if e.dur[v] == d {
+		return
+	}
+	e.dur[v] = d
+	e.mark(v)
+}
+
+// Dur returns the current duration of node v.
+func (e *Evaluator) Dur(v int) int64 { return e.dur[v] }
+
+func (e *Evaluator) mark(v int) {
+	if !e.dirty.Get(v) {
+		e.dirty.Set(v)
+		heap.Push(&e.pending, posNode{node: v, eval: e})
+	}
+}
+
+// Flush processes all pending changes and returns the current makespan.
+func (e *Evaluator) Flush() int64 {
+	// Edge insertions between marks may have shifted topological positions,
+	// invalidating the heap invariant; restore it before draining.
+	heap.Init(&e.pending)
+	for e.pending.Len() > 0 {
+		v := heap.Pop(&e.pending).(posNode).node
+		e.dirty.Clear(v)
+		ns := e.recomputeStart(v)
+		nf := ns + e.dur[v]
+		if ns == e.start[v] && nf == e.fin[v] {
+			continue
+		}
+		e.start[v] = ns
+		e.fin[v] = nf
+		e.g.EachSucc(v, func(s int, _ int64) {
+			e.mark(s)
+		})
+	}
+	var mk int64
+	for _, f := range e.fin {
+		if f > mk {
+			mk = f
+		}
+	}
+	return mk
+}
+
+// Start returns the longest-path start time of v as of the last Flush.
+func (e *Evaluator) Start(v int) int64 { return e.start[v] }
+
+// Makespan returns the current makespan, flushing pending changes first.
+func (e *Evaluator) Makespan() int64 { return e.Flush() }
+
+// Graph returns the underlying graph (callers must mutate it only through
+// the evaluator).
+func (e *Evaluator) Graph() *DAG { return e.g }
+
+// posNode orders heap entries by current topological position. Positions
+// may shift between Push and Pop (edge insertions reorder); Pearce–Kelly
+// reorders only within the affected window, and every node in that window
+// that matters is itself marked dirty, so processing by the position read at
+// pop time remains safe: we re-read the position through the evaluator on
+// every comparison.
+type posNode struct {
+	node int
+	eval *Evaluator
+}
+
+type posHeap []posNode
+
+func (h posHeap) Len() int { return len(h) }
+func (h posHeap) Less(i, j int) bool {
+	return h[i].eval.dt.Pos(h[i].node) < h[j].eval.dt.Pos(h[j].node)
+}
+func (h posHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *posHeap) Push(x interface{}) { *h = append(*h, x.(posNode)) }
+func (h *posHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

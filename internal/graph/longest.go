@@ -1,0 +1,79 @@
+package graph
+
+// Longest computes the longest-path start time of every node of a DAG whose
+// nodes carry durations dur[v] and whose edges carry the weights stored in
+// the graph. The start of a node is
+//
+//	start[v] = max over predecessors u of (start[u] + dur[u] + w(u,v))
+//
+// with start = 0 for source nodes, and the makespan is
+//
+//	max over v of (start[v] + dur[v]).
+//
+// This is the solution-evaluation primitive of the paper (Section 4.4): the
+// cost of a candidate mapping is the longest path of the search graph, where
+// node weights are execution/communication times and edge weights carry the
+// reconfiguration delays of context-sequentialization edges.
+//
+// It returns ErrCycle if the graph is cyclic.
+func Longest(g *DAG, dur []int64) (start []int64, makespan int64, err error) {
+	if len(dur) != g.N() {
+		panic("graph: duration slice length mismatch")
+	}
+	order, err := Topo(g)
+	if err != nil {
+		return nil, 0, err
+	}
+	start = make([]int64, g.N())
+	for _, u := range order {
+		fin := start[u] + dur[u]
+		if fin > makespan {
+			makespan = fin
+		}
+		g.EachSucc(u, func(v int, w int64) {
+			if s := fin + w; s > start[v] {
+				start[v] = s
+			}
+		})
+	}
+	return start, makespan, nil
+}
+
+// CriticalPath returns one longest path of the DAG as a node sequence from a
+// source to the node whose completion defines the makespan.
+func CriticalPath(g *DAG, dur []int64) ([]int, error) {
+	start, _, err := Longest(g, dur)
+	if err != nil {
+		return nil, err
+	}
+	// Find the node with the latest completion.
+	end, best := -1, int64(-1)
+	for v := 0; v < g.N(); v++ {
+		if fin := start[v] + dur[v]; fin > best {
+			best, end = fin, v
+		}
+	}
+	if end < 0 {
+		return nil, nil
+	}
+	// Walk backwards along tight edges.
+	path := []int{end}
+	for {
+		v := path[len(path)-1]
+		prev := -1
+		g.EachPred(v, func(u int, w int64) {
+			if prev < 0 && start[u]+dur[u]+w == start[v] {
+				prev = u
+			}
+		})
+		if prev < 0 {
+			break
+		}
+		path = append(path, prev)
+	}
+	// Reverse into source→sink order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, nil
+}

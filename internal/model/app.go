@@ -1,0 +1,156 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Impl is one synthesized hardware implementation point of a task: the
+// number of configurable logic blocks it occupies and its execution time on
+// the reconfigurable circuit. The EPICURE flow the paper relies on produced
+// 5–6 Pareto-dominant points per function; the explorer picks one point per
+// hardware task during the search.
+type Impl struct {
+	CLBs int  `json:"clbs"`
+	Time Time `json:"time"`
+}
+
+// Task is a node of the application precedence graph: a coarse-grain
+// functionality (FFT, DCT, labeling, ...) with a software execution-time
+// estimate and a set of hardware implementation alternatives. A task with an
+// empty HW set is software-only; a task with SW <= 0 is hardware-only.
+type Task struct {
+	Name string `json:"name"`
+	Fn   string `json:"fn,omitempty"` // functionality class, informational
+	SW   Time   `json:"sw"`           // execution time on the processor
+	HW   []Impl `json:"hw,omitempty"` // area/time implementation points
+}
+
+// CanSW reports whether the task may run on a processor.
+func (t *Task) CanSW() bool { return t.SW > 0 }
+
+// CanHW reports whether the task may run on a reconfigurable circuit.
+func (t *Task) CanHW() bool { return len(t.HW) > 0 }
+
+// MinCLBs returns the smallest area of any hardware implementation, or 0
+// when the task has none.
+func (t *Task) MinCLBs() int {
+	min := 0
+	for _, im := range t.HW {
+		if min == 0 || im.CLBs < min {
+			min = im.CLBs
+		}
+	}
+	return min
+}
+
+// BestHWTime returns the fastest hardware execution time, or 0 when the
+// task has no hardware implementation.
+func (t *Task) BestHWTime() Time {
+	var best Time
+	for _, im := range t.HW {
+		if best == 0 || im.Time < best {
+			best = im.Time
+		}
+	}
+	return best
+}
+
+// Flow is a data-flow edge of the precedence graph: task From must complete
+// before task To starts, and Qty bytes move between them. When the two tasks
+// run on different resources the transfer crosses the shared bus and costs
+// Qty divided by the bus rate.
+type Flow struct {
+	From int   `json:"from"`
+	To   int   `json:"to"`
+	Qty  int64 `json:"qty"` // bytes transferred
+}
+
+// App is an application: a named acyclic precedence graph.
+type App struct {
+	Name  string `json:"name"`
+	Tasks []Task `json:"tasks"`
+	Flows []Flow `json:"flows"`
+}
+
+// N returns the number of tasks.
+func (a *App) N() int { return len(a.Tasks) }
+
+// Validate checks structural well-formedness: indices in range, no
+// self-flows, positive times and areas, and acyclicity.
+func (a *App) Validate() error {
+	if len(a.Tasks) == 0 {
+		return errors.New("model: application has no tasks")
+	}
+	for i, t := range a.Tasks {
+		if t.SW < 0 {
+			return fmt.Errorf("model: task %d (%s): negative software time", i, t.Name)
+		}
+		if !t.CanSW() && !t.CanHW() {
+			return fmt.Errorf("model: task %d (%s): no feasible resource (no SW time, no HW implementation)", i, t.Name)
+		}
+		for j, im := range t.HW {
+			if im.CLBs <= 0 {
+				return fmt.Errorf("model: task %d (%s) impl %d: non-positive CLB count", i, t.Name, j)
+			}
+			if im.Time <= 0 {
+				return fmt.Errorf("model: task %d (%s) impl %d: non-positive time", i, t.Name, j)
+			}
+		}
+	}
+	for k, f := range a.Flows {
+		if f.From < 0 || f.From >= len(a.Tasks) || f.To < 0 || f.To >= len(a.Tasks) {
+			return fmt.Errorf("model: flow %d: endpoint out of range", k)
+		}
+		if f.From == f.To {
+			return fmt.Errorf("model: flow %d: self edge on task %d", k, f.From)
+		}
+		if f.Qty < 0 {
+			return fmt.Errorf("model: flow %d: negative quantity", k)
+		}
+	}
+	g := a.Precedence()
+	if !graph.IsAcyclic(g) {
+		return errors.New("model: precedence graph is cyclic")
+	}
+	return nil
+}
+
+// Precedence builds the bare precedence DAG of the application (edge
+// weights zero; communication costs are resolved against an architecture by
+// the scheduler).
+func (a *App) Precedence() *graph.DAG {
+	g := graph.New(len(a.Tasks))
+	for _, f := range a.Flows {
+		g.AddEdge(f.From, f.To, 0) //nolint:errcheck // validated separately
+	}
+	return g
+}
+
+// FlowQty returns the transferred quantity between two tasks, summing
+// parallel flows, and reports whether any flow exists.
+func (a *App) FlowQty(from, to int) (int64, bool) {
+	var q int64
+	found := false
+	for _, f := range a.Flows {
+		if f.From == from && f.To == to {
+			q += f.Qty
+			found = true
+		}
+	}
+	return q, found
+}
+
+// TotalSW returns the sum of the software execution times of all tasks —
+// the all-software makespan on a single processor ignoring any parallelism
+// (the paper's 76.4 ms reference point for the motion-detection
+// application).
+func (a *App) TotalSW() Time {
+	var sum Time
+	for _, t := range a.Tasks {
+		sum += t.SW
+	}
+	return sum
+}

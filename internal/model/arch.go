@@ -1,0 +1,160 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ResourceKind discriminates the processing-element classes of Section 3.3:
+// a processor imposes a total execution order, an ASIC a partial order, and
+// a reconfigurable circuit a globally-total/locally-partial (GTLP) order
+// over its contexts.
+type ResourceKind int
+
+const (
+	// KindProcessor is a programmable processor (software, total order).
+	KindProcessor ResourceKind = iota
+	// KindRC is a dynamically reconfigurable logic circuit (contexts,
+	// GTLP order).
+	KindRC
+	// KindASIC is a dedicated circuit (maximal parallelism, partial order).
+	KindASIC
+)
+
+// String implements fmt.Stringer.
+func (k ResourceKind) String() string {
+	switch k {
+	case KindProcessor:
+		return "processor"
+	case KindRC:
+		return "rc"
+	case KindASIC:
+		return "asic"
+	default:
+		return fmt.Sprintf("ResourceKind(%d)", int(k))
+	}
+}
+
+// Processor is a programmable processor. SpeedFactor scales every task's
+// software time (1.0 = the reference processor the estimates were taken on,
+// e.g. the ARM922 of the paper's experiments).
+type Processor struct {
+	Name        string  `json:"name"`
+	SpeedFactor float64 `json:"speedFactor,omitempty"` // 0 means 1.0
+	Cost        float64 `json:"cost,omitempty"`        // for architecture exploration
+}
+
+// Scale applies the processor's speed factor to a reference software time.
+func (p *Processor) Scale(t Time) Time {
+	if p.SpeedFactor == 0 || p.SpeedFactor == 1 {
+		return t
+	}
+	return Time(float64(t) / p.SpeedFactor)
+}
+
+// RC is a dynamically reconfigurable logic circuit: NCLB configurable logic
+// blocks in total and a reconfiguration time TR per CLB. Following the paper
+// the circuit is partially reconfigurable — loading a context costs TR times
+// the number of CLBs that context uses — and does not support multi-context
+// execution, so reconfiguration never overlaps computation on the circuit
+// (it does overlap processor computation).
+type RC struct {
+	Name string  `json:"name"`
+	NCLB int     `json:"nclb"`
+	TR   Time    `json:"tr"` // reconfiguration time per CLB
+	Cost float64 `json:"cost,omitempty"`
+}
+
+// ReconfigTime returns the time to (re)configure a context occupying nclb
+// blocks.
+func (r *RC) ReconfigTime(nclb int) Time {
+	return Time(int64(r.TR) * int64(nclb))
+}
+
+// ASIC is a dedicated hardware resource executing its assigned tasks with
+// maximal parallelism (partial order only). It is part of the resource model
+// so that architecture exploration (moves m3/m4) can trade reconfigurable
+// against dedicated logic.
+type ASIC struct {
+	Name string  `json:"name"`
+	Cost float64 `json:"cost,omitempty"`
+}
+
+// Bus is the shared communication medium between the processor(s) and the
+// circuit(s): a shared memory accessed over a bus of rate Rate bytes/second.
+// Transactions are statically ordered; when Contention is true the scheduler
+// serializes them on the bus, otherwise transfers only add latency.
+type Bus struct {
+	Rate       int64 `json:"rate"` // bytes per second
+	Contention bool  `json:"contention,omitempty"`
+}
+
+// TransferTime returns the time to move qty bytes across the bus.
+func (b *Bus) TransferTime(qty int64) Time {
+	if qty == 0 {
+		return 0
+	}
+	if b.Rate <= 0 {
+		return 0
+	}
+	// ceil(qty * 1e9 / rate) with care for overflow: qty is at most a few
+	// hundred MB in realistic task graphs, far below the 9.2e9 threshold
+	// where qty*1e9 would overflow int64 only for qty > 9.2e9.
+	num := qty * int64(Second)
+	t := num / b.Rate
+	if num%b.Rate != 0 {
+		t++
+	}
+	return Time(t)
+}
+
+// Arch is a target architecture. The paper's experiments use one processor
+// plus one RC, but the model supports any mix so that moves m3/m4 can
+// explore the number and type of computing resources.
+type Arch struct {
+	Name       string      `json:"name"`
+	Processors []Processor `json:"processors"`
+	RCs        []RC        `json:"rcs"`
+	ASICs      []ASIC      `json:"asics,omitempty"`
+	Bus        Bus         `json:"bus"`
+}
+
+// Validate checks the architecture for structural sanity.
+func (a *Arch) Validate() error {
+	if len(a.Processors) == 0 && len(a.RCs) == 0 && len(a.ASICs) == 0 {
+		return errors.New("model: architecture has no computing resource")
+	}
+	for i, p := range a.Processors {
+		if p.SpeedFactor < 0 {
+			return fmt.Errorf("model: processor %d (%s): negative speed factor", i, p.Name)
+		}
+	}
+	for i, r := range a.RCs {
+		if r.NCLB <= 0 {
+			return fmt.Errorf("model: rc %d (%s): non-positive CLB capacity", i, r.Name)
+		}
+		if r.TR < 0 {
+			return fmt.Errorf("model: rc %d (%s): negative reconfiguration time", i, r.Name)
+		}
+	}
+	if a.Bus.Rate < 0 {
+		return errors.New("model: negative bus rate")
+	}
+	return nil
+}
+
+// TotalCost sums the resource costs — the system-cost component minimized
+// during architecture exploration.
+func (a *Arch) TotalCost() float64 {
+	var c float64
+	for _, p := range a.Processors {
+		c += p.Cost
+	}
+	for _, r := range a.RCs {
+		c += r.Cost
+	}
+	for _, x := range a.ASICs {
+		c += x.Cost
+	}
+	return c
+}

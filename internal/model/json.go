@@ -1,0 +1,70 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// LoadApp reads and validates an application from a JSON file.
+func LoadApp(path string) (*App, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadApp(f)
+}
+
+// ReadApp decodes and validates an application from JSON.
+func ReadApp(r io.Reader) (*App, error) {
+	var a App
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&a); err != nil {
+		return nil, fmt.Errorf("model: decoding application: %w", err)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}
+
+// LoadArch reads and validates an architecture from a JSON file.
+func LoadArch(path string) (*Arch, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadArch(f)
+}
+
+// ReadArch decodes and validates an architecture from JSON.
+func ReadArch(r io.Reader) (*Arch, error) {
+	var a Arch
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&a); err != nil {
+		return nil, fmt.Errorf("model: decoding architecture: %w", err)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}
+
+// WriteApp encodes an application as indented JSON.
+func WriteApp(w io.Writer, a *App) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}
+
+// WriteArch encodes an architecture as indented JSON.
+func WriteArch(w io.Writer, a *Arch) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}

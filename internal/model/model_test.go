@@ -1,0 +1,262 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTimeUnits(t *testing.T) {
+	if Millisecond != 1_000_000*Nanosecond {
+		t.Fatal("millisecond wrong")
+	}
+	if FromMillis(76.4) != Time(76_400_000) {
+		t.Fatalf("FromMillis(76.4) = %d", FromMillis(76.4))
+	}
+	if FromMicros(22.5) != Time(22_500) {
+		t.Fatalf("FromMicros(22.5) = %d", FromMicros(22.5))
+	}
+	if got := FromMillis(18.1).Millis(); got != 18.1 {
+		t.Fatalf("Millis round trip = %v", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0"},
+		{500, "500ns"},
+		{FromMicros(22.5), "22.50us"},
+		{FromMillis(18.1), "18.10ms"},
+		{12 * Second, "12.00s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func twoTaskApp() *App {
+	return &App{
+		Name: "t",
+		Tasks: []Task{
+			{Name: "a", SW: FromMillis(1), HW: []Impl{{CLBs: 100, Time: FromMicros(100)}}},
+			{Name: "b", SW: FromMillis(2)},
+		},
+		Flows: []Flow{{From: 0, To: 1, Qty: 1024}},
+	}
+}
+
+func TestAppValidateOK(t *testing.T) {
+	if err := twoTaskApp().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*App)
+		want string
+	}{
+		{"no tasks", func(a *App) { a.Tasks = nil }, "no tasks"},
+		{"no resource", func(a *App) { a.Tasks[0].SW = 0; a.Tasks[0].HW = nil }, "no feasible resource"},
+		{"bad clb", func(a *App) { a.Tasks[0].HW[0].CLBs = 0 }, "non-positive CLB"},
+		{"bad hw time", func(a *App) { a.Tasks[0].HW[0].Time = 0 }, "non-positive time"},
+		{"flow range", func(a *App) { a.Flows[0].To = 99 }, "out of range"},
+		{"self flow", func(a *App) { a.Flows[0].To = 0 }, "self edge"},
+		{"negative qty", func(a *App) { a.Flows[0].Qty = -1 }, "negative quantity"},
+		{"cycle", func(a *App) { a.Flows = append(a.Flows, Flow{From: 1, To: 0}) }, "cyclic"},
+	}
+	for _, c := range cases {
+		a := twoTaskApp()
+		c.mut(a)
+		err := a.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestTaskHelpers(t *testing.T) {
+	task := Task{
+		SW: FromMillis(5),
+		HW: []Impl{
+			{CLBs: 300, Time: FromMicros(80)},
+			{CLBs: 100, Time: FromMicros(200)},
+			{CLBs: 200, Time: FromMicros(120)},
+		},
+	}
+	if !task.CanSW() || !task.CanHW() {
+		t.Fatal("capability flags wrong")
+	}
+	if task.MinCLBs() != 100 {
+		t.Fatalf("MinCLBs = %d", task.MinCLBs())
+	}
+	if task.BestHWTime() != FromMicros(80) {
+		t.Fatalf("BestHWTime = %v", task.BestHWTime())
+	}
+	var swOnly Task
+	swOnly.SW = 1
+	if swOnly.CanHW() || swOnly.MinCLBs() != 0 || swOnly.BestHWTime() != 0 {
+		t.Fatal("sw-only helpers wrong")
+	}
+}
+
+func TestAppTotalsAndFlowQty(t *testing.T) {
+	a := twoTaskApp()
+	if a.TotalSW() != FromMillis(3) {
+		t.Fatalf("TotalSW = %v", a.TotalSW())
+	}
+	q, ok := a.FlowQty(0, 1)
+	if !ok || q != 1024 {
+		t.Fatalf("FlowQty = %d,%v", q, ok)
+	}
+	if _, ok := a.FlowQty(1, 0); ok {
+		t.Fatal("reverse flow reported present")
+	}
+	// Parallel flows accumulate.
+	a.Flows = append(a.Flows, Flow{From: 0, To: 1, Qty: 76})
+	q, _ = a.FlowQty(0, 1)
+	if q != 1100 {
+		t.Fatalf("summed FlowQty = %d", q)
+	}
+}
+
+func TestPrecedenceGraph(t *testing.T) {
+	a := twoTaskApp()
+	g := a.Precedence()
+	if g.N() != 2 || !g.HasEdge(0, 1) {
+		t.Fatal("precedence graph wrong")
+	}
+}
+
+func TestBusTransferTime(t *testing.T) {
+	b := Bus{Rate: 100_000_000} // 100 MB/s
+	if got := b.TransferTime(100_000_000); got != Second {
+		t.Fatalf("TransferTime = %v, want 1s", got)
+	}
+	if got := b.TransferTime(1); got != 10 {
+		t.Fatalf("1 byte = %v ns, want 10", got)
+	}
+	if b.TransferTime(0) != 0 {
+		t.Fatal("zero bytes should be free")
+	}
+	// Ceiling behaviour.
+	b = Bus{Rate: 3}
+	if got := b.TransferTime(1); got != Time(333333334) {
+		t.Fatalf("ceil transfer = %v", got)
+	}
+	var nb Bus
+	if nb.TransferTime(10) != 0 {
+		t.Fatal("zero-rate bus should cost nothing (treated as infinite)")
+	}
+}
+
+func TestRCReconfigTime(t *testing.T) {
+	rc := RC{NCLB: 2000, TR: FromMicros(22.5)}
+	if got := rc.ReconfigTime(995); got != Time(995*22_500) {
+		t.Fatalf("ReconfigTime(995) = %v", got)
+	}
+	if rc.ReconfigTime(0) != 0 {
+		t.Fatal("empty context should reconfigure for free")
+	}
+}
+
+func TestProcessorScale(t *testing.T) {
+	p := Processor{}
+	if p.Scale(FromMillis(10)) != FromMillis(10) {
+		t.Fatal("default speed factor should be identity")
+	}
+	p.SpeedFactor = 2
+	if p.Scale(FromMillis(10)) != FromMillis(5) {
+		t.Fatalf("Scale = %v", p.Scale(FromMillis(10)))
+	}
+}
+
+func TestArchValidate(t *testing.T) {
+	a := &Arch{
+		Processors: []Processor{{Name: "arm922"}},
+		RCs:        []RC{{Name: "virtex", NCLB: 2000, TR: FromMicros(22.5)}},
+		Bus:        Bus{Rate: 50_000_000},
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (&Arch{}).Validate(); err == nil {
+		t.Fatal("empty architecture validated")
+	}
+	bad := *a
+	bad.RCs = []RC{{Name: "x", NCLB: 0}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero-capacity RC validated")
+	}
+}
+
+func TestArchTotalCost(t *testing.T) {
+	a := &Arch{
+		Processors: []Processor{{Cost: 10}},
+		RCs:        []RC{{NCLB: 1, Cost: 25}},
+		ASICs:      []ASIC{{Cost: 7}},
+	}
+	if got := a.TotalCost(); got != 42 {
+		t.Fatalf("TotalCost = %v", got)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	app := twoTaskApp()
+	var buf bytes.Buffer
+	if err := WriteApp(&buf, app); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadApp(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != app.Name || got.N() != app.N() || got.Tasks[0].HW[0].CLBs != 100 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+
+	arch := &Arch{
+		Name:       "ref",
+		Processors: []Processor{{Name: "arm922"}},
+		RCs:        []RC{{Name: "virtex-e", NCLB: 2000, TR: FromMicros(22.5)}},
+		Bus:        Bus{Rate: 50_000_000, Contention: true},
+	}
+	buf.Reset()
+	if err := WriteArch(&buf, arch); err != nil {
+		t.Fatal(err)
+	}
+	gotArch, err := ReadArch(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotArch.RCs[0].TR != FromMicros(22.5) || !gotArch.Bus.Contention {
+		t.Fatalf("arch round trip mismatch: %+v", gotArch)
+	}
+}
+
+func TestReadAppRejectsUnknownFieldsAndInvalid(t *testing.T) {
+	if _, err := ReadApp(strings.NewReader(`{"name":"x","bogus":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := ReadApp(strings.NewReader(`{"name":"x","tasks":[]}`)); err == nil {
+		t.Fatal("invalid app accepted")
+	}
+	if _, err := ReadArch(strings.NewReader(`{"bogus":1}`)); err == nil {
+		t.Fatal("unknown arch field accepted")
+	}
+}
+
+func TestResourceKindString(t *testing.T) {
+	if KindProcessor.String() != "processor" || KindRC.String() != "rc" || KindASIC.String() != "asic" {
+		t.Fatal("kind strings wrong")
+	}
+	if ResourceKind(9).String() != "ResourceKind(9)" {
+		t.Fatal("unknown kind string wrong")
+	}
+}

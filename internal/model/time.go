@@ -1,0 +1,65 @@
+// Package model defines the application and architecture models of the
+// design-space explorer, following Section 3 of Miramond & Delosme (DATE'05):
+// applications are acyclic precedence graphs whose nodes carry a software
+// execution time and a set of area/time hardware implementation points, and
+// whose edges carry data quantities; architectures combine programmable
+// processors, dynamically reconfigurable circuits (with a CLB capacity and a
+// per-CLB reconfiguration time), optional ASICs, and a shared communication
+// bus.
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is a duration in integer nanoseconds. The explorer performs exact
+// integer arithmetic on times so that schedule evaluations are reproducible
+// bit-for-bit across runs and platforms (annealing acceptance decisions
+// depend on exact cost comparisons).
+type Time int64
+
+// Convenient units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Micros returns t expressed in microseconds as a float.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis returns t expressed in milliseconds as a float.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Seconds returns t expressed in seconds as a float.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// FromMillis builds a Time from a millisecond count, rounding to the
+// nearest nanosecond.
+func FromMillis(ms float64) Time {
+	return Time(math.Round(ms * float64(Millisecond)))
+}
+
+// FromMicros builds a Time from a microsecond count, rounding to the
+// nearest nanosecond.
+func FromMicros(us float64) Time {
+	return Time(math.Round(us * float64(Microsecond)))
+}
+
+// String renders the time with an auto-selected unit, e.g. "18.10ms".
+func (t Time) String() string {
+	switch {
+	case t == 0:
+		return "0"
+	case t%Second == 0 || t >= 10*Second:
+		return fmt.Sprintf("%.2fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.2fms", t.Millis())
+	case t >= Microsecond:
+		return fmt.Sprintf("%.2fus", t.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}

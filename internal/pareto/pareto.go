@@ -1,0 +1,70 @@
+// Package pareto provides dominance filtering for area/time implementation
+// points. The EPICURE estimation flow used by the paper synthesizes several
+// implementations per function and keeps only the dominant ones in the
+// area–time plane; the explorer then picks one point per hardware task
+// during annealing. This package reproduces that filtering step for
+// synthetic workload generation and for sanitizing user-provided models.
+package pareto
+
+import (
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Dominates reports whether implementation a dominates b: a is no worse in
+// both area and time and strictly better in at least one.
+func Dominates(a, b model.Impl) bool {
+	if a.CLBs > b.CLBs || a.Time > b.Time {
+		return false
+	}
+	return a.CLBs < b.CLBs || a.Time < b.Time
+}
+
+// Front returns the Pareto-dominant subset of points, sorted by increasing
+// CLB count (hence decreasing time). Duplicate points are collapsed. The
+// input is not modified.
+func Front(points []model.Impl) []model.Impl {
+	if len(points) == 0 {
+		return nil
+	}
+	sorted := append([]model.Impl(nil), points...)
+	// Sort by area ascending, then time ascending so the first entry of an
+	// equal-area run is its best time.
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].CLBs != sorted[j].CLBs {
+			return sorted[i].CLBs < sorted[j].CLBs
+		}
+		return sorted[i].Time < sorted[j].Time
+	})
+	var front []model.Impl
+	bestTime := model.Time(0)
+	for _, p := range sorted {
+		if len(front) == 0 {
+			front = append(front, p)
+			bestTime = p.Time
+			continue
+		}
+		last := &front[len(front)-1]
+		if p.CLBs == last.CLBs {
+			continue // same area, worse or equal time
+		}
+		if p.Time >= bestTime {
+			continue // dominated: more area, no faster
+		}
+		front = append(front, p)
+		bestTime = p.Time
+	}
+	return front
+}
+
+// IsFront reports whether points form an antichain already sorted by
+// increasing area and strictly decreasing time.
+func IsFront(points []model.Impl) bool {
+	for i := 1; i < len(points); i++ {
+		if points[i].CLBs <= points[i-1].CLBs || points[i].Time >= points[i-1].Time {
+			return false
+		}
+	}
+	return true
+}

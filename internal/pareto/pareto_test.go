@@ -1,0 +1,121 @@
+package pareto
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+func TestDominates(t *testing.T) {
+	a := model.Impl{CLBs: 100, Time: 10}
+	b := model.Impl{CLBs: 200, Time: 20}
+	c := model.Impl{CLBs: 100, Time: 10}
+	d := model.Impl{CLBs: 50, Time: 30}
+	if !Dominates(a, b) {
+		t.Fatal("a should dominate b")
+	}
+	if Dominates(b, a) {
+		t.Fatal("b should not dominate a")
+	}
+	if Dominates(a, c) || Dominates(c, a) {
+		t.Fatal("equal points must not dominate each other")
+	}
+	if Dominates(a, d) || Dominates(d, a) {
+		t.Fatal("incomparable points must not dominate")
+	}
+}
+
+func TestFrontSimple(t *testing.T) {
+	pts := []model.Impl{
+		{CLBs: 300, Time: 5},
+		{CLBs: 100, Time: 20},
+		{CLBs: 200, Time: 10},
+		{CLBs: 250, Time: 12}, // dominated by (200,10)
+		{CLBs: 100, Time: 25}, // dominated by (100,20)
+	}
+	f := Front(pts)
+	if len(f) != 3 {
+		t.Fatalf("front = %v", f)
+	}
+	if !IsFront(f) {
+		t.Fatalf("front not an antichain: %v", f)
+	}
+	if f[0].CLBs != 100 || f[2].CLBs != 300 {
+		t.Fatalf("front order wrong: %v", f)
+	}
+}
+
+func TestFrontEmptyAndSingleton(t *testing.T) {
+	if Front(nil) != nil {
+		t.Fatal("empty front not nil")
+	}
+	f := Front([]model.Impl{{CLBs: 7, Time: 7}})
+	if len(f) != 1 {
+		t.Fatalf("singleton front = %v", f)
+	}
+}
+
+func TestFrontDoesNotMutateInput(t *testing.T) {
+	pts := []model.Impl{{CLBs: 2, Time: 1}, {CLBs: 1, Time: 2}}
+	Front(pts)
+	if pts[0].CLBs != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+// Properties: every front member is non-dominated in the original set, and
+// every input point is dominated-or-equal by some front member.
+func TestFrontProperties(t *testing.T) {
+	f := func(raw []struct {
+		C uint8
+		T uint8
+	}) bool {
+		pts := make([]model.Impl, 0, len(raw))
+		for _, r := range raw {
+			pts = append(pts, model.Impl{CLBs: int(r.C) + 1, Time: model.Time(r.T) + 1})
+		}
+		front := Front(pts)
+		if len(pts) == 0 {
+			return front == nil
+		}
+		if !IsFront(front) {
+			return false
+		}
+		inFront := func(p model.Impl) bool {
+			for _, q := range front {
+				if q == p {
+					return true
+				}
+			}
+			return false
+		}
+		for _, p := range front {
+			for _, q := range pts {
+				if Dominates(q, p) {
+					return false
+				}
+			}
+			if !inFront(p) {
+				return false
+			}
+		}
+		for _, q := range pts {
+			covered := false
+			for _, p := range front {
+				if p == q || Dominates(p, q) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,182 @@
+// Package report renders experiment results: aligned text tables, CSV
+// files, and terminal line plots used to regenerate the paper's figures in
+// ASCII form.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the aligned table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.header)); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if _, err := fmt.Fprintln(w, line(sep)); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV writes the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	rows := append([][]string{t.header}, t.rows...)
+	for _, row := range rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = esc(c)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is one named line of a plot.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Plot renders series as an ASCII chart of the given dimensions. Each
+// series is drawn with its own marker; x is scaled linearly across the
+// width and y across the height. It is deliberately simple — enough to
+// eyeball the shape of Figures 2 and 3 in a terminal.
+func Plot(w io.Writer, width, height int, series ...Series) error {
+	if width < 8 || height < 3 {
+		return fmt.Errorf("report: plot area %dx%d too small", width, height)
+	}
+	var xmin, xmax, ymin, ymax float64
+	first := true
+	for _, s := range series {
+		for i := range s.X {
+			if first {
+				xmin, xmax, ymin, ymax = s.X[i], s.X[i], s.Y[i], s.Y[i]
+				first = false
+				continue
+			}
+			xmin = minf(xmin, s.X[i])
+			xmax = maxf(xmax, s.X[i])
+			ymin = minf(ymin, s.Y[i])
+			ymax = maxf(ymax, s.Y[i])
+		}
+	}
+	if first {
+		return fmt.Errorf("report: nothing to plot")
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	markers := []byte{'*', 'o', '+', 'x', '#', '@'}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for i := range s.X {
+			cx := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			cy := int((s.Y[i] - ymin) / (ymax - ymin) * float64(height-1))
+			row := height - 1 - cy
+			grid[row][cx] = mark
+		}
+	}
+	fmt.Fprintf(w, "%10.2f ┤\n", ymax)
+	for _, row := range grid {
+		fmt.Fprintf(w, "%10s │%s\n", "", string(row))
+	}
+	fmt.Fprintf(w, "%10.2f ┤%s\n", ymin, strings.Repeat("─", width))
+	fmt.Fprintf(w, "%10s  %-10.2f%*s\n", "", xmin, width-10, fmt.Sprintf("%.2f", xmax))
+	for si, s := range series {
+		fmt.Fprintf(w, "%10s  %c %s\n", "", markers[si%len(markers)], s.Name)
+	}
+	return nil
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,82 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("size", "exec(ms)", "contexts")
+	tb.AddRow(100, 76.401, 0)
+	tb.AddRow(2000, 36.5, 3)
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "size") || !strings.Contains(lines[0], "contexts") {
+		t.Fatalf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "76.40") {
+		t.Fatalf("float not formatted: %q", lines[2])
+	}
+	// Columns aligned: "exec(ms)" starts at the same offset in all rows.
+	col := strings.Index(lines[0], "exec(ms)")
+	if !strings.HasPrefix(lines[2][col:], "76.40") {
+		t.Fatalf("column misaligned:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("x,y", `say "hi"`)
+	var buf bytes.Buffer
+	if err := tb.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n"
+	if buf.String() != want {
+		t.Fatalf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestPlotBasics(t *testing.T) {
+	var buf bytes.Buffer
+	err := Plot(&buf, 40, 10,
+		Series{Name: "exec", X: []float64{0, 1, 2, 3}, Y: []float64{10, 5, 2, 1}},
+		Series{Name: "ctx", X: []float64{0, 1, 2, 3}, Y: []float64{1, 2, 4, 8}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "exec") || !strings.Contains(out, "ctx") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+}
+
+func TestPlotErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Plot(&buf, 2, 2); err == nil {
+		t.Fatal("tiny plot accepted")
+	}
+	if err := Plot(&buf, 40, 10); err == nil {
+		t.Fatal("empty plot accepted")
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	var buf bytes.Buffer
+	err := Plot(&buf, 20, 5, Series{Name: "flat", X: []float64{1, 1}, Y: []float64{2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// CheckMapping verifies the structural invariants of a mapping against an
+// application and an architecture:
+//
+//   - every task is placed on an existing resource able to execute it;
+//   - hardware tasks select a valid implementation index;
+//   - the software orders are exact permutations of each processor's tasks;
+//   - the context lists partition each RC's tasks, the Ctx back-references
+//     agree, no context is empty, and no context exceeds the CLB capacity.
+//
+// Order feasibility with respect to precedence is not checked here: an
+// order that contradicts the task graph produces a cycle in the search
+// graph and is reported by Evaluate.
+func CheckMapping(app *model.App, arch *model.Arch, m *Mapping) error {
+	n := app.N()
+	if len(m.Assign) != n || len(m.Impl) != n {
+		return fmt.Errorf("sched: mapping sized for %d tasks, application has %d", len(m.Assign), n)
+	}
+	if len(m.SWOrders) != len(arch.Processors) {
+		return fmt.Errorf("sched: %d software orders for %d processors", len(m.SWOrders), len(arch.Processors))
+	}
+	if len(m.Contexts) != len(arch.RCs) {
+		return fmt.Errorf("sched: %d context lists for %d RCs", len(m.Contexts), len(arch.RCs))
+	}
+
+	for t := 0; t < n; t++ {
+		p := m.Assign[t]
+		task := &app.Tasks[t]
+		switch p.Kind {
+		case model.KindProcessor:
+			if p.Res < 0 || p.Res >= len(arch.Processors) {
+				return fmt.Errorf("sched: task %d on missing processor %d", t, p.Res)
+			}
+			if !task.CanSW() {
+				return fmt.Errorf("sched: task %d has no software implementation", t)
+			}
+		case model.KindRC:
+			if p.Res < 0 || p.Res >= len(arch.RCs) {
+				return fmt.Errorf("sched: task %d on missing RC %d", t, p.Res)
+			}
+			if !task.CanHW() {
+				return fmt.Errorf("sched: task %d has no hardware implementation", t)
+			}
+			if m.Impl[t] < 0 || m.Impl[t] >= len(task.HW) {
+				return fmt.Errorf("sched: task %d selects implementation %d of %d", t, m.Impl[t], len(task.HW))
+			}
+			if p.Ctx < 0 || p.Ctx >= len(m.Contexts[p.Res]) {
+				return fmt.Errorf("sched: task %d in missing context %d of RC %d", t, p.Ctx, p.Res)
+			}
+			if !containsTask(m.Contexts[p.Res][p.Ctx].Tasks, t) {
+				return fmt.Errorf("sched: task %d not listed in its context %d of RC %d", t, p.Ctx, p.Res)
+			}
+		case model.KindASIC:
+			if p.Res < 0 || p.Res >= len(arch.ASICs) {
+				return fmt.Errorf("sched: task %d on missing ASIC %d", t, p.Res)
+			}
+			if !task.CanHW() {
+				return fmt.Errorf("sched: task %d has no hardware implementation", t)
+			}
+			if m.Impl[t] < 0 || m.Impl[t] >= len(task.HW) {
+				return fmt.Errorf("sched: task %d selects implementation %d of %d", t, m.Impl[t], len(task.HW))
+			}
+		default:
+			return fmt.Errorf("sched: task %d has unknown resource kind %v", t, p.Kind)
+		}
+	}
+
+	// Software orders are permutations of the assigned task sets.
+	seen := make([]bool, n)
+	for pi, order := range m.SWOrders {
+		for _, t := range order {
+			if t < 0 || t >= n {
+				return fmt.Errorf("sched: order of processor %d mentions task %d", pi, t)
+			}
+			if seen[t] {
+				return fmt.Errorf("sched: task %d appears twice in software orders", t)
+			}
+			seen[t] = true
+			if p := m.Assign[t]; p.Kind != model.KindProcessor || p.Res != pi {
+				return fmt.Errorf("sched: task %d ordered on processor %d but assigned to %v/%d", t, pi, p.Kind, p.Res)
+			}
+		}
+	}
+	for t := 0; t < n; t++ {
+		if m.Assign[t].Kind == model.KindProcessor && !seen[t] {
+			return fmt.Errorf("sched: task %d assigned to processor %d but missing from its order", t, m.Assign[t].Res)
+		}
+	}
+
+	// Contexts partition RC tasks within capacity.
+	inCtx := make([]bool, n)
+	for r, ctxs := range m.Contexts {
+		for ci, ctx := range ctxs {
+			if len(ctx.Tasks) == 0 {
+				return fmt.Errorf("sched: RC %d context %d is empty", r, ci)
+			}
+			for _, t := range ctx.Tasks {
+				if t < 0 || t >= n {
+					return fmt.Errorf("sched: RC %d context %d mentions task %d", r, ci, t)
+				}
+				if inCtx[t] {
+					return fmt.Errorf("sched: task %d appears in two contexts", t)
+				}
+				inCtx[t] = true
+				p := m.Assign[t]
+				if p.Kind != model.KindRC || p.Res != r || p.Ctx != ci {
+					return fmt.Errorf("sched: task %d listed in RC %d context %d but assigned to %v/%d ctx %d", t, r, ci, p.Kind, p.Res, p.Ctx)
+				}
+			}
+			if used := m.ContextCLBs(app, r, ci); used > arch.RCs[r].NCLB {
+				return fmt.Errorf("sched: RC %d context %d uses %d CLBs, capacity %d", r, ci, used, arch.RCs[r].NCLB)
+			}
+		}
+	}
+	for t := 0; t < n; t++ {
+		if m.Assign[t].Kind == model.KindRC && !inCtx[t] {
+			return fmt.Errorf("sched: task %d assigned to an RC but missing from every context", t)
+		}
+	}
+	return nil
+}
+
+func containsTask(ts []int, t int) bool {
+	for _, x := range ts {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}

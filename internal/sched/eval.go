@@ -1,0 +1,348 @@
+package sched
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// ErrOrderCycle is returned when a mapping's orders contradict the
+// application's precedence constraints (the search graph has a cycle).
+var ErrOrderCycle = errors.New("sched: mapping orders contradict precedence (cycle in search graph)")
+
+// Result summarizes one evaluation. All fields are totals over the whole
+// solution; Makespan is the longest path of the search graph — the system
+// execution time the paper optimizes.
+type Result struct {
+	Makespan model.Time
+	// InitialReconfig is the configuration time of the first context of
+	// each RC (the "initial reconfiguration time" series of Figure 3).
+	InitialReconfig model.Time
+	// DynamicReconfig is the total run-time reconfiguration spent switching
+	// between consecutive contexts (the "dynamic reconfiguration time"
+	// series of Figure 3).
+	DynamicReconfig model.Time
+	// Comm is the total bus transfer time of cross-resource flows.
+	Comm model.Time
+	// ComputeSW and ComputeHW are total execution times per domain.
+	ComputeSW model.Time
+	ComputeHW model.Time
+	// Contexts is the number of non-empty contexts over all RCs.
+	Contexts int
+}
+
+// edgeTo is one outgoing search-graph edge.
+type edgeTo struct {
+	to int32
+	w  int64
+}
+
+// Evaluator computes makespans of candidate mappings of one (application,
+// architecture) pair. It reuses internal buffers across calls, so a single
+// Evaluator performs no steady-state allocation: the annealing loop calls it
+// once per move.
+//
+// The search-graph node layout is fixed: tasks occupy nodes [0,N), each
+// data flow gets a communication node in [N, N+F) whose duration is the bus
+// transfer time when the flow crosses resources (zero otherwise), and each
+// RC gets a "boot" node in [N+F, N+F+R) carrying the initial configuration
+// time of its first context.
+type Evaluator struct {
+	app  *model.App
+	arch *model.Arch
+
+	nTasks, nFlows, nBoot, v int
+	predTasks                [][]int32 // static precedence adjacency between tasks
+	succTasks                [][]int32
+
+	adj    [][]edgeTo
+	indeg  []int32
+	dur    []int64
+	start  []int64
+	queue  []int32
+	popPos []int32 // pass-1 processing position, for transaction tie-breaks
+
+	stamp    []int32 // context-membership marking (epoch-based)
+	curStamp int32
+
+	nonEmpty   []int32 // scratch: indices of non-empty contexts of one RC
+	crossIdx   []int32 // scratch: cross-resource flow node ids
+	termBuf    []int32 // scratch: terminal nodes of the previous context
+	initialBuf []int32 // scratch: initial nodes of the next context
+}
+
+// NewEvaluator builds an evaluator for the given application and
+// architecture. The models must already be validated.
+func NewEvaluator(app *model.App, arch *model.Arch) *Evaluator {
+	n := app.N()
+	f := len(app.Flows)
+	r := len(arch.RCs)
+	v := n + f + r
+	e := &Evaluator{
+		app:    app,
+		arch:   arch,
+		nTasks: n, nFlows: f, nBoot: r, v: v,
+		predTasks: make([][]int32, n),
+		succTasks: make([][]int32, n),
+		adj:       make([][]edgeTo, v),
+		indeg:     make([]int32, v),
+		dur:       make([]int64, v),
+		start:     make([]int64, v),
+		queue:     make([]int32, 0, v),
+		popPos:    make([]int32, v),
+		stamp:     make([]int32, n),
+	}
+	for _, fl := range app.Flows {
+		e.succTasks[fl.From] = append(e.succTasks[fl.From], int32(fl.To))
+		e.predTasks[fl.To] = append(e.predTasks[fl.To], int32(fl.From))
+	}
+	return e
+}
+
+// TaskNode, FlowNode and BootNode map model entities to search-graph nodes.
+func (e *Evaluator) TaskNode(t int) int { return t }
+
+// FlowNode returns the communication node of flow k.
+func (e *Evaluator) FlowNode(k int) int { return e.nTasks + k }
+
+// BootNode returns the initial-configuration node of RC r.
+func (e *Evaluator) BootNode(r int) int { return e.nTasks + e.nFlows + r }
+
+// NumNodes returns the search-graph node count.
+func (e *Evaluator) NumNodes() int { return e.v }
+
+// StartOf returns the start time of a search-graph node as of the last
+// Evaluate call.
+func (e *Evaluator) StartOf(node int) model.Time { return model.Time(e.start[node]) }
+
+// DurOf returns the duration of a search-graph node as of the last
+// Evaluate call.
+func (e *Evaluator) DurOf(node int) model.Time { return model.Time(e.dur[node]) }
+
+// taskDur computes the execution time of task t under mapping m.
+func (e *Evaluator) taskDur(m *Mapping, t int) model.Time {
+	p := m.Assign[t]
+	task := &e.app.Tasks[t]
+	switch p.Kind {
+	case model.KindProcessor:
+		return e.arch.Processors[p.Res].Scale(task.SW)
+	default: // RC or ASIC
+		return task.HW[m.Impl[t]].Time
+	}
+}
+
+// Evaluate builds the search graph of mapping m and returns its evaluation.
+// The mapping must satisfy CheckMapping; contradictory orders yield
+// ErrOrderCycle.
+func (e *Evaluator) Evaluate(m *Mapping) (Result, error) {
+	var res Result
+
+	// Reset adjacency.
+	for i := range e.adj {
+		e.adj[i] = e.adj[i][:0]
+	}
+
+	// Node durations: tasks.
+	for t := 0; t < e.nTasks; t++ {
+		d := int64(e.taskDur(m, t))
+		e.dur[t] = d
+		if m.Assign[t].Kind == model.KindProcessor {
+			res.ComputeSW += model.Time(d)
+		} else {
+			res.ComputeHW += model.Time(d)
+		}
+	}
+
+	// Flows: precedence through communication nodes.
+	for k, fl := range e.app.Flows {
+		cn := int32(e.FlowNode(k))
+		var d int64
+		pu, pv := m.Assign[fl.From], m.Assign[fl.To]
+		if pu.Kind != pv.Kind || pu.Res != pv.Res {
+			d = int64(e.arch.Bus.TransferTime(fl.Qty))
+		}
+		e.dur[cn] = d
+		res.Comm += model.Time(d)
+		e.adj[fl.From] = append(e.adj[fl.From], edgeTo{to: cn})
+		e.adj[cn] = append(e.adj[cn], edgeTo{to: int32(fl.To)})
+	}
+
+	// Software sequentialization edges Esw: chain each processor's order.
+	for _, order := range m.SWOrders {
+		for i := 1; i < len(order); i++ {
+			e.adj[order[i-1]] = append(e.adj[order[i-1]], edgeTo{to: int32(order[i])})
+		}
+	}
+
+	// Context sequentialization edges Ehw and boot nodes.
+	for r := range m.Contexts {
+		boot := int32(e.BootNode(r))
+		e.dur[boot] = 0
+		e.nonEmpty = e.nonEmpty[:0]
+		for ci := range m.Contexts[r] {
+			if len(m.Contexts[r][ci].Tasks) > 0 {
+				e.nonEmpty = append(e.nonEmpty, int32(ci))
+			}
+		}
+		res.Contexts += len(e.nonEmpty)
+		if len(e.nonEmpty) == 0 {
+			continue
+		}
+		rc := &e.arch.RCs[r]
+
+		// Initial configuration: boot node carries the load time of the
+		// first context and precedes its initial nodes.
+		first := int(e.nonEmpty[0])
+		initCfg := int64(rc.ReconfigTime(m.ContextCLBs(e.app, r, first)))
+		e.dur[boot] = initCfg
+		res.InitialReconfig += model.Time(initCfg)
+		e.initialBuf = e.collectInitial(m, r, first, e.initialBuf[:0])
+		for _, t := range e.initialBuf {
+			e.adj[boot] = append(e.adj[boot], edgeTo{to: t})
+		}
+
+		// Consecutive contexts: terminals(prev) -> initials(next), weight
+		// tR × nCLB(next) — the partial-reconfiguration delay.
+		for x := 1; x < len(e.nonEmpty); x++ {
+			prev, next := int(e.nonEmpty[x-1]), int(e.nonEmpty[x])
+			w := int64(rc.ReconfigTime(m.ContextCLBs(e.app, r, next)))
+			res.DynamicReconfig += model.Time(w)
+			e.termBuf = e.collectTerminal(m, r, prev, e.termBuf[:0])
+			e.initialBuf = e.collectInitial(m, r, next, e.initialBuf[:0])
+			for _, tp := range e.termBuf {
+				for _, tn := range e.initialBuf {
+					e.adj[tp] = append(e.adj[tp], edgeTo{to: tn, w: w})
+				}
+			}
+		}
+	}
+
+	// Pass 1: longest path ignoring bus contention.
+	mk, ok := e.runDP()
+	if !ok {
+		return res, ErrOrderCycle
+	}
+
+	// Pass 2: serialize bus transactions in data-ready order (total order
+	// consistent with the task execution ordering) and re-evaluate.
+	if e.arch.Bus.Contention {
+		e.crossIdx = e.crossIdx[:0]
+		for k := range e.app.Flows {
+			cn := e.FlowNode(k)
+			if e.dur[cn] > 0 {
+				e.crossIdx = append(e.crossIdx, int32(cn))
+			}
+		}
+		if len(e.crossIdx) > 1 {
+			sort.Slice(e.crossIdx, func(i, j int) bool {
+				a, b := e.crossIdx[i], e.crossIdx[j]
+				if e.start[a] != e.start[b] {
+					return e.start[a] < e.start[b]
+				}
+				return e.popPos[a] < e.popPos[b]
+			})
+			for i := 1; i < len(e.crossIdx); i++ {
+				e.adj[e.crossIdx[i-1]] = append(e.adj[e.crossIdx[i-1]], edgeTo{to: e.crossIdx[i]})
+			}
+			mk, ok = e.runDP()
+			if !ok {
+				return res, ErrOrderCycle
+			}
+		}
+	}
+
+	res.Makespan = model.Time(mk)
+	return res, nil
+}
+
+// runDP performs Kahn-order longest-path propagation over the current
+// adjacency. It reports false when the graph is cyclic.
+func (e *Evaluator) runDP() (int64, bool) {
+	for i := 0; i < e.v; i++ {
+		e.indeg[i] = 0
+		e.start[i] = 0
+	}
+	for u := 0; u < e.v; u++ {
+		for _, ed := range e.adj[u] {
+			e.indeg[ed.to]++
+		}
+	}
+	e.queue = e.queue[:0]
+	for i := 0; i < e.v; i++ {
+		if e.indeg[i] == 0 {
+			e.queue = append(e.queue, int32(i))
+		}
+	}
+	var mk int64
+	processed := 0
+	for head := 0; head < len(e.queue); head++ {
+		u := e.queue[head]
+		e.popPos[u] = int32(processed)
+		processed++
+		fin := e.start[u] + e.dur[u]
+		if fin > mk {
+			mk = fin
+		}
+		for _, ed := range e.adj[u] {
+			if s := fin + ed.w; s > e.start[ed.to] {
+				e.start[ed.to] = s
+			}
+			e.indeg[ed.to]--
+			if e.indeg[ed.to] == 0 {
+				e.queue = append(e.queue, ed.to)
+			}
+		}
+	}
+	return mk, processed == e.v
+}
+
+// collectInitial appends the initial nodes of context ci of RC r to dst:
+// the tasks whose immediate predecessors are all outside the context (list
+// I of the paper's Context objects).
+func (e *Evaluator) collectInitial(m *Mapping, r, ci int, dst []int32) []int32 {
+	s := e.markCtx(m, r, ci)
+	for _, t := range m.Contexts[r][ci].Tasks {
+		inner := false
+		for _, p := range e.predTasks[t] {
+			if e.stamp[p] == s {
+				inner = true
+				break
+			}
+		}
+		if !inner {
+			dst = append(dst, int32(t))
+		}
+	}
+	return dst
+}
+
+// collectTerminal appends the terminal nodes of context ci of RC r to dst:
+// the tasks whose immediate successors are all outside the context (list T
+// of the paper's Context objects).
+func (e *Evaluator) collectTerminal(m *Mapping, r, ci int, dst []int32) []int32 {
+	s := e.markCtx(m, r, ci)
+	for _, t := range m.Contexts[r][ci].Tasks {
+		inner := false
+		for _, sc := range e.succTasks[t] {
+			if e.stamp[sc] == s {
+				inner = true
+				break
+			}
+		}
+		if !inner {
+			dst = append(dst, int32(t))
+		}
+	}
+	return dst
+}
+
+// markCtx stamps the members of context ci of RC r with a fresh epoch and
+// returns the stamp.
+func (e *Evaluator) markCtx(m *Mapping, r, ci int) int32 {
+	e.curStamp++
+	for _, t := range m.Contexts[r][ci].Tasks {
+		e.stamp[t] = e.curStamp
+	}
+	return e.curStamp
+}

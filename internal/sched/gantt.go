@@ -1,0 +1,83 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// GanttEntry is one bar of a schedule chart: an activity occupying a
+// resource lane over [Start, End).
+type GanttEntry struct {
+	Lane  string // "proc0", "rc0/ctx1", "bus", "rc0/config"
+	Label string
+	Task  int // task index, or -1 for communications and configurations
+	Start model.Time
+	End   model.Time
+}
+
+// Gantt extracts the schedule implied by the last Evaluate call on e for
+// mapping m. Entries are sorted by lane then start time.
+func Gantt(e *Evaluator, m *Mapping) []GanttEntry {
+	var out []GanttEntry
+	app := e.app
+	for t := 0; t < app.N(); t++ {
+		p := m.Assign[t]
+		var lane string
+		switch p.Kind {
+		case model.KindProcessor:
+			lane = fmt.Sprintf("proc%d", p.Res)
+		case model.KindRC:
+			lane = fmt.Sprintf("rc%d/ctx%d", p.Res, p.Ctx)
+		case model.KindASIC:
+			lane = fmt.Sprintf("asic%d", p.Res)
+		}
+		s := e.StartOf(e.TaskNode(t))
+		out = append(out, GanttEntry{
+			Lane:  lane,
+			Label: app.Tasks[t].Name,
+			Task:  t,
+			Start: s,
+			End:   s + e.DurOf(e.TaskNode(t)),
+		})
+	}
+	for k, fl := range app.Flows {
+		n := e.FlowNode(k)
+		if e.DurOf(n) == 0 {
+			continue
+		}
+		s := e.StartOf(n)
+		out = append(out, GanttEntry{
+			Lane:  "bus",
+			Label: fmt.Sprintf("%s→%s", app.Tasks[fl.From].Name, app.Tasks[fl.To].Name),
+			Task:  -1,
+			Start: s,
+			End:   s + e.DurOf(n),
+		})
+	}
+	for r := 0; r < len(e.arch.RCs); r++ {
+		n := e.BootNode(r)
+		if e.DurOf(n) == 0 {
+			continue
+		}
+		s := e.StartOf(n)
+		out = append(out, GanttEntry{
+			Lane:  fmt.Sprintf("rc%d/config", r),
+			Label: "initial configuration",
+			Task:  -1,
+			Start: s,
+			End:   s + e.DurOf(n),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Lane != out[j].Lane {
+			return out[i].Lane < out[j].Lane
+		}
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}

@@ -1,0 +1,248 @@
+// Package sched turns a candidate mapping of an application onto a
+// reconfigurable architecture into a search graph and evaluates its
+// makespan, realizing Sections 3.3 and 4.4 of the paper.
+//
+// A solution (Mapping) comprises the HW/SW spatial partitioning, the
+// temporal partitioning of hardware tasks into run-time contexts, the total
+// execution order of each processor, the per-task hardware implementation
+// choice, and — implicitly — a total order of the bus transactions derived
+// consistently from the task execution order. Evaluation builds the search
+// graph G' = <V, E ∪ Esw ∪ Ehw>: the precedence edges E, the software
+// sequentialization edges Esw, and the context sequentialization edges Ehw
+// whose weights carry the partial-reconfiguration delays, then computes the
+// longest path.
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Placement locates one task on the architecture.
+type Placement struct {
+	Kind model.ResourceKind
+	Res  int // processor / RC / ASIC index within its kind
+	Ctx  int // context index within the RC (meaningful when Kind == KindRC)
+}
+
+// Context is one run-time configuration of a reconfigurable circuit: the
+// set of tasks it executes (locally partial order — no added edges inside).
+type Context struct {
+	Tasks []int
+}
+
+// Mapping is a complete candidate solution.
+type Mapping struct {
+	// Assign places every task.
+	Assign []Placement
+	// Impl selects the hardware implementation (index into Task.HW) of
+	// every task; only meaningful for tasks placed on an RC or ASIC.
+	Impl []int
+	// SWOrders[p] is the total execution order of the tasks assigned to
+	// processor p.
+	SWOrders [][]int
+	// Contexts[r] is the ordered context list Lc = [C1, C2, ... Ck] of RC r.
+	Contexts [][]Context
+}
+
+// NewMapping returns an all-software mapping: every task on processor 0 in
+// deterministic topological order. Tasks without a software implementation
+// are packed into contexts of RC 0 in topological order instead.
+func NewMapping(app *model.App, arch *model.Arch) (*Mapping, error) {
+	if len(arch.Processors) == 0 {
+		return nil, fmt.Errorf("sched: NewMapping needs at least one processor")
+	}
+	m := &Mapping{
+		Assign:   make([]Placement, app.N()),
+		Impl:     make([]int, app.N()),
+		SWOrders: make([][]int, len(arch.Processors)),
+		Contexts: make([][]Context, len(arch.RCs)),
+	}
+	order, err := topoOrder(app)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range order {
+		if app.Tasks[t].CanSW() {
+			m.Assign[t] = Placement{Kind: model.KindProcessor, Res: 0}
+			m.SWOrders[0] = append(m.SWOrders[0], t)
+			continue
+		}
+		if len(arch.RCs) == 0 {
+			return nil, fmt.Errorf("sched: task %d is hardware-only but the architecture has no RC", t)
+		}
+		if err := m.placeHW(app, arch, t, 0); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// placeHW appends task t to the last context of RC r (choosing its smallest
+// implementation), spawning a new context when the capacity would overflow.
+func (m *Mapping) placeHW(app *model.App, arch *model.Arch, t, r int) error {
+	task := &app.Tasks[t]
+	if !task.CanHW() {
+		return fmt.Errorf("sched: task %d has no hardware implementation", t)
+	}
+	impl := 0
+	for i, im := range task.HW {
+		if im.CLBs < task.HW[impl].CLBs {
+			impl = i
+		}
+	}
+	need := task.HW[impl].CLBs
+	rc := &arch.RCs[r]
+	if need > rc.NCLB {
+		return fmt.Errorf("sched: task %d needs %d CLBs, RC %d has %d", t, need, r, rc.NCLB)
+	}
+	ctxs := m.Contexts[r]
+	if len(ctxs) == 0 || m.ContextCLBs(app, r, len(ctxs)-1)+need > rc.NCLB {
+		m.Contexts[r] = append(m.Contexts[r], Context{})
+		ctxs = m.Contexts[r]
+	}
+	ci := len(ctxs) - 1
+	m.Contexts[r][ci].Tasks = append(m.Contexts[r][ci].Tasks, t)
+	m.Assign[t] = Placement{Kind: model.KindRC, Res: r, Ctx: ci}
+	m.Impl[t] = impl
+	return nil
+}
+
+// ContextCLBs returns the number of CLBs occupied by context ci of RC r
+// under the current implementation choices.
+func (m *Mapping) ContextCLBs(app *model.App, r, ci int) int {
+	sum := 0
+	for _, t := range m.Contexts[r][ci].Tasks {
+		sum += app.Tasks[t].HW[m.Impl[t]].CLBs
+	}
+	return sum
+}
+
+// NumContexts returns the number of non-empty contexts of RC r.
+func (m *Mapping) NumContexts(r int) int {
+	n := 0
+	for _, c := range m.Contexts[r] {
+		if len(c.Tasks) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalContexts returns the number of non-empty contexts across all RCs.
+func (m *Mapping) TotalContexts() int {
+	n := 0
+	for r := range m.Contexts {
+		n += m.NumContexts(r)
+	}
+	return n
+}
+
+// HWTaskCount returns the number of tasks placed on reconfigurable circuits
+// or ASICs.
+func (m *Mapping) HWTaskCount() int {
+	n := 0
+	for _, p := range m.Assign {
+		if p.Kind != model.KindProcessor {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy of the mapping.
+func (m *Mapping) Clone() *Mapping {
+	c := &Mapping{
+		Assign:   append([]Placement(nil), m.Assign...),
+		Impl:     append([]int(nil), m.Impl...),
+		SWOrders: make([][]int, len(m.SWOrders)),
+		Contexts: make([][]Context, len(m.Contexts)),
+	}
+	for i, o := range m.SWOrders {
+		c.SWOrders[i] = append([]int(nil), o...)
+	}
+	for i, cs := range m.Contexts {
+		c.Contexts[i] = make([]Context, len(cs))
+		for j, ctx := range cs {
+			c.Contexts[i][j] = Context{Tasks: append([]int(nil), ctx.Tasks...)}
+		}
+	}
+	return c
+}
+
+// CopyInto copies m into dst, reusing dst's slices where capacity allows.
+// The annealing loop snapshots the current mapping before every move this
+// way, so move rejection is a cheap restore with no steady-state allocation.
+func (m *Mapping) CopyInto(dst *Mapping) {
+	dst.Assign = append(dst.Assign[:0], m.Assign...)
+	dst.Impl = append(dst.Impl[:0], m.Impl...)
+	if cap(dst.SWOrders) < len(m.SWOrders) {
+		dst.SWOrders = make([][]int, len(m.SWOrders))
+	}
+	dst.SWOrders = dst.SWOrders[:len(m.SWOrders)]
+	for i, o := range m.SWOrders {
+		dst.SWOrders[i] = append(dst.SWOrders[i][:0], o...)
+	}
+	if cap(dst.Contexts) < len(m.Contexts) {
+		dst.Contexts = make([][]Context, len(m.Contexts))
+	}
+	dst.Contexts = dst.Contexts[:len(m.Contexts)]
+	for i, cs := range m.Contexts {
+		if cap(dst.Contexts[i]) < len(cs) {
+			dst.Contexts[i] = make([]Context, len(cs))
+		}
+		prev := len(dst.Contexts[i])
+		dst.Contexts[i] = dst.Contexts[i][:len(cs)]
+		// Slots re-exposed by extending within capacity may carry stale
+		// Tasks headers aliasing an in-range context's backing array
+		// (context deletion shifts structs left); drop them so the copy
+		// below allocates fresh storage instead of clobbering a neighbour.
+		for j := prev; j < len(cs); j++ {
+			dst.Contexts[i][j].Tasks = nil
+		}
+		for j, ctx := range cs {
+			dst.Contexts[i][j].Tasks = append(dst.Contexts[i][j].Tasks[:0], ctx.Tasks...)
+		}
+	}
+}
+
+// topoOrder returns a deterministic topological order of the application's
+// precedence graph.
+func topoOrder(app *model.App) ([]int, error) {
+	g := app.Precedence()
+	order := make([]int, 0, app.N())
+	indeg := make([]int, app.N())
+	for v := 0; v < app.N(); v++ {
+		indeg[v] = g.InDegree(v)
+	}
+	var ready []int
+	for v := app.N() - 1; v >= 0; v-- {
+		if indeg[v] == 0 {
+			ready = append(ready, v)
+		}
+	}
+	for len(ready) > 0 {
+		// Pop the smallest id (ready is kept descending).
+		v := ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		order = append(order, v)
+		for _, s := range g.Succs(v) {
+			indeg[s]--
+			if indeg[s] == 0 {
+				// insert keeping descending order
+				i := len(ready)
+				ready = append(ready, 0)
+				for i > 0 && ready[i-1] < s {
+					ready[i] = ready[i-1]
+					i--
+				}
+				ready[i] = s
+			}
+		}
+	}
+	if len(order) != app.N() {
+		return nil, fmt.Errorf("sched: application precedence graph is cyclic")
+	}
+	return order, nil
+}

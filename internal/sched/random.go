@@ -1,0 +1,66 @@
+package sched
+
+import (
+	"math/rand"
+
+	"repro/internal/model"
+)
+
+// RandomMapping builds the paper's initial solution (Section 5): start from
+// an all-software mapping in topological order, then move a random number of
+// hardware-capable tasks, one by one, to the reconfigurable circuit,
+// creating a new context whenever the capacity of the last context is
+// exceeded. Tasks without a software implementation are always placed in
+// hardware. Tasks whose smallest implementation exceeds the device capacity
+// stay in software.
+func RandomMapping(app *model.App, arch *model.Arch, rng *rand.Rand) (*Mapping, error) {
+	m, err := NewMapping(app, arch)
+	if err != nil {
+		return nil, err
+	}
+	if len(arch.RCs) == 0 {
+		return m, nil
+	}
+	order, err := topoOrder(app)
+	if err != nil {
+		return nil, err
+	}
+	// Candidate tasks: currently software, hardware-capable, and small
+	// enough for the device.
+	var candidates []int
+	for _, t := range order {
+		task := &app.Tasks[t]
+		if m.Assign[t].Kind == model.KindProcessor && task.CanHW() && task.MinCLBs() <= arch.RCs[0].NCLB {
+			candidates = append(candidates, t)
+		}
+	}
+	if len(candidates) == 0 {
+		return m, nil
+	}
+	k := rng.Intn(len(candidates) + 1)
+	// Choose k candidates at random but move them in topological order so
+	// the greedy packing yields a precedence-compatible context sequence.
+	picked := make([]bool, app.N())
+	for _, i := range rng.Perm(len(candidates))[:k] {
+		picked[candidates[i]] = true
+	}
+	for _, t := range order {
+		if !picked[t] {
+			continue
+		}
+		removeFromOrder(&m.SWOrders[m.Assign[t].Res], t)
+		if err := m.placeHW(app, arch, t, 0); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+func removeFromOrder(order *[]int, t int) {
+	for i, x := range *order {
+		if x == t {
+			*order = append((*order)[:i], (*order)[i+1:]...)
+			return
+		}
+	}
+}

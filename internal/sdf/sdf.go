@@ -1,0 +1,233 @@
+// Package sdf implements a synchronous-dataflow front end for the explorer
+// — the extension the paper's conclusion announces ("we are currently
+// working on developing simulated annealing moves for systems described by
+// multiple models of computation, including SDF"). An SDF graph with
+// consistent rates is expanded into one iteration's precedence graph, which
+// the explorer then maps like any other application.
+package sdf
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Actor is an SDF node: a named computation with software/hardware
+// estimates, fired q times per iteration (q from the repetition vector).
+type Actor struct {
+	Name string
+	SW   model.Time
+	HW   []model.Impl
+}
+
+// Channel is an SDF arc: the producer emits Prod tokens per firing, the
+// consumer absorbs Cons tokens per firing, Delay initial tokens are present,
+// and each token carries TokenBytes bytes.
+type Channel struct {
+	From, To   int
+	Prod, Cons int
+	Delay      int
+	TokenBytes int64
+}
+
+// Graph is a synchronous-dataflow graph.
+type Graph struct {
+	Name     string
+	Actors   []Actor
+	Channels []Channel
+}
+
+// ErrInconsistent is returned for graphs with no valid repetition vector.
+var ErrInconsistent = errors.New("sdf: inconsistent rates (no repetition vector)")
+
+// Validate checks structural sanity.
+func (g *Graph) Validate() error {
+	if len(g.Actors) == 0 {
+		return errors.New("sdf: graph has no actors")
+	}
+	for i, c := range g.Channels {
+		if c.From < 0 || c.From >= len(g.Actors) || c.To < 0 || c.To >= len(g.Actors) {
+			return fmt.Errorf("sdf: channel %d endpoint out of range", i)
+		}
+		if c.Prod <= 0 || c.Cons <= 0 {
+			return fmt.Errorf("sdf: channel %d has non-positive rates", i)
+		}
+		if c.Delay < 0 {
+			return fmt.Errorf("sdf: channel %d has negative delay", i)
+		}
+		if c.TokenBytes < 0 {
+			return fmt.Errorf("sdf: channel %d has negative token size", i)
+		}
+	}
+	return nil
+}
+
+// Repetitions solves the balance equations q[from]·prod = q[to]·cons and
+// returns the smallest positive integer repetition vector. Disconnected
+// components are normalized independently. ErrInconsistent is returned when
+// the equations admit only the zero solution.
+func (g *Graph) Repetitions() ([]int, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(g.Actors)
+	// Rational propagation: q[v] = num[v]/den[v] relative to its
+	// component's root, then scale by the component LCM.
+	num := make([]int64, n)
+	den := make([]int64, n)
+	seen := make([]bool, n)
+	adj := make([][]Channel, n)
+	for _, c := range g.Channels {
+		adj[c.From] = append(adj[c.From], c)
+		// reversed view for propagation
+		adj[c.To] = append(adj[c.To], Channel{From: c.To, To: c.From, Prod: c.Cons, Cons: c.Prod})
+	}
+	q := make([]int, n)
+	for root := 0; root < n; root++ {
+		if seen[root] {
+			continue
+		}
+		num[root], den[root] = 1, 1
+		seen[root] = true
+		component := []int{root}
+		queue := []int{root}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, c := range adj[v] {
+				// q[to] = q[from] · prod/cons
+				nn := num[v] * int64(c.Prod)
+				nd := den[v] * int64(c.Cons)
+				gg := gcd(nn, nd)
+				nn, nd = nn/gg, nd/gg
+				if !seen[c.To] {
+					num[c.To], den[c.To] = nn, nd
+					seen[c.To] = true
+					component = append(component, c.To)
+					queue = append(queue, c.To)
+				} else if num[c.To]*nd != nn*den[c.To] {
+					return nil, ErrInconsistent
+				}
+			}
+		}
+		// Normalize within the component: multiply by the LCM of the
+		// denominators, then divide by the GCD of the counts, so each
+		// connected component fires the minimal number of times.
+		var l int64 = 1
+		for _, v := range component {
+			l = lcm(l, den[v])
+		}
+		var g2 int64
+		for _, v := range component {
+			scaled := num[v] * (l / den[v])
+			q[v] = int(scaled)
+			if g2 == 0 {
+				g2 = scaled
+			} else {
+				g2 = gcd(g2, scaled)
+			}
+		}
+		if g2 > 1 {
+			for _, v := range component {
+				q[v] = int(int64(q[v]) / g2)
+			}
+		}
+	}
+	for _, x := range q {
+		if x <= 0 {
+			return nil, ErrInconsistent
+		}
+	}
+	return q, nil
+}
+
+// Expand unrolls one iteration of the SDF graph into a precedence graph:
+// firing k of actor a becomes task "name#k", and a dependency is added from
+// producer firing i to consumer firing j whenever the token interval
+// produced by i overlaps the interval consumed by j (after honoring initial
+// delays). Dependencies fully satisfied by delay tokens are dropped.
+func (g *Graph) Expand() (*model.App, error) {
+	q, err := g.Repetitions()
+	if err != nil {
+		return nil, err
+	}
+	app := &model.App{Name: g.Name + "-expanded"}
+	base := make([]int, len(g.Actors))
+	for a, actor := range g.Actors {
+		base[a] = len(app.Tasks)
+		for k := 0; k < q[a]; k++ {
+			name := actor.Name
+			if q[a] > 1 {
+				name = fmt.Sprintf("%s#%d", actor.Name, k)
+			}
+			app.Tasks = append(app.Tasks, model.Task{
+				Name: name,
+				SW:   actor.SW,
+				HW:   append([]model.Impl(nil), actor.HW...),
+			})
+		}
+	}
+	for _, c := range g.Channels {
+		for j := 0; j < q[c.To]; j++ {
+			// Consumer firing j needs tokens [j·cons − delay, (j+1)·cons − delay).
+			lo := int64(j*c.Cons - c.Delay)
+			hi := int64((j+1)*c.Cons - c.Delay)
+			if hi <= 0 {
+				continue // fully served by initial tokens
+			}
+			if lo < 0 {
+				lo = 0
+			}
+			for i := 0; i < q[c.From]; i++ {
+				plo := int64(i * c.Prod)
+				phi := int64((i + 1) * c.Prod)
+				overlap := min64(hi, phi) - max64(lo, plo)
+				if overlap <= 0 {
+					continue
+				}
+				app.Flows = append(app.Flows, model.Flow{
+					From: base[c.From] + i,
+					To:   base[c.To] + j,
+					Qty:  overlap * c.TokenBytes,
+				})
+			}
+		}
+	}
+	if err := app.Validate(); err != nil {
+		return nil, fmt.Errorf("sdf: expansion produced an invalid application (delays may form a zero-delay cycle): %w", err)
+	}
+	return app, nil
+}
+
+func gcd(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+func lcm(a, b int64) int64 { return a / gcd(a, b) * b }
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

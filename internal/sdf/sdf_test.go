@@ -1,0 +1,205 @@
+package sdf
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func ms(x float64) model.Time { return model.FromMillis(x) }
+
+func impl() []model.Impl { return []model.Impl{{CLBs: 100, Time: model.FromMicros(50)}} }
+
+func TestRepetitionsSingleRate(t *testing.T) {
+	g := &Graph{
+		Name: "sr",
+		Actors: []Actor{
+			{Name: "a", SW: ms(1)}, {Name: "b", SW: ms(1)},
+		},
+		Channels: []Channel{{From: 0, To: 1, Prod: 1, Cons: 1, TokenBytes: 4}},
+	}
+	q, err := g.Repetitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q[0] != 1 || q[1] != 1 {
+		t.Fatalf("q = %v, want [1 1]", q)
+	}
+}
+
+func TestRepetitionsMultiRate(t *testing.T) {
+	// a --2:3--> b: q = [3, 2].
+	g := &Graph{
+		Name: "mr",
+		Actors: []Actor{
+			{Name: "a", SW: ms(1)}, {Name: "b", SW: ms(1)},
+		},
+		Channels: []Channel{{From: 0, To: 1, Prod: 2, Cons: 3, TokenBytes: 4}},
+	}
+	q, err := g.Repetitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q[0] != 3 || q[1] != 2 {
+		t.Fatalf("q = %v, want [3 2]", q)
+	}
+}
+
+func TestRepetitionsInconsistent(t *testing.T) {
+	// a -> b with 1:1 and 2:1 simultaneously has no repetition vector.
+	g := &Graph{
+		Name: "bad",
+		Actors: []Actor{
+			{Name: "a", SW: ms(1)}, {Name: "b", SW: ms(1)},
+		},
+		Channels: []Channel{
+			{From: 0, To: 1, Prod: 1, Cons: 1, TokenBytes: 4},
+			{From: 0, To: 1, Prod: 2, Cons: 1, TokenBytes: 4},
+		},
+	}
+	if _, err := g.Repetitions(); err != ErrInconsistent {
+		t.Fatalf("err = %v, want ErrInconsistent", err)
+	}
+}
+
+func TestRepetitionsDisconnected(t *testing.T) {
+	g := &Graph{
+		Name: "two-islands",
+		Actors: []Actor{
+			{Name: "a", SW: ms(1)}, {Name: "b", SW: ms(1)},
+			{Name: "c", SW: ms(1)}, {Name: "d", SW: ms(1)},
+		},
+		Channels: []Channel{
+			{From: 0, To: 1, Prod: 1, Cons: 2, TokenBytes: 1},
+			{From: 2, To: 3, Prod: 3, Cons: 1, TokenBytes: 1},
+		},
+	}
+	q, err := g.Repetitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Component 1: [2,1]; component 2: [1,3]; global GCD normalization
+	// keeps them minimal per component jointly (gcd of 2,1,1,3 = 1).
+	if q[0] != 2 || q[1] != 1 || q[2] != 1 || q[3] != 3 {
+		t.Fatalf("q = %v, want [2 1 1 3]", q)
+	}
+}
+
+func TestExpandSingleRateChain(t *testing.T) {
+	g := &Graph{
+		Name: "chain",
+		Actors: []Actor{
+			{Name: "src", SW: ms(1), HW: impl()},
+			{Name: "mid", SW: ms(2), HW: impl()},
+			{Name: "dst", SW: ms(3), HW: impl()},
+		},
+		Channels: []Channel{
+			{From: 0, To: 1, Prod: 1, Cons: 1, TokenBytes: 64},
+			{From: 1, To: 2, Prod: 1, Cons: 1, TokenBytes: 64},
+		},
+	}
+	app, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.N() != 3 || len(app.Flows) != 2 {
+		t.Fatalf("expanded to %d tasks, %d flows", app.N(), len(app.Flows))
+	}
+	if app.Flows[0].Qty != 64 {
+		t.Fatalf("flow qty = %d, want 64", app.Flows[0].Qty)
+	}
+}
+
+func TestExpandMultiRate(t *testing.T) {
+	// a(prod 2) -> b(cons 3): q=[3,2]; firing b0 needs tokens 0..2 from
+	// a0 (0..1) and a1 (2..3); b1 needs 3..5 from a1 and a2.
+	g := &Graph{
+		Name: "mr",
+		Actors: []Actor{
+			{Name: "a", SW: ms(1), HW: impl()},
+			{Name: "b", SW: ms(1), HW: impl()},
+		},
+		Channels: []Channel{{From: 0, To: 1, Prod: 2, Cons: 3, TokenBytes: 8}},
+	}
+	app, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.N() != 5 {
+		t.Fatalf("N = %d, want 5 (3 a-firings + 2 b-firings)", app.N())
+	}
+	if len(app.Flows) != 4 {
+		t.Fatalf("flows = %d, want 4", len(app.Flows))
+	}
+	// Token conservation: total transferred bytes = 6 tokens × 8 bytes.
+	var total int64
+	for _, f := range app.Flows {
+		total += f.Qty
+	}
+	if total != 48 {
+		t.Fatalf("total bytes = %d, want 48", total)
+	}
+}
+
+func TestExpandDelaysDropDependencies(t *testing.T) {
+	// With delay ≥ cons, the first consumer firing reads only initial
+	// tokens: the back pressure disappears for it.
+	g := &Graph{
+		Name: "delayed",
+		Actors: []Actor{
+			{Name: "a", SW: ms(1), HW: impl()},
+			{Name: "b", SW: ms(1), HW: impl()},
+		},
+		Channels: []Channel{{From: 0, To: 1, Prod: 1, Cons: 1, Delay: 1, TokenBytes: 4}},
+	}
+	app, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One iteration: a fires once, b fires once; b#0 consumes the delay
+	// token, so no edge at all.
+	if len(app.Flows) != 0 {
+		t.Fatalf("flows = %v, want none (served by delay)", app.Flows)
+	}
+}
+
+func TestExpandNamesFirings(t *testing.T) {
+	g := &Graph{
+		Name: "names",
+		Actors: []Actor{
+			{Name: "up", SW: ms(1), HW: impl()},
+			{Name: "down", SW: ms(1), HW: impl()},
+		},
+		Channels: []Channel{{From: 0, To: 1, Prod: 3, Cons: 1, TokenBytes: 4}},
+	}
+	app, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, task := range app.Tasks {
+		names[task.Name] = true
+	}
+	for _, want := range []string{"up", "down#0", "down#1", "down#2"} {
+		if !names[want] {
+			t.Fatalf("missing firing task %q in %v", want, names)
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	if err := (&Graph{}).Validate(); err == nil {
+		t.Fatal("empty graph validated")
+	}
+	g := &Graph{
+		Actors:   []Actor{{Name: "a", SW: ms(1)}},
+		Channels: []Channel{{From: 0, To: 9, Prod: 1, Cons: 1}},
+	}
+	if err := g.Validate(); err == nil {
+		t.Fatal("out-of-range channel validated")
+	}
+	g.Channels = []Channel{{From: 0, To: 0, Prod: 0, Cons: 1}}
+	if err := g.Validate(); err == nil {
+		t.Fatal("zero rate validated")
+	}
+}

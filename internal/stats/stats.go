@@ -1,0 +1,177 @@
+// Package stats provides the online statistical estimators that drive the
+// adaptive annealing schedule: exact running moments (Welford),
+// exponentially weighted moments, and an exponentially weighted lag-1
+// autocorrelation tracker. The Lam–Delosme schedule expresses its cooling
+// rate in terms of the mean, variance and correlation of the cost signal,
+// so these estimators are the "thermometer" of the optimizer.
+package stats
+
+import "math"
+
+// Welford accumulates exact running mean and variance using Welford's
+// numerically stable recurrence.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the running mean (0 before any observation).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the population variance (0 before two observations).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// SampleVar returns the sample (Bessel-corrected) variance.
+func (w *Welford) SampleVar() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Var()) }
+
+// Reset clears all state.
+func (w *Welford) Reset() { *w = Welford{} }
+
+// EWMA is an exponentially weighted moving average with smoothing factor
+// alpha in (0,1]: larger alpha tracks faster, smaller alpha remembers more.
+// The first observation initializes the average.
+type EWMA struct {
+	alpha float64
+	val   float64
+	init  bool
+}
+
+// NewEWMA returns an estimator with the given smoothing factor.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic("stats: EWMA alpha out of (0,1]")
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Add incorporates one observation and returns the updated value.
+func (e *EWMA) Add(x float64) float64 {
+	if !e.init {
+		e.val = x
+		e.init = true
+		return x
+	}
+	e.val += e.alpha * (x - e.val)
+	return e.val
+}
+
+// Value returns the current average (0 before any observation).
+func (e *EWMA) Value() float64 { return e.val }
+
+// Initialized reports whether at least one observation has been added.
+func (e *EWMA) Initialized() bool { return e.init }
+
+// Set forces the current value, marking the estimator initialized. The
+// annealing schedule uses this to seed the acceptance-ratio estimate.
+func (e *EWMA) Set(x float64) { e.val, e.init = x, true }
+
+// EWMoments tracks exponentially weighted mean and variance of a signal.
+type EWMoments struct {
+	alpha    float64
+	mean     float64
+	variance float64
+	init     bool
+}
+
+// NewEWMoments returns a tracker with smoothing factor alpha.
+func NewEWMoments(alpha float64) *EWMoments {
+	if alpha <= 0 || alpha > 1 {
+		panic("stats: EWMoments alpha out of (0,1]")
+	}
+	return &EWMoments{alpha: alpha}
+}
+
+// Add incorporates one observation (West's EW update).
+func (m *EWMoments) Add(x float64) {
+	if !m.init {
+		m.mean = x
+		m.variance = 0
+		m.init = true
+		return
+	}
+	d := x - m.mean
+	incr := m.alpha * d
+	m.mean += incr
+	m.variance = (1 - m.alpha) * (m.variance + d*incr)
+}
+
+// Mean returns the exponentially weighted mean.
+func (m *EWMoments) Mean() float64 { return m.mean }
+
+// Var returns the exponentially weighted variance.
+func (m *EWMoments) Var() float64 { return m.variance }
+
+// StdDev returns the exponentially weighted standard deviation.
+func (m *EWMoments) StdDev() float64 { return math.Sqrt(m.variance) }
+
+// Initialized reports whether at least one observation has been added.
+func (m *EWMoments) Initialized() bool { return m.init }
+
+// AutoCorr1 estimates the lag-1 autocorrelation of a signal with
+// exponentially weighted moments: corr = (E[x_t·x_{t-1}] − μ²)/σ². The
+// annealing schedule uses it to judge how strongly consecutive costs are
+// coupled (the quasi-equilibrium indicator of Lam's derivation).
+type AutoCorr1 struct {
+	moments EWMoments
+	cross   EWMA
+	prev    float64
+	hasPrev bool
+}
+
+// NewAutoCorr1 returns a tracker with smoothing factor alpha.
+func NewAutoCorr1(alpha float64) *AutoCorr1 {
+	return &AutoCorr1{moments: *NewEWMoments(alpha), cross: *NewEWMA(alpha)}
+}
+
+// Add incorporates one observation.
+func (a *AutoCorr1) Add(x float64) {
+	a.moments.Add(x)
+	if a.hasPrev {
+		a.cross.Add(x * a.prev)
+	}
+	a.prev = x
+	a.hasPrev = true
+}
+
+// Value returns the current lag-1 autocorrelation estimate, clamped to
+// [-1, 1]; it returns 0 while the variance estimate is degenerate.
+func (a *AutoCorr1) Value() float64 {
+	v := a.moments.Var()
+	if v <= 0 || !a.cross.Initialized() {
+		return 0
+	}
+	mu := a.moments.Mean()
+	c := (a.cross.Value() - mu*mu) / v
+	if c > 1 {
+		return 1
+	}
+	if c < -1 {
+		return -1
+	}
+	return c
+}

@@ -1,0 +1,179 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestWelfordKnownValues(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if !almostEq(w.Mean(), 5, 1e-12) {
+		t.Fatalf("Mean = %v", w.Mean())
+	}
+	if !almostEq(w.Var(), 4, 1e-12) {
+		t.Fatalf("Var = %v", w.Var())
+	}
+	if !almostEq(w.StdDev(), 2, 1e-12) {
+		t.Fatalf("StdDev = %v", w.StdDev())
+	}
+	if !almostEq(w.SampleVar(), 32.0/7.0, 1e-12) {
+		t.Fatalf("SampleVar = %v", w.SampleVar())
+	}
+}
+
+func TestWelfordDegenerate(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 || w.SampleVar() != 0 {
+		t.Fatal("fresh Welford not zero")
+	}
+	w.Add(42)
+	if w.Var() != 0 {
+		t.Fatal("single observation should have zero variance")
+	}
+	w.Reset()
+	if w.N() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestWelfordMatchesDirect(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	xs := make([]float64, 500)
+	var w Welford
+	var sum float64
+	for i := range xs {
+		xs[i] = r.NormFloat64()*3 + 10
+		w.Add(xs[i])
+		sum += xs[i]
+	}
+	mean := sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	if !almostEq(w.Mean(), mean, 1e-9) {
+		t.Fatalf("mean %v vs %v", w.Mean(), mean)
+	}
+	if !almostEq(w.Var(), ss/float64(len(xs)), 1e-9) {
+		t.Fatalf("var %v vs %v", w.Var(), ss/float64(len(xs)))
+	}
+}
+
+func TestEWMABasics(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Initialized() {
+		t.Fatal("fresh EWMA initialized")
+	}
+	e.Add(10)
+	if e.Value() != 10 {
+		t.Fatalf("first obs should initialize, got %v", e.Value())
+	}
+	e.Add(20)
+	if !almostEq(e.Value(), 15, 1e-12) {
+		t.Fatalf("Value = %v, want 15", e.Value())
+	}
+	e.Set(3)
+	if e.Value() != 3 {
+		t.Fatal("Set failed")
+	}
+}
+
+func TestEWMAConvergesToConstant(t *testing.T) {
+	e := NewEWMA(0.1)
+	for i := 0; i < 500; i++ {
+		e.Add(7)
+	}
+	if !almostEq(e.Value(), 7, 1e-9) {
+		t.Fatalf("Value = %v", e.Value())
+	}
+}
+
+func TestEWMAPanicsOnBadAlpha(t *testing.T) {
+	for _, a := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("alpha %v accepted", a)
+				}
+			}()
+			NewEWMA(a)
+		}()
+	}
+}
+
+func TestEWMomentsTracksDistribution(t *testing.T) {
+	r := rand.New(rand.NewSource(15))
+	m := NewEWMoments(0.005)
+	for i := 0; i < 50_000; i++ {
+		m.Add(r.NormFloat64()*2 + 5)
+	}
+	if !almostEq(m.Mean(), 5, 0.3) {
+		t.Fatalf("EW mean = %v, want ≈5", m.Mean())
+	}
+	if !almostEq(m.StdDev(), 2, 0.4) {
+		t.Fatalf("EW stddev = %v, want ≈2", m.StdDev())
+	}
+}
+
+func TestEWMomentsDegenerate(t *testing.T) {
+	m := NewEWMoments(0.1)
+	if m.Initialized() {
+		t.Fatal("fresh moments initialized")
+	}
+	m.Add(4)
+	if m.Mean() != 4 || m.Var() != 0 {
+		t.Fatal("first observation handling wrong")
+	}
+}
+
+func TestAutoCorrWhiteNoiseNearZero(t *testing.T) {
+	r := rand.New(rand.NewSource(16))
+	a := NewAutoCorr1(0.01)
+	for i := 0; i < 30_000; i++ {
+		a.Add(r.NormFloat64())
+	}
+	if math.Abs(a.Value()) > 0.15 {
+		t.Fatalf("white-noise autocorr = %v, want ≈0", a.Value())
+	}
+}
+
+func TestAutoCorrPersistentSignalNearOne(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	a := NewAutoCorr1(0.01)
+	x := 0.0
+	for i := 0; i < 30_000; i++ {
+		// AR(1) with phi = 0.98: strongly correlated.
+		x = 0.98*x + 0.02*r.NormFloat64()
+		a.Add(x)
+	}
+	if a.Value() < 0.7 {
+		t.Fatalf("AR(1) autocorr = %v, want high", a.Value())
+	}
+}
+
+func TestAutoCorrDegenerate(t *testing.T) {
+	a := NewAutoCorr1(0.1)
+	if a.Value() != 0 {
+		t.Fatal("fresh autocorr not zero")
+	}
+	a.Add(1)
+	if a.Value() != 0 {
+		t.Fatal("single-point autocorr not zero")
+	}
+	// Constant signal: zero variance, define as 0.
+	for i := 0; i < 10; i++ {
+		a.Add(1)
+	}
+	if a.Value() != 0 {
+		t.Fatalf("constant-signal autocorr = %v", a.Value())
+	}
+}
