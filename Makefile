@@ -1,0 +1,34 @@
+# Developer entry points. CI (.github/workflows/ci.yml) invokes exactly
+# these targets so local runs and CI runs cannot drift apart.
+
+GO ?= go
+
+.PHONY: all build test race bench fmt fmt-check vet ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Bench smoke: compile and run every benchmark exactly once. Catches rotted
+# benchmark code without paying for a full measurement run.
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+fmt:
+	gofmt -w .
+
+# Fails (with the offending file list) when anything is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+ci: fmt-check vet build race bench

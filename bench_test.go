@@ -10,7 +10,10 @@
 package repro_test
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/anneal"
@@ -20,6 +23,7 @@ import (
 	"repro/internal/ga"
 	"repro/internal/graph"
 	"repro/internal/model"
+	"repro/internal/runner"
 	"repro/internal/sched"
 )
 
@@ -275,5 +279,42 @@ func BenchmarkExploreLayered120(b *testing.B) {
 		if _, err := core.Explore(app, arch, cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---------- E5: the parallel multi-run engine ----------
+
+// BenchmarkExploreMany measures the multi-run engine on one sweep point of
+// the motion-detection device-size sweep (800 CLBs), comparing a serial
+// batch (j=1) against all cores (j=NumCPU). The per-seed results are
+// identical between the two; only the wall clock should differ.
+func BenchmarkExploreMany(b *testing.B) {
+	app, arch := motionSetup(800)
+	cfg := core.DefaultConfig()
+	cfg.MaxIters = 1500
+	cfg.Warmup = 300
+	cfg.QuenchIters = 500
+	cfg.Deadline = apps.MotionDeadline
+	fn, err := runner.SA(app, arch, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runsPer := 2 * runtime.NumCPU()
+	for _, j := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				agg, err := runner.Run(context.Background(), app, runner.Options{
+					Runs:     runsPer,
+					Workers:  j,
+					BaseSeed: int64(i * runsPer),
+				}, fn)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if agg.Completed != runsPer {
+					b.Fatalf("completed %d/%d", agg.Completed, runsPer)
+				}
+			}
+		})
 	}
 }

@@ -5,18 +5,25 @@
 //
 // Usage:
 //
-//	dsesweep [-sizes 100,200,...] [-runs 100] [-splits=false] [-csv out.csv]
+//	dsesweep [-sizes 100,200,...] [-runs 100] [-j 8] [-splits=false] [-csv out.csv]
 //
-// With -splits=false contexts are created only through capacity overflow
-// (the paper's mechanism); this is the mode that reproduces the published
-// curve, including the single-context plateau at large devices.
+// The runs of each sweep point are independent, so they fan out over -j
+// workers (default: all cores) through the multi-run engine; per-seed
+// results are identical whatever -j is. With -splits=false contexts are
+// created only through capacity overflow (the paper's mechanism); this is
+// the mode that reproduces the published curve, including the
+// single-context plateau at large devices. Interrupting the sweep (Ctrl-C)
+// renders the table of the points completed so far.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -24,6 +31,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/report"
+	"repro/internal/runner"
 )
 
 func main() {
@@ -33,6 +41,8 @@ func main() {
 		sizesFlag = flag.String("sizes", "100,200,400,600,800,1200,1600,2000,3000,4000,5000,7000,10000", "comma-separated FPGA sizes (CLBs)")
 		runs      = flag.Int("runs", 100, "annealing runs per size (paper: 100)")
 		iters     = flag.Int("iters", 5000, "annealing iterations per run")
+		workers   = flag.Int("j", runtime.NumCPU(), "parallel annealing runs")
+		baseSeed  = flag.Int64("seed", 0, "base of the per-run seed stream (run i uses seed+i)")
 		splits    = flag.Bool("splits", false, "enable the context-splitting extension move (paper mode: off)")
 		csvPath   = flag.String("csv", "", "write results to this CSV file")
 		noplot    = flag.Bool("noplot", false, "suppress the ASCII plot")
@@ -46,47 +56,55 @@ func main() {
 	mcfg := apps.DefaultMotionConfig()
 	app := apps.MotionDetection(mcfg)
 
-	fmt.Printf("Figure 3 — device-size sweep on %q (%d runs/size, %d iterations, splits=%v)\n\n",
-		app.Name, *runs, *iters, *splits)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
-	tb := report.NewTable("nclb", "exec_ms", "init_reconf_ms", "dyn_reconf_ms", "contexts", "met_40ms", "best_ms")
+	fmt.Printf("Figure 3 — device-size sweep on %q (%d runs/size, %d iterations, %d workers, splits=%v)\n\n",
+		app.Name, *runs, *iters, *workers, *splits)
+
+	tb := report.NewTable("nclb", "exec_ms", "init_reconf_ms", "dyn_reconf_ms", "contexts", "met_40ms", "best_ms", "p95_ms")
 	var xs, yExec, yCtx, yRcI, yRcD []float64
 	start := time.Now()
 	for _, nclb := range sizes {
 		arch := apps.MotionArch(nclb, mcfg)
-		var exec, rcI, rcD, ctxs, met float64
-		best := 1e18
-		for s := 0; s < *runs; s++ {
-			cfg := core.DefaultConfig()
-			cfg.Seed = int64(s)
-			cfg.MaxIters = *iters
-			cfg.Deadline = apps.MotionDeadline
-			cfg.EnableCtxSplit = *splits
-			res, err := core.Explore(app, arch, cfg)
-			if err != nil {
-				log.Fatal(err)
-			}
-			b := res.BestEval
-			m := b.Makespan.Millis()
-			exec += m
-			if m < best {
-				best = m
-			}
-			if res.MetDeadline {
-				met++
-			}
-			rcI += b.InitialReconfig.Millis()
-			rcD += b.DynamicReconfig.Millis()
-			ctxs += float64(b.Contexts)
+		cfg := core.DefaultConfig()
+		cfg.MaxIters = *iters
+		cfg.Deadline = apps.MotionDeadline
+		cfg.EnableCtxSplit = *splits
+		fn, err := runner.SA(app, arch, cfg)
+		if err != nil {
+			log.Fatal(err)
 		}
-		n := float64(*runs)
-		tb.AddRow(nclb, exec/n, rcI/n, rcD/n, ctxs/n,
-			fmt.Sprintf("%.0f/%d", met, *runs), best)
+		agg, err := runner.Run(ctx, app, runner.Options{
+			Runs:     *runs,
+			Workers:  *workers,
+			BaseSeed: *baseSeed,
+		}, fn)
+		if err != nil && ctx.Err() == nil {
+			log.Fatal(err)
+		}
+		if agg.Completed == 0 {
+			break // interrupted before the first run of this point finished
+		}
+		tb.AddRow(nclb,
+			agg.MakespanMS.Mean(),
+			agg.InitialReconfigMS.Mean(),
+			agg.DynamicReconfigMS.Mean(),
+			agg.Contexts.Mean(),
+			fmt.Sprintf("%d/%d", agg.DeadlineMet, agg.Completed),
+			agg.MakespanMS.Min(),
+			agg.MakespanMS.Quantile(0.95))
 		xs = append(xs, float64(nclb))
-		yExec = append(yExec, exec/n)
-		yCtx = append(yCtx, ctxs/n)
-		yRcI = append(yRcI, rcI/n)
-		yRcD = append(yRcD, rcD/n)
+		yExec = append(yExec, agg.MakespanMS.Mean())
+		yCtx = append(yCtx, agg.Contexts.Mean())
+		yRcI = append(yRcI, agg.InitialReconfigMS.Mean())
+		yRcD = append(yRcD, agg.DynamicReconfigMS.Mean())
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	if ctx.Err() != nil {
+		fmt.Println("interrupted — showing completed sweep points")
 	}
 
 	if err := tb.Render(os.Stdout); err != nil {
@@ -94,7 +112,7 @@ func main() {
 	}
 	fmt.Printf("\ntotal wall time: %v\n", time.Since(start).Round(time.Millisecond))
 
-	if !*noplot {
+	if !*noplot && len(xs) > 1 {
 		fmt.Println("\nexecution time / reconfiguration times (ms) and contexts vs FPGA size:")
 		err := report.Plot(os.Stdout, 78, 16,
 			report.Series{Name: "execution time (ms)", X: xs, Y: yExec},

@@ -4,24 +4,33 @@
 // prints the best mapping found, its timing breakdown, and optionally a
 // Gantt chart of the schedule.
 //
+// With -runs above 1 it fans that many independent annealing runs out over
+// -j workers (deterministic per-run seeds seed+i), reports the cross-run
+// statistics, and prints the overall best mapping.
+//
 // Usage:
 //
 //	dsexplore -motion [-nclb 2000] [-gantt]
+//	dsexplore -motion -runs 100 -j 8
 //	dsexplore -app app.json -arch arch.json [-deadline 40] [-gantt]
 //	dsexplore -dump-app app.json -dump-arch arch.json    # emit built-ins
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"runtime"
 	"time"
 
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/sched"
 )
 
@@ -34,7 +43,9 @@ func main() {
 		motion     = flag.Bool("motion", false, "use the built-in motion-detection benchmark")
 		nclb       = flag.Int("nclb", 2000, "FPGA capacity for the built-in architecture")
 		iters      = flag.Int("iters", 5000, "annealing iterations")
-		seed       = flag.Int64("seed", 1, "random seed")
+		seed       = flag.Int64("seed", 1, "random seed (base of the seed stream when -runs > 1)")
+		runs       = flag.Int("runs", 1, "independent annealing runs (best reported)")
+		workers    = flag.Int("j", runtime.NumCPU(), "parallel runs when -runs > 1")
 		quality    = flag.Float64("quality", 0.05, "Lam schedule quality (λ): smaller = slower, better")
 		deadlineMS = flag.Float64("deadline", 0, "real-time constraint in ms (0 = none)")
 		gantt      = flag.Bool("gantt", false, "print the schedule as a Gantt listing")
@@ -87,42 +98,80 @@ func main() {
 	cfg.Quality = *quality
 	cfg.Deadline = model.FromMillis(*deadlineMS)
 
-	start := time.Now()
-	res, err := core.Explore(app, arch, cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	elapsed := time.Since(start)
-
-	b := res.BestEval
 	fmt.Printf("application %q (%d tasks) on %q\n\n", app.Name, app.N(), arch.Name)
-	fmt.Printf("  initial random solution : %v\n", res.InitialEval.Makespan)
-	fmt.Printf("  best execution time     : %v\n", b.Makespan)
-	if cfg.Deadline > 0 {
-		fmt.Printf("  constraint %v met    : %v\n", cfg.Deadline, res.MetDeadline)
+
+	var (
+		best *sched.Mapping
+		b    sched.Result
+	)
+	start := time.Now()
+	if *runs > 1 {
+		ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stopSig()
+		fn, err := runner.SA(app, arch, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		agg, err := runner.Run(ctx, app, runner.Options{
+			Runs:     *runs,
+			Workers:  *workers,
+			BaseSeed: *seed,
+		}, fn)
+		if err != nil && ctx.Err() == nil {
+			log.Fatal(err)
+		}
+		if agg.Completed == 0 {
+			log.Fatal("interrupted before any run completed")
+		}
+		elapsed := time.Since(start)
+		best, b = agg.Best, agg.BestEval
+		fmt.Printf("  runs completed          : %d/%d (%d workers)\n", agg.Completed, agg.Requested, *workers)
+		fmt.Printf("  execution time          : mean %.3f ms, median %.3f ms, p95 %.3f ms\n",
+			agg.MakespanMS.Mean(), agg.MakespanMS.Median(), agg.MakespanMS.Quantile(0.95))
+		fmt.Printf("  best execution time     : %v (run %d, seed %d)\n", b.Makespan, agg.BestRun, agg.BestSeed)
+		if cfg.Deadline > 0 {
+			fmt.Printf("  constraint %v met    : %d/%d runs\n", cfg.Deadline, agg.DeadlineMet, agg.Completed)
+		}
+		fmt.Printf("  contexts                : mean %.2f, best %d\n", agg.Contexts.Mean(), b.Contexts)
+		fmt.Printf("  area/time archive       : %d non-dominated points\n", agg.Archive.Len())
+		fmt.Printf("  optimizer wall time     : %v total, %v per run\n\n",
+			elapsed.Round(time.Millisecond),
+			(elapsed / time.Duration(agg.Completed)).Round(time.Millisecond))
+	} else {
+		res, err := core.Explore(app, arch, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		best, b = res.Best, res.BestEval
+		fmt.Printf("  initial random solution : %v\n", res.InitialEval.Makespan)
+		fmt.Printf("  best execution time     : %v\n", b.Makespan)
+		if cfg.Deadline > 0 {
+			fmt.Printf("  constraint %v met    : %v\n", cfg.Deadline, res.MetDeadline)
+		}
+		fmt.Printf("  contexts                : %d\n", b.Contexts)
+		fmt.Printf("  optimizer wall time     : %v (%d iterations)\n", elapsed.Round(time.Millisecond), res.Stats.Iters)
 	}
-	fmt.Printf("  contexts                : %d\n", b.Contexts)
 	fmt.Printf("  compute sw/hw           : %v / %v\n", b.ComputeSW, b.ComputeHW)
 	fmt.Printf("  bus communication       : %v\n", b.Comm)
-	fmt.Printf("  reconfiguration         : initial %v + dynamic %v\n", b.InitialReconfig, b.DynamicReconfig)
-	fmt.Printf("  optimizer wall time     : %v (%d iterations)\n\n", elapsed.Round(time.Millisecond), res.Stats.Iters)
+	fmt.Printf("  reconfiguration         : initial %v + dynamic %v\n\n", b.InitialReconfig, b.DynamicReconfig)
 
 	if *assign {
 		tb := report.NewTable("task", "name", "resource", "impl", "clbs", "time")
 		for t := 0; t < app.N(); t++ {
-			pl := res.Best.Assign[t]
+			pl := best.Assign[t]
 			task := &app.Tasks[t]
 			switch pl.Kind {
 			case model.KindProcessor:
 				tb.AddRow(t, task.Name, fmt.Sprintf("proc%d", pl.Res), "-", "-", task.SW.String())
 			case model.KindRC:
-				im := task.HW[res.Best.Impl[t]]
+				im := task.HW[best.Impl[t]]
 				tb.AddRow(t, task.Name, fmt.Sprintf("rc%d/ctx%d", pl.Res, pl.Ctx),
-					res.Best.Impl[t], im.CLBs, im.Time.String())
+					best.Impl[t], im.CLBs, im.Time.String())
 			case model.KindASIC:
-				im := task.HW[res.Best.Impl[t]]
+				im := task.HW[best.Impl[t]]
 				tb.AddRow(t, task.Name, fmt.Sprintf("asic%d", pl.Res),
-					res.Best.Impl[t], im.CLBs, im.Time.String())
+					best.Impl[t], im.CLBs, im.Time.String())
 			}
 		}
 		if err := tb.Render(os.Stdout); err != nil {
@@ -133,11 +182,11 @@ func main() {
 
 	if *gantt {
 		e := sched.NewEvaluator(app, arch)
-		if _, err := e.Evaluate(res.Best); err != nil {
+		if _, err := e.Evaluate(best); err != nil {
 			log.Fatal(err)
 		}
 		tb := report.NewTable("lane", "start", "end", "activity")
-		for _, en := range sched.Gantt(e, res.Best) {
+		for _, en := range sched.Gantt(e, best) {
 			tb.AddRow(en.Lane, en.Start.String(), en.End.String(), en.Label)
 		}
 		if err := tb.Render(os.Stdout); err != nil {

@@ -18,13 +18,27 @@
 //	res, err := dse.Explore(app, arch, dse.DefaultOptions())
 //	if err != nil { ... }
 //	fmt.Println(res.BestEval.Makespan) // e.g. "33.12ms"
+//
+// Multi-run exploration (the paper's protocol averages ~100 independent
+// runs per configuration) goes through ExploreMany, which fans the runs out
+// over a worker pool with one deterministic seed per run — the aggregate is
+// identical whatever the worker count:
+//
+//	agg, err := dse.ExploreMany(ctx, app, arch, dse.DefaultOptions(),
+//		dse.RunnerOptions{Runs: 100, BaseSeed: 0}) // Workers: 0 → NumCPU
+//	if err != nil { ... }
+//	fmt.Println(agg.MakespanMS.Mean(), agg.MakespanMS.Quantile(0.95))
+//	fmt.Println(agg.BestEval.Makespan, "from run", agg.BestRun)
 package dse
 
 import (
+	"context"
+
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/ga"
 	"repro/internal/model"
+	"repro/internal/runner"
 	"repro/internal/sched"
 )
 
@@ -98,6 +112,42 @@ func DefaultOptions() Options { return core.DefaultConfig() }
 // Explore runs the annealing design-space exploration.
 func Explore(app *App, arch *Arch, opts Options) (*Result, error) {
 	return core.Explore(app, arch, opts)
+}
+
+// RunnerOptions configures a multi-run exploration batch; see
+// runner.Options for field docs (Runs, Workers, BaseSeed, OnResult).
+type RunnerOptions = runner.Options
+
+// MultiResult is the streamed aggregate of a multi-run batch: per-metric
+// summaries (mean/min/max/quantiles), the overall best solution, and the
+// cross-run area/time Pareto archive.
+type MultiResult = runner.Aggregate
+
+// RunResult is one completed run as delivered to RunnerOptions.OnResult.
+type RunResult = runner.RunResult
+
+// ExploreMany runs ropts.Runs independent annealing explorations over a
+// worker pool (ropts.Workers; 0 selects NumCPU) with the deterministic seed
+// stream opts.Seed′ = ropts.BaseSeed + run. Per-run results and their
+// aggregation order are identical for any worker count. Cancelling ctx
+// stops in-flight runs within one annealing iteration; the partial
+// aggregate of the completed runs is returned alongside ctx.Err().
+func ExploreMany(ctx context.Context, app *App, arch *Arch, opts Options, ropts RunnerOptions) (*MultiResult, error) {
+	fn, err := runner.SA(app, arch, opts)
+	if err != nil {
+		return nil, err
+	}
+	return runner.Run(ctx, app, ropts, fn)
+}
+
+// ExploreManyGA is ExploreMany for the genetic-algorithm baseline. deadline
+// only affects the aggregate's DeadlineMet count (0 = no constraint).
+func ExploreManyGA(ctx context.Context, app *App, arch *Arch, opts GAOptions, deadline Time, ropts RunnerOptions) (*MultiResult, error) {
+	fn, err := runner.GA(app, arch, opts, deadline)
+	if err != nil {
+		return nil, err
+	}
+	return runner.Run(ctx, app, ropts, fn)
 }
 
 // GAOptions configures the genetic-algorithm baseline.

@@ -1,6 +1,7 @@
 package dse_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/dse"
@@ -34,6 +35,47 @@ func TestPublicQuickstart(t *testing.T) {
 	}
 	if len(entries) < app.N() {
 		t.Fatalf("Gantt has %d entries for %d tasks", len(entries), app.N())
+	}
+}
+
+func TestPublicExploreMany(t *testing.T) {
+	app := dse.MotionDetection()
+	arch := dse.MotionArch(2000)
+	opts := dse.DefaultOptions()
+	opts.MaxIters = 600
+	opts.Warmup = 150
+	opts.QuenchIters = 200
+	opts.Deadline = dse.MotionDeadline
+
+	run := func(workers int) *dse.MultiResult {
+		agg, err := dse.ExploreMany(context.Background(), app, arch, opts,
+			dse.RunnerOptions{Runs: 4, Workers: workers, BaseSeed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return agg
+	}
+	serial, parallel := run(1), run(0) // 0 → NumCPU
+	if serial.Completed != 4 || parallel.Completed != 4 {
+		t.Fatalf("completed %d/%d runs", serial.Completed, parallel.Completed)
+	}
+	if serial.MakespanMS.Mean() != parallel.MakespanMS.Mean() ||
+		serial.BestEval != parallel.BestEval || serial.BestRun != parallel.BestRun {
+		t.Fatal("ExploreMany is not deterministic across worker counts")
+	}
+	if serial.Best == nil || serial.BestEval.Makespan <= 0 {
+		t.Fatal("no best solution")
+	}
+	// The overall best must round-trip through the public evaluator.
+	ev, err := dse.Evaluate(app, arch, serial.Best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev != serial.BestEval {
+		t.Fatalf("best mapping re-evaluates differently: %+v vs %+v", ev, serial.BestEval)
+	}
+	if serial.Archive.Len() < 1 {
+		t.Fatal("empty Pareto archive")
 	}
 }
 

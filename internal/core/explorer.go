@@ -40,10 +40,22 @@ type Explorer struct {
 	rng      *rand.Rand // move-parameter randomness (separate from the annealer's)
 }
 
-// New validates the inputs and builds an explorer with a random initial
-// solution (the paper's initialization: a random number of tasks moved one
-// by one to the reconfigurable circuit).
-func New(app *model.App, arch *model.Arch, cfg Config) (*Explorer, error) {
+// Prepared caches everything about an (application, architecture) pair that
+// is independent of the run configuration: validation, the transitive
+// closure of the precedence graph, and the fixed topological order. Batched
+// multi-run drivers (internal/runner) prepare once and then spawn one cheap
+// Explorer per seed, hoisting the O(V²) closure construction out of the
+// per-run hot loop. A Prepared is immutable after construction and safe for
+// concurrent use by multiple explorers.
+type Prepared struct {
+	app       *model.App
+	arch      *model.Arch
+	precReach *graph.Closure
+	topoPos   []int
+}
+
+// Prepare validates the inputs and precomputes the run-independent state.
+func Prepare(app *model.App, arch *model.Arch) (*Prepared, error) {
 	if err := app.Validate(); err != nil {
 		return nil, err
 	}
@@ -52,15 +64,6 @@ func New(app *model.App, arch *model.Arch, cfg Config) (*Explorer, error) {
 	}
 	if len(arch.Processors) == 0 {
 		return nil, fmt.Errorf("core: the explorer needs at least one processor")
-	}
-	if cfg.Quality <= 0 {
-		cfg.Quality = 0.01
-	}
-	if cfg.Warmup <= 0 {
-		cfg.Warmup = 1200
-	}
-	if cfg.MaxIters <= 0 {
-		cfg.MaxIters = 5000
 	}
 	prec, err := graph.NewClosure(app.Precedence())
 	if err != nil {
@@ -74,13 +77,35 @@ func New(app *model.App, arch *model.Arch, cfg Config) (*Explorer, error) {
 	for i, t := range order {
 		topoPos[t] = i
 	}
+	return &Prepared{app: app, arch: arch, precReach: prec, topoPos: topoPos}, nil
+}
+
+// App returns the prepared application.
+func (p *Prepared) App() *model.App { return p.app }
+
+// Arch returns the prepared architecture.
+func (p *Prepared) Arch() *model.Arch { return p.arch }
+
+// New builds an explorer over the prepared pair with a random initial
+// solution (the paper's initialization: a random number of tasks moved one
+// by one to the reconfigurable circuit).
+func (p *Prepared) New(cfg Config) (*Explorer, error) {
+	if cfg.Quality <= 0 {
+		cfg.Quality = 0.01
+	}
+	if cfg.Warmup <= 0 {
+		cfg.Warmup = 1200
+	}
+	if cfg.MaxIters <= 0 {
+		cfg.MaxIters = 5000
+	}
 	e := &Explorer{
-		app:       app,
-		arch:      arch,
+		app:       p.app,
+		arch:      p.arch,
 		cfg:       cfg,
-		eval:      sched.NewEvaluator(app, arch),
-		precReach: prec,
-		topoPos:   topoPos,
+		eval:      sched.NewEvaluator(p.app, p.arch),
+		precReach: p.precReach,
+		topoPos:   p.topoPos,
 		spare:     &sched.Mapping{},
 		best:      &sched.Mapping{},
 		rng:       rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
@@ -93,7 +118,7 @@ func New(app *model.App, arch *model.Arch, cfg Config) (*Explorer, error) {
 	}
 	e.mv.e = e
 
-	m, err := sched.RandomMapping(app, arch, e.rng)
+	m, err := sched.RandomMapping(p.app, p.arch, e.rng)
 	if err != nil {
 		return nil, err
 	}
@@ -101,6 +126,26 @@ func New(app *model.App, arch *model.Arch, cfg Config) (*Explorer, error) {
 		return nil, err
 	}
 	return e, nil
+}
+
+// Explore is the prepared one-call API: build an explorer and run it.
+func (p *Prepared) Explore(cfg Config) (*Result, error) {
+	e, err := p.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run()
+}
+
+// New validates the inputs and builds an explorer with a random initial
+// solution. Callers running many seeds over the same pair should Prepare
+// once instead.
+func New(app *model.App, arch *model.Arch, cfg Config) (*Explorer, error) {
+	p, err := Prepare(app, arch)
+	if err != nil {
+		return nil, err
+	}
+	return p.New(cfg)
 }
 
 // reset installs a mapping as the current solution.

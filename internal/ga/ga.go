@@ -38,6 +38,9 @@ type Config struct {
 	TournamentK int
 	// Seed makes runs reproducible.
 	Seed int64
+	// Stop, when non-nil, is polled once per generation; returning true
+	// interrupts the run, which then returns the best individual so far.
+	Stop func() bool
 }
 
 // DefaultConfig mirrors the baseline's published setting.
@@ -139,6 +142,9 @@ func Explore(app *model.App, arch *model.Arch, cfg Config) (*Result, error) {
 	stall := 0
 	gen := 0
 	for ; gen < cfg.Generations; gen++ {
+		if cfg.Stop != nil && cfg.Stop() {
+			break
+		}
 		next := make([]*genome, 0, cfg.Population)
 		// Elitism: carry the best individuals over unchanged.
 		for _, g := range elites(pop, cfg.Elite) {

@@ -1,0 +1,69 @@
+package pareto
+
+import (
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Tagged is one archive entry: an area/time point plus the identifier of
+// the run (or any caller-defined origin) that produced it.
+type Tagged struct {
+	Impl model.Impl
+	ID   int
+}
+
+// Archive maintains the non-dominated set of area/time points observed so
+// far, each tagged with its origin. The multi-run exploration engine feeds
+// it the best solution of every annealing run, so after a batch it holds
+// the cross-run area–execution-time trade-off frontier. The zero value is
+// an empty archive. Archive is not safe for concurrent use; the runner
+// serializes insertions through its in-order result merger.
+type Archive struct {
+	pts []Tagged
+}
+
+// Add offers a point to the archive. It returns true when the point enters
+// the frontier (evicting any entries it dominates) and false when an
+// existing entry dominates or equals it — ties keep the incumbent, so
+// feeding runs in index order is deterministic.
+func (a *Archive) Add(p model.Impl, id int) bool {
+	for _, q := range a.pts {
+		if Dominates(q.Impl, p) || q.Impl == p {
+			return false
+		}
+	}
+	keep := a.pts[:0]
+	for _, q := range a.pts {
+		if !Dominates(p, q.Impl) {
+			keep = append(keep, q)
+		}
+	}
+	a.pts = append(keep, Tagged{Impl: p, ID: id})
+	return true
+}
+
+// Merge folds every point of other into a. Merging archives built from
+// disjoint run batches yields exactly the archive of the union of runs
+// (dominance is transitive, so no resurrection is possible).
+func (a *Archive) Merge(other *Archive) {
+	for _, q := range other.pts {
+		a.Add(q.Impl, q.ID)
+	}
+}
+
+// Len returns the number of frontier points.
+func (a *Archive) Len() int { return len(a.pts) }
+
+// Points returns the frontier sorted by increasing area (hence strictly
+// decreasing time). The returned slice is a copy.
+func (a *Archive) Points() []Tagged {
+	out := append([]Tagged(nil), a.pts...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Impl.CLBs != out[j].Impl.CLBs {
+			return out[i].Impl.CLBs < out[j].Impl.CLBs
+		}
+		return out[i].Impl.Time < out[j].Impl.Time
+	})
+	return out
+}

@@ -119,3 +119,64 @@ func TestFrontProperties(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestArchiveAdd(t *testing.T) {
+	var a Archive
+	if !a.Add(model.Impl{CLBs: 100, Time: 10}, 0) {
+		t.Fatal("first point rejected")
+	}
+	if a.Add(model.Impl{CLBs: 100, Time: 10}, 1) {
+		t.Fatal("duplicate accepted — ties must keep the incumbent")
+	}
+	if a.Add(model.Impl{CLBs: 120, Time: 15}, 2) {
+		t.Fatal("dominated point accepted")
+	}
+	if !a.Add(model.Impl{CLBs: 50, Time: 20}, 3) {
+		t.Fatal("trade-off point rejected")
+	}
+	// A dominating point must evict both incumbents it dominates.
+	if !a.Add(model.Impl{CLBs: 40, Time: 5}, 4) {
+		t.Fatal("dominating point rejected")
+	}
+	pts := a.Points()
+	if len(pts) != 1 || pts[0].ID != 4 {
+		t.Fatalf("eviction failed: %+v", pts)
+	}
+}
+
+func TestArchiveAgainstFront(t *testing.T) {
+	// The archive built incrementally must equal Front over the same
+	// points, for any insertion order.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		points := make([]model.Impl, 30)
+		for i := range points {
+			points[i] = model.Impl{CLBs: 1 + rng.Intn(20), Time: model.Time(1 + rng.Intn(20))}
+		}
+		var a Archive
+		for i, p := range points {
+			a.Add(p, i)
+		}
+		want := Front(points)
+		got := a.Points()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: archive %d points, Front %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Impl != want[i] {
+				t.Fatalf("trial %d: point %d: %+v vs %+v", trial, i, got[i].Impl, want[i])
+			}
+		}
+		if !IsFront(implsOf(got)) {
+			t.Fatalf("trial %d: archive is not an antichain: %+v", trial, got)
+		}
+	}
+}
+
+func implsOf(pts []Tagged) []model.Impl {
+	out := make([]model.Impl, len(pts))
+	for i, p := range pts {
+		out[i] = p.Impl
+	}
+	return out
+}

@@ -1,0 +1,278 @@
+// Package runner is the parallel multi-run exploration engine: it executes
+// N independent exploration runs (simulated annealing or the GA baseline)
+// across a pool of workers, one deterministic seed stream per run, and
+// aggregates their results as they stream in.
+//
+// The paper's headline results are averages over ~100 independent annealing
+// runs per configuration — an embarrassingly parallel outer loop. The
+// runner parallelizes exactly that loop while keeping it reproducible:
+//
+//   - run i always uses seed BaseSeed+i, so each run's outcome is a pure
+//     function of its seed regardless of the worker count;
+//   - completed runs pass through an in-order merger (a reorder buffer keyed
+//     by run index) before touching the aggregate, so the streamed
+//     statistics, the best-solution tie-breaks and the Pareto archive are
+//     byte-identical between Workers=1 and Workers=NumCPU.
+//
+// Cancellation is cooperative: the context is forwarded into each run's
+// Stop hook, so an in-flight annealing run winds down within one iteration
+// and the batch returns the aggregate of every run that completed.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/pareto"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// Options configures a batch of exploration runs.
+type Options struct {
+	// Runs is the number of independent runs (the paper uses 100 per sweep
+	// point). Values below 1 are treated as 1.
+	Runs int
+	// Workers is the worker-pool size; values below 1 select
+	// runtime.NumCPU().
+	Workers int
+	// BaseSeed is the origin of the per-run seed stream: run i uses seed
+	// BaseSeed+i.
+	BaseSeed int64
+	// OnResult, when non-nil, receives every completed run strictly in run
+	// order (0, 1, 2, ...) as results stream out of the merger. It is
+	// called from the coordinating goroutine, never concurrently.
+	OnResult func(RunResult)
+}
+
+// workers resolves the effective pool size.
+func (o Options) workers() int {
+	if o.Workers < 1 {
+		return runtime.NumCPU()
+	}
+	return o.Workers
+}
+
+// runs resolves the effective run count.
+func (o Options) runs() int {
+	if o.Runs < 1 {
+		return 1
+	}
+	return o.Runs
+}
+
+// Outcome is what one exploration run hands back to the engine.
+type Outcome struct {
+	// Best is the best mapping the run found. The runner takes ownership;
+	// it must not alias state mutated by later runs.
+	Best *sched.Mapping
+	// Eval is its evaluation.
+	Eval sched.Result
+	// MetDeadline reports whether Best satisfies the run's deadline
+	// (vacuously true without one).
+	MetDeadline bool
+}
+
+// RunFunc executes one independent exploration run. It must derive all its
+// randomness from seed (the engine guarantees seed = BaseSeed + run), honor
+// ctx by returning early with its best-so-far, and be safe for concurrent
+// invocation with other runs.
+type RunFunc func(ctx context.Context, run int, seed int64) (*Outcome, error)
+
+// RunResult is one completed run as seen by the streaming consumer.
+type RunResult struct {
+	Run     int
+	Seed    int64
+	Outcome Outcome
+}
+
+// Aggregate is the streamed cross-run summary of a batch.
+type Aggregate struct {
+	// Requested and Completed count the runs asked for and the runs that
+	// finished (they differ only under cancellation or error).
+	Requested int
+	Completed int
+	// MakespanMS, InitialReconfigMS, DynamicReconfigMS, CommMS aggregate
+	// the per-run best evaluations, in milliseconds.
+	MakespanMS        stats.Summary
+	InitialReconfigMS stats.Summary
+	DynamicReconfigMS stats.Summary
+	CommMS            stats.Summary
+	// Contexts aggregates the per-run best context counts.
+	Contexts stats.Summary
+	// DeadlineMet counts runs whose best solution met the deadline.
+	DeadlineMet int
+	// Best is the overall best mapping (lowest makespan; ties go to the
+	// lowest run index), with its evaluation and origin.
+	Best     *sched.Mapping
+	BestEval sched.Result
+	BestRun  int
+	BestSeed int64
+	// Archive is the cross-run area/time Pareto frontier: each run's best
+	// solution contributes one (occupied CLBs, makespan) point tagged with
+	// its run index.
+	Archive pareto.Archive
+}
+
+// add folds one completed run into the aggregate. Called in run order.
+func (a *Aggregate) add(app *model.App, r RunResult) {
+	a.Completed++
+	ev := r.Outcome.Eval
+	a.MakespanMS.Add(ev.Makespan.Millis())
+	a.InitialReconfigMS.Add(ev.InitialReconfig.Millis())
+	a.DynamicReconfigMS.Add(ev.DynamicReconfig.Millis())
+	a.CommMS.Add(ev.Comm.Millis())
+	a.Contexts.Add(float64(ev.Contexts))
+	if r.Outcome.MetDeadline {
+		a.DeadlineMet++
+	}
+	if a.Best == nil || ev.Makespan < a.BestEval.Makespan {
+		a.Best = r.Outcome.Best
+		a.BestEval = ev
+		a.BestRun = r.Run
+		a.BestSeed = r.Seed
+	}
+	if app != nil && r.Outcome.Best != nil {
+		a.Archive.Add(model.Impl{CLBs: HWArea(app, r.Outcome.Best), Time: ev.Makespan}, r.Run)
+	}
+}
+
+// HWArea sums the CLB counts of the chosen implementations of every task
+// mapped to hardware (RC or ASIC) — the archive's area coordinate.
+func HWArea(app *model.App, m *sched.Mapping) int {
+	area := 0
+	for t, pl := range m.Assign {
+		if pl.Kind == model.KindRC || pl.Kind == model.KindASIC {
+			area += app.Tasks[t].HW[m.Impl[t]].CLBs
+		}
+	}
+	return area
+}
+
+// indexed pairs a worker's outcome with its run index for the merger.
+type indexed struct {
+	run int
+	out *Outcome
+	err error
+}
+
+// Run executes opts.runs() invocations of fn over opts.workers() workers
+// and returns the streamed aggregate. app is used to compute archive area
+// points; it may be nil to disable the archive.
+//
+// On cancellation the aggregate of every run that completed is returned
+// together with the context's error. On a run error the remaining runs are
+// cancelled and the first error (lowest run index) is returned, again with
+// the partial aggregate.
+func Run(ctx context.Context, app *model.App, opts Options, fn RunFunc) (*Aggregate, error) {
+	if fn == nil {
+		return nil, fmt.Errorf("runner: nil RunFunc")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	runs := opts.runs()
+	workers := opts.workers()
+	if workers > runs {
+		workers = runs
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	jobs := make(chan int)
+	results := make(chan indexed, workers)
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for run := range jobs {
+				out, err := fn(ctx, run, opts.BaseSeed+int64(run))
+				// The merger drains results until every worker exits, so
+				// this send cannot block and a run finished concurrently
+				// with cancellation still reaches the partial aggregate.
+				results <- indexed{run: run, out: out, err: err}
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for run := 0; run < runs; run++ {
+			// Checked before the select too: with a worker ready to
+			// receive AND the context done, select would pick randomly
+			// and could dispatch runs into a cancelled batch.
+			if ctx.Err() != nil {
+				return
+			}
+			select {
+			case jobs <- run:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// In-order merger: hold out-of-order completions in a reorder buffer
+	// and release them into the aggregate strictly by run index, so the
+	// streamed statistics are independent of worker scheduling.
+	agg := &Aggregate{Requested: runs}
+	pending := make(map[int]indexed, workers)
+	next := 0
+	var firstErr error
+	errRun := runs
+	flush := func() {
+		for {
+			r, ok := pending[next]
+			if !ok {
+				return
+			}
+			delete(pending, next)
+			if r.err == nil && r.out != nil {
+				res := RunResult{Run: r.run, Seed: opts.BaseSeed + int64(r.run), Outcome: *r.out}
+				agg.add(app, res)
+				if opts.OnResult != nil {
+					opts.OnResult(res)
+				}
+			}
+			next++
+		}
+	}
+	for r := range results {
+		// Cancellation errors are the batch winding down, not run
+		// failures; among genuine errors keep the lowest run index so the
+		// reported error is deterministic.
+		if r.err != nil && !errors.Is(r.err, context.Canceled) &&
+			!errors.Is(r.err, context.DeadlineExceeded) && r.run < errRun {
+			firstErr, errRun = fmt.Errorf("runner: run %d (seed %d): %w",
+				r.run, opts.BaseSeed+int64(r.run), r.err), r.run
+			cancel()
+		}
+		pending[r.run] = r
+		flush()
+	}
+	// Under cancellation some indices never arrive; release whatever
+	// completed beyond the gaps (sorted order no longer guaranteed to be
+	// gap-free, but still ascending).
+	for next < runs && len(pending) > 0 {
+		if _, ok := pending[next]; !ok {
+			next++
+			continue
+		}
+		flush()
+	}
+
+	if firstErr != nil {
+		return agg, firstErr
+	}
+	return agg, ctx.Err()
+}

@@ -4,9 +4,16 @@
 // autocorrelation tracker. The Lam–Delosme schedule expresses its cooling
 // rate in terms of the mean, variance and correlation of the cost signal,
 // so these estimators are the "thermometer" of the optimizer.
+//
+// It also provides Summary, the cross-run aggregator of the multi-run
+// exploration engine (internal/runner): running moments plus min/max and
+// quantiles over the observed sample.
 package stats
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // Welford accumulates exact running mean and variance using Welford's
 // numerically stable recurrence.
@@ -51,6 +58,96 @@ func (w *Welford) StdDev() float64 { return math.Sqrt(w.Var()) }
 
 // Reset clears all state.
 func (w *Welford) Reset() { *w = Welford{} }
+
+// Summary aggregates a stream of observations: exact running moments via
+// Welford, min/max, and arbitrary quantiles over the retained sample. It is
+// sized for multi-run exploration statistics (hundreds to thousands of
+// runs), so it keeps every observation; it is not meant for unbounded
+// signals. The zero value is ready to use.
+type Summary struct {
+	w       Welford
+	min     float64
+	max     float64
+	samples []float64
+	sorted  bool
+}
+
+// Add incorporates one observation.
+func (s *Summary) Add(x float64) {
+	if s.w.N() == 0 || x < s.min {
+		s.min = x
+	}
+	if s.w.N() == 0 || x > s.max {
+		s.max = x
+	}
+	s.w.Add(x)
+	s.samples = append(s.samples, x)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int64 { return s.w.N() }
+
+// Mean returns the running mean (0 before any observation).
+func (s *Summary) Mean() float64 { return s.w.Mean() }
+
+// StdDev returns the population standard deviation.
+func (s *Summary) StdDev() float64 { return s.w.StdDev() }
+
+// Min returns the smallest observation (0 before any observation).
+func (s *Summary) Min() float64 {
+	if s.w.N() == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest observation (0 before any observation).
+func (s *Summary) Max() float64 {
+	if s.w.N() == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Quantile returns the q-quantile (q in [0,1]) of the observations using
+// linear interpolation between order statistics; it returns 0 before any
+// observation. Quantile(0.5) is the median.
+func (s *Summary) Quantile(q float64) float64 {
+	n := len(s.samples)
+	if n == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.samples)
+		s.sorted = true
+	}
+	if q <= 0 {
+		return s.samples[0]
+	}
+	if q >= 1 {
+		return s.samples[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.samples[lo]
+	}
+	frac := pos - float64(lo)
+	return s.samples[lo]*(1-frac) + s.samples[hi]*frac
+}
+
+// Median returns the 0.5-quantile.
+func (s *Summary) Median() float64 { return s.Quantile(0.5) }
+
+// Reset clears all state, retaining the sample buffer's capacity.
+func (s *Summary) Reset() {
+	s.w.Reset()
+	s.min, s.max = 0, 0
+	s.samples = s.samples[:0]
+	s.sorted = false
+}
 
 // EWMA is an exponentially weighted moving average with smoothing factor
 // alpha in (0,1]: larger alpha tracks faster, smaller alpha remembers more.

@@ -177,3 +177,68 @@ func TestAutoCorrDegenerate(t *testing.T) {
 		t.Fatalf("constant-signal autocorr = %v", a.Value())
 	}
 }
+
+func TestSummaryMoments(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Quantile(0.5) != 0 {
+		t.Fatal("empty summary not zero-valued")
+	}
+	for _, x := range []float64{5, 1, 4, 2, 3} {
+		s.Add(x)
+	}
+	if s.N() != 5 || s.Mean() != 3 || s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("moments wrong: n=%d mean=%v min=%v max=%v", s.N(), s.Mean(), s.Min(), s.Max())
+	}
+	if s.Median() != 3 {
+		t.Fatalf("median = %v, want 3", s.Median())
+	}
+	if q := s.Quantile(0); q != 1 {
+		t.Fatalf("q0 = %v, want 1", q)
+	}
+	if q := s.Quantile(1); q != 5 {
+		t.Fatalf("q1 = %v, want 5", q)
+	}
+	// Interpolated quantile: q=0.25 over 5 sorted samples sits at index 1.
+	if q := s.Quantile(0.25); q != 2 {
+		t.Fatalf("q0.25 = %v, want 2", q)
+	}
+	// Between order statistics: q=0.375 is halfway between 2 and 3.
+	if q := s.Quantile(0.375); math.Abs(q-2.5) > 1e-12 {
+		t.Fatalf("q0.375 = %v, want 2.5", q)
+	}
+}
+
+func TestSummaryInterleavedAdds(t *testing.T) {
+	// Quantile sorts the retained sample lazily; later Adds must re-sort.
+	var s Summary
+	s.Add(10)
+	s.Add(1)
+	if s.Median() != 5.5 {
+		t.Fatalf("median = %v, want 5.5", s.Median())
+	}
+	s.Add(100)
+	if s.Median() != 10 {
+		t.Fatalf("median after add = %v, want 10", s.Median())
+	}
+	s.Reset()
+	if s.N() != 0 || s.Quantile(0.5) != 0 {
+		t.Fatal("reset did not clear")
+	}
+	s.Add(-2)
+	if s.Min() != -2 || s.Max() != -2 || s.Mean() != -2 {
+		t.Fatal("post-reset observation mishandled")
+	}
+}
+
+func TestSummaryMatchesWelford(t *testing.T) {
+	var s Summary
+	var w Welford
+	for i := 0; i < 1000; i++ {
+		x := math.Sin(float64(i)) * float64(i%17)
+		s.Add(x)
+		w.Add(x)
+	}
+	if s.Mean() != w.Mean() || s.StdDev() != w.StdDev() {
+		t.Fatal("Summary moments diverge from Welford")
+	}
+}
