@@ -2,8 +2,9 @@
 # these targets so local runs and CI runs cannot drift apart.
 
 GO ?= go
+BENCH_JSON ?= BENCH_PR2.json
 
-.PHONY: all build test race bench fmt fmt-check vet ci
+.PHONY: all build test race bench bench-json fmt fmt-check vet ci
 
 all: build test
 
@@ -20,6 +21,15 @@ race:
 # benchmark code without paying for a full measurement run.
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Measured run of the key benchmarks (the ones whose trajectory the perf
+# PRs track), with allocation stats, as a test2json stream. CI uploads the
+# output as an artifact so the perf history accumulates per commit.
+bench-json:
+	$(GO) test -run=NONE -benchmem -json \
+		-bench='BenchmarkEvaluateMapping|BenchmarkSA$$|BenchmarkFig2TypicalRun|BenchmarkSAMotionEval|BenchmarkSALayered160Eval|BenchmarkEvalIncremental|BenchmarkEvalFull|BenchmarkExploreMany' \
+		. > $(BENCH_JSON)
+	@grep -c '"Action":"output"' $(BENCH_JSON) >/dev/null && echo "wrote $(BENCH_JSON)"
 
 fmt:
 	gofmt -w .

@@ -1,8 +1,8 @@
 // Package repro_test is the benchmark harness of the reproduction: one
-// benchmark per published figure/result (see DESIGN.md §4 and
-// EXPERIMENTS.md) plus ablation micro-benchmarks for the design choices the
-// implementation makes (incremental vs full evaluation, closure vs DFS
-// cycle checks, adaptive vs fixed schedules and move selection).
+// benchmark per published figure/result (see DESIGN.md §5) plus ablation
+// micro-benchmarks for the design choices the implementation makes
+// (incremental vs full evaluation, closure vs DFS cycle checks, adaptive
+// vs fixed schedules and move selection).
 //
 // The figure-level benchmarks run a reduced number of seeds per iteration
 // so `go test -bench=.` stays fast; the cmd/ tools run the full published
@@ -258,6 +258,49 @@ func BenchmarkFixedMoves(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// Ablation: the two evaluation paths of the annealing hot loop (full
+// search-graph rebuild vs delta-based patching) on a small and a large
+// instance. The full rebuild wins on small graphs, where a move's cone
+// covers most of the graph anyway; the incremental path wins once the
+// graph outgrows the cone. EvalAuto (the default) picks by instance size.
+func benchSAEvalMode(b *testing.B, tasks int, mode core.EvalMode) {
+	b.Helper()
+	var (
+		app  *model.App
+		arch *model.Arch
+	)
+	if tasks == 0 {
+		app, arch = motionSetup(2000)
+	} else {
+		rcfg := apps.DefaultRandomConfig(3)
+		rcfg.Tasks = tasks
+		rcfg.Layers = tasks / 8
+		var err error
+		if app, err = apps.Layered(rcfg); err != nil {
+			b.Fatal(err)
+		}
+		arch = apps.MotionArch(4000, apps.DefaultMotionConfig())
+	}
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.Seed = int64(i)
+		cfg.MaxIters = 3000
+		cfg.Warmup = 600
+		cfg.QuenchIters = 1000
+		cfg.EvalMode = mode
+		if _, err := core.Explore(app, arch, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSAMotionEvalFull(b *testing.B)        { benchSAEvalMode(b, 0, core.EvalFull) }
+func BenchmarkSAMotionEvalIncremental(b *testing.B) { benchSAEvalMode(b, 0, core.EvalIncremental) }
+func BenchmarkSALayered160EvalFull(b *testing.B)    { benchSAEvalMode(b, 160, core.EvalFull) }
+func BenchmarkSALayered160EvalIncremental(b *testing.B) {
+	benchSAEvalMode(b, 160, core.EvalIncremental)
 }
 
 // Scalability: exploration cost on larger random graphs.

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/prof"
 	"repro/internal/report"
 	"repro/internal/runner"
 )
@@ -38,16 +39,21 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dsesweep: ")
 	var (
-		sizesFlag = flag.String("sizes", "100,200,400,600,800,1200,1600,2000,3000,4000,5000,7000,10000", "comma-separated FPGA sizes (CLBs)")
-		runs      = flag.Int("runs", 100, "annealing runs per size (paper: 100)")
-		iters     = flag.Int("iters", 5000, "annealing iterations per run")
-		workers   = flag.Int("j", runtime.NumCPU(), "parallel annealing runs")
-		baseSeed  = flag.Int64("seed", 0, "base of the per-run seed stream (run i uses seed+i)")
-		splits    = flag.Bool("splits", false, "enable the context-splitting extension move (paper mode: off)")
-		csvPath   = flag.String("csv", "", "write results to this CSV file")
-		noplot    = flag.Bool("noplot", false, "suppress the ASCII plot")
+		sizesFlag  = flag.String("sizes", "100,200,400,600,800,1200,1600,2000,3000,4000,5000,7000,10000", "comma-separated FPGA sizes (CLBs)")
+		runs       = flag.Int("runs", 100, "annealing runs per size (paper: 100)")
+		iters      = flag.Int("iters", 5000, "annealing iterations per run")
+		workers    = flag.Int("j", runtime.NumCPU(), "parallel annealing runs")
+		baseSeed   = flag.Int64("seed", 0, "base of the per-run seed stream (run i uses seed+i)")
+		splits     = flag.Bool("splits", false, "enable the context-splitting extension move (paper mode: off)")
+		csvPath    = flag.String("csv", "", "write results to this CSV file")
+		noplot     = flag.Bool("noplot", false, "suppress the ASCII plot")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles := prof.Start(*cpuprofile, *memprofile)
+	defer stopProfiles()
 
 	sizes, err := parseSizes(*sizesFlag)
 	if err != nil {

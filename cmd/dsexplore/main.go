@@ -29,6 +29,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/prof"
 	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/sched"
@@ -52,8 +53,13 @@ func main() {
 		assign     = flag.Bool("assign", true, "print the per-task assignment table")
 		dumpApp    = flag.String("dump-app", "", "write the built-in application JSON here and exit")
 		dumpArch   = flag.String("dump-arch", "", "write the built-in architecture JSON here and exit")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the exploration to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles := prof.Start(*cpuprofile, *memprofile)
+	defer stopProfiles()
 
 	mcfg := apps.DefaultMotionConfig()
 	if *dumpApp != "" || *dumpArch != "" {

@@ -50,6 +50,43 @@ const (
 	numMoveKinds
 )
 
+// EvalMode selects how the annealing loop re-evaluates a mutated mapping.
+// Both concrete paths produce bit-identical results (enforced by the
+// equivalence tests and the fuzz harness); they differ only in cost shape.
+type EvalMode int
+
+const (
+	// EvalAuto (the default) picks per instance: the delta-based path when
+	// a move's affected cone is expected to be small relative to the
+	// search graph — many schedulable resources spreading the
+	// sequentialization chains — and the full rebuild otherwise. See
+	// DESIGN.md §3.4 for the measurements behind the heuristic.
+	EvalAuto EvalMode = iota
+	// EvalFull rebuilds the whole search graph from scratch on every move
+	// (sched.Evaluator) — the reference path. Its CSR-based evaluation is
+	// extremely cache-friendly, which makes it the fastest choice on
+	// small instances where a move perturbs most of the schedule anyway.
+	EvalFull
+	// EvalIncremental patches persistent search graphs move by move,
+	// re-propagating longest paths only through the affected cone and
+	// diffing the dynamic layers and the bus contention chain
+	// (sched.IncEvaluator). It wins when the graph outgrows the typical
+	// move cone — larger task sets spread over several processors and RCs.
+	EvalIncremental
+)
+
+// resolve maps EvalAuto to a concrete path for the given instance.
+func (m EvalMode) resolve(app *model.App, arch *model.Arch) EvalMode {
+	if m != EvalAuto {
+		return m
+	}
+	resources := len(arch.Processors) + len(arch.RCs)
+	if resources >= 3 && app.N() >= 48 {
+		return EvalIncremental
+	}
+	return EvalFull
+}
+
 // Config parameterizes an exploration run. The zero value is not usable;
 // call DefaultConfig.
 type Config struct {
@@ -97,9 +134,14 @@ type Config struct {
 	// Stop, when non-nil, is polled during the run; returning true
 	// interrupts the search, which then returns the best solution so far.
 	Stop func() bool
+	// EvalMode selects the evaluation path of the hot loop; the zero value
+	// (EvalAuto) picks per instance. Both concrete paths produce
+	// bit-identical results, so the choice affects only speed.
+	EvalMode EvalMode
 	// Paranoid re-validates every mapping mutation against
-	// sched.CheckMapping; used by the test suite to catch state
-	// corruption, far too slow for production runs.
+	// sched.CheckMapping — and, in incremental mode, cross-checks every
+	// incremental evaluation against a full rebuild; used by the test
+	// suite to catch state corruption, far too slow for production runs.
 	Paranoid bool
 }
 

@@ -17,7 +17,11 @@ type Explorer struct {
 	arch *model.Arch
 	cfg  Config
 
+	// eval is the full-rebuild reference evaluator, constructed lazily via
+	// fullEval (in incremental mode it is needed only for the Paranoid
+	// cross-check). inc is the delta-based evaluator, nil in EvalFull mode.
 	eval *sched.Evaluator
+	inc  *sched.IncEvaluator
 	// precReach is the transitive closure of the (static) precedence
 	// graph, used as the O(1) legality pre-check of Section 4.3 before the
 	// full cycle detection performed by evaluation.
@@ -31,13 +35,21 @@ type Explorer struct {
 	curRes  sched.Result
 	curCost float64
 
-	spare   *sched.Mapping // pre-move snapshot for O(1) revert
+	// journal records per-move undo ops; cs records the layers the move in
+	// flight invalidated. Together they make both rejection and the
+	// incremental evaluator's resynchronization O(move delta).
+	journal journal
+	cs      *sched.ChangeSet
+
 	best    *sched.Mapping
 	bestRes sched.Result
 
 	selector anneal.Selector
 	mv       move
 	rng      *rand.Rand // move-parameter randomness (separate from the annealer's)
+
+	// Proposal scratch buffers (allocation-free move drawing).
+	scratchA, scratchB, scratchC []int
 }
 
 // Prepared caches everything about an (application, architecture) pair that
@@ -103,12 +115,18 @@ func (p *Prepared) New(cfg Config) (*Explorer, error) {
 		app:       p.app,
 		arch:      p.arch,
 		cfg:       cfg,
-		eval:      sched.NewEvaluator(p.app, p.arch),
 		precReach: p.precReach,
 		topoPos:   p.topoPos,
-		spare:     &sched.Mapping{},
+		cs:        sched.NewChangeSet(p.app.N(), len(p.arch.Processors), len(p.arch.RCs)),
 		best:      &sched.Mapping{},
 		rng:       rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+	}
+	if cfg.EvalMode.resolve(p.app, p.arch) == EvalIncremental {
+		inc, err := sched.NewIncEvaluator(p.app, p.arch)
+		if err != nil {
+			return nil, err
+		}
+		e.inc = inc
 	}
 	weights := moveWeights(cfg.ExploreArch)
 	if cfg.AdaptiveMoves {
@@ -148,18 +166,38 @@ func New(app *model.App, arch *model.Arch, cfg Config) (*Explorer, error) {
 	return p.New(cfg)
 }
 
+// fullEval returns the full-rebuild reference evaluator, constructing it on
+// first use: in incremental mode only Paranoid runs ever need it, and the
+// multi-run drivers build one Explorer per seed.
+func (e *Explorer) fullEval() *sched.Evaluator {
+	if e.eval == nil {
+		e.eval = sched.NewEvaluator(e.app, e.arch)
+	}
+	return e.eval
+}
+
 // reset installs a mapping as the current solution.
 func (e *Explorer) reset(m *sched.Mapping) error {
 	if err := sched.CheckMapping(e.app, e.arch, m); err != nil {
 		return err
 	}
-	res, err := e.eval.Evaluate(m)
+	var (
+		res sched.Result
+		err error
+	)
+	if e.inc != nil {
+		res, err = e.inc.Install(m)
+	} else {
+		res, err = e.fullEval().Evaluate(m)
+	}
 	if err != nil {
 		return err
 	}
 	e.cur = m
 	e.curRes = res
 	e.curCost = e.costOf(res)
+	e.journal.reset()
+	e.cs.Reset()
 	return nil
 }
 

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/model"
+)
+
+// FuzzEvalPathEquivalence drives randomized annealing runs — random task
+// graph, random knob settings, random seed, all drawn from the fuzz input —
+// through both evaluation paths and requires bit-identical traces and
+// results. Run with
+//
+//	go test -fuzz=FuzzEvalPathEquivalence ./internal/core
+//
+// to search for divergences beyond the seeded corpus.
+func FuzzEvalPathEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(18), uint8(0b011), uint16(400))
+	f.Add(int64(42), uint8(25), uint8(0b111), uint16(700))
+	f.Add(int64(-7), uint8(12), uint8(0b101), uint16(300))
+	f.Add(int64(977), uint8(35), uint8(0b110), uint16(500))
+
+	f.Fuzz(func(t *testing.T, seed int64, nTasks, knobs uint8, iters uint16) {
+		tasks := 6 + int(nTasks)%40
+		rcfg := apps.DefaultRandomConfig(seed)
+		rcfg.Tasks = tasks
+		if layers := tasks / 5; layers >= 2 {
+			rcfg.Layers = layers
+		}
+		app, err := apps.Layered(rcfg)
+		if err != nil {
+			t.Skip() // degenerate generator parameters
+		}
+		arch := wideArch(knobs&0b001 != 0)
+
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		cfg.MaxIters = 100 + int(iters)%1200
+		cfg.Warmup = cfg.MaxIters / 5
+		cfg.QuenchIters = cfg.MaxIters / 4
+		cfg.ExploreArch = knobs&0b010 != 0
+		cfg.EnableCtxSplit = knobs&0b100 != 0
+		cfg.Deadline = model.FromMillis(15)
+
+		resFull, traceFull := runWithMode(t, app, arch, cfg, EvalFull)
+		resInc, traceInc := runWithMode(t, app, arch, cfg, EvalIncremental)
+		if len(traceFull) != len(traceInc) {
+			t.Fatalf("trace lengths differ: %d vs %d", len(traceFull), len(traceInc))
+		}
+		for i := range traceFull {
+			if traceFull[i] != traceInc[i] {
+				t.Fatalf("traces diverge at iteration %d: full %+v, incremental %+v",
+					i, traceFull[i], traceInc[i])
+			}
+		}
+		if resFull.BestEval != resInc.BestEval || resFull.Stats != resInc.Stats {
+			t.Fatalf("results differ: full %+v/%+v, incremental %+v/%+v",
+				resFull.BestEval, resFull.Stats, resInc.BestEval, resInc.Stats)
+		}
+	})
+}

@@ -9,11 +9,11 @@ import (
 )
 
 // move is the single reusable anneal.Move of an explorer. Propose fills in
-// kind and parameters; Apply snapshots the mapping, mutates it, and
-// evaluates the new search graph — an evaluation cycle (contradictory
-// orders) makes the move infeasible and restores the snapshot, realizing
-// the "a move will not be performed if a cycle appears" rule of Section
-// 4.3. Revert restores the snapshot.
+// kind and parameters; Apply journals and performs the mutation, then
+// re-evaluates the search graph through the configured path — an evaluation
+// cycle (contradictory orders) makes the move infeasible and rolls the
+// journal back, realizing the "a move will not be performed if a cycle
+// appears" rule of Section 4.3. Revert replays the journal.
 type move struct {
 	e    *Explorer
 	kind int
@@ -30,33 +30,103 @@ type move struct {
 func (m *move) Kind() int { return m.kind }
 
 // Apply implements anneal.Move.
+//
+// The change set is NOT cleared per move: it accumulates every layer whose
+// installed graph state may disagree with the current mapping, and only a
+// successful incremental update (which re-derives exactly those layers)
+// consumes it. Rolled-back moves therefore never resynchronize the
+// evaluator eagerly — their stale layers simply ride along with the next
+// evaluated move, which makes Revert O(journal) with no graph work at all.
 func (m *move) Apply() bool {
 	e := m.e
-	e.cur.CopyInto(e.spare)
+	e.journal.reset()
 	m.prevRes, m.prevCost = e.curRes, e.curCost
 	if !m.mutate() {
-		e.spare.CopyInto(e.cur)
+		// The mutation stopped midway: undo whatever it already did. The
+		// evaluator was not touched, and the marks this attempt added to
+		// the change set only name layers that are in their pre-move state
+		// (re-deriving them later is a no-op diff).
+		e.rollback()
 		return false
 	}
-	res, err := e.eval.Evaluate(e.cur)
-	if err != nil {
-		e.spare.CopyInto(e.cur)
-		return false
+	var (
+		res sched.Result
+		err error
+	)
+	if e.inc != nil {
+		res, err = e.inc.Update(e.cur, e.cs)
+		if err != nil {
+			// The move closed a cycle: restore the mapping and leave the
+			// partially patched layers recorded in the change set; the
+			// next update re-derives them from the restored state.
+			e.rollback()
+			return false
+		}
+		e.cs.Reset()
+	} else {
+		res, err = e.fullEval().Evaluate(e.cur)
+		if err != nil {
+			e.rollback()
+			return false
+		}
 	}
 	if e.cfg.Paranoid {
 		if err := sched.CheckMapping(e.app, e.arch, e.cur); err != nil {
 			panic(fmt.Sprintf("core: move kind %d corrupted the mapping: %v", m.kind, err))
+		}
+		if e.inc != nil {
+			full, err := e.fullEval().Evaluate(e.cur)
+			if err != nil {
+				panic(fmt.Sprintf("core: full evaluation rejects a mapping the incremental path accepted: %v", err))
+			}
+			if full != res {
+				panic(fmt.Sprintf("core: evaluation paths diverged on move kind %d: incremental %+v, full %+v", m.kind, res, full))
+			}
 		}
 	}
 	e.curRes, e.curCost = res, e.costOf(res)
 	return true
 }
 
-// Revert implements anneal.Move.
+// Revert implements anneal.Move. The mapping is rolled back via the
+// journal; the incremental evaluator is left stale on purpose — the move's
+// layers are re-marked into the change set (recovered from the journal
+// before it is cleared), so the next evaluated move re-derives them from
+// the restored mapping.
 func (m *move) Revert() {
 	e := m.e
-	e.spare.CopyInto(e.cur)
+	if e.inc != nil {
+		m.remark()
+	}
+	e.rollback()
 	e.curRes, e.curCost = m.prevRes, m.prevCost
+}
+
+// remark translates the journaled undo ops of the applied move back into
+// change-set marks: the successful update consumed the move's marks, but
+// reverting makes those same layers stale again.
+func (m *move) remark() {
+	e := m.e
+	for i := range e.journal.ops {
+		op := &e.journal.ops[i]
+		switch op.kind {
+		case opAssign, opImpl:
+			t := int(op.a)
+			e.cs.AddTask(t)
+			// An implementation change on an RC task shifts its context's
+			// CLB sum and thus the RC's reconfiguration weights, without
+			// any container op appearing in the journal (doImpl). Runs
+			// before rollback, but an impl move never changes placement,
+			// so reading the applied-state Assign is safe.
+			if pl := e.cur.Assign[t]; pl.Kind == model.KindRC {
+				e.cs.AddRC(pl.Res)
+			}
+		case opSWInsert, opSWRemove:
+			e.cs.AddProc(int(op.a))
+		default: // every context op carries its RC in a
+			e.cs.AddRC(int(op.a))
+		}
+	}
 }
 
 func (m *move) mutate() bool {
@@ -90,12 +160,13 @@ type destination struct {
 // proposeReorder draws m1: a processor with at least two tasks and a
 // (source, destination) pair in its order.
 func (e *Explorer) proposeReorder(rng *rand.Rand) bool {
-	procs := make([]int, 0, len(e.cur.SWOrders))
+	procs := e.scratchA[:0]
 	for p, order := range e.cur.SWOrders {
 		if len(order) >= 2 {
 			procs = append(procs, p)
 		}
 	}
+	e.scratchA = procs
 	if len(procs) == 0 {
 		return false
 	}
@@ -219,7 +290,7 @@ func (e *Explorer) pickDestination(rng *rand.Rand, vs int) (destination, bool) {
 // proposeRemoveRes draws m3: a resource executing a single task loses it to
 // the destination task's resource, emptying (removing) the source resource.
 func (e *Explorer) proposeRemoveRes(rng *rand.Rand) bool {
-	var singles []int // the lone tasks of singleton resources
+	singles := e.scratchA[:0] // the lone tasks of singleton resources
 	for _, order := range e.cur.SWOrders {
 		if len(order) == 1 {
 			singles = append(singles, order[0])
@@ -237,17 +308,26 @@ func (e *Explorer) proposeRemoveRes(rng *rand.Rand) bool {
 			singles = append(singles, last)
 		}
 	}
-	asicCount := make(map[int][]int)
+	// Per-ASIC occupancy: count tasks and remember the latest-seen task of
+	// each ASIC; singletons qualify.
+	cnt := e.scratchB[:0]
+	one := e.scratchC[:0]
+	for range e.arch.ASICs {
+		cnt = append(cnt, 0)
+		one = append(one, -1)
+	}
 	for t, pl := range e.cur.Assign {
 		if pl.Kind == model.KindASIC {
-			asicCount[pl.Res] = append(asicCount[pl.Res], t)
+			cnt[pl.Res]++
+			one[pl.Res] = t
 		}
 	}
-	for _, ts := range asicCount {
-		if len(ts) == 1 {
-			singles = append(singles, ts[0])
+	for x := range e.arch.ASICs {
+		if cnt[x] == 1 {
+			singles = append(singles, one[x])
 		}
 	}
+	e.scratchA, e.scratchB, e.scratchC = singles, cnt, one
 	if len(singles) == 0 {
 		return false
 	}
@@ -261,44 +341,52 @@ func (e *Explorer) proposeRemoveRes(rng *rand.Rand) bool {
 }
 
 // proposeCreateRes draws m4: an unused template resource is instantiated
-// with a randomly chosen task.
+// with a randomly chosen task. Empty slots are encoded into a scratch list
+// as kind*maxRes+index to keep the draw allocation-free.
 func (e *Explorer) proposeCreateRes(rng *rand.Rand) bool {
-	type slot struct {
-		kind model.ResourceKind
-		res  int
-	}
-	var empty []slot
+	const (
+		tagProc = iota
+		tagRC
+		tagASIC
+	)
+	empty := e.scratchA[:0]
 	for p, order := range e.cur.SWOrders {
 		if len(order) == 0 {
-			empty = append(empty, slot{model.KindProcessor, p})
+			empty = append(empty, tagProc+3*p)
 		}
 	}
 	for r := range e.cur.Contexts {
 		if e.cur.NumContexts(r) == 0 {
-			empty = append(empty, slot{model.KindRC, r})
+			empty = append(empty, tagRC+3*r)
 		}
 	}
-	used := make([]bool, len(e.arch.ASICs))
+	used := e.scratchB[:0]
+	for range e.arch.ASICs {
+		used = append(used, 0)
+	}
 	for _, pl := range e.cur.Assign {
 		if pl.Kind == model.KindASIC {
-			used[pl.Res] = true
+			used[pl.Res] = 1
 		}
 	}
 	for x, u := range used {
-		if !u {
-			empty = append(empty, slot{model.KindASIC, x})
+		if u == 0 {
+			empty = append(empty, tagASIC+3*x)
 		}
 	}
+	e.scratchA, e.scratchB = empty, used
 	if len(empty) == 0 {
 		return false
 	}
-	s := empty[rng.Intn(len(empty))]
+	enc := empty[rng.Intn(len(empty))]
+	kind := [3]model.ResourceKind{model.KindProcessor, model.KindRC, model.KindASIC}[enc%3]
+	res := enc / 3
 	for try := 0; try < 8; try++ {
 		vs := rng.Intn(e.app.N())
-		if !e.canHost(vs, sched.Placement{Kind: s.kind, Res: s.res}) {
+		if !e.canHost(vs, sched.Placement{Kind: kind, Res: res}) {
 			continue
 		}
-		e.mv.a, e.mv.b, e.mv.c = vs, int(s.kind), s.res
+		e.mv.a, e.mv.b, e.mv.c = vs, int(kind), res
 		return true
 	}
 	return false
@@ -327,12 +415,13 @@ func (e *Explorer) proposeImpl(rng *rand.Rand) bool {
 
 // proposeCtxSwap draws an adjacent transposition in some RC's context order.
 func (e *Explorer) proposeCtxSwap(rng *rand.Rand) bool {
-	var rcs []int
+	rcs := e.scratchA[:0]
 	for r := range e.cur.Contexts {
 		if len(e.cur.Contexts[r]) >= 2 {
 			rcs = append(rcs, r)
 		}
 	}
+	e.scratchA = rcs
 	if len(rcs) == 0 {
 		return false
 	}
@@ -377,37 +466,32 @@ func (e *Explorer) proposeCtxSplit(rng *rand.Rand) bool {
 		// overflow in m2 (and the seeding above).
 		return false
 	}
-	var splittable [][2]int // (rc, ctx) pairs with ≥2 tasks
+	splittable := e.scratchA[:0] // encoded (rc, ctx) pairs with ≥2 tasks
+	maxCtx := 0
+	for r := range e.cur.Contexts {
+		if len(e.cur.Contexts[r]) > maxCtx {
+			maxCtx = len(e.cur.Contexts[r])
+		}
+	}
 	for r := range e.cur.Contexts {
 		for ci := range e.cur.Contexts[r] {
 			if len(e.cur.Contexts[r][ci].Tasks) >= 2 {
-				splittable = append(splittable, [2]int{r, ci})
+				splittable = append(splittable, r*maxCtx+ci)
 			}
 		}
 	}
+	e.scratchA = splittable
 	if len(splittable) == 0 {
 		return false
 	}
-	pick := splittable[rng.Intn(len(splittable))]
-	size := len(e.cur.Contexts[pick[0]][pick[1]].Tasks)
-	e.mv.a, e.mv.b, e.mv.c = pick[0], pick[1], 1+rng.Intn(size-1)
+	enc := splittable[rng.Intn(len(splittable))]
+	r, ci := enc/maxCtx, enc%maxCtx
+	size := len(e.cur.Contexts[r][ci].Tasks)
+	e.mv.a, e.mv.b, e.mv.c = r, ci, 1+rng.Intn(size-1)
 	return true
 }
 
 // ---------- mutation primitives ----------
-
-// sameResource reports whether two tasks occupy the same resource, with
-// each RC context counting as a resource of its own (Section 3.3).
-func (e *Explorer) sameResource(x, y int) bool {
-	a, b := e.cur.Assign[x], e.cur.Assign[y]
-	if a.Kind != b.Kind || a.Res != b.Res {
-		return false
-	}
-	if a.Kind == model.KindRC {
-		return a.Ctx == b.Ctx
-	}
-	return true
-}
 
 // canHost reports whether task t may execute on the given placement's
 // resource.
@@ -428,15 +512,14 @@ func (e *Explorer) canHost(t int, dest sched.Placement) bool {
 // immediately before vd (the paper's example: vs=B, vd=A turns A,C,B into
 // B,A,C).
 func (e *Explorer) doReorder(p, vs, vd int) bool {
-	order := &e.cur.SWOrders[p]
-	if !removeInt(order, vs) {
+	if !e.swRemove(p, vs) {
 		return false
 	}
-	pos := indexOf(*order, vd)
+	pos := indexOf(e.cur.SWOrders[p], vd)
 	if pos < 0 {
 		return false
 	}
-	insertAt(order, pos, vs)
+	e.swInsert(p, pos, vs)
 	return true
 }
 
@@ -500,6 +583,7 @@ func (e *Explorer) doImpl(t, j int) bool {
 	}
 	switch pl.Kind {
 	case model.KindASIC:
+		e.logImpl(t)
 		e.cur.Impl[t] = j
 		return true
 	case model.KindRC:
@@ -507,7 +591,10 @@ func (e *Explorer) doImpl(t, j int) bool {
 		if e.cur.ContextCLBs(e.app, pl.Res, pl.Ctx)+delta > e.arch.RCs[pl.Res].NCLB {
 			return false
 		}
+		e.logImpl(t)
 		e.cur.Impl[t] = j
+		// The context's CLB sum changed, so its reconfiguration weights did.
+		e.cs.AddRC(pl.Res)
 		return true
 	}
 	return false
@@ -519,6 +606,8 @@ func (e *Explorer) doCtxSwap(r, i int) bool {
 	if i < 0 || i+1 >= len(ctxs) {
 		return false
 	}
+	e.journal.log(opCtxSwap, int32(r), int32(i), 0, 0)
+	e.cs.AddRC(r)
 	ctxs[i], ctxs[i+1] = ctxs[i+1], ctxs[i]
 	for _, t := range ctxs[i].Tasks {
 		e.cur.Assign[t].Ctx = i
@@ -546,6 +635,10 @@ func (e *Explorer) doCtxSplit(r, ci, h int) bool {
 	if h <= 0 || h >= len(e.cur.Contexts[r][ci].Tasks) {
 		return false
 	}
+	// The split first sorts the context in place, so snapshot the original
+	// member order for the undo path.
+	e.journal.snapshotTasks(r, ci, e.cur.Contexts[r][ci].Tasks)
+	e.cs.AddRC(r)
 	sortByTopo(e.cur.Contexts[r][ci].Tasks, e.topoPos)
 	e.insertContext(r, ci+1)
 	src := &e.cur.Contexts[r][ci]
@@ -554,6 +647,7 @@ func (e *Explorer) doCtxSplit(r, ci, h int) bool {
 	dst.Tasks = append(dst.Tasks, moved...)
 	src.Tasks = src.Tasks[:len(src.Tasks)-h]
 	for _, t := range dst.Tasks {
+		e.logAssign(t)
 		e.cur.Assign[t] = sched.Placement{Kind: model.KindRC, Res: r, Ctx: ci + 1}
 	}
 	return true
@@ -576,15 +670,21 @@ func sortByTopo(tasks []int, pos []int) {
 // detach removes task t from its resource containers; an emptied context is
 // deleted from its RC's context list. Assign[t] is left stale — every
 // caller re-places the task immediately.
+//
+// The pre-move placement and implementation are journaled here, FIRST: the
+// corresponding undo then runs last during rollback, after every context
+// renumbering has been inverted, so it restores the exact original values
+// regardless of how the container undos shuffled indices in between.
 func (e *Explorer) detach(t int) {
+	e.logAssign(t)
+	e.logImpl(t)
 	pl := e.cur.Assign[t]
 	switch pl.Kind {
 	case model.KindProcessor:
-		removeInt(&e.cur.SWOrders[pl.Res], t)
+		e.swRemove(pl.Res, t)
 	case model.KindRC:
-		ctx := &e.cur.Contexts[pl.Res][pl.Ctx]
-		removeInt(&ctx.Tasks, t)
-		if len(ctx.Tasks) == 0 {
+		e.ctxRemoveTask(pl.Res, pl.Ctx, t)
+		if len(e.cur.Contexts[pl.Res][pl.Ctx].Tasks) == 0 {
 			e.deleteContext(pl.Res, pl.Ctx)
 		}
 	case model.KindASIC:
@@ -595,11 +695,13 @@ func (e *Explorer) detach(t int) {
 // deleteContext removes context ci of RC r, renumbering the back-references
 // of the tasks in later contexts.
 func (e *Explorer) deleteContext(r, ci int) {
+	e.journal.log(opCtxDelete, int32(r), int32(ci), 0, 0)
+	e.cs.AddRC(r)
 	ctxs := e.cur.Contexts[r]
 	copy(ctxs[ci:], ctxs[ci+1:])
 	// Zero the vacated tail slot: its stale Tasks header would otherwise
 	// alias the backing array of the (shifted) last context, corrupting a
-	// later in-place snapshot restore that re-extends the slice.
+	// later in-place copy that re-extends the slice.
 	ctxs[len(ctxs)-1] = sched.Context{}
 	e.cur.Contexts[r] = ctxs[:len(ctxs)-1]
 	for t := range e.cur.Assign {
@@ -613,6 +715,8 @@ func (e *Explorer) deleteContext(r, ci int) {
 // insertContext inserts an empty context at position at of RC r,
 // renumbering the back-references of the tasks at or after that position.
 func (e *Explorer) insertContext(r, at int) {
+	e.journal.log(opCtxInsert, int32(r), int32(at), 0, 0)
+	e.cs.AddRC(r)
 	ctxs := append(e.cur.Contexts[r], sched.Context{})
 	copy(ctxs[at+1:], ctxs[at:])
 	ctxs[at] = sched.Context{}
@@ -628,14 +732,15 @@ func (e *Explorer) insertContext(r, at int) {
 // attachSWBefore inserts t into processor p's order immediately before
 // task before (append when before is absent or -1).
 func (e *Explorer) attachSWBefore(t, p, before int) {
-	order := &e.cur.SWOrders[p]
-	pos := len(*order)
+	order := e.cur.SWOrders[p]
+	pos := len(order)
 	if before >= 0 {
-		if i := indexOf(*order, before); i >= 0 {
+		if i := indexOf(order, before); i >= 0 {
 			pos = i
 		}
 	}
-	insertAt(order, pos, t)
+	e.swInsert(p, pos, t)
+	e.cs.AddTask(t)
 	e.cur.Assign[t] = sched.Placement{Kind: model.KindProcessor, Res: p}
 }
 
@@ -660,8 +765,8 @@ func (e *Explorer) attachCtx(t, r, ci int) bool {
 		e.insertContext(r, ci+1)
 		ci++
 	}
-	ctx := &e.cur.Contexts[r][ci]
-	ctx.Tasks = append(ctx.Tasks, t)
+	e.ctxAppendTask(r, ci, t)
+	e.cs.AddTask(t)
 	e.cur.Assign[t] = sched.Placement{Kind: model.KindRC, Res: r, Ctx: ci}
 	e.cur.Impl[t] = impl
 	return true
@@ -675,6 +780,7 @@ func (e *Explorer) attachASIC(t, res int) bool {
 	if !task.CanHW() {
 		return false
 	}
+	e.cs.AddTask(t)
 	e.cur.Assign[t] = sched.Placement{Kind: model.KindASIC, Res: res}
 	e.cur.Impl[t] = fastestImpl(task)
 	return true
@@ -709,15 +815,6 @@ func indexOf(xs []int, v int) int {
 		}
 	}
 	return -1
-}
-
-func removeInt(xs *[]int, v int) bool {
-	i := indexOf(*xs, v)
-	if i < 0 {
-		return false
-	}
-	*xs = append((*xs)[:i], (*xs)[i+1:]...)
-	return true
 }
 
 func insertAt(xs *[]int, pos, v int) {

@@ -203,7 +203,7 @@ func TestReorderPrefilterBlocksOrderedPairs(t *testing.T) {
 	// contradicts precedence.
 	if e.doReorder(0, 1, 0) {
 		// The mutation itself went through; evaluation must catch it.
-		if _, err := e.eval.Evaluate(e.cur); err == nil {
+		if _, err := e.fullEval().Evaluate(e.cur); err == nil {
 			t.Fatal("precedence-violating reorder evaluated cleanly")
 		}
 	}

@@ -19,14 +19,24 @@ import (
 // cycle in a graph that must remain acyclic.
 var ErrCycle = errors.New("graph: cycle detected")
 
+// halfEdge is one directed arc endpoint with its weight. Adjacency is stored
+// as flat slices of these rather than maps: the search graphs are sparse
+// (degrees are single digits), so a linear scan beats hashing, iteration is
+// a contiguous sweep, and edge churn performs no steady-state allocation
+// once the slices have grown to their working size.
+type halfEdge struct {
+	to int32
+	w  int64
+}
+
 // DAG is a directed graph over nodes 0..N-1 with int64 edge weights.
 // Despite the name, the structure itself does not forbid cycles; acyclicity
 // is enforced by the callers (via Closure or DynTopo) because the explorer
 // needs to *test* whether an edge insertion would create a cycle before
 // committing to it.
 type DAG struct {
-	succ []map[int]int64
-	pred []map[int]int64
+	succ [][]halfEdge
+	pred [][]halfEdge
 	m    int // number of edges
 }
 
@@ -35,15 +45,10 @@ func New(n int) *DAG {
 	if n < 0 {
 		panic("graph: negative node count")
 	}
-	g := &DAG{
-		succ: make([]map[int]int64, n),
-		pred: make([]map[int]int64, n),
+	return &DAG{
+		succ: make([][]halfEdge, n),
+		pred: make([][]halfEdge, n),
 	}
-	for i := 0; i < n; i++ {
-		g.succ[i] = make(map[int]int64)
-		g.pred[i] = make(map[int]int64)
-	}
-	return g
 }
 
 // N returns the number of nodes.
@@ -60,6 +65,16 @@ func (g *DAG) check(u int) {
 	}
 }
 
+// findHalf returns the index of the half-edge toward v in hs, or -1.
+func findHalf(hs []halfEdge, v int) int {
+	for i := range hs {
+		if int(hs[i].to) == v {
+			return i
+		}
+	}
+	return -1
+}
+
 // AddEdge inserts edge (u,v) with weight w, overwriting the weight if the
 // edge already exists. Self-loops are rejected with ErrCycle. It reports
 // whether a new edge was created (false when only the weight changed).
@@ -69,24 +84,34 @@ func (g *DAG) AddEdge(u, v int, w int64) (bool, error) {
 	if u == v {
 		return false, ErrCycle
 	}
-	_, existed := g.succ[u][v]
-	g.succ[u][v] = w
-	g.pred[v][u] = w
-	if !existed {
-		g.m++
+	if i := findHalf(g.succ[u], v); i >= 0 {
+		g.succ[u][i].w = w
+		g.pred[v][findHalf(g.pred[v], u)].w = w
+		return false, nil
 	}
-	return !existed, nil
+	g.succ[u] = append(g.succ[u], halfEdge{to: int32(v), w: w})
+	g.pred[v] = append(g.pred[v], halfEdge{to: int32(u), w: w})
+	g.m++
+	return true, nil
+}
+
+// removeHalf deletes index i from hs by swapping in the last element.
+func removeHalf(hs []halfEdge, i int) []halfEdge {
+	last := len(hs) - 1
+	hs[i] = hs[last]
+	return hs[:last]
 }
 
 // RemoveEdge deletes edge (u,v) and reports whether it existed.
 func (g *DAG) RemoveEdge(u, v int) bool {
 	g.check(u)
 	g.check(v)
-	if _, ok := g.succ[u][v]; !ok {
+	i := findHalf(g.succ[u], v)
+	if i < 0 {
 		return false
 	}
-	delete(g.succ[u], v)
-	delete(g.pred[v], u)
+	g.succ[u] = removeHalf(g.succ[u], i)
+	g.pred[v] = removeHalf(g.pred[v], findHalf(g.pred[v], u))
 	g.m--
 	return true
 }
@@ -95,8 +120,7 @@ func (g *DAG) RemoveEdge(u, v int) bool {
 func (g *DAG) HasEdge(u, v int) bool {
 	g.check(u)
 	g.check(v)
-	_, ok := g.succ[u][v]
-	return ok
+	return findHalf(g.succ[u], v) >= 0
 }
 
 // Weight returns the weight of edge (u,v); ok is false when the edge does
@@ -104,18 +128,23 @@ func (g *DAG) HasEdge(u, v int) bool {
 func (g *DAG) Weight(u, v int) (w int64, ok bool) {
 	g.check(u)
 	g.check(v)
-	w, ok = g.succ[u][v]
-	return w, ok
+	if i := findHalf(g.succ[u], v); i >= 0 {
+		return g.succ[u][i].w, true
+	}
+	return 0, false
 }
 
 // SetWeight changes the weight of an existing edge. It reports whether the
 // edge existed.
 func (g *DAG) SetWeight(u, v int, w int64) bool {
-	if !g.HasEdge(u, v) {
+	g.check(u)
+	g.check(v)
+	i := findHalf(g.succ[u], v)
+	if i < 0 {
 		return false
 	}
-	g.succ[u][v] = w
-	g.pred[v][u] = w
+	g.succ[u][i].w = w
+	g.pred[v][findHalf(g.pred[v], u)].w = w
 	return true
 }
 
@@ -123,8 +152,8 @@ func (g *DAG) SetWeight(u, v int, w int64) bool {
 // Iteration order is unspecified.
 func (g *DAG) EachSucc(u int, fn func(v int, w int64)) {
 	g.check(u)
-	for v, w := range g.succ[u] {
-		fn(v, w)
+	for _, h := range g.succ[u] {
+		fn(int(h.to), h.w)
 	}
 }
 
@@ -132,8 +161,8 @@ func (g *DAG) EachSucc(u int, fn func(v int, w int64)) {
 // Iteration order is unspecified.
 func (g *DAG) EachPred(v int, fn func(u int, w int64)) {
 	g.check(v)
-	for u, w := range g.pred[v] {
-		fn(u, w)
+	for _, h := range g.pred[v] {
+		fn(int(h.to), h.w)
 	}
 }
 
@@ -147,8 +176,8 @@ func (g *DAG) InDegree(v int) int { g.check(v); return len(g.pred[v]) }
 func (g *DAG) Succs(u int) []int {
 	g.check(u)
 	out := make([]int, 0, len(g.succ[u]))
-	for v := range g.succ[u] {
-		out = append(out, v)
+	for _, h := range g.succ[u] {
+		out = append(out, int(h.to))
 	}
 	return out
 }
@@ -157,8 +186,8 @@ func (g *DAG) Succs(u int) []int {
 func (g *DAG) Preds(v int) []int {
 	g.check(v)
 	out := make([]int, 0, len(g.pred[v]))
-	for u := range g.pred[v] {
-		out = append(out, u)
+	for _, h := range g.pred[v] {
+		out = append(out, int(h.to))
 	}
 	return out
 }
@@ -174,8 +203,8 @@ type Edge struct {
 func (g *DAG) Edges() []Edge {
 	out := make([]Edge, 0, g.m)
 	for u := range g.succ {
-		for v, w := range g.succ[u] {
-			out = append(out, Edge{u, v, w})
+		for _, h := range g.succ[u] {
+			out = append(out, Edge{u, int(h.to), h.w})
 		}
 	}
 	return out
@@ -185,10 +214,10 @@ func (g *DAG) Edges() []Edge {
 func (g *DAG) Clone() *DAG {
 	c := New(g.N())
 	for u := range g.succ {
-		for v, w := range g.succ[u] {
-			c.succ[u][v] = w
-			c.pred[v][u] = w
-		}
+		c.succ[u] = append([]halfEdge(nil), g.succ[u]...)
+	}
+	for v := range g.pred {
+		c.pred[v] = append([]halfEdge(nil), g.pred[v]...)
 	}
 	c.m = g.m
 	return c
@@ -200,19 +229,19 @@ func (g *DAG) ReachableFrom(u int) Bits {
 	g.check(u)
 	seen := NewBits(g.N())
 	stack := make([]int, 0, 16)
-	for v := range g.succ[u] {
-		if !seen.Get(v) {
-			seen.Set(v)
-			stack = append(stack, v)
+	for _, h := range g.succ[u] {
+		if !seen.Get(int(h.to)) {
+			seen.Set(int(h.to))
+			stack = append(stack, int(h.to))
 		}
 	}
 	for len(stack) > 0 {
 		x := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for v := range g.succ[x] {
-			if !seen.Get(v) {
-				seen.Set(v)
-				stack = append(stack, v)
+		for _, h := range g.succ[x] {
+			if !seen.Get(int(h.to)) {
+				seen.Set(int(h.to))
+				stack = append(stack, int(h.to))
 			}
 		}
 	}

@@ -1,6 +1,6 @@
 package graph
 
-import "sort"
+import "slices"
 
 // DynTopo maintains a topological order of a DAG under edge insertions using
 // the Pearce–Kelly algorithm (Pearce & Kelly, "A dynamic topological sort
@@ -22,6 +22,7 @@ type DynTopo struct {
 	visited Bits
 	deltaF  []int
 	deltaB  []int
+	slots   []int
 }
 
 // NewDynTopo builds an initial order for g. It returns ErrCycle if g is
@@ -118,23 +119,29 @@ func (d *DynTopo) dfsBackward(w, lb int) {
 
 // reorder reassigns the positions occupied by deltaB ∪ deltaF so that every
 // node of deltaB precedes every node of deltaF, preserving relative order
-// within each set.
+// within each set. slices.SortFunc — unlike the sort.Slice this replaced —
+// does not allocate, keeping edge insertion free of steady-state garbage.
 func (d *DynTopo) reorder() {
-	sort.Slice(d.deltaB, func(i, j int) bool { return d.ord[d.deltaB[i]] < d.ord[d.deltaB[j]] })
-	sort.Slice(d.deltaF, func(i, j int) bool { return d.ord[d.deltaF[i]] < d.ord[d.deltaF[j]] })
+	byOrd := func(a, b int) int { return d.ord[a] - d.ord[b] }
+	slices.SortFunc(d.deltaB, byOrd)
+	slices.SortFunc(d.deltaF, byOrd)
 
-	nodes := make([]int, 0, len(d.deltaB)+len(d.deltaF))
-	nodes = append(nodes, d.deltaB...)
-	nodes = append(nodes, d.deltaF...)
-
-	slots := make([]int, len(nodes))
-	for i, w := range nodes {
-		slots[i] = d.ord[w]
+	d.slots = d.slots[:0]
+	for _, w := range d.deltaB {
+		d.slots = append(d.slots, d.ord[w])
 	}
-	sort.Ints(slots)
-	for i, w := range nodes {
-		d.ord[w] = slots[i]
-		d.pos[slots[i]] = w
+	for _, w := range d.deltaF {
+		d.slots = append(d.slots, d.ord[w])
+	}
+	slices.Sort(d.slots)
+	for i, w := range d.deltaB {
+		d.ord[w] = d.slots[i]
+		d.pos[d.slots[i]] = w
+	}
+	off := len(d.deltaB)
+	for i, w := range d.deltaF {
+		d.ord[w] = d.slots[off+i]
+		d.pos[d.slots[off+i]] = w
 	}
 }
 

@@ -1,6 +1,6 @@
 package graph
 
-import "container/heap"
+import "slices"
 
 // Evaluator maintains the longest-path start times of a changing DAG
 // incrementally. After a batch of edge insertions/removals and duration
@@ -22,8 +22,18 @@ type Evaluator struct {
 	start []int64
 	fin   []int64
 
-	dirty   Bits
-	pending posHeap
+	dirty Bits
+	// roots collects the nodes marked between flushes (unsorted); pending
+	// is the in-drain worklist, kept sorted by topological position.
+	roots   []int32
+	pending []posEntry
+}
+
+// posEntry is one pending dirty node with its topological position frozen
+// for the duration of a drain (edge mutations — the only thing that moves
+// positions — never happen mid-drain).
+type posEntry struct {
+	pos, node int32
 }
 
 // NewEvaluator builds an evaluator over g with node durations dur. The
@@ -60,11 +70,11 @@ func (e *Evaluator) fullEval() {
 
 func (e *Evaluator) recomputeStart(v int) int64 {
 	var s int64
-	e.g.EachPred(v, func(u int, w int64) {
-		if c := e.fin[u] + w; c > s {
+	for _, h := range e.g.pred[v] {
+		if c := e.fin[h.to] + h.w; c > s {
 			s = c
 		}
-	})
+	}
 	return s
 }
 
@@ -110,28 +120,54 @@ func (e *Evaluator) Dur(v int) int64 { return e.dur[v] }
 func (e *Evaluator) mark(v int) {
 	if !e.dirty.Get(v) {
 		e.dirty.Set(v)
-		heap.Push(&e.pending, posNode{node: v, eval: e})
+		e.roots = append(e.roots, int32(v))
 	}
 }
 
 // Flush processes all pending changes and returns the current makespan.
+//
+// The root marks are sorted by their (current) topological position, then
+// drained front to back. Every node discovered during the drain is a
+// successor of the node being processed, so its position is strictly
+// larger and an ordered insert into the unprocessed tail keeps the
+// invariant — each node is recomputed at most once per Flush, with plain
+// integer comparisons instead of heap sifts through position lookups.
 func (e *Evaluator) Flush() int64 {
-	// Edge insertions between marks may have shifted topological positions,
-	// invalidating the heap invariant; restore it before draining.
-	heap.Init(&e.pending)
-	for e.pending.Len() > 0 {
-		v := heap.Pop(&e.pending).(posNode).node
-		e.dirty.Clear(v)
-		ns := e.recomputeStart(v)
-		nf := ns + e.dur[v]
-		if ns == e.start[v] && nf == e.fin[v] {
-			continue
+	if len(e.roots) > 0 {
+		pending := e.pending[:0]
+		for _, v := range e.roots {
+			pending = append(pending, posEntry{pos: int32(e.dt.ord[v]), node: v})
 		}
-		e.start[v] = ns
-		e.fin[v] = nf
-		e.g.EachSucc(v, func(s int, _ int64) {
-			e.mark(s)
-		})
+		e.roots = e.roots[:0]
+		slices.SortFunc(pending, func(a, b posEntry) int { return int(a.pos) - int(b.pos) })
+		for head := 0; head < len(pending); head++ {
+			v := int(pending[head].node)
+			e.dirty.Clear(v)
+			ns := e.recomputeStart(v)
+			nf := ns + e.dur[v]
+			if ns == e.start[v] && nf == e.fin[v] {
+				continue
+			}
+			e.start[v] = ns
+			e.fin[v] = nf
+			for _, h := range e.g.succ[v] {
+				s := int(h.to)
+				if e.dirty.Get(s) {
+					continue
+				}
+				e.dirty.Set(s)
+				// Ordered insert into the unprocessed tail.
+				p := int32(e.dt.ord[s])
+				pending = append(pending, posEntry{})
+				j := len(pending) - 1
+				for j > head+1 && pending[j-1].pos > p {
+					pending[j] = pending[j-1]
+					j--
+				}
+				pending[j] = posEntry{pos: p, node: h.to}
+			}
+		}
+		e.pending = pending
 	}
 	var mk int64
 	for _, f := range e.fin {
@@ -151,30 +187,3 @@ func (e *Evaluator) Makespan() int64 { return e.Flush() }
 // Graph returns the underlying graph (callers must mutate it only through
 // the evaluator).
 func (e *Evaluator) Graph() *DAG { return e.g }
-
-// posNode orders heap entries by current topological position. Positions
-// may shift between Push and Pop (edge insertions reorder); Pearce–Kelly
-// reorders only within the affected window, and every node in that window
-// that matters is itself marked dirty, so processing by the position read at
-// pop time remains safe: we re-read the position through the evaluator on
-// every comparison.
-type posNode struct {
-	node int
-	eval *Evaluator
-}
-
-type posHeap []posNode
-
-func (h posHeap) Len() int { return len(h) }
-func (h posHeap) Less(i, j int) bool {
-	return h[i].eval.dt.Pos(h[i].node) < h[j].eval.dt.Pos(h[j].node)
-}
-func (h posHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *posHeap) Push(x interface{}) { *h = append(*h, x.(posNode)) }
-func (h *posHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}

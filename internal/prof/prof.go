@@ -1,0 +1,44 @@
+// Package prof wires the standard pprof CPU/heap profiles into the CLI
+// tools, so perf work can collect profiles from the real workloads
+// (dsexplore, dsesweep) instead of only micro-benchmarks.
+package prof
+
+import (
+	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath (when non-empty) and returns a
+// stop function that ends it and writes a heap snapshot to memPath (when
+// non-empty). Call the stop function once, at the end of the run:
+//
+//	defer prof.Start(*cpuprofile, *memprofile)()
+func Start(cpuPath, memPath string) (stop func()) {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return func() {
+		if cpuPath != "" {
+			pprof.StopCPUProfile()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package sched
+
+// ChangeSet names the parts of a mapping that a move invalidated, at the
+// granularity the incremental evaluator patches: whole dynamic layers
+// (one processor's order chain, one RC's context edges) and individual
+// tasks (whose duration and incident flow durations may have changed).
+// Moves record into a ChangeSet as they mutate; IncEvaluator.Update then
+// re-derives exactly those layers from the mapping.
+//
+// Adds are idempotent (epoch-deduplicated), so mutation primitives can
+// mark liberally without bloating the set.
+type ChangeSet struct {
+	Tasks []int32 // tasks whose Assign/Impl changed
+	Procs []int32 // processors whose SWOrders changed
+	RCs   []int32 // RCs whose context structure, membership or weights changed
+
+	taskStamp []int32
+	procStamp []int32
+	rcStamp   []int32
+	epoch     int32
+}
+
+// NewChangeSet sizes a change set for an (application, architecture) pair.
+func NewChangeSet(nTasks, nProcs, nRCs int) *ChangeSet {
+	return &ChangeSet{
+		taskStamp: make([]int32, nTasks),
+		procStamp: make([]int32, nProcs),
+		rcStamp:   make([]int32, nRCs),
+	}
+}
+
+// Reset empties the set (O(1): stamps are epoch-based).
+func (cs *ChangeSet) Reset() {
+	cs.Tasks = cs.Tasks[:0]
+	cs.Procs = cs.Procs[:0]
+	cs.RCs = cs.RCs[:0]
+	cs.epoch++
+}
+
+// AddTask marks task t's duration (and incident flows) stale.
+func (cs *ChangeSet) AddTask(t int) {
+	if cs.taskStamp[t] != cs.epoch {
+		cs.taskStamp[t] = cs.epoch
+		cs.Tasks = append(cs.Tasks, int32(t))
+	}
+}
+
+// AddProc marks processor p's sequentialization chain stale.
+func (cs *ChangeSet) AddProc(p int) {
+	if cs.procStamp[p] != cs.epoch {
+		cs.procStamp[p] = cs.epoch
+		cs.Procs = append(cs.Procs, int32(p))
+	}
+}
+
+// AddRC marks RC r's context layer (boot node, transition edges,
+// reconfiguration weights, context count) stale.
+func (cs *ChangeSet) AddRC(r int) {
+	if cs.rcStamp[r] != cs.epoch {
+		cs.rcStamp[r] = cs.epoch
+		cs.RCs = append(cs.RCs, int32(r))
+	}
+}
+
+// Empty reports whether nothing is marked.
+func (cs *ChangeSet) Empty() bool {
+	return len(cs.Tasks) == 0 && len(cs.Procs) == 0 && len(cs.RCs) == 0
+}

@@ -2,7 +2,6 @@ package sched
 
 import (
 	"errors"
-	"sort"
 
 	"repro/internal/model"
 )
@@ -32,104 +31,157 @@ type Result struct {
 	Contexts int
 }
 
-// edgeTo is one outgoing search-graph edge.
-type edgeTo struct {
+// csrEdge is one compacted out-edge: target node and edge weight.
+type csrEdge struct {
 	to int32
 	w  int64
 }
 
 // Evaluator computes makespans of candidate mappings of one (application,
-// architecture) pair. It reuses internal buffers across calls, so a single
-// Evaluator performs no steady-state allocation: the annealing loop calls it
-// once per move.
+// architecture) pair by rebuilding the whole search graph from scratch on
+// every call. It reuses internal buffers across calls, so a single
+// Evaluator performs no steady-state allocation.
 //
-// The search-graph node layout is fixed: tasks occupy nodes [0,N), each
-// data flow gets a communication node in [N, N+F) whose duration is the bus
-// transfer time when the flow crosses resources (zero otherwise), and each
-// RC gets a "boot" node in [N+F, N+F+R) carrying the initial configuration
-// time of its first context.
+// This is the reference evaluation path (see DESIGN.md §3): IncEvaluator
+// produces bit-identical Results by patching a persistent graph instead of
+// rebuilding, and the equivalence tests replay move streams through both.
+//
+// The graph is stored in a bucketed CSR (compressed sparse row) layout that
+// persists across calls: every node owns a capacity row in one flat edge
+// array, the static flow edges (task → comm node → task) are pre-placed at
+// the front of their rows once, and Evaluate scatters only the dynamic
+// sequentialization edges directly into the remaining slots — no per-call
+// adjacency reset, no counting pass, no prefix sum. A row that outgrows its
+// capacity triggers a (rare, amortized) relayout with doubled headroom.
 type Evaluator struct {
-	app  *model.App
-	arch *model.Arch
+	shape
 
-	nTasks, nFlows, nBoot, v int
-	predTasks                [][]int32 // static precedence adjacency between tasks
-	succTasks                [][]int32
+	csrHead   []int32   // len v+1: row start per node (row capacity = head[u+1]-head[u])
+	csr       []csrEdge // flat row storage
+	rowLen    []int32   // live entries per row (static prefix + dynamic)
+	staticDeg []int32   // static out-degree per node (row reset value)
+	staticIn  []int32   // static in-degree per node (indeg reset value)
 
-	adj    [][]edgeTo
-	indeg  []int32
-	dur    []int64
-	start  []int64
+	nodes  []nodeRec
+	proto  []nodeRec // reset prototype: start 0, static indeg, chain cleared
 	queue  []int32
-	popPos []int32 // pass-1 processing position, for transaction tie-breaks
+	clbOf  []int32 // per-task CLB count under the current Impl (HW tasks)
+	resTag []int32 // per-task packed (kind,resource) of the current Assign
 
-	stamp    []int32 // context-membership marking (epoch-based)
-	curStamp int32
+	// Pass-2 (bus contention) scratch.
+	crossIdx []int32 // cross-resource flow node ids
+	relaxQ   []int32
+	qepoch   int32
+}
 
-	nonEmpty   []int32 // scratch: indices of non-empty contexts of one RC
-	crossIdx   []int32 // scratch: cross-resource flow node ids
-	termBuf    []int32 // scratch: terminal nodes of the previous context
-	initialBuf []int32 // scratch: initial nodes of the next context
+// nodeRec packs the per-node evaluation state into one record so that the
+// longest-path passes touch a single cache line per node instead of three
+// parallel arrays.
+type nodeRec struct {
+	start, dur int64
+	indeg      int32
+	stamp      int32 // in-queue marking for the relaxation pass
+	chainNext  int32 // successor in the contention chain, -1 outside it
 }
 
 // NewEvaluator builds an evaluator for the given application and
 // architecture. The models must already be validated.
 func NewEvaluator(app *model.App, arch *model.Arch) *Evaluator {
-	n := app.N()
-	f := len(app.Flows)
-	r := len(arch.RCs)
-	v := n + f + r
+	s := newShape(app, arch)
 	e := &Evaluator{
-		app:    app,
-		arch:   arch,
-		nTasks: n, nFlows: f, nBoot: r, v: v,
-		predTasks: make([][]int32, n),
-		succTasks: make([][]int32, n),
-		adj:       make([][]edgeTo, v),
-		indeg:     make([]int32, v),
-		dur:       make([]int64, v),
-		start:     make([]int64, v),
-		queue:     make([]int32, 0, v),
-		popPos:    make([]int32, v),
-		stamp:     make([]int32, n),
+		shape:     s,
+		csrHead:   make([]int32, s.v+1),
+		rowLen:    make([]int32, s.v),
+		staticDeg: make([]int32, s.v),
+		staticIn:  make([]int32, s.v),
+		nodes:     make([]nodeRec, s.v),
+		proto:     make([]nodeRec, s.v),
+		queue:     make([]int32, s.v),
+		clbOf:     make([]int32, s.nTasks),
+		resTag:    make([]int32, s.nTasks),
 	}
-	for _, fl := range app.Flows {
-		e.succTasks[fl.From] = append(e.succTasks[fl.From], int32(fl.To))
-		e.predTasks[fl.To] = append(e.predTasks[fl.To], int32(fl.From))
+	for k := range app.Flows {
+		fl := &app.Flows[k]
+		cn := s.nTasks + k
+		e.staticDeg[fl.From]++
+		e.staticDeg[cn]++
+		e.staticIn[cn]++
+		e.staticIn[fl.To]++
 	}
+	// Every dur is rewritten by Evaluate, so the prototype only has to
+	// carry the reset values of the remaining fields.
+	for i := range e.proto {
+		e.proto[i] = nodeRec{indeg: e.staticIn[i], chainNext: -1}
+	}
+	e.relayout(4)
 	return e
 }
 
-// TaskNode, FlowNode and BootNode map model entities to search-graph nodes.
-func (e *Evaluator) TaskNode(t int) int { return t }
-
-// FlowNode returns the communication node of flow k.
-func (e *Evaluator) FlowNode(k int) int { return e.nTasks + k }
-
-// BootNode returns the initial-configuration node of RC r.
-func (e *Evaluator) BootNode(r int) int { return e.nTasks + e.nFlows + r }
-
-// NumNodes returns the search-graph node count.
-func (e *Evaluator) NumNodes() int { return e.v }
+// relayout rebuilds the bucketed CSR, giving every row its static prefix
+// plus its current dynamic fill plus headroom extra slots. Live dynamic
+// entries (rowLen beyond the static prefix) are preserved, so it is safe to
+// call mid-emission when a row overflows.
+func (e *Evaluator) relayout(headroom int32) {
+	newHead := make([]int32, e.v+1)
+	for u := 0; u < e.v; u++ {
+		used := e.staticDeg[u]
+		if e.rowLen != nil && e.rowLen[u] > used {
+			used = e.rowLen[u]
+		}
+		newHead[u+1] = newHead[u] + used + headroom
+	}
+	newCSR := make([]csrEdge, newHead[e.v])
+	if e.csr == nil {
+		// First layout: place the static flow edges at their row fronts.
+		fill := make([]int32, e.v)
+		for k := range e.app.Flows {
+			fl := &e.app.Flows[k]
+			cn := e.nTasks + k
+			newCSR[newHead[fl.From]+fill[fl.From]] = csrEdge{to: int32(cn)}
+			fill[fl.From]++
+			newCSR[newHead[cn]+fill[cn]] = csrEdge{to: int32(fl.To)}
+			fill[cn]++
+		}
+		copy(e.rowLen, e.staticDeg)
+	} else {
+		for u := 0; u < e.v; u++ {
+			copy(newCSR[newHead[u]:], e.csr[e.csrHead[u]:e.csrHead[u]+e.rowLen[u]])
+		}
+	}
+	e.csrHead = newHead
+	e.csr = newCSR
+}
 
 // StartOf returns the start time of a search-graph node as of the last
 // Evaluate call.
-func (e *Evaluator) StartOf(node int) model.Time { return model.Time(e.start[node]) }
+func (e *Evaluator) StartOf(node int) model.Time { return model.Time(e.nodes[node].start) }
 
 // DurOf returns the duration of a search-graph node as of the last
 // Evaluate call.
-func (e *Evaluator) DurOf(node int) model.Time { return model.Time(e.dur[node]) }
+func (e *Evaluator) DurOf(node int) model.Time { return model.Time(e.nodes[node].dur) }
 
-// taskDur computes the execution time of task t under mapping m.
-func (e *Evaluator) taskDur(m *Mapping, t int) model.Time {
-	p := m.Assign[t]
-	task := &e.app.Tasks[t]
-	switch p.Kind {
-	case model.KindProcessor:
-		return e.arch.Processors[p.Res].Scale(task.SW)
-	default: // RC or ASIC
-		return task.HW[m.Impl[t]].Time
+// emit scatters one dynamic search-graph edge into u's CSR row, growing the
+// layout when the row is full.
+func (e *Evaluator) emit(u, v int32, w int64) {
+	at := e.csrHead[u] + e.rowLen[u]
+	if at == e.csrHead[u+1] {
+		e.relayout(8)
+		at = e.csrHead[u] + e.rowLen[u]
 	}
+	e.csr[at] = csrEdge{to: v, w: w}
+	e.rowLen[u]++
+	e.nodes[v].indeg++
+}
+
+// ctxCLBs sums the cached per-task CLB counts of context ci of RC r; the
+// cache is filled by the task pass of Evaluate, making this cheaper than
+// Mapping.ContextCLBs (which re-derives each task's implementation record).
+func (e *Evaluator) ctxCLBs(m *Mapping, r, ci int) int64 {
+	var sum int64
+	for _, t := range m.Contexts[r][ci].Tasks {
+		sum += int64(e.clbOf[t])
+	}
+	return sum
 }
 
 // Evaluate builds the search graph of mapping m and returns its evaluation.
@@ -138,47 +190,59 @@ func (e *Evaluator) taskDur(m *Mapping, t int) model.Time {
 func (e *Evaluator) Evaluate(m *Mapping) (Result, error) {
 	var res Result
 
-	// Reset adjacency.
-	for i := range e.adj {
-		e.adj[i] = e.adj[i][:0]
-	}
+	// Reset every CSR row to its static prefix and the per-node state to
+	// the prototype (start 0, static in-degrees, chain threading cleared —
+	// durs are all rewritten below).
+	copy(e.rowLen, e.staticDeg)
+	copy(e.nodes, e.proto)
 
-	// Node durations: tasks.
+	// Node durations: tasks (also refreshing the per-task CLB and
+	// resource-tag caches).
+	var sumSW, sumHW int64
 	for t := 0; t < e.nTasks; t++ {
-		d := int64(e.taskDur(m, t))
-		e.dur[t] = d
-		if m.Assign[t].Kind == model.KindProcessor {
-			res.ComputeSW += model.Time(d)
-		} else {
-			res.ComputeHW += model.Time(d)
-		}
-	}
-
-	// Flows: precedence through communication nodes.
-	for k, fl := range e.app.Flows {
-		cn := int32(e.FlowNode(k))
+		pl := m.Assign[t]
 		var d int64
-		pu, pv := m.Assign[fl.From], m.Assign[fl.To]
-		if pu.Kind != pv.Kind || pu.Res != pv.Res {
-			d = int64(e.arch.Bus.TransferTime(fl.Qty))
+		if pl.Kind == model.KindProcessor {
+			d = e.swTime[pl.Res][t]
+			sumSW += d
+		} else {
+			base := int(e.implOff[t]) + m.Impl[t]
+			d = e.hwTime[base]
+			e.clbOf[t] = e.hwCLB[base]
+			sumHW += d
 		}
-		e.dur[cn] = d
-		res.Comm += model.Time(d)
-		e.adj[fl.From] = append(e.adj[fl.From], edgeTo{to: cn})
-		e.adj[cn] = append(e.adj[cn], edgeTo{to: int32(fl.To)})
+		e.resTag[t] = int32(pl.Kind)<<24 | int32(pl.Res)
+		e.nodes[t].dur = d
 	}
+	res.ComputeSW = model.Time(sumSW)
+	res.ComputeHW = model.Time(sumHW)
+
+	// Flows: the precedence edges through the communication nodes are part
+	// of the static prefix; only the durations depend on the mapping. A
+	// flow costs bus time exactly when its endpoints' resource tags differ.
+	var sumComm int64
+	for k := range e.app.Flows {
+		fl := &e.app.Flows[k]
+		var d int64
+		if e.resTag[fl.From] != e.resTag[fl.To] {
+			d = e.busTime[k]
+		}
+		e.nodes[e.nTasks+k].dur = d
+		sumComm += d
+	}
+	res.Comm = model.Time(sumComm)
 
 	// Software sequentialization edges Esw: chain each processor's order.
 	for _, order := range m.SWOrders {
 		for i := 1; i < len(order); i++ {
-			e.adj[order[i-1]] = append(e.adj[order[i-1]], edgeTo{to: int32(order[i])})
+			e.emit(int32(order[i-1]), int32(order[i]), 0)
 		}
 	}
 
 	// Context sequentialization edges Ehw and boot nodes.
 	for r := range m.Contexts {
 		boot := int32(e.BootNode(r))
-		e.dur[boot] = 0
+		e.nodes[boot].dur = 0
 		e.nonEmpty = e.nonEmpty[:0]
 		for ci := range m.Contexts[r] {
 			if len(m.Contexts[r][ci].Tasks) > 0 {
@@ -189,32 +253,36 @@ func (e *Evaluator) Evaluate(m *Mapping) (Result, error) {
 		if len(e.nonEmpty) == 0 {
 			continue
 		}
-		rc := &e.arch.RCs[r]
+		tr := int64(e.arch.RCs[r].TR)
 
-		// Initial configuration: boot node carries the load time of the
-		// first context and precedes its initial nodes.
-		first := int(e.nonEmpty[0])
-		initCfg := int64(rc.ReconfigTime(m.ContextCLBs(e.app, r, first)))
-		e.dur[boot] = initCfg
-		res.InitialReconfig += model.Time(initCfg)
-		e.initialBuf = e.collectInitial(m, r, first, e.initialBuf[:0])
-		for _, t := range e.initialBuf {
-			e.adj[boot] = append(e.adj[boot], edgeTo{to: t})
-		}
-
-		// Consecutive contexts: terminals(prev) -> initials(next), weight
-		// tR × nCLB(next) — the partial-reconfiguration delay.
-		for x := 1; x < len(e.nonEmpty); x++ {
-			prev, next := int(e.nonEmpty[x-1]), int(e.nonEmpty[x])
-			w := int64(rc.ReconfigTime(m.ContextCLBs(e.app, r, next)))
-			res.DynamicReconfig += model.Time(w)
-			e.termBuf = e.collectTerminal(m, r, prev, e.termBuf[:0])
-			e.initialBuf = e.collectInitial(m, r, next, e.initialBuf[:0])
-			for _, tp := range e.termBuf {
-				for _, tn := range e.initialBuf {
-					e.adj[tp] = append(e.adj[tp], edgeTo{to: tn, w: w})
+		// Walk the non-empty contexts once, deriving each one's initial and
+		// terminal task lists in a single stamped pass. The boot node
+		// carries the load time of the first context and precedes its
+		// initial nodes; every following transition adds terminals(prev) →
+		// initials(next) edges weighted tR × nCLB(next) — the partial-
+		// reconfiguration delay.
+		prevTerm := e.termBuf[:0]
+		for x, ci32 := range e.nonEmpty {
+			ci := int(ci32)
+			curInit, curTerm := e.collectBoth(m, r, ci, e.initialBuf[:0], e.termBuf2[:0])
+			w := tr * e.ctxCLBs(m, r, ci)
+			if x == 0 {
+				e.nodes[boot].dur = w
+				res.InitialReconfig += model.Time(w)
+				for _, t := range curInit {
+					e.emit(boot, t, 0)
+				}
+			} else {
+				res.DynamicReconfig += model.Time(w)
+				for _, tp := range prevTerm {
+					for _, tn := range curInit {
+						e.emit(tp, tn, w)
+					}
 				}
 			}
+			e.initialBuf = curInit
+			e.termBuf, e.termBuf2 = curTerm, prevTerm
+			prevTerm = curTerm
 		}
 	}
 
@@ -224,31 +292,24 @@ func (e *Evaluator) Evaluate(m *Mapping) (Result, error) {
 		return res, ErrOrderCycle
 	}
 
-	// Pass 2: serialize bus transactions in data-ready order (total order
-	// consistent with the task execution ordering) and re-evaluate.
+	// Pass 2: serialize bus transactions in data-ready order (a total order
+	// consistent with the data-ready times, ties broken by flow index) and
+	// propagate the added constraints. Serialization edges always point
+	// from an earlier-ready to a later-ready transaction, so they can never
+	// create a cycle and a targeted monotone relaxation from the chain
+	// reaches the same fixed point as a full re-evaluation — without paying
+	// for a second Kahn pass over the whole graph.
 	if e.arch.Bus.Contention {
 		e.crossIdx = e.crossIdx[:0]
-		for k := range e.app.Flows {
-			cn := e.FlowNode(k)
-			if e.dur[cn] > 0 {
+		for k := 0; k < e.nFlows; k++ {
+			cn := e.nTasks + k
+			if e.nodes[cn].dur > 0 {
 				e.crossIdx = append(e.crossIdx, int32(cn))
 			}
 		}
 		if len(e.crossIdx) > 1 {
-			sort.Slice(e.crossIdx, func(i, j int) bool {
-				a, b := e.crossIdx[i], e.crossIdx[j]
-				if e.start[a] != e.start[b] {
-					return e.start[a] < e.start[b]
-				}
-				return e.popPos[a] < e.popPos[b]
-			})
-			for i := 1; i < len(e.crossIdx); i++ {
-				e.adj[e.crossIdx[i-1]] = append(e.adj[e.crossIdx[i-1]], edgeTo{to: e.crossIdx[i]})
-			}
-			mk, ok = e.runDP()
-			if !ok {
-				return res, ErrOrderCycle
-			}
+			sortByStart(e.crossIdx, e.nodes)
+			mk = e.relaxChain(mk)
 		}
 	}
 
@@ -256,93 +317,119 @@ func (e *Evaluator) Evaluate(m *Mapping) (Result, error) {
 	return res, nil
 }
 
-// runDP performs Kahn-order longest-path propagation over the current
+// runDP performs Kahn-order longest-path propagation over the CSR
 // adjacency. It reports false when the graph is cyclic.
 func (e *Evaluator) runDP() (int64, bool) {
-	for i := 0; i < e.v; i++ {
-		e.indeg[i] = 0
-		e.start[i] = 0
-	}
-	for u := 0; u < e.v; u++ {
-		for _, ed := range e.adj[u] {
-			e.indeg[ed.to]++
-		}
-	}
-	e.queue = e.queue[:0]
-	for i := 0; i < e.v; i++ {
-		if e.indeg[i] == 0 {
-			e.queue = append(e.queue, int32(i))
+	nodes := e.nodes
+	head, csr := e.csrHead, e.csr
+	// Every node is enqueued at most once, so a fixed-size array with a
+	// cursor replaces append's per-push capacity checks.
+	queue := e.queue
+	qlen := 0
+	for i := range nodes {
+		if nodes[i].indeg == 0 {
+			queue[qlen] = int32(i)
+			qlen++
 		}
 	}
 	var mk int64
-	processed := 0
-	for head := 0; head < len(e.queue); head++ {
-		u := e.queue[head]
-		e.popPos[u] = int32(processed)
-		processed++
-		fin := e.start[u] + e.dur[u]
+	rowLen := e.rowLen
+	for h := 0; h < qlen; h++ {
+		u := queue[h]
+		fin := nodes[u].start + nodes[u].dur
 		if fin > mk {
 			mk = fin
 		}
-		for _, ed := range e.adj[u] {
-			if s := fin + ed.w; s > e.start[ed.to] {
-				e.start[ed.to] = s
+		row := head[u]
+		for _, ed := range csr[row : row+rowLen[u]] {
+			nd := &nodes[ed.to]
+			if s := fin + ed.w; s > nd.start {
+				nd.start = s
 			}
-			e.indeg[ed.to]--
-			if e.indeg[ed.to] == 0 {
-				e.queue = append(e.queue, ed.to)
+			nd.indeg--
+			if nd.indeg == 0 {
+				queue[qlen] = ed.to
+				qlen++
 			}
 		}
 	}
-	return mk, processed == e.v
+	return mk, qlen == e.v
 }
 
-// collectInitial appends the initial nodes of context ci of RC r to dst:
-// the tasks whose immediate predecessors are all outside the context (list
-// I of the paper's Context objects).
-func (e *Evaluator) collectInitial(m *Mapping, r, ci int, dst []int32) []int32 {
-	s := e.markCtx(m, r, ci)
-	for _, t := range m.Contexts[r][ci].Tasks {
-		inner := false
-		for _, p := range e.predTasks[t] {
-			if e.stamp[p] == s {
-				inner = true
-				break
+// relaxChain threads the sorted contention chain through the pass-1 start
+// times and propagates the induced increases through the downstream cone,
+// returning the updated makespan. Starts only ever grow, so a simple
+// worklist converges to the unique longest-path fixed point of the graph
+// plus chain.
+func (e *Evaluator) relaxChain(mk int64) int64 {
+	nodes := e.nodes
+	head, csr := e.csrHead, e.csr
+	e.qepoch++
+	epoch := e.qepoch
+	q := e.relaxQ[:0]
+	for i := 1; i < len(e.crossIdx); i++ {
+		a, b := e.crossIdx[i-1], e.crossIdx[i]
+		nodes[a].chainNext = b
+		if fin := nodes[a].start + nodes[a].dur; fin > nodes[b].start {
+			nodes[b].start = fin
+			if nodes[b].stamp != epoch {
+				nodes[b].stamp = epoch
+				q = append(q, b)
 			}
 		}
-		if !inner {
-			dst = append(dst, int32(t))
-		}
 	}
-	return dst
-}
-
-// collectTerminal appends the terminal nodes of context ci of RC r to dst:
-// the tasks whose immediate successors are all outside the context (list T
-// of the paper's Context objects).
-func (e *Evaluator) collectTerminal(m *Mapping, r, ci int, dst []int32) []int32 {
-	s := e.markCtx(m, r, ci)
-	for _, t := range m.Contexts[r][ci].Tasks {
-		inner := false
-		for _, sc := range e.succTasks[t] {
-			if e.stamp[sc] == s {
-				inner = true
-				break
+	rowLen := e.rowLen
+	for h := 0; h < len(q); h++ {
+		u := q[h]
+		nodes[u].stamp = 0 // allow re-queueing if start[u] grows again later
+		fin := nodes[u].start + nodes[u].dur
+		if fin > mk {
+			mk = fin
+		}
+		row := head[u]
+		for _, ed := range csr[row : row+rowLen[u]] {
+			nd := &nodes[ed.to]
+			if s := fin + ed.w; s > nd.start {
+				nd.start = s
+				if nd.stamp != epoch {
+					nd.stamp = epoch
+					q = append(q, ed.to)
+				}
 			}
 		}
-		if !inner {
-			dst = append(dst, int32(t))
+		if nx := nodes[u].chainNext; nx >= 0 {
+			nd := &nodes[nx]
+			if fin > nd.start {
+				nd.start = fin
+				if nd.stamp != epoch {
+					nd.stamp = epoch
+					q = append(q, nx)
+				}
+			}
 		}
 	}
-	return dst
+	e.relaxQ = q
+	// Clear the chain threading for the next call.
+	for _, c := range e.crossIdx {
+		nodes[c].chainNext = -1
+	}
+	return mk
 }
 
-// markCtx stamps the members of context ci of RC r with a fresh epoch and
-// returns the stamp.
-func (e *Evaluator) markCtx(m *Mapping, r, ci int) int32 {
-	e.curStamp++
-	for _, t := range m.Contexts[r][ci].Tasks {
-		e.stamp[t] = e.curStamp
+// sortByStart insertion-sorts flow nodes by (pass-1 start time, node id).
+// The slices are short and nearly sorted between consecutive moves, and an
+// insertion sort — unlike sort.Slice — allocates nothing. The node-id tie
+// break keeps the serialization order independent of evaluation internals,
+// so the full-rebuild and incremental paths derive the same chain.
+func sortByStart(idx []int32, nodes []nodeRec) {
+	for i := 1; i < len(idx); i++ {
+		x := idx[i]
+		sx := nodes[x].start
+		j := i - 1
+		for j >= 0 && (nodes[idx[j]].start > sx || (nodes[idx[j]].start == sx && idx[j] > x)) {
+			idx[j+1] = idx[j]
+			j--
+		}
+		idx[j+1] = x
 	}
-	return e.curStamp
 }

@@ -172,8 +172,10 @@ func (m *Mapping) Clone() *Mapping {
 }
 
 // CopyInto copies m into dst, reusing dst's slices where capacity allows.
-// The annealing loop snapshots the current mapping before every move this
-// way, so move rejection is a cheap restore with no steady-state allocation.
+// The annealing loop snapshots each new best-so-far solution this way
+// (move rejection itself replays per-move undo records instead — see
+// core/journal.go), so keeping the incumbent costs no steady-state
+// allocation.
 func (m *Mapping) CopyInto(dst *Mapping) {
 	dst.Assign = append(dst.Assign[:0], m.Assign...)
 	dst.Impl = append(dst.Impl[:0], m.Impl...)
