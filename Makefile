@@ -2,7 +2,7 @@
 # these targets so local runs and CI runs cannot drift apart.
 
 GO ?= go
-BENCH_JSON ?= BENCH_PR2.json
+BENCH_JSON ?= BENCH_PR3.json
 
 .PHONY: all build test race bench bench-json fmt fmt-check vet ci
 
@@ -27,7 +27,7 @@ bench:
 # output as an artifact so the perf history accumulates per commit.
 bench-json:
 	$(GO) test -run=NONE -benchmem -json \
-		-bench='BenchmarkEvaluateMapping|BenchmarkSA$$|BenchmarkFig2TypicalRun|BenchmarkSAMotionEval|BenchmarkSALayered160Eval|BenchmarkEvalIncremental|BenchmarkEvalFull|BenchmarkExploreMany' \
+		-bench='BenchmarkEvaluateMapping|BenchmarkSA$$|BenchmarkFig2TypicalRun|BenchmarkSAMotionEval|BenchmarkSALayered160Eval|BenchmarkEvalIncremental|BenchmarkEvalFull|BenchmarkExploreMany|BenchmarkPortfolio' \
 		. > $(BENCH_JSON)
 	@grep -c '"Action":"output"' $(BENCH_JSON) >/dev/null && echo "wrote $(BENCH_JSON)"
 

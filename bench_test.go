@@ -25,6 +25,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/runner"
 	"repro/internal/sched"
+	"repro/internal/search"
 )
 
 func motionSetup(nclb int) (*model.App, *model.Arch) {
@@ -321,6 +322,37 @@ func BenchmarkExploreLayered120(b *testing.B) {
 		cfg.QuenchIters = 500
 		if _, err := core.Explore(app, arch, cfg); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// ---------- the unified strategy engine ----------
+
+// BenchmarkPortfolio measures one full portfolio race (sa + list seeding +
+// GA) on the motion-detection benchmark through the unified Strategy
+// interface — the end-to-end cost of the strategy-engine layer.
+func BenchmarkPortfolio(b *testing.B) {
+	app, arch := motionSetup(2000)
+	cfg := search.DefaultConfig()
+	cfg.SA.MaxIters = 2000
+	cfg.SA.Warmup = 400
+	cfg.SA.QuenchIters = 500
+	cfg.GA.Population = 60
+	cfg.GA.Generations = 12
+	cfg.GA.Stall = 6
+	f, err := search.NewFactory("portfolio", app, arch, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := search.Run(context.Background(), f, int64(i), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Eval.Makespan <= 0 {
+			b.Fatal("empty result")
 		}
 	}
 }

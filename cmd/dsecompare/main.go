@@ -13,6 +13,7 @@
 // Usage:
 //
 //	dsecompare [-nclb 2000] [-sa-runs 10] [-ga-pop 300] [-ga-gens 120] [-j 8]
+//	dsecompare -front front.csv      # dump the cross-run Pareto front as CSV
 package main
 
 import (
@@ -28,6 +29,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/ga"
+	"repro/internal/objective"
 	"repro/internal/report"
 	"repro/internal/runner"
 )
@@ -36,13 +38,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dsecompare: ")
 	var (
-		nclb    = flag.Int("nclb", 2000, "FPGA capacity in CLBs")
-		saRuns  = flag.Int("sa-runs", 10, "annealing runs (best/average reported)")
-		saIter  = flag.Int("sa-iters", 5000, "annealing iterations per run")
-		gaPop   = flag.Int("ga-pop", 300, "GA population (paper: 300)")
-		gaGens  = flag.Int("ga-gens", 120, "GA generations")
-		gaRuns  = flag.Int("ga-runs", 3, "GA runs (best/average reported)")
-		workers = flag.Int("j", runtime.NumCPU(), "parallel runs per method")
+		nclb     = flag.Int("nclb", 2000, "FPGA capacity in CLBs")
+		saRuns   = flag.Int("sa-runs", 10, "annealing runs (best/average reported)")
+		saIter   = flag.Int("sa-iters", 5000, "annealing iterations per run")
+		gaPop    = flag.Int("ga-pop", 300, "GA population (paper: 300)")
+		gaGens   = flag.Int("ga-gens", 120, "GA generations")
+		gaRuns   = flag.Int("ga-runs", 3, "GA runs (best/average reported)")
+		workers  = flag.Int("j", runtime.NumCPU(), "parallel runs per method")
+		frontCSV = flag.String("front", "", "write the cross-run area/makespan Pareto front to this CSV file")
 	)
 	flag.Parse()
 
@@ -56,10 +59,12 @@ func main() {
 	fmt.Printf("SA vs GA on %q, FPGA %d CLBs (deadline 40 ms, all-SW %v, %d workers)\n\n",
 		app.Name, *nclb, app.TotalSW(), *workers)
 
-	// Simulated annealing (this paper).
+	// Simulated annealing (this paper). The runs collect the in-run
+	// area/makespan fronts, merged across runs by the engine.
 	saCfg := core.DefaultConfig()
 	saCfg.MaxIters = *saIter
 	saCfg.Deadline = apps.MotionDeadline
+	saCfg.FrontMetrics = []objective.Metric{objective.HWArea, objective.Makespan}
 	saFn, err := runner.SA(app, arch, saCfg)
 	if err != nil {
 		log.Fatal(err)
@@ -120,6 +125,24 @@ func main() {
 			fmt.Printf("speed ratio (GA/SA per run): %.1f× (paper: ≥24×, ≥an order of magnitude)\n",
 				float64(perGA)/float64(perSA))
 		}
+	}
+	if *frontCSV != "" && saAgg.Front != nil {
+		f, err := os.Create(*frontCSV)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ftb := report.NewTable("clbs", "makespan_ms", "run")
+		for _, p := range saAgg.Front.Points() {
+			ftb.AddRow(int(p.V[0]), p.V[1], p.ID)
+		}
+		if err := ftb.CSV(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ncross-run Pareto front (%d points) written to %s\n", saAgg.Front.Len(), *frontCSV)
 	}
 	if pts := saAgg.Archive.Points(); len(pts) > 1 {
 		fmt.Println("\nSA cross-run area/time Pareto archive (occupied CLBs vs execution time):")

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	dsesweep [-sizes 100,200,...] [-runs 100] [-j 8] [-splits=false] [-csv out.csv]
+//	dsesweep -strategy portfolio -w-area 0.001     # multi-objective sweep
 //
 // The runs of each sweep point are independent, so they fan out over -j
 // workers (default: all cores) through the multi-run engine; per-seed
@@ -30,9 +31,11 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/objective"
 	"repro/internal/prof"
 	"repro/internal/report"
 	"repro/internal/runner"
+	"repro/internal/search"
 )
 
 func main() {
@@ -49,6 +52,9 @@ func main() {
 		noplot     = flag.Bool("noplot", false, "suppress the ASCII plot")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		strategy   = flag.String("strategy", "sa", "search strategy per run: sa, ga, list, brute, portfolio")
+		wArea      = flag.Float64("w-area", 0, "objective weight on occupied hardware area (cost units per CLB)")
+		wReconf    = flag.Float64("w-reconf", 0, "objective weight on reconfiguration time (cost units per ms, initial+dynamic)")
 	)
 	flag.Parse()
 
@@ -65,8 +71,8 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	fmt.Printf("Figure 3 — device-size sweep on %q (%d runs/size, %d iterations, %d workers, splits=%v)\n\n",
-		app.Name, *runs, *iters, *workers, *splits)
+	fmt.Printf("Figure 3 — device-size sweep on %q (%d runs/size, %d iterations, %d workers, splits=%v, strategy %s)\n\n",
+		app.Name, *runs, *iters, *workers, *splits, *strategy)
 
 	tb := report.NewTable("nclb", "exec_ms", "init_reconf_ms", "dyn_reconf_ms", "contexts", "met_40ms", "best_ms", "p95_ms")
 	var xs, yExec, yCtx, yRcI, yRcD []float64
@@ -77,10 +83,20 @@ func main() {
 		cfg.MaxIters = *iters
 		cfg.Deadline = apps.MotionDeadline
 		cfg.EnableCtxSplit = *splits
-		fn, err := runner.SA(app, arch, cfg)
+		scfg := search.DefaultConfig()
+		scfg.SA = cfg
+		if *wArea != 0 || *wReconf != 0 {
+			scal := objective.FixedArch()
+			scal.Weights[objective.HWArea] = *wArea
+			scal.Weights[objective.InitialReconfig] = *wReconf
+			scal.Weights[objective.DynamicReconfig] = *wReconf
+			scfg.Objective = &scal
+		}
+		factory, err := search.NewFactory(*strategy, app, arch, scfg)
 		if err != nil {
 			log.Fatal(err)
 		}
+		fn := runner.Strategy(factory)
 		agg, err := runner.Run(ctx, app, runner.Options{
 			Runs:     *runs,
 			Workers:  *workers,

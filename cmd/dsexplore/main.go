@@ -8,10 +8,18 @@
 // -j workers (deterministic per-run seeds seed+i), reports the cross-run
 // statistics, and prints the overall best mapping.
 //
+// The search strategy is selectable (-strategy {sa,ga,list,brute,
+// portfolio}); every strategy runs behind the unified search engine and
+// scores solutions through the shared objective layer, whose weights are
+// adjustable (-w-area, -w-reconf). Each run also archives the area/makespan
+// Pareto front of the solutions it visits; the front is printed after the
+// run (and merged across runs with -runs > 1).
+//
 // Usage:
 //
 //	dsexplore -motion [-nclb 2000] [-gantt]
 //	dsexplore -motion -runs 100 -j 8
+//	dsexplore -motion -strategy portfolio -w-area 0.001
 //	dsexplore -app app.json -arch arch.json [-deadline 40] [-gantt]
 //	dsexplore -dump-app app.json -dump-arch arch.json    # emit built-ins
 package main
@@ -29,10 +37,13 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/objective"
+	"repro/internal/pareto"
 	"repro/internal/prof"
 	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/sched"
+	"repro/internal/search"
 )
 
 func main() {
@@ -55,6 +66,9 @@ func main() {
 		dumpArch   = flag.String("dump-arch", "", "write the built-in architecture JSON here and exit")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the exploration to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		strategy   = flag.String("strategy", "sa", "search strategy: sa, ga, list, brute, portfolio")
+		wArea      = flag.Float64("w-area", 0, "objective weight on occupied hardware area (cost units per CLB)")
+		wReconf    = flag.Float64("w-reconf", 0, "objective weight on reconfiguration time (cost units per ms, initial+dynamic)")
 	)
 	flag.Parse()
 
@@ -104,25 +118,37 @@ func main() {
 	cfg.Quality = *quality
 	cfg.Deadline = model.FromMillis(*deadlineMS)
 
-	fmt.Printf("application %q (%d tasks) on %q\n\n", app.Name, app.N(), arch.Name)
+	scfg := search.DefaultConfig()
+	scfg.SA = cfg
+	scfg.FrontMetrics = []objective.Metric{objective.HWArea, objective.Makespan}
+	if *wArea != 0 || *wReconf != 0 {
+		scal := objective.FixedArch()
+		scal.Weights[objective.HWArea] = *wArea
+		scal.Weights[objective.InitialReconfig] = *wReconf
+		scal.Weights[objective.DynamicReconfig] = *wReconf
+		scfg.Objective = &scal
+	}
+	factory, err := search.NewFactory(*strategy, app, arch, scfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("application %q (%d tasks) on %q, strategy %s\n\n", app.Name, app.N(), arch.Name, *strategy)
 
 	var (
-		best *sched.Mapping
-		b    sched.Result
+		best  *sched.Mapping
+		b     sched.Result
+		front *pareto.NArchive
 	)
 	start := time.Now()
 	if *runs > 1 {
 		ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt)
 		defer stopSig()
-		fn, err := runner.SA(app, arch, cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
 		agg, err := runner.Run(ctx, app, runner.Options{
 			Runs:     *runs,
 			Workers:  *workers,
 			BaseSeed: *seed,
-		}, fn)
+		}, runner.Strategy(factory))
 		if err != nil && ctx.Err() == nil {
 			log.Fatal(err)
 		}
@@ -130,7 +156,7 @@ func main() {
 			log.Fatal("interrupted before any run completed")
 		}
 		elapsed := time.Since(start)
-		best, b = agg.Best, agg.BestEval
+		best, b, front = agg.Best, agg.BestEval, agg.Front
 		fmt.Printf("  runs completed          : %d/%d (%d workers)\n", agg.Completed, agg.Requested, *workers)
 		fmt.Printf("  execution time          : mean %.3f ms, median %.3f ms, p95 %.3f ms\n",
 			agg.MakespanMS.Mean(), agg.MakespanMS.Median(), agg.MakespanMS.Quantile(0.95))
@@ -144,23 +170,34 @@ func main() {
 			elapsed.Round(time.Millisecond),
 			(elapsed / time.Duration(agg.Completed)).Round(time.Millisecond))
 	} else {
-		res, err := core.Explore(app, arch, cfg)
+		out, err := search.Run(context.Background(), factory, *seed, 0)
 		if err != nil {
 			log.Fatal(err)
 		}
 		elapsed := time.Since(start)
-		best, b = res.Best, res.BestEval
-		fmt.Printf("  initial random solution : %v\n", res.InitialEval.Makespan)
-		fmt.Printf("  best execution time     : %v\n", b.Makespan)
+		best, b, front = out.Best, out.Eval, out.Front
+		fmt.Printf("  best execution time     : %v (cost %.4f)\n", b.Makespan, out.Cost)
 		if cfg.Deadline > 0 {
-			fmt.Printf("  constraint %v met    : %v\n", cfg.Deadline, res.MetDeadline)
+			fmt.Printf("  constraint %v met    : %v\n", cfg.Deadline, out.MetDeadline)
 		}
 		fmt.Printf("  contexts                : %d\n", b.Contexts)
-		fmt.Printf("  optimizer wall time     : %v (%d iterations)\n", elapsed.Round(time.Millisecond), res.Stats.Iters)
+		fmt.Printf("  optimizer wall time     : %v\n", elapsed.Round(time.Millisecond))
 	}
 	fmt.Printf("  compute sw/hw           : %v / %v\n", b.ComputeSW, b.ComputeHW)
 	fmt.Printf("  bus communication       : %v\n", b.Comm)
 	fmt.Printf("  reconfiguration         : initial %v + dynamic %v\n\n", b.InitialReconfig, b.DynamicReconfig)
+
+	if front != nil && front.Len() > 0 {
+		fmt.Println("area/makespan Pareto front (non-dominated solutions visited):")
+		tb := report.NewTable("clbs", "makespan_ms")
+		for _, p := range front.Points() {
+			tb.AddRow(int(p.V[0]), p.V[1])
+		}
+		if err := tb.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
 
 	if *assign {
 		tb := report.NewTable("task", "name", "resource", "impl", "clbs", "time")

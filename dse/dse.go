@@ -38,8 +38,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/ga"
 	"repro/internal/model"
+	"repro/internal/objective"
+	"repro/internal/pareto"
 	"repro/internal/runner"
 	"repro/internal/sched"
+	"repro/internal/search"
 )
 
 // Model types (see the respective internal packages for full details).
@@ -162,6 +165,115 @@ func DefaultGAOptions() GAOptions { return ga.DefaultConfig() }
 // ExploreGA runs the genetic-algorithm baseline of Ben Chehida & Auguin.
 func ExploreGA(app *App, arch *Arch, opts GAOptions) (*GAResult, error) {
 	return ga.Explore(app, arch, opts)
+}
+
+// ---------- the multi-objective layer ----------
+
+// Metric names one coordinate of the objective space (makespan, area, ...).
+type Metric = objective.Metric
+
+// Objective-space coordinates (see internal/objective for semantics).
+const (
+	MetricMakespan        = objective.Makespan
+	MetricContexts        = objective.Contexts
+	MetricHWArea          = objective.HWArea
+	MetricResourceCost    = objective.UsedResourceCost
+	MetricInitialReconfig = objective.InitialReconfig
+	MetricDynamicReconfig = objective.DynamicReconfig
+	MetricBusComm         = objective.BusComm
+)
+
+// ParseMetric resolves a metric name ("makespan", "area", ...).
+func ParseMetric(s string) (Metric, error) { return objective.ParseMetric(s) }
+
+// ObjectiveVector is a solution's full objective vector, indexed by Metric.
+type ObjectiveVector = objective.Vector
+
+// Scalarizer folds an objective vector into the scalar search cost:
+// per-metric weights plus deadline / area-budget constraint penalties.
+type Scalarizer = objective.Scalarizer
+
+// FixedArchObjective is the paper's fixed-architecture cost (makespan plus
+// a tie-break on the context count) — the default when Options.Objective is
+// nil and ExploreArch is off. Adjust its Weights for multi-objective runs,
+// e.g. Weights[MetricHWArea] to trade area against time.
+func FixedArchObjective() Scalarizer { return objective.FixedArch() }
+
+// ArchExploreObjective is the paper's architecture-exploration cost
+// (instantiated-resource cost plus a deadline-violation penalty) — the
+// default when ExploreArch is set.
+func ArchExploreObjective(deadline Time, penaltyWeight float64) Scalarizer {
+	return objective.ArchExplore(deadline, penaltyWeight)
+}
+
+// ObjectiveOf extracts the full objective vector of a mapping.
+func ObjectiveOf(app *App, arch *Arch, m *Mapping, ev Evaluation) ObjectiveVector {
+	return objective.Eval(app, arch, m, ev)
+}
+
+// Front is an N-dimensional Pareto archive; FrontPoint one of its entries.
+type (
+	Front      = pareto.NArchive
+	FrontPoint = pareto.NPoint
+)
+
+// ---------- the unified strategy engine ----------
+
+// Strategy is the unified search interface (Init/Step/Best/Stats) every
+// algorithm of the engine runs behind: "sa" (the paper's annealer), "ga"
+// (the genetic baseline), "list" (deterministic list-scheduling seeding),
+// "brute" (exhaustive enumeration on small instances) and "portfolio"
+// (racing several of them under one budget).
+type Strategy = search.Strategy
+
+// SearchOutcome is the best solution a strategy found, with its objective
+// vector, scalarized cost, and optional Pareto front.
+type SearchOutcome = search.Outcome
+
+// SearchStats is cross-strategy run telemetry.
+type SearchStats = search.Stats
+
+// SearchOptions bundles the per-strategy parameters plus the shared
+// objective settings applied to every strategy uniformly.
+type SearchOptions = search.Config
+
+// DefaultSearchOptions mirrors the paper-faithful defaults of every member.
+func DefaultSearchOptions() SearchOptions { return search.DefaultConfig() }
+
+// StrategyNames lists the registered strategy names.
+func StrategyNames() []string { return search.Names() }
+
+// NewStrategy builds one uninitialized instance of the named strategy.
+// Callers drive it themselves: Init(seed), Step until false, Best.
+func NewStrategy(name string, app *App, arch *Arch, opts SearchOptions) (Strategy, error) {
+	f, err := search.NewFactory(name, app, arch, opts)
+	if err != nil {
+		return nil, err
+	}
+	return f.New()
+}
+
+// Search runs the named strategy to exhaustion under ctx and returns the
+// best solution found. A cancelled search returns its best-so-far together
+// with ctx.Err().
+func Search(ctx context.Context, name string, app *App, arch *Arch, opts SearchOptions, seed int64) (*SearchOutcome, error) {
+	f, err := search.NewFactory(name, app, arch, opts)
+	if err != nil {
+		return nil, err
+	}
+	return search.Run(ctx, f, seed, 0)
+}
+
+// SearchMany fans ropts.Runs independent runs of the named strategy out
+// over the multi-run engine — the strategy-generic ExploreMany. Per-run
+// fronts (when opts.FrontMetrics is set) are merged, in run order, into
+// MultiResult.Front.
+func SearchMany(ctx context.Context, name string, app *App, arch *Arch, opts SearchOptions, ropts RunnerOptions) (*MultiResult, error) {
+	f, err := search.NewFactory(name, app, arch, opts)
+	if err != nil {
+		return nil, err
+	}
+	return runner.Run(ctx, app, ropts, runner.Strategy(f))
 }
 
 // Evaluate times a mapping against an application and architecture.

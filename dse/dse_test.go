@@ -107,3 +107,120 @@ func TestPublicConstants(t *testing.T) {
 		t.Fatal("benchmark invariant wrong")
 	}
 }
+
+// TestFrontDeterministicAcrossWorkers is the multi-objective determinism
+// contract: the merged in-run Pareto front of an ExploreMany batch —
+// coordinates and run tags — must be byte-identical for any worker count.
+func TestFrontDeterministicAcrossWorkers(t *testing.T) {
+	app := dse.MotionDetection()
+	arch := dse.MotionArch(2000)
+	opts := dse.DefaultOptions()
+	opts.MaxIters = 600
+	opts.Warmup = 150
+	opts.QuenchIters = 200
+	opts.FrontMetrics = []dse.Metric{dse.MetricHWArea, dse.MetricMakespan}
+
+	run := func(workers int) *dse.MultiResult {
+		agg, err := dse.ExploreMany(context.Background(), app, arch, opts,
+			dse.RunnerOptions{Runs: 6, Workers: workers, BaseSeed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return agg
+	}
+	serial, parallel := run(1), run(4)
+	if serial.Front == nil || parallel.Front == nil {
+		t.Fatal("front missing from aggregate")
+	}
+	sp, pp := serial.Front.Points(), parallel.Front.Points()
+	if len(sp) != len(pp) {
+		t.Fatalf("front sizes diverge across workers: %d vs %d", len(sp), len(pp))
+	}
+	for i := range sp {
+		if sp[i].ID != pp[i].ID || len(sp[i].V) != len(pp[i].V) {
+			t.Fatalf("front point %d diverges: %+v vs %+v", i, sp[i], pp[i])
+		}
+		for d := range sp[i].V {
+			if sp[i].V[d] != pp[i].V[d] {
+				t.Fatalf("front point %d coordinate %d diverges: %v vs %v", i, d, sp[i].V[d], pp[i].V[d])
+			}
+		}
+	}
+	if len(sp) < 3 {
+		t.Fatalf("merged front has %d points, want >= 3", len(sp))
+	}
+}
+
+// TestPublicSearch drives the unified strategy engine through the public
+// API: one strategy by name, and the multi-run fan-out.
+func TestPublicSearch(t *testing.T) {
+	app := dse.MotionDetection()
+	arch := dse.MotionArch(2000)
+	opts := dse.DefaultSearchOptions()
+	opts.SA.MaxIters = 600
+	opts.SA.Warmup = 150
+	opts.SA.QuenchIters = 200
+	opts.SA.Deadline = dse.MotionDeadline
+	opts.GA.Population = 24
+	opts.GA.Generations = 5
+	opts.GA.Stall = 3
+	opts.FrontMetrics = []dse.Metric{dse.MetricHWArea, dse.MetricMakespan}
+
+	for _, name := range []string{"sa", "ga", "list", "portfolio"} {
+		out, err := dse.Search(context.Background(), name, app, arch, opts, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if out.Best == nil || out.Eval.Makespan <= 0 {
+			t.Fatalf("%s: empty outcome", name)
+		}
+		ev, err := dse.Evaluate(app, arch, out.Best)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ev != out.Eval {
+			t.Fatalf("%s: outcome re-evaluates differently: %+v vs %+v", name, ev, out.Eval)
+		}
+		if out.Front == nil || out.Front.Len() == 0 {
+			t.Fatalf("%s: empty front", name)
+		}
+	}
+
+	agg, err := dse.SearchMany(context.Background(), "list", app, arch, opts,
+		dse.RunnerOptions{Runs: 3, Workers: 2, BaseSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Completed != 3 || agg.Best == nil || agg.Front == nil {
+		t.Fatalf("SearchMany incomplete: %+v", agg)
+	}
+
+	if _, err := dse.NewStrategy("bogus", app, arch, opts); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+// TestPublicObjectiveLayer exercises the weight/constraint surface.
+func TestPublicObjectiveLayer(t *testing.T) {
+	if m, err := dse.ParseMetric("area"); err != nil || m != dse.MetricHWArea {
+		t.Fatalf("ParseMetric(area) = %v, %v", m, err)
+	}
+	app := dse.MotionDetection()
+	arch := dse.MotionArch(2000)
+	opts := dse.DefaultOptions()
+	opts.MaxIters = 400
+	opts.Warmup = 100
+	opts.QuenchIters = 100
+	scal := dse.FixedArchObjective()
+	scal.Weights[dse.MetricHWArea] = 0.01
+	opts.Objective = &scal
+	res, err := dse.Explore(app, arch, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := dse.ObjectiveOf(app, arch, res.Best, res.BestEval)
+	want := v[dse.MetricMakespan] + 1e-3*v[dse.MetricContexts] + 0.01*v[dse.MetricHWArea]
+	if res.Stats.BestCost != want {
+		t.Fatalf("weighted cost %v != recomputed %v", res.Stats.BestCost, want)
+	}
+}

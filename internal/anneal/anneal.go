@@ -93,32 +93,64 @@ type Stats struct {
 	FinalCost  float64
 }
 
-// Run executes simulated annealing on p and returns run statistics. The
-// problem is left in its final state; if it implements BestKeeper it has
-// been told to snapshot each improving solution, so callers can recover the
-// best one.
-func Run(p Problem, opt Options) Stats {
+// Runner is a resumable annealing run: the loop of Run decomposed into
+// bounded Step calls so that drivers (the unified search.Strategy engine,
+// portfolio racing) can interleave annealing with other work. A Runner
+// stepped to exhaustion is bit-identical to a single Run call — same RNG
+// stream, same accept/reject decisions, same statistics.
+type Runner struct {
+	p      Problem
+	opt    Options
+	rng    *rand.Rand
+	keeper BestKeeper
+	cost   float64
+	st     Stats
+	it     int
+	done   bool
+}
+
+// NewRunner prepares a run without executing any iteration. As in Run, the
+// initial solution is snapshotted immediately when p implements BestKeeper.
+func NewRunner(p Problem, opt Options) *Runner {
 	if opt.Schedule == nil {
 		panic("anneal: Options.Schedule is required")
 	}
-	rng := rand.New(rand.NewSource(opt.Seed))
-	cost := p.Cost()
-	st := Stats{BestCost: cost, FinalCost: cost}
-	keeper, _ := p.(BestKeeper)
-	if keeper != nil {
-		keeper.KeepBest()
+	r := &Runner{p: p, opt: opt, rng: rand.New(rand.NewSource(opt.Seed))}
+	r.cost = p.Cost()
+	r.st = Stats{BestCost: r.cost, FinalCost: r.cost}
+	r.keeper, _ = p.(BestKeeper)
+	if r.keeper != nil {
+		r.keeper.KeepBest()
 	}
+	return r
+}
 
-	for it := 0; opt.MaxIters == 0 || it < opt.MaxIters; it++ {
+// Step executes up to n iterations and reports whether the run can
+// continue. It returns false once the run is over — iteration budget spent,
+// schedule frozen, Stop hook fired, or target cost reached.
+func (r *Runner) Step(n int) bool {
+	if r.done {
+		return false
+	}
+	opt := &r.opt
+	for k := 0; k < n; k++ {
+		it := r.it
+		if opt.MaxIters != 0 && it >= opt.MaxIters {
+			r.done = true
+			return false
+		}
 		if opt.Schedule.Done() {
-			break
+			r.done = true
+			return false
 		}
 		if opt.Stop != nil && it%64 == 0 && opt.Stop() {
-			break
+			r.done = true
+			return false
 		}
-		st.Iters++
+		r.it++
+		r.st.Iters++
 
-		mv := p.Propose(rng)
+		mv := r.p.Propose(r.rng)
 		applied := mv != nil && mv.Apply()
 		kind := -1
 		if mv != nil {
@@ -126,46 +158,67 @@ func Run(p Problem, opt Options) Stats {
 		}
 		accepted := false
 		if !applied {
-			st.Infeasible++
+			r.st.Infeasible++
 		} else {
-			newCost := p.Cost()
-			delta := newCost - cost
-			if delta <= 0 || rng.Float64() < math.Exp(-delta/opt.Schedule.Temperature()) {
+			newCost := r.p.Cost()
+			delta := newCost - r.cost
+			if delta <= 0 || r.rng.Float64() < math.Exp(-delta/opt.Schedule.Temperature()) {
 				accepted = true
-				cost = newCost
-				st.Accepted++
-				if cost < st.BestCost {
-					st.BestCost = cost
-					st.BestIter = it
-					if keeper != nil {
-						keeper.KeepBest()
+				r.cost = newCost
+				r.st.Accepted++
+				if r.cost < r.st.BestCost {
+					r.st.BestCost = r.cost
+					r.st.BestIter = it
+					if r.keeper != nil {
+						r.keeper.KeepBest()
 					}
 				}
 			} else {
 				mv.Revert()
-				st.Rejected++
+				r.st.Rejected++
 			}
 		}
 		// Every attempt informs the schedule: an infeasible proposal is a
 		// rejected transition of the chain (it stayed in place), so the
 		// acceptance statistics reflect the true mixing rate and the
 		// warmup phase ends after a predictable number of iterations.
-		opt.Schedule.Observe(cost, accepted)
+		opt.Schedule.Observe(r.cost, accepted)
 
 		if opt.Trace != nil {
 			opt.Trace(Observation{
 				Iter:        it,
-				Cost:        cost,
-				Best:        st.BestCost,
+				Cost:        r.cost,
+				Best:        r.st.BestCost,
 				Temperature: opt.Schedule.Temperature(),
 				Accepted:    accepted,
 				MoveKind:    kind,
 			})
 		}
-		if !math.IsNaN(opt.TargetCost) && st.BestCost <= opt.TargetCost {
-			break
+		if !math.IsNaN(opt.TargetCost) && r.st.BestCost <= opt.TargetCost {
+			r.done = true
+			return false
 		}
 	}
-	st.FinalCost = cost
+	return true
+}
+
+// Done reports whether the run is over.
+func (r *Runner) Done() bool { return r.done }
+
+// Stats summarizes the run so far; FinalCost tracks the current solution.
+func (r *Runner) Stats() Stats {
+	st := r.st
+	st.FinalCost = r.cost
 	return st
+}
+
+// Run executes simulated annealing on p and returns run statistics. The
+// problem is left in its final state; if it implements BestKeeper it has
+// been told to snapshot each improving solution, so callers can recover the
+// best one. Run is NewRunner stepped to exhaustion.
+func Run(p Problem, opt Options) Stats {
+	r := NewRunner(p, opt)
+	for r.Step(1 << 20) {
+	}
+	return r.Stats()
 }

@@ -345,3 +345,52 @@ func TestRunPanicsWithoutSchedule(t *testing.T) {
 	}()
 	Run(&quadratic{}, Options{})
 }
+
+// TestRunnerStepEquivalence pins the resumable Runner's contract: stepping
+// a run to exhaustion in any chunk size is bit-identical to a single Run.
+func TestRunnerStepEquivalence(t *testing.T) {
+	run := func() Stats {
+		q := &quadratic{x: 40}
+		opt := NewOptions(NewLam(0.05, 100))
+		opt.MaxIters = 3000
+		opt.Seed = 9
+		return Run(q, opt)
+	}
+	want := run()
+	for _, chunk := range []int{1, 7, 64, 1000} {
+		q := &quadratic{x: 40}
+		opt := NewOptions(NewLam(0.05, 100))
+		opt.MaxIters = 3000
+		opt.Seed = 9
+		r := NewRunner(q, opt)
+		for r.Step(chunk) {
+		}
+		if !r.Done() {
+			t.Fatalf("chunk %d: runner not done after exhaustion", chunk)
+		}
+		if got := r.Stats(); got != want {
+			t.Fatalf("chunk %d: stepped stats %+v != Run stats %+v", chunk, got, want)
+		}
+	}
+}
+
+// TestRunnerStepZeroAndAfterDone: a zero-budget step is a no-op, and
+// stepping a finished run stays a no-op.
+func TestRunnerStepAfterDone(t *testing.T) {
+	q := &quadratic{x: 5}
+	opt := NewOptions(NewGeometric(10, 0.9, 10, 1e-3))
+	opt.MaxIters = 50
+	r := NewRunner(q, opt)
+	if !r.Step(0) {
+		t.Fatal("zero-budget step must report the run as continuable")
+	}
+	for r.Step(7) {
+	}
+	st := r.Stats()
+	if r.Step(10) {
+		t.Fatal("stepping a finished run must return false")
+	}
+	if got := r.Stats(); got != st {
+		t.Fatalf("stepping a finished run changed stats: %+v vs %+v", got, st)
+	}
+}

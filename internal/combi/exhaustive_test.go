@@ -1,0 +1,76 @@
+package combi
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+func TestExhaustiveEnumeratesAllBipartitions(t *testing.T) {
+	app := apps.Chain(6, model.FromMillis(1), 1000, 1)
+	arch := apps.MotionArch(800, apps.DefaultMotionConfig())
+	x, err := NewExhaustive(app, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Total().Cmp(big.NewInt(64)) != 0 {
+		t.Fatalf("total = %v, want 64", x.Total())
+	}
+	count := 0
+	for {
+		m, ok := x.Next()
+		if !ok {
+			break
+		}
+		count++
+		if err := sched.CheckMapping(app, arch, m); err != nil {
+			t.Fatalf("decoded mapping %d invalid: %v", count, err)
+		}
+	}
+	// Every bipartition of an all-feasible chain decodes.
+	if count != 64 {
+		t.Fatalf("decoded %d mappings, want 64", count)
+	}
+	if x.Remaining() != 0 {
+		t.Fatalf("remaining = %d after exhaustion", x.Remaining())
+	}
+	if _, ok := x.Next(); ok {
+		t.Fatal("Next after exhaustion returned a mapping")
+	}
+}
+
+func TestExhaustiveRejectsLargeInstances(t *testing.T) {
+	mcfg := apps.DefaultMotionConfig()
+	app := apps.MotionDetection(mcfg) // 28 tasks > MaxExhaustiveTasks
+	arch := apps.MotionArch(2000, mcfg)
+	if _, err := NewExhaustive(app, arch); err == nil {
+		t.Fatal("28-task instance accepted")
+	}
+}
+
+func TestExhaustiveDistinctSpatialSolutions(t *testing.T) {
+	app := apps.Chain(5, model.FromMillis(1), 1000, 2)
+	arch := apps.MotionArch(800, apps.DefaultMotionConfig())
+	x, err := NewExhaustive(app, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hwCounts := map[int]int{}
+	for {
+		m, ok := x.Next()
+		if !ok {
+			break
+		}
+		hwCounts[m.HWTaskCount()]++
+	}
+	// Binomial profile: C(5, k) bipartitions place k tasks in hardware.
+	want := map[int]int{0: 1, 1: 5, 2: 10, 3: 10, 4: 5, 5: 1}
+	for k, n := range want {
+		if hwCounts[k] != n {
+			t.Fatalf("hw-count profile %v, want %v", hwCounts, want)
+		}
+	}
+}

@@ -15,6 +15,8 @@ import (
 
 	"repro/internal/anneal"
 	"repro/internal/model"
+	"repro/internal/objective"
+	"repro/internal/pareto"
 	"repro/internal/sched"
 )
 
@@ -143,6 +145,18 @@ type Config struct {
 	// incremental evaluation against a full rebuild; used by the test
 	// suite to catch state corruption, far too slow for production runs.
 	Paranoid bool
+	// Objective overrides the scalarization of the multi-criteria cost.
+	// nil selects the paper's cost for the mode — objective.FixedArch()
+	// when ExploreArch is false, objective.ArchExplore(Deadline,
+	// PenaltyWeight) otherwise — reproducing the historical behavior
+	// bit-for-bit.
+	Objective *objective.Scalarizer
+	// FrontMetrics, when non-empty, enables the in-run Pareto archive: the
+	// initial solution and every accepted solution are projected onto
+	// these objective coordinates and offered to an N-dimensional archive
+	// returned in Result.Front. Leave nil to disable (the hot loop then
+	// never computes mapping-derived metrics).
+	FrontMetrics []objective.Metric
 }
 
 // DefaultConfig mirrors the paper's Figure 2 run: 1200 warmup iterations,
@@ -186,6 +200,9 @@ type Result struct {
 	// MetDeadline reports whether the best solution satisfies the
 	// configured deadline (vacuously true when no deadline is set).
 	MetDeadline bool
+	// Front is the in-run Pareto archive over Config.FrontMetrics (nil
+	// when disabled). Point IDs are offer sequence numbers within the run.
+	Front *pareto.NArchive
 }
 
 // moveWeights returns the base generation-probability vector. In
@@ -204,54 +221,16 @@ func moveWeights(exploreArch bool) []float64 {
 	return w
 }
 
-// ctxTieBreak is a microscopic per-context cost (one microsecond in
-// millisecond units) that breaks ties among equal-makespan solutions toward
-// fewer contexts, so zero-delta splitting moves do not let the context
-// count drift upward for free.
-const ctxTieBreak = 1e-3
-
-// costOf converts an evaluation into the scalar annealing cost: execution
-// time in milliseconds in fixed-architecture mode; instantiated-resource
-// cost plus deadline-violation penalty in architecture-exploration mode.
-func (e *Explorer) costOf(res sched.Result) float64 {
-	if !e.cfg.ExploreArch {
-		return res.Makespan.Millis() + ctxTieBreak*float64(res.Contexts)
+// scalarizer resolves the run's cost function: an explicit override, or
+// the paper's default for the mode.
+func (c *Config) scalarizer() objective.Scalarizer {
+	if c.Objective != nil {
+		return *c.Objective
 	}
-	c := e.usedResourceCost()
-	if e.cfg.Deadline > 0 && res.Makespan > e.cfg.Deadline {
-		over := (res.Makespan - e.cfg.Deadline).Millis()
-		c += e.cfg.PenaltyWeight * over
+	if c.ExploreArch {
+		return objective.ArchExplore(c.Deadline, c.PenaltyWeight)
 	}
-	return c
-}
-
-// usedResourceCost sums the costs of resources that currently execute at
-// least one task. Unused template resources are "not part" of the explored
-// architecture (this realizes m3/m4 over a fixed maximal template).
-func (e *Explorer) usedResourceCost() float64 {
-	var c float64
-	for p := range e.arch.Processors {
-		if len(e.cur.SWOrders[p]) > 0 {
-			c += e.arch.Processors[p].Cost
-		}
-	}
-	for r := range e.arch.RCs {
-		if e.cur.NumContexts(r) > 0 {
-			c += e.arch.RCs[r].Cost
-		}
-	}
-	asicUsed := make([]bool, len(e.arch.ASICs))
-	for _, pl := range e.cur.Assign {
-		if pl.Kind == model.KindASIC {
-			asicUsed[pl.Res] = true
-		}
-	}
-	for i, used := range asicUsed {
-		if used {
-			c += e.arch.ASICs[i].Cost
-		}
-	}
-	return c
+	return objective.FixedArch()
 }
 
 // nanIfUnset disables the annealer's target-cost stop unless a deadline is

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/model"
+	"repro/internal/objective"
 	"repro/internal/sched"
 )
 
@@ -369,14 +370,14 @@ func TestCostOfArchMode(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := e.costOf(e.curRes)
-	if c <= e.usedResourceCost() {
+	if c <= objective.UsedResourceCostOf(arch, e.cur) {
 		t.Fatalf("cost %v does not include deadline penalty", c)
 	}
 	// Without violation the cost is exactly the resource cost.
 	cfg.Deadline = model.FromMillis(10_000)
 	e2, _ := New(app, arch, cfg)
-	if got := e2.costOf(e2.curRes); got != e2.usedResourceCost() {
-		t.Fatalf("unconstrained cost %v != resource cost %v", got, e2.usedResourceCost())
+	if got, want := e2.costOf(e2.curRes), objective.UsedResourceCostOf(arch, e2.cur); got != want {
+		t.Fatalf("unconstrained cost %v != resource cost %v", got, want)
 	}
 }
 
@@ -406,5 +407,177 @@ func TestMoveWeightsVector(t *testing.T) {
 	w = moveWeights(true)
 	if w[MoveRemoveRes] == 0 || w[MoveCreateRes] == 0 {
 		t.Fatal("architecture exploration must enable m3/m4")
+	}
+}
+
+// TestDefaultCostBitIdenticalToLegacy is the acceptance pin of the
+// objective-layer refactor: on a seeded run with default weights, every
+// point of the cost stream — and therefore every accept/reject decision —
+// must equal the historical closed-form cost (makespan + context
+// tie-break) recomputed independently from the trace.
+func TestDefaultCostBitIdenticalToLegacy(t *testing.T) {
+	app, arch := motionSetup(2000)
+	cfg := DefaultConfig()
+	cfg.MaxIters = 2000
+	cfg.Warmup = 400
+	cfg.Seed = 13
+	cfg.Deadline = model.FromMillis(40) // reported only; must not leak into the cost
+	checked := 0
+	cfg.Trace = func(p TracePoint) {
+		legacy := p.Makespan.Millis() + objective.CtxTieBreak*float64(p.Contexts)
+		if p.Cost != legacy {
+			t.Fatalf("iter %d: cost %v != legacy closed form %v", p.Iter, p.Cost, legacy)
+		}
+		checked++
+	}
+	res, err := Explore(app, arch, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked != cfg.MaxIters {
+		t.Fatalf("trace checked %d points, want %d", checked, cfg.MaxIters)
+	}
+	if want := res.BestEval.Makespan.Millis() + objective.CtxTieBreak*float64(res.BestEval.Contexts); res.Stats.BestCost > want {
+		t.Fatalf("best cost %v above its own evaluation's legacy cost %v", res.Stats.BestCost, want)
+	}
+}
+
+// TestSteppedRunEquivalence: driving the explorer through Start/Step in
+// small chunks is bit-identical to the one-shot Run.
+func TestSteppedRunEquivalence(t *testing.T) {
+	app, arch := motionSetup(2000)
+	mk := func() Config {
+		cfg := DefaultConfig()
+		cfg.MaxIters = 1200
+		cfg.Warmup = 300
+		cfg.QuenchIters = 400
+		cfg.Seed = 77
+		return cfg
+	}
+	want, err := Explore(app, arch, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{1, 13, 97} {
+		e, err := New(app, arch, mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Start()
+		for {
+			more, err := e.Step(chunk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !more {
+				break
+			}
+		}
+		got := e.Finish()
+		if got.BestEval != want.BestEval || got.Stats != want.Stats {
+			t.Fatalf("chunk %d diverged: %+v / %+v vs %+v / %+v",
+				chunk, got.BestEval, got.Stats, want.BestEval, want.Stats)
+		}
+	}
+}
+
+// TestInRunFrontCollection: a single seeded exploration with FrontMetrics
+// produces a valid multi-point area/makespan front (the acceptance
+// criterion asks for >= 3 points).
+func TestInRunFrontCollection(t *testing.T) {
+	app, arch := motionSetup(2000)
+	cfg := DefaultConfig()
+	cfg.Seed = 1
+	cfg.FrontMetrics = []objective.Metric{objective.HWArea, objective.Makespan}
+	res, err := Explore(app, arch, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Front == nil {
+		t.Fatal("front enabled but nil in result")
+	}
+	pts := res.Front.Points()
+	if len(pts) < 3 {
+		t.Fatalf("front has %d points, want >= 3: %+v", len(pts), pts)
+	}
+	// Antichain in (area, makespan): strictly increasing area, strictly
+	// decreasing makespan under the lexicographic point order.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].V[0] <= pts[i-1].V[0] || pts[i].V[1] >= pts[i-1].V[1] {
+			t.Fatalf("front not an antichain at %d: %v, %v", i, pts[i-1].V, pts[i].V)
+		}
+	}
+	// The best solution's point must be on (or dominated by) the front:
+	// no front point may be dominated by the best solution.
+	bestArea := float64(objective.HWAreaOf(app, res.Best))
+	bestMs := res.BestEval.Makespan.Millis()
+	for _, p := range pts {
+		if bestArea < p.V[0] && bestMs < p.V[1] {
+			t.Fatalf("front point %v dominated by the best solution (%v, %v)", p.V, bestArea, bestMs)
+		}
+	}
+}
+
+// TestFrontDisabledByDefault: without FrontMetrics the result carries no
+// archive (and the hot loop never pays for one).
+func TestFrontDisabledByDefault(t *testing.T) {
+	app, arch := motionSetup(2000)
+	cfg := DefaultConfig()
+	cfg.MaxIters = 200
+	cfg.Warmup = 50
+	cfg.QuenchIters = 0
+	res, err := Explore(app, arch, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Front != nil {
+		t.Fatal("front present without FrontMetrics")
+	}
+}
+
+// TestSetSolutionWarmStart: installing a known mapping replaces the random
+// initial solution and its cost is the shared objective's cost.
+func TestSetSolutionWarmStart(t *testing.T) {
+	app, arch := motionSetup(2000)
+	cfg := DefaultConfig()
+	cfg.Seed = 5
+	e, err := New(app, arch, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sched.NewMapping(app, arch) // all-software
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetSolution(m); err != nil {
+		t.Fatal(err)
+	}
+	_, res := e.Current()
+	scal := objective.FixedArch()
+	if got, want := e.Cost(), scal.CostOf(app, arch, m, res); got != want {
+		t.Fatalf("warm-start cost %v != objective cost %v", got, want)
+	}
+}
+
+// TestCustomObjectiveWeights: a non-default scalarizer flows into the
+// annealing cost (here: pure area, which an all-software mapping zeroes).
+func TestCustomObjectiveWeights(t *testing.T) {
+	app, arch := motionSetup(2000)
+	scal := objective.FixedArch()
+	scal.Weights[objective.HWArea] = 1 // heavily price hardware area
+	cfg := DefaultConfig()
+	cfg.MaxIters = 1500
+	cfg.Warmup = 300
+	cfg.Seed = 3
+	cfg.Objective = &scal
+	res, err := Explore(app, arch, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCost := res.BestEval.Makespan.Millis() +
+		objective.CtxTieBreak*float64(res.BestEval.Contexts) +
+		float64(objective.HWAreaOf(app, res.Best))
+	if res.Stats.BestCost != wantCost {
+		t.Fatalf("weighted cost %v != recomputed %v", res.Stats.BestCost, wantCost)
 	}
 }

@@ -7,6 +7,8 @@ import (
 	"repro/internal/anneal"
 	"repro/internal/graph"
 	"repro/internal/model"
+	"repro/internal/objective"
+	"repro/internal/pareto"
 	"repro/internal/sched"
 )
 
@@ -34,6 +36,20 @@ type Explorer struct {
 	cur     *sched.Mapping
 	curRes  sched.Result
 	curCost float64
+
+	// scal is the run's resolved cost function; needsMap caches whether it
+	// reads mapping-derived metrics (skipped in the hot loop otherwise).
+	scal     objective.Scalarizer
+	needsMap bool
+
+	// front is the in-run Pareto archive (nil when disabled); frontCoords
+	// is its reusable projection buffer and frontTick the offer sequence.
+	front       *pareto.NArchive
+	frontCoords []float64
+	frontTick   int
+
+	// run is the in-flight stepped exploration, nil outside Start/Step.
+	run *runState
 
 	// journal records per-move undo ops; cs records the layers the move in
 	// flight invalidated. Together they make both rejection and the
@@ -121,6 +137,17 @@ func (p *Prepared) New(cfg Config) (*Explorer, error) {
 		best:      &sched.Mapping{},
 		rng:       rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
 	}
+	e.scal = cfg.scalarizer()
+	e.needsMap = e.scal.NeedsMapping()
+	if len(cfg.FrontMetrics) > 0 {
+		for _, m := range cfg.FrontMetrics {
+			if m < 0 || m >= objective.NumMetrics {
+				return nil, fmt.Errorf("core: invalid front metric %d", int(m))
+			}
+		}
+		e.front = pareto.NewNArchive(len(cfg.FrontMetrics))
+		e.frontCoords = make([]float64, len(cfg.FrontMetrics))
+	}
 	if cfg.EvalMode.resolve(p.app, p.arch) == EvalIncremental {
 		inc, err := sched.NewIncEvaluator(p.app, p.arch)
 		if err != nil {
@@ -198,7 +225,38 @@ func (e *Explorer) reset(m *sched.Mapping) error {
 	e.curCost = e.costOf(res)
 	e.journal.reset()
 	e.cs.Reset()
+	e.offerFront()
 	return nil
+}
+
+// SetSolution installs m as the explorer's current solution — a warm
+// start, replacing the random initial mapping before Run (list-scheduling
+// seeds, portfolio hand-offs). The mapping is validated and evaluated; the
+// explorer takes ownership of m.
+func (e *Explorer) SetSolution(m *sched.Mapping) error { return e.reset(m) }
+
+// costOf converts an evaluation of the current mapping into the scalar
+// search cost through the shared objective layer.
+func (e *Explorer) costOf(res sched.Result) float64 {
+	v := objective.FromResult(res)
+	if e.needsMap {
+		objective.CompleteMapping(e.app, e.arch, e.cur, &v)
+	}
+	return e.scal.Cost(res, v)
+}
+
+// offerFront projects the current solution onto the configured front
+// metrics and offers it to the in-run archive. Only the configured
+// coordinates are computed — this runs once per feasible proposal, so it
+// must not drag mapping scans for metrics nobody archives into the hot
+// loop.
+func (e *Explorer) offerFront() {
+	if e.front == nil {
+		return
+	}
+	objective.Project(e.cfg.FrontMetrics, e.app, e.arch, e.cur, e.curRes, e.frontCoords)
+	e.front.Add(e.frontCoords, e.frontTick)
+	e.frontTick++
 }
 
 // Current returns the current mapping and its evaluation (read-only).
@@ -246,14 +304,22 @@ func (e *Explorer) Propose(rng *rand.Rand) anneal.Move {
 	return &e.mv
 }
 
-// Run executes the exploration and returns the best solution found.
-func (e *Explorer) Run() (*Result, error) {
+// runState is the in-flight state of a stepped exploration: the current
+// annealing phase and the statistics accumulated across phases.
+type runState struct {
+	runner  *anneal.Runner
+	phase   int // 0 = adaptive schedule, 1 = greedy quench, 2 = done
+	initial sched.Result
+	st      anneal.Stats
+}
+
+// Start begins a stepped exploration. Stepping a run to exhaustion with
+// Step and reading it back with Finish is bit-identical to Run.
+func (e *Explorer) Start() {
 	sched0 := e.cfg.Schedule
 	if sched0 == nil {
 		sched0 = anneal.NewLam(e.cfg.Quality, e.cfg.Warmup)
 	}
-	initial := e.curRes
-
 	opt := anneal.Options{
 		Schedule:   sched0,
 		MaxIters:   e.cfg.MaxIters,
@@ -278,14 +344,35 @@ func (e *Explorer) Run() (*Result, error) {
 			})
 		}
 	}
+	e.run = &runState{runner: anneal.NewRunner(e, opt), initial: e.curRes}
+}
 
-	st := anneal.Run(e, opt)
-
-	// Final quench: restart from the best annealed solution and take only
-	// improving moves until the budget runs out.
-	if e.cfg.QuenchIters > 0 {
+// Step advances a started exploration by up to n annealing iterations and
+// reports whether the run can continue. Phase transitions (schedule freeze
+// into the final quench) happen inside Step; the returned error is fatal.
+func (e *Explorer) Step(n int) (bool, error) {
+	r := e.run
+	if r == nil {
+		return false, fmt.Errorf("core: Step before Start")
+	}
+	switch r.phase {
+	case 0:
+		if r.runner.Step(n) {
+			return true, nil
+		}
+		r.st = r.runner.Stats()
+		if e.cfg.QuenchIters <= 0 {
+			r.phase = 2
+			return false, nil
+		}
+		// Final quench: restart from the best annealed solution and take
+		// only improving moves until the budget runs out. The quench run
+		// carries no selector feedback and no user trace (matching the
+		// historical single-shot Run); the front archive still observes
+		// its evaluations through move.Apply.
 		if err := e.reset(e.best.Clone()); err != nil {
-			return nil, fmt.Errorf("core: restoring best solution: %w", err)
+			r.phase = 2
+			return false, fmt.Errorf("core: restoring best solution: %w", err)
 		}
 		qopt := anneal.Options{
 			Schedule:   anneal.Greedy{},
@@ -294,25 +381,86 @@ func (e *Explorer) Run() (*Result, error) {
 			TargetCost: nanIfUnset(),
 			Stop:       e.cfg.Stop,
 		}
-		qst := anneal.Run(e, qopt)
-		st.Iters += qst.Iters
-		st.Accepted += qst.Accepted
-		st.Rejected += qst.Rejected
-		st.Infeasible += qst.Infeasible
-		if qst.BestCost < st.BestCost {
-			st.BestCost = qst.BestCost
+		r.runner = anneal.NewRunner(e, qopt)
+		r.phase = 1
+		return true, nil
+	case 1:
+		if r.runner.Step(n) {
+			return true, nil
 		}
-		st.FinalCost = qst.FinalCost
+		qst := r.runner.Stats()
+		r.st.Iters += qst.Iters
+		r.st.Accepted += qst.Accepted
+		r.st.Rejected += qst.Rejected
+		r.st.Infeasible += qst.Infeasible
+		if qst.BestCost < r.st.BestCost {
+			r.st.BestCost = qst.BestCost
+		}
+		r.st.FinalCost = qst.FinalCost
+		r.phase = 2
+		return false, nil
+	default:
+		return false, nil
 	}
+}
 
-	res := &Result{
+// Finish closes a stepped exploration and returns the best solution found
+// so far (callable mid-run for a snapshot of an interrupted search; before
+// Start it reports the initial solution).
+func (e *Explorer) Finish() *Result {
+	r := e.run
+	if r == nil {
+		e.KeepBest()
+		return &Result{
+			Best:        e.best.Clone(),
+			BestEval:    e.bestRes,
+			InitialEval: e.curRes,
+			MetDeadline: e.cfg.Deadline <= 0 || e.bestRes.Makespan <= e.cfg.Deadline,
+			Front:       e.front,
+		}
+	}
+	st := r.st
+	if r.phase < 2 {
+		// Snapshot of an unfinished run: current-phase statistics merged
+		// on the fly.
+		cur := r.runner.Stats()
+		if r.phase == 0 {
+			st = cur
+		} else {
+			st.Iters += cur.Iters
+			st.Accepted += cur.Accepted
+			st.Rejected += cur.Rejected
+			st.Infeasible += cur.Infeasible
+			if cur.BestCost < st.BestCost {
+				st.BestCost = cur.BestCost
+			}
+			st.FinalCost = cur.FinalCost
+		}
+	}
+	return &Result{
 		Best:        e.best.Clone(),
 		BestEval:    e.bestRes,
-		InitialEval: initial,
+		InitialEval: r.initial,
 		Stats:       st,
 		MetDeadline: e.cfg.Deadline <= 0 || e.bestRes.Makespan <= e.cfg.Deadline,
+		Front:       e.front,
 	}
-	return res, nil
+}
+
+// Run executes the exploration and returns the best solution found: Start
+// stepped to exhaustion, then Finish.
+func (e *Explorer) Run() (*Result, error) {
+	e.Start()
+	for {
+		more, err := e.Step(1 << 20)
+		if err != nil {
+			return nil, err
+		}
+		if !more {
+			break
+		}
+	}
+	return e.Finish(), nil
 }
 
 // Explore is the one-call convenience API: build an explorer and run it.

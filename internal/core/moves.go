@@ -85,6 +85,9 @@ func (m *move) Apply() bool {
 		}
 	}
 	e.curRes, e.curCost = res, e.costOf(res)
+	// Every feasible evaluation — accepted or not — is a visited point of
+	// the objective space; offer it to the in-run Pareto archive.
+	e.offerFront()
 	return true
 }
 

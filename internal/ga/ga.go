@@ -6,6 +6,10 @@
 // contrast with the paper's simultaneous exploration of all three
 // subproblems. The paper reports a population of 300 and a ~4 minute
 // runtime on the motion-detection benchmark versus <10 s for the annealer.
+//
+// Individuals are scored through the shared objective layer
+// (internal/objective), so the GA and the annealer assign the same cost to
+// the same mapping — the property the cross-strategy regression tests pin.
 package ga
 
 import (
@@ -15,6 +19,8 @@ import (
 
 	"repro/internal/listsched"
 	"repro/internal/model"
+	"repro/internal/objective"
+	"repro/internal/pareto"
 	"repro/internal/sched"
 )
 
@@ -41,6 +47,14 @@ type Config struct {
 	// Stop, when non-nil, is polled once per generation; returning true
 	// interrupts the run, which then returns the best individual so far.
 	Stop func() bool
+	// Objective overrides the scalarization of the fitness. nil selects
+	// the shared fixed-architecture default (objective.FixedArch) — the
+	// same cost the annealer minimizes on a fixed architecture.
+	Objective *objective.Scalarizer
+	// FrontMetrics, when non-empty, archives each generation's best
+	// individual projected onto these objective coordinates; the archive
+	// is returned in Result.Front.
+	FrontMetrics []objective.Metric
 }
 
 // DefaultConfig mirrors the baseline's published setting.
@@ -61,9 +75,12 @@ func DefaultConfig() Config {
 type Result struct {
 	Best     *sched.Mapping
 	BestEval sched.Result
+	BestCost float64
 	// Generations actually executed and fitness evaluations performed.
 	Generations int
 	Evaluations int
+	// Front is the archive over Config.FrontMetrics (nil when disabled).
+	Front *pareto.NArchive
 }
 
 // genome is one individual: a hardware bit and an implementation gene per
@@ -86,8 +103,32 @@ func (g *genome) clone() *genome {
 	}
 }
 
-// Explore runs the genetic algorithm.
-func Explore(app *model.App, arch *model.Arch, cfg Config) (*Result, error) {
+// GA is a resumable genetic-algorithm run: New builds and scores the
+// initial population, each Step executes one generation, and Result reads
+// back the best individual. Explore is New stepped to exhaustion.
+type GA struct {
+	app  *model.App
+	arch *model.Arch
+	cfg  Config
+	n    int
+	mut  float64
+	rng  *rand.Rand
+	eval *sched.Evaluator
+	scal objective.Scalarizer
+
+	pop   []*genome
+	best  *genome
+	stall int
+	gen   int
+	evals int
+	done  bool
+
+	front       *pareto.NArchive
+	frontCoords []float64
+}
+
+// New validates the configuration and builds the initial population.
+func New(app *model.App, arch *model.Arch, cfg Config) (*GA, error) {
 	if err := app.Validate(); err != nil {
 		return nil, err
 	}
@@ -106,91 +147,175 @@ func Explore(app *model.App, arch *model.Arch, cfg Config) (*Result, error) {
 	if cfg.TournamentK < 1 {
 		cfg.TournamentK = 2
 	}
-	n := app.N()
-	mut := cfg.MutationRate
-	if mut <= 0 {
-		mut = 1.0 / float64(n)
+	g := &GA{
+		app:  app,
+		arch: arch,
+		cfg:  cfg,
+		n:    app.N(),
+		mut:  cfg.MutationRate,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		eval: sched.NewEvaluator(app, arch),
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	eval := sched.NewEvaluator(app, arch)
-	evals := 0
-
-	fitness := func(g *genome) {
-		res, err := listsched.Evaluate(eval, app, arch, g.hw, g.impl)
-		evals++
-		if err != nil {
-			g.cost, g.ok = math.Inf(1), false
-			return
-		}
-		g.cost, g.eval, g.ok = res.Makespan.Millis(), res, true
+	if g.mut <= 0 {
+		g.mut = 1.0 / float64(g.n)
+	}
+	if cfg.Objective != nil {
+		g.scal = *cfg.Objective
+	} else {
+		g.scal = objective.FixedArch()
+	}
+	if len(cfg.FrontMetrics) > 0 {
+		g.front = pareto.NewNArchive(len(cfg.FrontMetrics))
+		g.frontCoords = make([]float64, len(cfg.FrontMetrics))
 	}
 
-	pop := make([]*genome, cfg.Population)
-	for i := range pop {
-		g := &genome{hw: make([]bool, n), impl: make([]int, n)}
-		for t := 0; t < n; t++ {
-			g.hw[t] = rng.Intn(2) == 0
+	g.pop = make([]*genome, cfg.Population)
+	for i := range g.pop {
+		ind := &genome{hw: make([]bool, g.n), impl: make([]int, g.n)}
+		for t := 0; t < g.n; t++ {
+			ind.hw[t] = g.rng.Intn(2) == 0
 			if k := len(app.Tasks[t].HW); k > 0 {
-				g.impl[t] = rng.Intn(k)
+				ind.impl[t] = g.rng.Intn(k)
 			}
 		}
-		fitness(g)
-		pop[i] = g
+		g.fitness(ind)
+		g.pop[i] = ind
 	}
+	g.best = fittest(g.pop).clone()
+	g.offerFront()
+	return g, nil
+}
 
-	best := fittest(pop).clone()
-	stall := 0
-	gen := 0
-	for ; gen < cfg.Generations; gen++ {
-		if cfg.Stop != nil && cfg.Stop() {
-			break
+// fitness decodes and scores one individual through the shared objective
+// layer.
+func (g *GA) fitness(ind *genome) {
+	g.evals++
+	cost, eval, _, err := g.Fitness(ind.hw, ind.impl)
+	if err != nil {
+		ind.cost, ind.ok = math.Inf(1), false
+		return
+	}
+	ind.cost, ind.eval, ind.ok = cost, eval, true
+}
+
+// Fitness decodes a spatial assignment into a complete mapping and scores
+// it under the GA's objective — the exact cost the annealer would assign
+// the same mapping under the same scalarizer. Exposed so cross-strategy
+// regression tests can pin that equivalence.
+func (g *GA) Fitness(hw []bool, impl []int) (float64, sched.Result, *sched.Mapping, error) {
+	m, err := listsched.Build(g.app, g.arch, hw, impl)
+	if err != nil {
+		return 0, sched.Result{}, nil, err
+	}
+	res, err := g.eval.Evaluate(m)
+	if err != nil {
+		return 0, sched.Result{}, nil, err
+	}
+	return g.scal.CostOf(g.app, g.arch, m, res), res, m, nil
+}
+
+// offerFront archives the current best individual's objective vector.
+func (g *GA) offerFront() {
+	if g.front == nil || !g.best.ok {
+		return
+	}
+	m, err := listsched.Build(g.app, g.arch, g.best.hw, g.best.impl)
+	if err != nil {
+		return
+	}
+	objective.Project(g.cfg.FrontMetrics, g.app, g.arch, m, g.best.eval, g.frontCoords)
+	g.front.Add(g.frontCoords, g.gen)
+}
+
+// Generations returns the number of generations executed so far.
+func (g *GA) Generations() int { return g.gen }
+
+// Evaluations returns the number of fitness evaluations performed so far.
+func (g *GA) Evaluations() int { return g.evals }
+
+// BestCost returns the best cost observed so far (+Inf before the first
+// feasible individual).
+func (g *GA) BestCost() float64 { return g.best.cost }
+
+// Step executes one generation and reports whether the run can continue.
+func (g *GA) Step() bool {
+	if g.done || g.gen >= g.cfg.Generations {
+		g.done = true
+		return false
+	}
+	if g.cfg.Stop != nil && g.cfg.Stop() {
+		g.done = true
+		return false
+	}
+	next := make([]*genome, 0, g.cfg.Population)
+	// Elitism: carry the best individuals over unchanged.
+	for _, ind := range elites(g.pop, g.cfg.Elite) {
+		next = append(next, ind.clone())
+	}
+	for len(next) < g.cfg.Population {
+		a := tournament(g.pop, g.cfg.TournamentK, g.rng)
+		b := tournament(g.pop, g.cfg.TournamentK, g.rng)
+		child := a.clone()
+		if g.rng.Float64() < g.cfg.CrossoverRate {
+			cut := g.rng.Intn(g.n)
+			copy(child.hw[cut:], b.hw[cut:])
+			copy(child.impl[cut:], b.impl[cut:])
 		}
-		next := make([]*genome, 0, cfg.Population)
-		// Elitism: carry the best individuals over unchanged.
-		for _, g := range elites(pop, cfg.Elite) {
-			next = append(next, g.clone())
+		for t := 0; t < g.n; t++ {
+			if g.rng.Float64() < g.mut {
+				child.hw[t] = !child.hw[t]
+			}
+			if k := len(g.app.Tasks[t].HW); k > 0 && g.rng.Float64() < g.mut {
+				child.impl[t] = g.rng.Intn(k)
+			}
 		}
-		for len(next) < cfg.Population {
-			a := tournament(pop, cfg.TournamentK, rng)
-			b := tournament(pop, cfg.TournamentK, rng)
-			child := a.clone()
-			if rng.Float64() < cfg.CrossoverRate {
-				cut := rng.Intn(n)
-				copy(child.hw[cut:], b.hw[cut:])
-				copy(child.impl[cut:], b.impl[cut:])
-			}
-			for t := 0; t < n; t++ {
-				if rng.Float64() < mut {
-					child.hw[t] = !child.hw[t]
-				}
-				if k := len(app.Tasks[t].HW); k > 0 && rng.Float64() < mut {
-					child.impl[t] = rng.Intn(k)
-				}
-			}
-			fitness(child)
-			next = append(next, child)
-		}
-		pop = next
-		if f := fittest(pop); f.cost < best.cost {
-			best = f.clone()
-			stall = 0
-		} else {
-			stall++
-			if cfg.Stall > 0 && stall >= cfg.Stall {
-				gen++
-				break
-			}
+		g.fitness(child)
+		next = append(next, child)
+	}
+	g.pop = next
+	g.gen++
+	if f := fittest(g.pop); f.cost < g.best.cost {
+		g.best = f.clone()
+		g.stall = 0
+		g.offerFront()
+	} else {
+		g.stall++
+		if g.cfg.Stall > 0 && g.stall >= g.cfg.Stall {
+			g.done = true
+			return false
 		}
 	}
+	return g.gen < g.cfg.Generations
+}
 
-	if !best.ok {
+// Result reads back the best individual found so far.
+func (g *GA) Result() (*Result, error) {
+	if !g.best.ok {
 		return nil, fmt.Errorf("ga: no feasible individual found")
 	}
-	m, err := listsched.Build(app, arch, best.hw, best.impl)
+	m, err := listsched.Build(g.app, g.arch, g.best.hw, g.best.impl)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Best: m, BestEval: best.eval, Generations: gen, Evaluations: evals}, nil
+	return &Result{
+		Best:        m,
+		BestEval:    g.best.eval,
+		BestCost:    g.best.cost,
+		Generations: g.gen,
+		Evaluations: g.evals,
+		Front:       g.front,
+	}, nil
+}
+
+// Explore runs the genetic algorithm to completion.
+func Explore(app *model.App, arch *model.Arch, cfg Config) (*Result, error) {
+	g, err := New(app, arch, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for g.Step() {
+	}
+	return g.Result()
 }
 
 func fittest(pop []*genome) *genome {

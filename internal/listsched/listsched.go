@@ -129,16 +129,6 @@ func Build(app *model.App, arch *model.Arch, hw []bool, impl []int) (*sched.Mapp
 	return m, nil
 }
 
-// Evaluate is the one-call decode-and-time helper used by the GA fitness
-// function.
-func Evaluate(e *sched.Evaluator, app *model.App, arch *model.Arch, hw []bool, impl []int) (sched.Result, error) {
-	m, err := Build(app, arch, hw, impl)
-	if err != nil {
-		return sched.Result{}, err
-	}
-	return e.Evaluate(m)
-}
-
 func clampImpl(task *model.Task, impl []int, t int) int {
 	if impl == nil {
 		return smallest(task)

@@ -1,0 +1,203 @@
+package objective
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+func motionSetup(nclb int) (*model.App, *model.Arch) {
+	cfg := apps.DefaultMotionConfig()
+	return apps.MotionDetection(cfg), apps.MotionArch(nclb, cfg)
+}
+
+// legacyFixedCost is a copy of the pre-refactor core.costOf in
+// fixed-architecture mode; the FixedArch scalarizer must match it
+// bit-for-bit.
+func legacyFixedCost(res sched.Result) float64 {
+	return res.Makespan.Millis() + CtxTieBreak*float64(res.Contexts)
+}
+
+// legacyArchCost is a copy of the pre-refactor core.costOf in
+// architecture-exploration mode (usedResourceCost plus deadline penalty).
+func legacyArchCost(arch *model.Arch, m *sched.Mapping, res sched.Result, deadline model.Time, penalty float64) float64 {
+	var c float64
+	for p := range arch.Processors {
+		if len(m.SWOrders[p]) > 0 {
+			c += arch.Processors[p].Cost
+		}
+	}
+	for r := range arch.RCs {
+		if m.NumContexts(r) > 0 {
+			c += arch.RCs[r].Cost
+		}
+	}
+	asicUsed := make([]bool, len(arch.ASICs))
+	for _, pl := range m.Assign {
+		if pl.Kind == model.KindASIC {
+			asicUsed[pl.Res] = true
+		}
+	}
+	for i, used := range asicUsed {
+		if used {
+			c += arch.ASICs[i].Cost
+		}
+	}
+	if deadline > 0 && res.Makespan > deadline {
+		c += penalty * (res.Makespan - deadline).Millis()
+	}
+	return c
+}
+
+// TestFixedArchBitIdentical sweeps random mappings and checks the default
+// scalarization against the legacy closed form, bit for bit.
+func TestFixedArchBitIdentical(t *testing.T) {
+	app, arch := motionSetup(2000)
+	eval := sched.NewEvaluator(app, arch)
+	scal := FixedArch()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		m, err := sched.RandomMapping(app, arch, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eval.Evaluate(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := scal.CostOf(app, arch, m, res), legacyFixedCost(res); got != want {
+			t.Fatalf("mapping %d: cost %v != legacy %v", i, got, want)
+		}
+	}
+	if scal.NeedsMapping() {
+		t.Fatal("fixed-architecture default must not read mapping metrics")
+	}
+}
+
+// TestArchExploreBitIdentical does the same for the architecture-
+// exploration cost, with a deadline tight enough to trigger penalties.
+func TestArchExploreBitIdentical(t *testing.T) {
+	app, _ := motionSetup(2000)
+	arch := &model.Arch{
+		Name: "template",
+		Processors: []model.Processor{
+			{Name: "p0", Cost: 10}, {Name: "p1", Cost: 7},
+		},
+		RCs: []model.RC{
+			{Name: "rc0", NCLB: 2000, TR: model.FromMicros(22.5), Cost: 25},
+		},
+		ASICs: []model.ASIC{{Name: "a0", Cost: 40}},
+		Bus:   model.Bus{Rate: 80_000_000, Contention: true},
+	}
+	eval := sched.NewEvaluator(app, arch)
+	deadline := model.FromMillis(30)
+	scal := ArchExplore(deadline, 100)
+	if !scal.NeedsMapping() {
+		t.Fatal("architecture-exploration cost must read mapping metrics")
+	}
+	rng := rand.New(rand.NewSource(4))
+	penalized := 0
+	for i := 0; i < 200; i++ {
+		m, err := sched.RandomMapping(app, arch, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eval.Evaluate(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := legacyArchCost(arch, m, res, deadline, 100)
+		if got := scal.CostOf(app, arch, m, res); got != want {
+			t.Fatalf("mapping %d: cost %v != legacy %v", i, got, want)
+		}
+		if res.Makespan > deadline {
+			penalized++
+		}
+	}
+	if penalized == 0 {
+		t.Fatal("deadline never violated — the penalty path was not exercised")
+	}
+}
+
+// TestFixedArchIgnoresDeadline: in fixed-architecture mode the paper
+// optimizes pure execution time; a configured deadline must not leak into
+// the default cost.
+func TestFixedArchIgnoresDeadline(t *testing.T) {
+	scal := FixedArch()
+	if scal.Deadline != 0 || scal.DeadlinePenalty != 0 {
+		t.Fatalf("fixed-architecture default carries a deadline: %+v", scal)
+	}
+}
+
+func TestVectorExtraction(t *testing.T) {
+	app, arch := motionSetup(2000)
+	m, err := sched.NewMapping(app, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sched.NewEvaluator(app, arch).Evaluate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := Eval(app, arch, m, res)
+	if v[Makespan] != res.Makespan.Millis() {
+		t.Fatalf("makespan coordinate %v != %v", v[Makespan], res.Makespan.Millis())
+	}
+	if v[Contexts] != float64(res.Contexts) {
+		t.Fatalf("contexts coordinate %v != %d", v[Contexts], res.Contexts)
+	}
+	if v[HWArea] != float64(HWAreaOf(app, m)) {
+		t.Fatalf("area coordinate %v != %d", v[HWArea], HWAreaOf(app, m))
+	}
+	if v[UsedResourceCost] != UsedResourceCostOf(arch, m) {
+		t.Fatalf("resource-cost coordinate %v != %v", v[UsedResourceCost], UsedResourceCostOf(arch, m))
+	}
+	if v[BusComm] != res.Comm.Millis() || v[InitialReconfig] != res.InitialReconfig.Millis() ||
+		v[DynamicReconfig] != res.DynamicReconfig.Millis() {
+		t.Fatalf("time coordinates wrong: %+v vs %+v", v, res)
+	}
+}
+
+func TestAreaBudgetPenalty(t *testing.T) {
+	app, arch := motionSetup(2000)
+	rng := rand.New(rand.NewSource(5))
+	m, err := sched.RandomMapping(app, arch, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sched.NewEvaluator(app, arch).Evaluate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	area := HWAreaOf(app, m)
+	if area == 0 {
+		t.Skip("random mapping placed nothing in hardware")
+	}
+	scal := FixedArch()
+	base := scal.CostOf(app, arch, m, res)
+	scal.AreaBudget = area - 1
+	scal.AreaPenalty = 10
+	over := scal.CostOf(app, arch, m, res)
+	if want := base + 10*1; over != want {
+		t.Fatalf("area penalty: got %v, want %v", over, want)
+	}
+	scal.AreaBudget = area
+	if got := scal.CostOf(app, arch, m, res); got != base {
+		t.Fatalf("within-budget cost %v != base %v", got, base)
+	}
+}
+
+func TestParseMetricRoundTrip(t *testing.T) {
+	for m := Metric(0); m < NumMetrics; m++ {
+		got, err := ParseMetric(m.String())
+		if err != nil || got != m {
+			t.Fatalf("round trip of %v: %v, %v", m, got, err)
+		}
+	}
+	if _, err := ParseMetric("bogus"); err == nil {
+		t.Fatal("bogus metric accepted")
+	}
+}

@@ -7,8 +7,6 @@
 package pareto
 
 import (
-	"sort"
-
 	"repro/internal/model"
 )
 
@@ -24,36 +22,26 @@ func Dominates(a, b model.Impl) bool {
 // Front returns the Pareto-dominant subset of points, sorted by increasing
 // CLB count (hence decreasing time). Duplicate points are collapsed. The
 // input is not modified.
+//
+// Front is a thin 2-D wrapper over the N-dimensional archive: every point
+// is offered as an (area, time) vector and the surviving antichain is
+// mapped back onto the inputs. Dominance filtering therefore has no
+// best-so-far sentinel at all — a zero-time (or zero-area) point is an
+// ordinary coordinate value, not a special case that the old
+// sorted-sweep's initialization could silently conflate with "no point
+// seen yet".
 func Front(points []model.Impl) []model.Impl {
 	if len(points) == 0 {
 		return nil
 	}
-	sorted := append([]model.Impl(nil), points...)
-	// Sort by area ascending, then time ascending so the first entry of an
-	// equal-area run is its best time.
-	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i].CLBs != sorted[j].CLBs {
-			return sorted[i].CLBs < sorted[j].CLBs
-		}
-		return sorted[i].Time < sorted[j].Time
-	})
-	var front []model.Impl
-	bestTime := model.Time(0)
-	for _, p := range sorted {
-		if len(front) == 0 {
-			front = append(front, p)
-			bestTime = p.Time
-			continue
-		}
-		last := &front[len(front)-1]
-		if p.CLBs == last.CLBs {
-			continue // same area, worse or equal time
-		}
-		if p.Time >= bestTime {
-			continue // dominated: more area, no faster
-		}
-		front = append(front, p)
-		bestTime = p.Time
+	a := NewNArchive(2)
+	for i, p := range points {
+		a.Add([]float64{float64(p.CLBs), float64(p.Time)}, i)
+	}
+	pts := a.Points()
+	front := make([]model.Impl, len(pts))
+	for i, q := range pts {
+		front[i] = points[q.ID]
 	}
 	return front
 }

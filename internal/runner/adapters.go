@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ga"
 	"repro/internal/model"
+	"repro/internal/search"
 )
 
 // stopFromCtx combines a run config's own Stop hook with context
@@ -41,13 +42,38 @@ func SA(app *model.App, arch *model.Arch, cfg core.Config) (RunFunc, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		return &Outcome{Best: res.Best, Eval: res.BestEval, MetDeadline: res.MetDeadline}, nil
+		return &Outcome{Best: res.Best, Eval: res.BestEval, MetDeadline: res.MetDeadline, Front: res.Front}, nil
 	}, nil
+}
+
+// Strategy builds the RunFunc of a batch over any strategy of the unified
+// search engine ("sa", "ga", "list", "brute", "portfolio"): each run
+// drives one fresh instance built by the factory to exhaustion. The
+// factory is constructed once, so validation and the SA preparation are
+// hoisted out of the per-run path.
+func Strategy(f *search.Factory) RunFunc {
+	return func(ctx context.Context, run int, seed int64) (*Outcome, error) {
+		out, err := search.Run(ctx, f, seed, 0)
+		if err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return &Outcome{
+			Best:        out.Best,
+			Eval:        out.Eval,
+			MetDeadline: out.MetDeadline,
+			Front:       out.Front,
+		}, nil
+	}
 }
 
 // GA builds the RunFunc of a genetic-algorithm baseline batch. deadline is
 // the real-time constraint used for the MetDeadline report (0 = none); the
-// GA itself optimizes pure execution time, as in the published baseline.
+// GA scores fitness through the shared objective layer (by default the
+// fixed-architecture cost: makespan plus the context tie-break — the same
+// cost the annealer minimizes).
 func GA(app *model.App, arch *model.Arch, cfg ga.Config, deadline model.Time) (RunFunc, error) {
 	if err := app.Validate(); err != nil {
 		return nil, err
@@ -70,6 +96,7 @@ func GA(app *model.App, arch *model.Arch, cfg ga.Config, deadline model.Time) (R
 			Best:        res.Best,
 			Eval:        res.BestEval,
 			MetDeadline: deadline <= 0 || res.BestEval.Makespan <= deadline,
+			Front:       res.Front,
 		}, nil
 	}, nil
 }

@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"repro/internal/model"
+	"repro/internal/objective"
 	"repro/internal/pareto"
 	"repro/internal/sched"
 	"repro/internal/stats"
@@ -75,6 +76,10 @@ type Outcome struct {
 	// MetDeadline reports whether Best satisfies the run's deadline
 	// (vacuously true without one).
 	MetDeadline bool
+	// Front, when non-nil, is the run's in-run N-dimensional Pareto
+	// archive; the engine merges the fronts of all completed runs (in run
+	// order) into Aggregate.Front, re-tagging points with the run index.
+	Front *pareto.NArchive
 }
 
 // RunFunc executes one independent exploration run. It must derive all its
@@ -116,6 +121,11 @@ type Aggregate struct {
 	// solution contributes one (occupied CLBs, makespan) point tagged with
 	// its run index.
 	Archive pareto.Archive
+	// Front is the merged in-run N-dimensional Pareto front (nil when the
+	// runs collect none): the union of every completed run's archive,
+	// merged in run order with points re-tagged by run index — so it is
+	// identical for any worker count.
+	Front *pareto.NArchive
 }
 
 // add folds one completed run into the aggregate. Called in run order.
@@ -137,20 +147,16 @@ func (a *Aggregate) add(app *model.App, r RunResult) {
 		a.BestSeed = r.Seed
 	}
 	if app != nil && r.Outcome.Best != nil {
-		a.Archive.Add(model.Impl{CLBs: HWArea(app, r.Outcome.Best), Time: ev.Makespan}, r.Run)
+		a.Archive.Add(model.Impl{CLBs: objective.HWAreaOf(app, r.Outcome.Best), Time: ev.Makespan}, r.Run)
 	}
-}
-
-// HWArea sums the CLB counts of the chosen implementations of every task
-// mapped to hardware (RC or ASIC) — the archive's area coordinate.
-func HWArea(app *model.App, m *sched.Mapping) int {
-	area := 0
-	for t, pl := range m.Assign {
-		if pl.Kind == model.KindRC || pl.Kind == model.KindASIC {
-			area += app.Tasks[t].HW[m.Impl[t]].CLBs
+	if f := r.Outcome.Front; f != nil {
+		if a.Front == nil {
+			a.Front = pareto.NewNArchive(f.Dims())
+		}
+		for _, p := range f.Points() {
+			a.Front.Add(p.V, r.Run)
 		}
 	}
-	return area
 }
 
 // indexed pairs a worker's outcome with its run index for the merger.

@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ga"
 	"repro/internal/model"
+	"repro/internal/objective"
 	"repro/internal/pareto"
 	"repro/internal/sched"
 )
@@ -230,7 +231,8 @@ func TestArchiveMerge(t *testing.T) {
 	}
 }
 
-// TestHWArea pins the archive's area coordinate on a hand-built mapping.
+// TestHWArea pins the archive's area coordinate — now served by the shared
+// objective layer — on a hand-built mapping.
 func TestHWArea(t *testing.T) {
 	app, arch := motionSetup(2000)
 	m, err := sched.NewMapping(app, arch)
@@ -243,8 +245,8 @@ func TestHWArea(t *testing.T) {
 			want += app.Tasks[t2].HW[m.Impl[t2]].CLBs
 		}
 	}
-	if got := HWArea(app, m); got != want {
-		t.Fatalf("HWArea = %d, want %d", got, want)
+	if got := objective.HWAreaOf(app, m); got != want {
+		t.Fatalf("HWAreaOf = %d, want %d", got, want)
 	}
 }
 

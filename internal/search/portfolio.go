@@ -1,0 +1,104 @@
+package search
+
+import (
+	"math"
+
+	"repro/internal/pareto"
+)
+
+// portfolio races member strategies under one shared step budget by
+// round-robin stepping: each portfolio Step advances the next not-yet-done
+// member by one of its own steps. Because the members are driven from one
+// goroutine in a fixed rotation, a portfolio run is a pure function of its
+// seed — the "race" is over the shared budget, not over wall-clock
+// scheduling, so results stay reproducible.
+type portfolio struct {
+	members []Strategy
+	done    []bool
+	next    int
+	steps   int
+}
+
+func (p *portfolio) Name() string { return "portfolio" }
+
+// Init seeds every member with a distinct stream derived from the run
+// seed, so members never replay each other's randomness.
+func (p *portfolio) Init(seed int64) error {
+	p.done = make([]bool, len(p.members))
+	p.next, p.steps = 0, 0
+	for j, m := range p.members {
+		if err := m.Init(seed + int64(j)*0x9e3779b9); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *portfolio) Step() (bool, error) {
+	for probe := 0; probe < len(p.members); probe++ {
+		j := p.next
+		p.next = (p.next + 1) % len(p.members)
+		if p.done[j] {
+			continue
+		}
+		p.steps++
+		more, err := p.members[j].Step()
+		if err != nil {
+			return false, err
+		}
+		if !more {
+			p.done[j] = true
+		}
+		return p.anyLeft(), nil
+	}
+	return false, nil
+}
+
+func (p *portfolio) anyLeft() bool {
+	for _, d := range p.done {
+		if !d {
+			return true
+		}
+	}
+	return false
+}
+
+// Best returns the lowest-cost member outcome (ties keep the earliest
+// member) with the members' fronts merged in member order.
+func (p *portfolio) Best() *Outcome {
+	var best *Outcome
+	var merged *pareto.NArchive
+	for _, m := range p.members {
+		out := m.Best()
+		if out == nil {
+			continue
+		}
+		if out.Front != nil {
+			if merged == nil {
+				merged = pareto.NewNArchive(out.Front.Dims())
+			}
+			merged.Merge(out.Front)
+		}
+		if best == nil || out.Cost < best.Cost {
+			c := *out
+			best = &c
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	best.Front = merged
+	return best
+}
+
+func (p *portfolio) Stats() Stats {
+	st := Stats{Steps: p.steps, BestCost: math.Inf(1), Done: !p.anyLeft()}
+	for _, m := range p.members {
+		ms := m.Stats()
+		st.Evaluations += ms.Evaluations
+		if ms.BestCost < st.BestCost {
+			st.BestCost = ms.BestCost
+		}
+	}
+	return st
+}

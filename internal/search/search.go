@@ -1,0 +1,273 @@
+// Package search is the unified strategy engine of the explorer: one
+// interface over every search algorithm of the reproduction — the paper's
+// simulated annealing (internal/core), the genetic-algorithm baseline
+// (internal/ga), a deterministic list-scheduling seeder
+// (internal/listsched), and exhaustive enumeration on small instances
+// (internal/combi) — plus a portfolio runner that races strategies under
+// one shared step budget.
+//
+// Every strategy scores candidates through the shared objective layer
+// (internal/objective), so "better" means exactly the same thing whichever
+// algorithm found the solution, and every strategy can archive the
+// non-dominated objective vectors it visits (internal/pareto.NArchive).
+package search
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ga"
+	"repro/internal/model"
+	"repro/internal/objective"
+	"repro/internal/pareto"
+	"repro/internal/sched"
+)
+
+// Stats is cross-strategy run telemetry.
+type Stats struct {
+	// Steps counts Step calls that did work.
+	Steps int
+	// Evaluations counts scored candidate solutions (annealing move
+	// evaluations, GA fitness calls, decoded seeds / bipartitions).
+	Evaluations int
+	// BestCost is the best scalarized cost observed so far (+Inf before
+	// the first feasible candidate).
+	BestCost float64
+	// Done reports whether the strategy has exhausted its search.
+	Done bool
+}
+
+// Outcome is the best solution a strategy has found so far.
+type Outcome struct {
+	// Best is the best mapping found.
+	Best *sched.Mapping
+	// Eval is its schedule evaluation.
+	Eval sched.Result
+	// Vector is its full objective vector.
+	Vector objective.Vector
+	// Cost is its scalarized cost under the strategy's objective.
+	Cost float64
+	// MetDeadline reports Eval.Makespan against the configured deadline
+	// (vacuously true without one).
+	MetDeadline bool
+	// Front is the strategy's Pareto archive over the configured front
+	// metrics (nil when disabled).
+	Front *pareto.NArchive
+}
+
+// Strategy is one search algorithm over a fixed (application,
+// architecture, objective) triple. The lifecycle is Init once, Step until
+// it returns false (or the driver's budget runs out), then Best/Stats at
+// any point — including mid-run, for progress snapshots. Implementations
+// are single-goroutine objects; drive each instance from one goroutine.
+type Strategy interface {
+	// Name identifies the strategy ("sa", "ga", "list", "brute",
+	// "portfolio").
+	Name() string
+	// Init (re)starts the search from the given seed. Deterministic
+	// strategies (list, brute) ignore the seed.
+	Init(seed int64) error
+	// Step advances the search by one increment — a chunk of annealing
+	// iterations, one GA generation, one decoded seed, a batch of
+	// enumerated bipartitions — and reports whether the search can
+	// continue. A false return with nil error means exhausted/converged.
+	Step() (bool, error)
+	// Best returns the best solution found so far, or nil before the
+	// first feasible candidate.
+	Best() *Outcome
+	// Stats returns run telemetry.
+	Stats() Stats
+}
+
+// Names lists the registered strategy names accepted by NewFactory.
+func Names() []string { return []string{"sa", "ga", "list", "brute", "portfolio"} }
+
+// Config bundles the parameters of every strategy, so one value can
+// configure any of them (and the portfolio can mix them). The shared
+// Objective and FrontMetrics are applied to every member uniformly — this
+// is what guarantees that racing strategies agree on what "better" means.
+type Config struct {
+	// Objective overrides the shared scalarization. nil selects the
+	// paper's default for the SA mode: objective.FixedArch(), or
+	// objective.ArchExplore(SA.Deadline, SA.PenaltyWeight) when
+	// SA.ExploreArch is set.
+	Objective *objective.Scalarizer
+	// FrontMetrics, when non-empty, makes every strategy archive the
+	// non-dominated projections of the solutions it visits.
+	FrontMetrics []objective.Metric
+	// SA parameterizes the annealing strategy (its Objective/FrontMetrics
+	// fields are overwritten by the shared settings above).
+	SA core.Config
+	// GA parameterizes the genetic baseline (same note).
+	GA ga.Config
+	// Portfolio names the member strategies of the "portfolio" strategy.
+	// Empty selects DefaultPortfolio.
+	Portfolio []string
+	// SAChunk is the number of annealing iterations per SA Step (default
+	// 64) — the granularity at which the portfolio interleaves SA with
+	// the other members.
+	SAChunk int
+}
+
+// DefaultPortfolio is the default member set of the portfolio strategy.
+var DefaultPortfolio = []string{"sa", "list", "ga"}
+
+// DefaultConfig returns the paper-faithful defaults for every member.
+func DefaultConfig() Config {
+	return Config{SA: core.DefaultConfig(), GA: ga.DefaultConfig()}
+}
+
+// scalarizer resolves the effective shared objective.
+func (c *Config) scalarizer() objective.Scalarizer {
+	if c.Objective != nil {
+		return *c.Objective
+	}
+	if c.SA.ExploreArch {
+		return objective.ArchExplore(c.SA.Deadline, c.SA.PenaltyWeight)
+	}
+	return objective.FixedArch()
+}
+
+// Factory builds fresh Strategy instances of one named kind over a
+// validated (application, architecture) pair. Multi-run drivers construct
+// the factory once — hoisting validation and the SA precedence-closure
+// preparation out of the per-run path — and call New per seed; a Factory
+// is immutable after construction and safe for concurrent New calls.
+type Factory struct {
+	name string
+	app  *model.App
+	arch *model.Arch
+	cfg  Config
+	scal objective.Scalarizer
+	prep *core.Prepared // non-nil when the kind (or a portfolio member) is "sa"
+}
+
+// NewFactory validates the instance and resolves the named strategy kind.
+func NewFactory(name string, app *model.App, arch *model.Arch, cfg Config) (*Factory, error) {
+	members := []string{name}
+	if name == "portfolio" {
+		members = cfg.Portfolio
+		if len(members) == 0 {
+			members = DefaultPortfolio
+		}
+		for _, m := range members {
+			if m == "portfolio" {
+				return nil, fmt.Errorf("search: portfolio cannot nest itself")
+			}
+		}
+	}
+	f := &Factory{name: name, app: app, arch: arch, cfg: cfg, scal: cfg.scalarizer()}
+	for _, m := range members {
+		switch m {
+		case "sa":
+			if f.prep == nil {
+				prep, err := core.Prepare(app, arch)
+				if err != nil {
+					return nil, err
+				}
+				f.prep = prep
+			}
+		case "ga", "list", "brute":
+			if err := app.Validate(); err != nil {
+				return nil, err
+			}
+			if err := arch.Validate(); err != nil {
+				return nil, err
+			}
+			if len(arch.Processors) == 0 {
+				return nil, fmt.Errorf("search: strategy %q needs at least one processor", m)
+			}
+		default:
+			return nil, fmt.Errorf("search: unknown strategy %q (have %v)", m, Names())
+		}
+	}
+	return f, nil
+}
+
+// Name returns the factory's strategy kind.
+func (f *Factory) Name() string { return f.name }
+
+// New builds a fresh, uninitialized strategy instance.
+func (f *Factory) New() (Strategy, error) {
+	return f.newNamed(f.name)
+}
+
+func (f *Factory) newNamed(name string) (Strategy, error) {
+	switch name {
+	case "sa":
+		cfg := f.cfg.SA
+		cfg.Objective = &f.scal
+		cfg.FrontMetrics = f.cfg.FrontMetrics
+		chunk := f.cfg.SAChunk
+		if chunk <= 0 {
+			chunk = 64
+		}
+		return &saStrategy{prep: f.prep, cfg: cfg, chunk: chunk}, nil
+	case "ga":
+		cfg := f.cfg.GA
+		cfg.Objective = &f.scal
+		cfg.FrontMetrics = f.cfg.FrontMetrics
+		return &gaStrategy{app: f.app, arch: f.arch, cfg: cfg, deadline: f.cfg.SA.Deadline}, nil
+	case "list":
+		return newListStrategy(f.app, f.arch, f.scal, f.cfg.FrontMetrics, f.cfg.SA.Deadline), nil
+	case "brute":
+		return newBruteStrategy(f.app, f.arch, f.scal, f.cfg.FrontMetrics, f.cfg.SA.Deadline), nil
+	case "portfolio":
+		members := f.cfg.Portfolio
+		if len(members) == 0 {
+			members = DefaultPortfolio
+		}
+		ms := make([]Strategy, len(members))
+		for i, m := range members {
+			s, err := f.newNamed(m)
+			if err != nil {
+				return nil, err
+			}
+			ms[i] = s
+		}
+		return &portfolio{members: ms}, nil
+	default:
+		return nil, fmt.Errorf("search: unknown strategy %q (have %v)", name, Names())
+	}
+}
+
+// Run drives a freshly built instance of the factory's strategy: Init with
+// seed, Step until the strategy is exhausted, maxSteps (0 = unbounded) is
+// spent, or ctx is cancelled, then Best. A cancelled run returns its
+// best-so-far together with ctx.Err(); a run that never found a feasible
+// solution returns an error.
+func Run(ctx context.Context, f *Factory, seed int64, maxSteps int) (*Outcome, error) {
+	s, err := f.New()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Init(seed); err != nil {
+		return nil, err
+	}
+	for step := 0; maxSteps == 0 || step < maxSteps; step++ {
+		if ctx != nil && ctx.Err() != nil {
+			break
+		}
+		more, err := s.Step()
+		if err != nil {
+			return nil, err
+		}
+		if !more {
+			break
+		}
+	}
+	out := s.Best()
+	if out == nil {
+		return nil, fmt.Errorf("search: strategy %q found no feasible solution", s.Name())
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return out, ctx.Err()
+	}
+	return out, nil
+}
+
+// metDeadline is the shared deadline report of the Outcome builders.
+func metDeadline(deadline model.Time, res sched.Result) bool {
+	return deadline <= 0 || res.Makespan <= deadline
+}
