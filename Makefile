@@ -2,9 +2,12 @@
 # these targets so local runs and CI runs cannot drift apart.
 
 GO ?= go
-BENCH_JSON ?= BENCH_PR3.json
+BENCH_JSON ?= BENCH_PR4.json
+BENCH_MICRO_JSON ?= BENCH_MICRO.json
+BENCH_BASELINE ?= bench/BENCH_BASELINE.json
+BENCH_THRESHOLD ?= 0.20
 
-.PHONY: all build test race bench bench-json fmt fmt-check vet ci
+.PHONY: all build test race bench bench-json bench-check bench-baseline bench-micro-json docs-check fmt fmt-check vet ci
 
 all: build test
 
@@ -22,14 +25,46 @@ race:
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
-# Measured run of the key benchmarks (the ones whose trajectory the perf
-# PRs track), with allocation stats, as a test2json stream. CI uploads the
-# output as an artifact so the perf history accumulates per commit.
+# Scenario macro-benchmarks: dsebench over the smoke corpus (tiny/small
+# scenarios, sa+list), per-cell best cost / front size / evals/s into
+# $(BENCH_JSON). CI uploads the file as an artifact so the trajectory
+# accumulates per commit.
 bench-json:
+	$(GO) run ./cmd/dsebench -smoke -json $(BENCH_JSON)
+
+# The CI regression gate: the same smoke matrix under the race detector,
+# compared against the committed baseline. Only the deterministic quality
+# fields (best cost per cell) are gated; exits 3 on a >$(BENCH_THRESHOLD)
+# relative regression.
+bench-check:
+	$(GO) run -race ./cmd/dsebench -smoke -json $(BENCH_JSON) \
+		-baseline $(BENCH_BASELINE) -threshold $(BENCH_THRESHOLD)
+
+# Regenerate the committed baseline after an intentional quality change
+# (new scenarios, retuned budgets, algorithm improvements). Commit the
+# resulting file together with the change that explains it.
+bench-baseline:
+	$(GO) run ./cmd/dsebench -smoke -json $(BENCH_BASELINE)
+
+# Measured run of the key micro-benchmarks (the ones whose trajectory the
+# perf PRs track), with allocation stats, as a test2json stream.
+bench-micro-json:
 	$(GO) test -run=NONE -benchmem -json \
 		-bench='BenchmarkEvaluateMapping|BenchmarkSA$$|BenchmarkFig2TypicalRun|BenchmarkSAMotionEval|BenchmarkSALayered160Eval|BenchmarkEvalIncremental|BenchmarkEvalFull|BenchmarkExploreMany|BenchmarkPortfolio' \
-		. > $(BENCH_JSON)
-	@grep -c '"Action":"output"' $(BENCH_JSON) >/dev/null && echo "wrote $(BENCH_JSON)"
+		. > $(BENCH_MICRO_JSON)
+	@grep -c '"Action":"output"' $(BENCH_MICRO_JSON) >/dev/null && echo "wrote $(BENCH_MICRO_JSON)"
+
+# Documentation lint: every package (library and command alike) must carry
+# a package comment ("// Package x ..." or "// Command x ...").
+docs-check:
+	@fail=0; \
+	for d in $$($(GO) list -f '{{.Dir}}' ./...); do \
+		if ! grep -q -E '^// (Package|Command) ' $$d/*.go 2>/dev/null; then \
+			echo "docs-check: no package comment in $$d"; fail=1; \
+		fi; \
+	done; \
+	if [ $$fail -ne 0 ]; then exit 1; fi; \
+	echo "docs-check: every package documented"
 
 fmt:
 	gofmt -w .
@@ -41,4 +76,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build race bench
+ci: fmt-check vet docs-check build race bench bench-check

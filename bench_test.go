@@ -275,11 +275,11 @@ func benchSAEvalMode(b *testing.B, tasks int, mode core.EvalMode) {
 	if tasks == 0 {
 		app, arch = motionSetup(2000)
 	} else {
-		rcfg := apps.DefaultRandomConfig(3)
+		rcfg := apps.DefaultRandomConfig()
 		rcfg.Tasks = tasks
 		rcfg.Layers = tasks / 8
 		var err error
-		if app, err = apps.Layered(rcfg); err != nil {
+		if app, err = apps.Layered(rand.New(rand.NewSource(3)), rcfg); err != nil {
 			b.Fatal(err)
 		}
 		arch = apps.MotionArch(4000, apps.DefaultMotionConfig())
@@ -306,10 +306,10 @@ func BenchmarkSALayered160EvalIncremental(b *testing.B) {
 
 // Scalability: exploration cost on larger random graphs.
 func BenchmarkExploreLayered120(b *testing.B) {
-	rcfg := apps.DefaultRandomConfig(3)
+	rcfg := apps.DefaultRandomConfig()
 	rcfg.Tasks = 120
 	rcfg.Layers = 15
-	app, err := apps.Layered(rcfg)
+	app, err := apps.Layered(rand.New(rand.NewSource(3)), rcfg)
 	if err != nil {
 		b.Fatal(err)
 	}

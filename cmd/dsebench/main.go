@@ -1,0 +1,202 @@
+// Command dsebench runs the scenario corpus through the unified strategy
+// engine and reports per-cell quality and throughput: for every selected
+// (scenario, strategy) pair it fans the scenario's budgeted runs out over
+// the parallel multi-run engine and records best scalarized cost, best and
+// mean makespan, merged Pareto-front size, evaluation count, evals/s and
+// wall time. Results render as an aligned table and persist as JSON/CSV —
+// the BENCH_PR4.json trajectory CI archives per commit.
+//
+// Against a baseline file the run becomes a regression gate: cells whose
+// best cost worsens by more than -threshold (or that disappear) fail the
+// run with exit code 3. Only the deterministic quality fields are gated;
+// the machine-dependent throughput telemetry is recorded but never
+// compared.
+//
+// Usage:
+//
+//	dsebench -list                              # the scenario catalog
+//	dsebench                                    # full corpus × sa,list
+//	dsebench -scenarios layered,paper-fig2 -strategies sa,ga,list -runs 5 -j 8
+//	dsebench -smoke -json BENCH_PR4.json        # CI: tiny corpus, fast budgets
+//	dsebench -smoke -baseline bench/BENCH_BASELINE.json -threshold 0.20
+//
+// Exit codes: 0 success, 1 run error, 2 flag-usage error (the flag
+// package's convention), 3 regression vs baseline.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/report"
+	"repro/internal/scenario"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dsebench: ")
+	var (
+		list       = flag.Bool("list", false, "print the scenario catalog and exit")
+		sel        = flag.String("scenarios", "", "comma-separated scenario or family names (empty = whole corpus)")
+		strategies = flag.String("strategies", "sa,list", "comma-separated strategy names (sa,ga,list,brute,portfolio)")
+		runs       = flag.Int("runs", 0, "independent runs per cell (0 = the scenario's budget)")
+		workers    = flag.Int("j", runtime.NumCPU(), "parallel runs per cell")
+		seed       = flag.Int64("seed", 0, "base of the per-run seed streams")
+		maxSteps   = flag.Int("max-steps", 0, "cap driver steps per run (0 = scenario budget)")
+		smoke      = flag.Bool("smoke", false, "smoke mode: tiny/small scenarios only, 2 runs per cell")
+		jsonPath   = flag.String("json", "", "write results as JSON to this file")
+		csvPath    = flag.String("csv", "", "write results as CSV to this file")
+		baseline   = flag.String("baseline", "", "compare best costs against this JSON baseline")
+		threshold  = flag.Float64("threshold", 0.20, "relative best-cost worsening that counts as a regression")
+		verbose    = flag.Bool("v", false, "print each cell as it completes")
+	)
+	flag.Parse()
+
+	if *list {
+		printCatalog()
+		return
+	}
+
+	scens, err := scenario.Select(*sel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := scenario.MatrixOptions{
+		Strategies: scenario.SplitComma(*strategies),
+		Runs:       *runs,
+		Workers:    *workers,
+		BaseSeed:   *seed,
+		MaxSteps:   *maxSteps,
+	}
+	if *smoke {
+		// The CI job's contract: a corpus slice small enough to finish in
+		// seconds under the race detector, still spanning ≥3 families.
+		var tiny []*scenario.Scenario
+		for _, s := range scens {
+			if s.Size <= apps.Small {
+				tiny = append(tiny, s)
+			}
+		}
+		scens = tiny
+		if opts.Runs == 0 {
+			opts.Runs = 2
+		}
+	}
+	if len(scens) == 0 {
+		log.Fatal("no scenarios selected")
+	}
+	if *verbose {
+		opts.Progress = func(r report.BenchRow) {
+			if r.Skipped != "" {
+				fmt.Printf("%-24s %-10s skipped (%s)\n", r.Scenario, r.Strategy, r.Skipped)
+				return
+			}
+			fmt.Printf("%-24s %-10s cost %.4f  best %.3f ms  %d evals  %.0f evals/s  %.0f ms\n",
+				r.Scenario, r.Strategy, r.BestCost, r.BestMakespanMS, r.Evaluations, r.EvalsPerSec, r.WallMS)
+		}
+	}
+
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSig()
+	rows, runErr := scenario.RunMatrix(ctx, scens, opts)
+	// RunMatrix returns the completed cells alongside a cancellation or
+	// per-cell error; persist and render what finished before failing, so
+	// an interrupted overnight matrix is not thrown away.
+	if runErr != nil {
+		if len(rows) == 0 {
+			log.Fatal(runErr)
+		}
+		log.Printf("stopping after %d completed cell(s): %v", len(rows), runErr)
+	}
+
+	file := &report.BenchFile{
+		Tool: "dsebench",
+		Params: map[string]string{
+			"strategies": *strategies,
+			"smoke":      fmt.Sprint(*smoke),
+			"seed":       fmt.Sprint(*seed),
+		},
+		Results: rows,
+	}
+	fmt.Println()
+	if err := report.BenchTable(file).Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if *jsonPath != "" {
+		if err := report.SaveBench(*jsonPath, file); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s (%d cells)\n", *jsonPath, len(rows))
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := report.BenchTable(file).CSV(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *csvPath)
+	}
+	if runErr != nil {
+		// Partial results persisted above; a truncated matrix must not be
+		// baseline-gated (missing cells would read as regressions).
+		os.Exit(1)
+	}
+
+	if *baseline != "" {
+		base, err := report.LoadBench(*baseline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		regs := report.CompareBench(base, file, *threshold)
+		if len(regs) > 0 {
+			fmt.Printf("\n%d regression(s) vs %s (threshold %.0f%%):\n", len(regs), *baseline, *threshold*100)
+			for _, r := range regs {
+				fmt.Println("  " + r.String())
+			}
+			os.Exit(3)
+		}
+		gated := 0
+		for _, r := range base.Results {
+			if r.Skipped == "" {
+				gated++
+			}
+		}
+		fmt.Printf("\nno regressions vs %s (threshold %.0f%%, %d gated cells)\n",
+			*baseline, *threshold*100, gated)
+	}
+}
+
+// printCatalog renders the registered corpus, instantiating each scenario
+// for its task/resource counts.
+func printCatalog() {
+	tb := report.NewTable("name", "family", "size", "tasks", "arch", "deadline", "runs", "stresses")
+	for _, s := range scenario.All() {
+		app, arch, err := s.Instantiate()
+		if err != nil {
+			log.Fatal(err)
+		}
+		deadline := "-"
+		if s.DeadlineMS > 0 {
+			deadline = fmt.Sprintf("%.0f ms", s.DeadlineMS)
+		}
+		shape := fmt.Sprintf("%dp+%drc", len(arch.Processors), len(arch.RCs))
+		tb.AddRow(s.Name, s.Family, s.Size.String(), app.N(), shape, deadline, s.Budget.Runs, s.Stresses)
+	}
+	if err := tb.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d scenarios in %d families: %s\n",
+		len(scenario.Names()), len(scenario.Families()), strings.Join(scenario.Families(), ", "))
+}

@@ -1,34 +1,3 @@
-// Package dse is the public API of the design-space explorer for
-// dynamically reconfigurable architectures — a reproduction of Miramond &
-// Delosme, "Design Space Exploration for Dynamically Reconfigurable
-// Architectures" (DATE 2005).
-//
-// The explorer maps an application, described as an acyclic precedence
-// graph of coarse-grain tasks, onto a heterogeneous architecture built from
-// programmable processors and dynamically reconfigurable circuits. It
-// simultaneously searches the HW/SW spatial partitioning, the temporal
-// partitioning of hardware tasks into reconfiguration contexts, the
-// software schedules, and the per-task hardware implementation choice,
-// using simulated annealing with the adaptive Lam–Delosme cooling schedule.
-//
-// Quick start:
-//
-//	app := dse.MotionDetection()
-//	arch := dse.MotionArch(2000)
-//	res, err := dse.Explore(app, arch, dse.DefaultOptions())
-//	if err != nil { ... }
-//	fmt.Println(res.BestEval.Makespan) // e.g. "33.12ms"
-//
-// Multi-run exploration (the paper's protocol averages ~100 independent
-// runs per configuration) goes through ExploreMany, which fans the runs out
-// over a worker pool with one deterministic seed per run — the aggregate is
-// identical whatever the worker count:
-//
-//	agg, err := dse.ExploreMany(ctx, app, arch, dse.DefaultOptions(),
-//		dse.RunnerOptions{Runs: 100, BaseSeed: 0}) // Workers: 0 → NumCPU
-//	if err != nil { ... }
-//	fmt.Println(agg.MakespanMS.Mean(), agg.MakespanMS.Quantile(0.95))
-//	fmt.Println(agg.BestEval.Makespan, "from run", agg.BestRun)
 package dse
 
 import (

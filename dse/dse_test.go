@@ -224,3 +224,43 @@ func TestPublicObjectiveLayer(t *testing.T) {
 		t.Fatalf("weighted cost %v != recomputed %v", res.Stats.BestCost, want)
 	}
 }
+
+// TestScenarioAPI: the public corpus surface — the catalog lists the
+// registered scenarios and LoadScenario reproduces a deterministic,
+// searchable instance.
+func TestScenarioAPI(t *testing.T) {
+	infos := dse.Scenarios()
+	if len(infos) < 12 {
+		t.Fatalf("catalog has %d scenarios, want >= 12", len(infos))
+	}
+	fams := map[string]bool{}
+	for _, in := range infos {
+		fams[in.Family] = true
+	}
+	if len(fams) < 4 {
+		t.Fatalf("catalog has %d families, want >= 4", len(fams))
+	}
+
+	app, arch, opts, err := dse.LoadScenario("pipeline-chain-tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app2, arch2, _, err := dse.LoadScenario("pipeline-chain-tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Digest() != app2.Digest() || arch.Digest() != arch2.Digest() {
+		t.Fatal("LoadScenario is nondeterministic")
+	}
+	out, err := dse.Search(context.Background(), "list", app, arch, opts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Best == nil || out.Eval.Makespan <= 0 {
+		t.Fatalf("scenario not searchable: %+v", out)
+	}
+
+	if _, _, _, err := dse.LoadScenario("no-such"); err == nil {
+		t.Fatal("unknown scenario loaded")
+	}
+}

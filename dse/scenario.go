@@ -1,0 +1,62 @@
+package dse
+
+import (
+	"fmt"
+
+	"repro/internal/scenario"
+)
+
+// ScenarioInfo describes one entry of the benchmark scenario corpus: a
+// named, seeded, reproducible (application, architecture, objective,
+// budget) quadruple. See `dsebench -list` for the rendered catalog.
+type ScenarioInfo struct {
+	// Name is the registry key ("paper-fig2", "layered-xl", ...).
+	Name string
+	// Family groups scenarios by application structure ("paper",
+	// "pipeline", "forkjoin", "layered", "sdf", "reconfig").
+	Family string
+	// Size is the scale class ("tiny" ... "xl").
+	Size string
+	// Seed is the frozen generation seed — part of the scenario's
+	// identity.
+	Seed int64
+	// Stresses says in one line what the scenario exercises.
+	Stresses string
+	// DeadlineMS is the real-time constraint in milliseconds (0 = none).
+	DeadlineMS float64
+}
+
+// Scenarios lists the registered benchmark corpus in catalog order
+// (family, then size, then name).
+func Scenarios() []ScenarioInfo {
+	all := scenario.All()
+	out := make([]ScenarioInfo, len(all))
+	for i, s := range all {
+		out[i] = ScenarioInfo{
+			Name:       s.Name,
+			Family:     s.Family,
+			Size:       s.Size.String(),
+			Seed:       s.Seed,
+			Stresses:   s.Stresses,
+			DeadlineMS: s.DeadlineMS,
+		}
+	}
+	return out
+}
+
+// LoadScenario instantiates a named scenario: the deterministic
+// application and architecture plus a search configuration carrying the
+// scenario's objective settings (deadline) and strategy budget. The
+// models are freshly generated — successive loads return bit-identical
+// copies that the caller owns.
+func LoadScenario(name string) (*App, *Arch, SearchOptions, error) {
+	s, ok := scenario.Lookup(name)
+	if !ok {
+		return nil, nil, SearchOptions{}, fmt.Errorf("dse: unknown scenario %q (have %v)", name, scenario.Names())
+	}
+	app, arch, err := s.Instantiate()
+	if err != nil {
+		return nil, nil, SearchOptions{}, err
+	}
+	return app, arch, s.SearchConfig(), nil
+}

@@ -1,4 +1,5 @@
-// Architecture exploration (moves m3/m4 of the paper): instead of fixing
+// Command archexplore demonstrates architecture exploration (moves m3/m4
+// of the paper): instead of fixing
 // the platform, give the explorer a template of candidate resources with
 // costs and let it minimize system cost subject to the real-time
 // constraint. Unused template resources cost nothing — removing a resource

@@ -1,4 +1,4 @@
-// The paper's Section 5 experiment: map the 28-task motion-detection
+// Command motiondetect reproduces the paper's Section 5 experiment: map the 28-task motion-detection
 // application (all-software 76.4 ms, real-time constraint 40 ms/image) onto
 // an ARM922-class processor plus a 2000-CLB Virtex-E-class FPGA with
 // tR = 22.5 µs/CLB. Run with:

@@ -1,4 +1,5 @@
-// Multi-objective exploration through the unified strategy engine: weight
+// Command multiobjective demonstrates multi-objective exploration
+// through the unified strategy engine: weight
 // the shared objective so the annealer trades hardware area against
 // execution time, race several strategies in a portfolio, and print the
 // area/makespan Pareto front the run discovered. Run with:

@@ -1,4 +1,4 @@
-// Quickstart: describe a four-stage processing pipeline, a processor+FPGA
+// Command quickstart is the smallest end-to-end exploration: describe a four-stage processing pipeline, a processor+FPGA
 // architecture, and let the explorer find a mapping. Run with:
 //
 //	go run ./examples/quickstart

@@ -1,5 +1,5 @@
-// SDF front end (the paper's announced multiple-models-of-computation
-// extension): describe a multirate digital front end as a synchronous-
+// Command sdfapp demonstrates the SDF front end (the paper's announced
+// multiple-models-of-computation extension): describe a multirate digital front end as a synchronous-
 // dataflow graph, expand one iteration into a precedence graph, and explore
 // it. Run with:
 //

@@ -1,4 +1,4 @@
-// Device sizing (the paper's Figure 3 question): how small an FPGA still
+// Command sizing asks the paper's Figure 3 question: how small an FPGA still
 // meets the 40 ms constraint, and where does adding CLBs stop helping?
 // This example runs a reduced sweep through the public API. Run with:
 //

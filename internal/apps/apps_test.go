@@ -144,7 +144,7 @@ func TestScaleToTotalExact(t *testing.T) {
 }
 
 func TestLayeredGenerator(t *testing.T) {
-	app, err := Layered(DefaultRandomConfig(3))
+	app, err := Layered(rand.New(rand.NewSource(3)), DefaultRandomConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,13 +154,13 @@ func TestLayeredGenerator(t *testing.T) {
 	if err := app.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Layered(RandomConfig{Tasks: 2, Layers: 5}); err == nil {
+	if _, err := Layered(rand.New(rand.NewSource(3)), RandomConfig{Tasks: 2, Layers: 5}); err == nil {
 		t.Fatal("invalid config accepted")
 	}
 }
 
 func TestChainGenerator(t *testing.T) {
-	app := Chain(28, model.FromMillis(1), 1024, 9)
+	app := Chain(rand.New(rand.NewSource(9)), 28, model.FromMillis(1), 1024)
 	if err := app.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +170,7 @@ func TestChainGenerator(t *testing.T) {
 }
 
 func TestJPEGPipeline(t *testing.T) {
-	app := JPEG()
+	app := JPEG(rand.New(rand.NewSource(77)))
 	if err := app.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +190,7 @@ func TestJPEGPipeline(t *testing.T) {
 }
 
 func TestFFTGraph(t *testing.T) {
-	app, err := FFT(8)
+	app, err := FFT(rand.New(rand.NewSource(8)), 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,10 +201,76 @@ func TestFFTGraph(t *testing.T) {
 	if app.N() != 14 {
 		t.Fatalf("N = %d, want 14", app.N())
 	}
-	if _, err := FFT(6); err == nil {
+	if _, err := FFT(rand.New(rand.NewSource(6)), 6); err == nil {
 		t.Fatal("non-power-of-two accepted")
 	}
-	if _, err := FFT(2); err == nil {
+	if _, err := FFT(rand.New(rand.NewSource(2)), 2); err == nil {
 		t.Fatal("too-small FFT accepted")
+	}
+}
+
+func TestForkJoinGenerator(t *testing.T) {
+	cfg := DefaultForkJoinConfig()
+	app, err := ForkJoin(rand.New(rand.NewSource(5)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// src + blocks×(width×depth + join) tasks.
+	want := 1 + cfg.Blocks*(cfg.Width*cfg.Depth+1)
+	if app.N() != want {
+		t.Fatalf("N = %d, want %d", app.N(), want)
+	}
+	g := app.Precedence()
+	if g.OutDegree(0) != cfg.Width {
+		t.Fatalf("source fans out %d, want %d", g.OutDegree(0), cfg.Width)
+	}
+	if g.OutDegree(app.N()-1) != 0 {
+		t.Fatal("last join must be the sink")
+	}
+	if _, err := ForkJoin(rand.New(rand.NewSource(5)), ForkJoinConfig{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+// TestRegistryDeterminism is the generator-level determinism contract:
+// every registered family at every size builds a valid application, and
+// two builds from identically seeded rngs are bit-identical.
+func TestRegistryDeterminism(t *testing.T) {
+	gens := Generators()
+	if len(gens) < 5 {
+		t.Fatalf("only %d registered families", len(gens))
+	}
+	for _, g := range gens {
+		if _, ok := Lookup(g.Family); !ok {
+			t.Fatalf("Lookup(%q) failed", g.Family)
+		}
+		for _, size := range Sizes() {
+			a, err := g.Build(rand.New(rand.NewSource(11)), size)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", g.Family, size, err)
+			}
+			if err := a.Validate(); err != nil {
+				t.Fatalf("%s/%s: %v", g.Family, size, err)
+			}
+			b, err := g.Build(rand.New(rand.NewSource(11)), size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Digest() != b.Digest() {
+				t.Fatalf("%s/%s: nondeterministic generation", g.Family, size)
+			}
+		}
+	}
+}
+
+func TestSizeParse(t *testing.T) {
+	for _, s := range Sizes() {
+		got, err := ParseSize(s.String())
+		if err != nil || got != s {
+			t.Fatalf("ParseSize(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseSize("huge"); err == nil {
+		t.Fatal("unknown size accepted")
 	}
 }

@@ -1,0 +1,29 @@
+// Package apps provides the workloads of the evaluation: a synthetic
+// reconstruction of the paper's 28-task motion-detection application
+// (Section 5), a registry of parameterized task-graph generators (chain,
+// layered, fork-join, FFT, JPEG) used by the scenario corpus and the
+// stress tests, and the SynthHW hardware-point synthesizer they share.
+//
+// The per-task EPICURE estimates the paper used are proprietary project
+// data; see DESIGN.md §3 for the substitution rationale. Every published
+// structural invariant of the application is preserved exactly: the 28-node
+// series-parallel topology whose linear-extension count the paper computes,
+// the 76.4 ms total ARM922 software time, 5–6 Pareto-dominant hardware
+// implementation points per function, and the 22.5 µs/CLB reconfiguration
+// time of the Virtex-E target.
+//
+// # Determinism contract
+//
+// Every generator takes an explicit *rand.Rand and derives all randomness
+// from it — no generator seeds itself, touches math/rand's global source,
+// or reads any other ambient state. A generator call is therefore a pure
+// function of (rng state, parameters): two calls with rngs seeded
+// identically produce bit-identical applications. Because math/rand's
+// generator algorithm and sequence for an explicitly constructed
+// rand.New(rand.NewSource(seed)) are frozen by the Go 1 compatibility
+// promise, the fingerprints of generated applications are stable across Go
+// releases, operating systems, and architectures; internal/scenario pins
+// them with golden-digest tests. (MotionDetection is the one
+// config-seeded builder: it reconstructs a fixed published instance, so
+// its MotionConfig.Seed is part of the instance's identity.)
+package apps

@@ -1,0 +1,83 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/model"
+)
+
+// ForkJoinConfig parameterizes the fork-join tree generator.
+type ForkJoinConfig struct {
+	// Blocks is the number of fork-join blocks composed in series.
+	Blocks int
+	// Width is the number of parallel branches inside each block.
+	Width int
+	// Depth is the chain length of each branch.
+	Depth int
+	// SWMin/SWMax bound the software execution times.
+	SWMin, SWMax model.Time
+	// QtyMax bounds flow volumes in bytes.
+	QtyMax int64
+}
+
+// DefaultForkJoinConfig returns a medium-sized generator setting.
+func DefaultForkJoinConfig() ForkJoinConfig {
+	return ForkJoinConfig{
+		Blocks: 3,
+		Width:  4,
+		Depth:  2,
+		SWMin:  model.FromMicros(300),
+		SWMax:  model.FromMillis(4),
+		QtyMax: 48 * 1024,
+	}
+}
+
+// ForkJoin generates a series of fork-join blocks: a source task forks into
+// Width parallel Depth-chains which join again, Blocks times in sequence.
+// The shape maximizes exploitable task parallelism at the joins — it
+// stresses the explorer's ability to pack independent hardware tasks into
+// one context (computing in parallel) versus spreading them across
+// processors. The graph is a pure function of the rng state and cfg.
+func ForkJoin(rng *rand.Rand, cfg ForkJoinConfig) (*model.App, error) {
+	if cfg.Blocks < 1 || cfg.Width < 1 || cfg.Depth < 1 {
+		return nil, fmt.Errorf("apps: invalid fork-join config: %d blocks, %d width, %d depth", cfg.Blocks, cfg.Width, cfg.Depth)
+	}
+	if cfg.SWMin <= 0 || cfg.SWMax < cfg.SWMin || cfg.QtyMax < 0 {
+		return nil, fmt.Errorf("apps: invalid fork-join bounds: sw [%v, %v], qty max %d", cfg.SWMin, cfg.SWMax, cfg.QtyMax)
+	}
+	app := &model.App{Name: fmt.Sprintf("forkjoin-%dx%dx%d", cfg.Blocks, cfg.Width, cfg.Depth)}
+	add := func(name string) int {
+		sw := cfg.SWMin + model.Time(rng.Int63n(int64(cfg.SWMax-cfg.SWMin+1)))
+		app.Tasks = append(app.Tasks, model.Task{
+			Name: name,
+			SW:   sw,
+			HW:   SynthHW(rng, sw, 5+rng.Intn(2), 60, 350, 5, 28),
+		})
+		return len(app.Tasks) - 1
+	}
+	flow := func(from, to int) {
+		app.Flows = append(app.Flows, model.Flow{From: from, To: to, Qty: rng.Int63n(cfg.QtyMax + 1)})
+	}
+
+	head := add("src")
+	for b := 0; b < cfg.Blocks; b++ {
+		join := -1
+		tails := make([]int, 0, cfg.Width)
+		for w := 0; w < cfg.Width; w++ {
+			prev := head
+			for d := 0; d < cfg.Depth; d++ {
+				t := add(fmt.Sprintf("b%d_w%d_d%d", b, w, d))
+				flow(prev, t)
+				prev = t
+			}
+			tails = append(tails, prev)
+		}
+		join = add(fmt.Sprintf("join%d", b))
+		for _, t := range tails {
+			flow(t, join)
+		}
+		head = join
+	}
+	return app, app.Validate()
+}

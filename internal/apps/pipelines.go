@@ -10,9 +10,10 @@ import (
 // JPEG builds a baseline-JPEG encoder task graph: color conversion, level
 // shift, then per-component (Y, Cb, Cr) DCT → quantization → zigzag
 // pipelines that join into entropy coding and bitstream packing. It is the
-// "streaming media" example application of the README.
-func JPEG() *model.App {
-	rng := rand.New(rand.NewSource(77))
+// "streaming media" example application of the README. The structure is
+// fixed (15 stages); rng only drives the synthesized hardware points, so
+// the graph is a pure function of the rng's seed.
+func JPEG(rng *rand.Rand) *model.App {
 	app := &model.App{Name: "jpeg-encoder"}
 	add := func(name string, swMs float64, minCLB, maxCLB int, minSp, maxSp float64) int {
 		sw := model.FromMillis(swMs)
@@ -60,12 +61,12 @@ func JPEG() *model.App {
 // FFT builds a radix-2 decimation-in-time FFT task graph with n points
 // (n must be a power of two ≥ 4): a bit-reversal stage, log2(n) butterfly
 // ranks of n/2 parallel butterfly tasks each, and a collection stage. This
-// is the "signal processing" example application.
-func FFT(n int) (*model.App, error) {
+// is the "signal processing" example application. rng drives only the
+// synthesized hardware points.
+func FFT(rng *rand.Rand, n int) (*model.App, error) {
 	if n < 4 || n&(n-1) != 0 {
 		return nil, fmt.Errorf("apps: FFT size %d is not a power of two ≥ 4", n)
 	}
-	rng := rand.New(rand.NewSource(int64(n)))
 	app := &model.App{Name: fmt.Sprintf("fft-%d", n)}
 	add := func(name string, swUs float64) int {
 		sw := model.FromMicros(swUs)

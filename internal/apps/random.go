@@ -10,7 +10,6 @@ import (
 // RandomConfig parameterizes the layered random task-graph generator used
 // by the stress tests and the scalability benchmarks.
 type RandomConfig struct {
-	Seed   int64
 	Tasks  int
 	Layers int
 	// EdgeProb is the probability of a flow between tasks in consecutive
@@ -23,9 +22,8 @@ type RandomConfig struct {
 }
 
 // DefaultRandomConfig returns a medium-sized generator setting.
-func DefaultRandomConfig(seed int64) RandomConfig {
+func DefaultRandomConfig() RandomConfig {
 	return RandomConfig{
-		Seed:     seed,
 		Tasks:    40,
 		Layers:   8,
 		EdgeProb: 0.35,
@@ -37,13 +35,17 @@ func DefaultRandomConfig(seed int64) RandomConfig {
 
 // Layered generates a layered random DAG: tasks are dealt into layers and
 // flows connect consecutive layers. Every task carries a synthesized
-// hardware Pareto set, so any HW/SW partition is feasible.
-func Layered(cfg RandomConfig) (*model.App, error) {
+// hardware Pareto set, so any HW/SW partition is feasible. The graph is a
+// pure function of the rng state and cfg (see the package determinism
+// contract).
+func Layered(rng *rand.Rand, cfg RandomConfig) (*model.App, error) {
 	if cfg.Tasks < 1 || cfg.Layers < 1 || cfg.Layers > cfg.Tasks {
 		return nil, fmt.Errorf("apps: invalid layered config: %d tasks, %d layers", cfg.Tasks, cfg.Layers)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	app := &model.App{Name: fmt.Sprintf("layered-%d", cfg.Seed)}
+	if cfg.SWMin <= 0 || cfg.SWMax < cfg.SWMin || cfg.QtyMax < 0 {
+		return nil, fmt.Errorf("apps: invalid layered bounds: sw [%v, %v], qty max %d", cfg.SWMin, cfg.SWMax, cfg.QtyMax)
+	}
+	app := &model.App{Name: fmt.Sprintf("layered-%d", cfg.Tasks)}
 	layerOf := make([]int, cfg.Tasks)
 	for i := 0; i < cfg.Tasks; i++ {
 		// Guarantee at least one task per layer, then deal the rest.
@@ -71,9 +73,9 @@ func Layered(cfg RandomConfig) (*model.App, error) {
 
 // Chain generates an n-task pipeline with uniform software times and one
 // flow of qty bytes between consecutive tasks — the structure of the
-// paper's solution-space counting argument.
-func Chain(n int, sw model.Time, qty int64, seed int64) *model.App {
-	rng := rand.New(rand.NewSource(seed))
+// paper's solution-space counting argument. rng drives only the
+// synthesized hardware points.
+func Chain(rng *rand.Rand, n int, sw model.Time, qty int64) *model.App {
 	app := &model.App{Name: fmt.Sprintf("chain-%d", n)}
 	for i := 0; i < n; i++ {
 		app.Tasks = append(app.Tasks, model.Task{

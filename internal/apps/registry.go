@@ -1,0 +1,141 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Size is the scale class of a generated workload, tiny through XL. The
+// registry's generators accept a Size and translate it into
+// family-specific structural parameters (task counts, layer counts, tree
+// widths), so callers can request "a large layered graph" without knowing
+// the family's knobs.
+type Size int
+
+// The size classes, smallest to largest.
+const (
+	Tiny Size = iota
+	Small
+	Medium
+	Large
+	XL
+)
+
+var sizeNames = [...]string{"tiny", "small", "medium", "large", "xl"}
+
+// String implements fmt.Stringer.
+func (s Size) String() string {
+	if s < Tiny || s > XL {
+		return fmt.Sprintf("Size(%d)", int(s))
+	}
+	return sizeNames[s]
+}
+
+// ParseSize resolves a size-class name ("tiny", ..., "xl").
+func ParseSize(name string) (Size, error) {
+	for i, n := range sizeNames {
+		if n == name {
+			return Size(i), nil
+		}
+	}
+	return 0, fmt.Errorf("apps: unknown size %q (have %v)", name, sizeNames)
+}
+
+// Sizes lists the size classes in ascending order.
+func Sizes() []Size { return []Size{Tiny, Small, Medium, Large, XL} }
+
+// Generator is one registered application family: a named, documented
+// builder that produces an application of the requested size class from an
+// explicit rng. Build must be a pure function of (rng state, size) — no
+// internal seeding, no global state — so that two calls with identically
+// seeded rngs yield bit-identical applications (the package determinism
+// contract; see doc.go).
+type Generator struct {
+	// Family is the registry key ("chain", "layered", ...).
+	Family string
+	// Doc is a one-line description of the structure and what it stresses.
+	Doc string
+	// Build generates one application.
+	Build func(rng *rand.Rand, size Size) (*model.App, error)
+}
+
+var registry = map[string]Generator{}
+
+// Register adds a generator to the registry; it panics on an empty or
+// duplicate family name (registration is an init-time programming act).
+func Register(g Generator) {
+	if g.Family == "" || g.Build == nil {
+		panic("apps: Register with empty family or nil Build")
+	}
+	if _, dup := registry[g.Family]; dup {
+		panic("apps: duplicate generator family " + g.Family)
+	}
+	registry[g.Family] = g
+}
+
+// Lookup resolves a registered family name.
+func Lookup(family string) (Generator, bool) {
+	g, ok := registry[family]
+	return g, ok
+}
+
+// Generators lists the registered generators sorted by family name.
+func Generators() []Generator {
+	out := make([]Generator, 0, len(registry))
+	for _, g := range registry {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Family < out[j].Family })
+	return out
+}
+
+// Built-in families. Each Build translates the size class into the
+// family's structural parameters.
+func init() {
+	Register(Generator{
+		Family: "chain",
+		Doc:    "uniform n-task pipeline (the paper's counting argument); stresses context ordering on a serial critical path",
+		Build: func(rng *rand.Rand, size Size) (*model.App, error) {
+			n := [...]int{8, 16, 28, 64, 128}[size]
+			return Chain(rng, n, model.FromMillis(1), 16*1024), nil
+		},
+	})
+	Register(Generator{
+		Family: "layered",
+		Doc:    "layered random DAG with probabilistic inter-layer flows; stresses general scheduling and the incremental evaluator",
+		Build: func(rng *rand.Rand, size Size) (*model.App, error) {
+			cfg := DefaultRandomConfig()
+			cfg.Tasks = [...]int{10, 20, 40, 80, 160}[size]
+			cfg.Layers = [...]int{3, 5, 8, 10, 12}[size]
+			return Layered(rng, cfg)
+		},
+	})
+	Register(Generator{
+		Family: "forkjoin",
+		Doc:    "series of fork-join blocks (width-way parallel chains); stresses packing independent tasks into shared contexts",
+		Build: func(rng *rand.Rand, size Size) (*model.App, error) {
+			cfg := DefaultForkJoinConfig()
+			cfg.Blocks = [...]int{1, 2, 3, 4, 6}[size]
+			cfg.Width = [...]int{2, 3, 4, 6, 8}[size]
+			cfg.Depth = [...]int{1, 2, 2, 3, 3}[size]
+			return ForkJoin(rng, cfg)
+		},
+	})
+	Register(Generator{
+		Family: "fft",
+		Doc:    "radix-2 DIT FFT butterfly ranks; stresses wide regular parallelism with tiny per-task times",
+		Build: func(rng *rand.Rand, size Size) (*model.App, error) {
+			return FFT(rng, [...]int{4, 8, 16, 32, 64}[size])
+		},
+	})
+	Register(Generator{
+		Family: "jpeg",
+		Doc:    "baseline-JPEG encoder (fixed 15-stage structure; size is ignored); stresses a branch-join media pipeline",
+		Build: func(rng *rand.Rand, _ Size) (*model.App, error) {
+			return JPEG(rng), nil
+		},
+	})
+}

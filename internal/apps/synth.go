@@ -1,15 +1,3 @@
-// Package apps provides the workloads of the evaluation: a synthetic
-// reconstruction of the paper's 28-task motion-detection application
-// (Section 5), random task-graph generators for stress testing, and two
-// domain example pipelines (JPEG encoding and a radix-2 FFT).
-//
-// The per-task EPICURE estimates the paper used are proprietary project
-// data; see DESIGN.md §3 for the substitution rationale. Every published
-// structural invariant of the application is preserved exactly: the 28-node
-// series-parallel topology whose linear-extension count the paper computes,
-// the 76.4 ms total ARM922 software time, 5–6 Pareto-dominant hardware
-// implementation points per function, and the 22.5 µs/CLB reconfiguration
-// time of the Virtex-E target.
 package apps
 
 import (

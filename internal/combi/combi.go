@@ -1,7 +1,3 @@
-// Package combi reproduces the solution-space size analysis of Section 5:
-// exact linear-extension counts for series-parallel task graphs and the
-// context-placement combination counts the paper reports for the 28-node
-// motion-detection application.
 package combi
 
 import "math/big"

@@ -1,0 +1,5 @@
+// Package combi reproduces the solution-space size analysis of Section 5:
+// exact linear-extension counts for series-parallel task graphs and the
+// context-placement combination counts the paper reports for the 28-node
+// motion-detection application.
+package combi

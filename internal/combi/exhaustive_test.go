@@ -2,6 +2,7 @@ package combi
 
 import (
 	"math/big"
+	"math/rand"
 	"testing"
 
 	"repro/internal/apps"
@@ -10,7 +11,7 @@ import (
 )
 
 func TestExhaustiveEnumeratesAllBipartitions(t *testing.T) {
-	app := apps.Chain(6, model.FromMillis(1), 1000, 1)
+	app := apps.Chain(rand.New(rand.NewSource(1)), 6, model.FromMillis(1), 1000)
 	arch := apps.MotionArch(800, apps.DefaultMotionConfig())
 	x, err := NewExhaustive(app, arch)
 	if err != nil {
@@ -52,7 +53,7 @@ func TestExhaustiveRejectsLargeInstances(t *testing.T) {
 }
 
 func TestExhaustiveDistinctSpatialSolutions(t *testing.T) {
-	app := apps.Chain(5, model.FromMillis(1), 1000, 2)
+	app := apps.Chain(rand.New(rand.NewSource(2)), 5, model.FromMillis(1), 1000)
 	arch := apps.MotionArch(800, apps.DefaultMotionConfig())
 	x, err := NewExhaustive(app, arch)
 	if err != nil {

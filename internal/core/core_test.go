@@ -86,9 +86,9 @@ func TestParanoidRandomApps(t *testing.T) {
 	// Hammer the move machinery on random layered graphs; Paranoid mode
 	// panics on any mapping corruption.
 	for seed := int64(0); seed < 4; seed++ {
-		rcfg := apps.DefaultRandomConfig(seed)
+		rcfg := apps.DefaultRandomConfig()
 		rcfg.Tasks = 25
-		app, err := apps.Layered(rcfg)
+		app, err := apps.Layered(rand.New(rand.NewSource(seed)), rcfg)
 		if err != nil {
 			t.Fatal(err)
 		}

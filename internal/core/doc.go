@@ -1,0 +1,11 @@
+// Package core implements the design-space explorer of Miramond & Delosme
+// (DATE'05): an adaptive simulated annealing over complete mappings of a
+// task graph onto a reconfigurable architecture. One annealing state is a
+// full solution — spatial HW/SW partitioning, temporal partitioning into
+// reconfiguration contexts, per-processor total orders, per-task hardware
+// implementation choice — and the moves m1–m4 of Section 4.2 (plus an
+// implementation-change and a context-reorder move) mutate it in place.
+// Every move is realized by editing sequentialization edges of the search
+// graph; moves that would create a cycle are infeasible and leave the state
+// untouched.
+package core

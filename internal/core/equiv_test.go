@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/rand"
 	"testing"
 
 	"repro/internal/apps"
@@ -108,9 +109,9 @@ func TestEvalPathEquivalence(t *testing.T) {
 	// Wide template with every move kind enabled: architecture exploration
 	// (m3/m4), context splitting, ASICs, a scaled processor.
 	for seed := int64(0); seed < 3; seed++ {
-		rcfg := apps.DefaultRandomConfig(seed)
+		rcfg := apps.DefaultRandomConfig()
 		rcfg.Tasks = 30
-		app, err := apps.Layered(rcfg)
+		app, err := apps.Layered(rand.New(rand.NewSource(seed)), rcfg)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/rand"
 	"testing"
 
 	"repro/internal/apps"
@@ -23,12 +24,12 @@ func FuzzEvalPathEquivalence(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, seed int64, nTasks, knobs uint8, iters uint16) {
 		tasks := 6 + int(nTasks)%40
-		rcfg := apps.DefaultRandomConfig(seed)
+		rcfg := apps.DefaultRandomConfig()
 		rcfg.Tasks = tasks
 		if layers := tasks / 5; layers >= 2 {
 			rcfg.Layers = layers
 		}
-		app, err := apps.Layered(rcfg)
+		app, err := apps.Layered(rand.New(rand.NewSource(seed)), rcfg)
 		if err != nil {
 			t.Skip() // degenerate generator parameters
 		}

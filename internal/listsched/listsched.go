@@ -1,9 +1,3 @@
-// Package listsched implements deterministic priority list scheduling over
-// the reconfigurable architecture model. It is the decode step of the
-// genetic-algorithm baseline (Ben Chehida & Auguin): given a spatial HW/SW
-// assignment, it derives a temporal partitioning by greedy capacity
-// clustering in priority order and a total software order by decreasing
-// upward rank, producing a complete mapping the evaluator can time.
 package listsched
 
 import (

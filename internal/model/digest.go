@@ -1,0 +1,30 @@
+package model
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+)
+
+// digest hashes the canonical JSON encoding of v into a short hex
+// fingerprint. encoding/json serializes struct fields in declaration
+// order, so the encoding — and therefore the digest — is deterministic for
+// the model types (which contain no maps).
+func digest(v interface{}) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// The model types are plain data; marshalling cannot fail.
+		panic(fmt.Sprintf("model: digest marshal: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return fmt.Sprintf("%x", sum[:8])
+}
+
+// Digest returns a 16-hex-character fingerprint of the application,
+// covering every task (name, times, hardware points) and every flow. Two
+// applications digest equal iff their JSON encodings are byte-identical —
+// the pin used by the scenario corpus's golden determinism tests.
+func (a *App) Digest() string { return digest(a) }
+
+// Digest returns a 16-hex-character fingerprint of the architecture.
+func (a *Arch) Digest() string { return digest(a) }

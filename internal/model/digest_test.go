@@ -1,0 +1,52 @@
+package model
+
+import "testing"
+
+func digestApp() *App {
+	return &App{
+		Name: "d",
+		Tasks: []Task{
+			{Name: "a", SW: FromMillis(1), HW: []Impl{{CLBs: 100, Time: FromMicros(50)}}},
+			{Name: "b", SW: FromMillis(2)},
+		},
+		Flows: []Flow{{From: 0, To: 1, Qty: 1024}},
+	}
+}
+
+func TestAppDigestStable(t *testing.T) {
+	a, b := digestApp(), digestApp()
+	if a.Digest() != b.Digest() {
+		t.Fatal("identical apps digest differently")
+	}
+	if len(a.Digest()) != 16 {
+		t.Fatalf("digest %q is not 16 hex chars", a.Digest())
+	}
+	b.Tasks[0].HW[0].CLBs++
+	if a.Digest() == b.Digest() {
+		t.Fatal("digest blind to a hardware-point change")
+	}
+	c := digestApp()
+	c.Flows[0].Qty++
+	if a.Digest() == c.Digest() {
+		t.Fatal("digest blind to a flow change")
+	}
+}
+
+func TestArchDigestStable(t *testing.T) {
+	mk := func() *Arch {
+		return &Arch{
+			Name:       "x",
+			Processors: []Processor{{Name: "p", Cost: 10}},
+			RCs:        []RC{{Name: "r", NCLB: 2000, TR: FromMicros(22.5), Cost: 25}},
+			Bus:        Bus{Rate: 80_000_000, Contention: true},
+		}
+	}
+	a, b := mk(), mk()
+	if a.Digest() != b.Digest() {
+		t.Fatal("identical archs digest differently")
+	}
+	b.RCs[0].TR++
+	if a.Digest() == b.Digest() {
+		t.Fatal("digest blind to a reconfiguration-time change")
+	}
+}

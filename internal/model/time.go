@@ -1,11 +1,3 @@
-// Package model defines the application and architecture models of the
-// design-space explorer, following Section 3 of Miramond & Delosme (DATE'05):
-// applications are acyclic precedence graphs whose nodes carry a software
-// execution time and a set of area/time hardware implementation points, and
-// whose edges carry data quantities; architectures combine programmable
-// processors, dynamically reconfigurable circuits (with a CLB capacity and a
-// per-CLB reconfiguration time), optional ASICs, and a shared communication
-// bus.
 package model
 
 import (

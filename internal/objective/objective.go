@@ -1,19 +1,3 @@
-// Package objective is the shared multi-criteria cost layer of the
-// explorer. The paper drives its annealer with a multi-criteria cost —
-// execution time, architecture cost, deadline feasibility — and every
-// search strategy of this reproduction (simulated annealing, the GA
-// baseline, list-scheduling seeding, exhaustive enumeration) scores
-// candidate solutions through this one package, so "better" means the same
-// thing on every layer.
-//
-// A solution's quality is summarized as a Vector of named metrics extracted
-// from its schedule evaluation (sched.Result) and, for the mapping-derived
-// coordinates, from the mapping itself. A Scalarizer folds a Vector into
-// the single float the annealer compares: a weighted sum plus constraint
-// penalties (deadline, area budget). The default scalarizers reproduce the
-// paper's costs bit-for-bit (see FixedArch and ArchExplore), so the
-// refactor from the historical per-package cost closures is behaviorally
-// invisible.
 package objective
 
 import (

@@ -1,9 +1,3 @@
-// Package pareto provides dominance filtering for area/time implementation
-// points. The EPICURE estimation flow used by the paper synthesizes several
-// implementations per function and keeps only the dominant ones in the
-// area–time plane; the explorer then picks one point per hardware task
-// during annealing. This package reproduces that filtering step for
-// synthetic workload generation and for sanitizing user-provided models.
 package pareto
 
 import (

@@ -1,0 +1,4 @@
+// Package prof wires the standard pprof CPU/heap profiles into the CLI
+// tools, so perf work can collect profiles from the real workloads
+// (dsexplore, dsesweep) instead of only micro-benchmarks.
+package prof

@@ -1,0 +1,163 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// BenchSchema is the version stamp of the persisted dsebench format;
+// LoadBench rejects files written by an incompatible tool.
+const BenchSchema = 1
+
+// BenchRow is one cell of the scenario × strategy benchmark matrix.
+//
+// BestCost, BestMakespanMS, MeanMakespanMS, FrontSize, DeadlineMet and
+// Evaluations are deterministic given the scenario seed and run count
+// (identical for any worker count); the regression gate compares
+// BestCost. EvalsPerSec and WallMS are machine-dependent telemetry,
+// recorded for the performance trajectory but never gated on.
+type BenchRow struct {
+	Scenario string `json:"scenario"`
+	Family   string `json:"family"`
+	Size     string `json:"size"`
+	Strategy string `json:"strategy"`
+	Tasks    int    `json:"tasks"`
+	Runs     int    `json:"runs"`
+
+	BestCost       float64 `json:"bestCost"`
+	BestMakespanMS float64 `json:"bestMakespanMS"`
+	MeanMakespanMS float64 `json:"meanMakespanMS"`
+	FrontSize      int     `json:"frontSize"`
+	DeadlineMet    int     `json:"deadlineMet"`
+
+	Evaluations int     `json:"evaluations"`
+	EvalsPerSec float64 `json:"evalsPerSec"`
+	WallMS      float64 `json:"wallMS"`
+
+	// Skipped, when non-empty, records why the cell did not run (e.g.
+	// brute on an instance above its task bound); the metric fields are
+	// zero and the regression gate ignores the row.
+	Skipped string `json:"skipped,omitempty"`
+}
+
+// Key identifies the cell for baseline comparison.
+func (r *BenchRow) Key() string { return r.Scenario + "/" + r.Strategy }
+
+// BenchFile is the persisted dsebench result set (BENCH_PR4.json and the
+// committed regression baseline).
+type BenchFile struct {
+	Schema  int               `json:"schema"`
+	Tool    string            `json:"tool"`
+	Params  map[string]string `json:"params,omitempty"`
+	Results []BenchRow        `json:"results"`
+}
+
+// WriteBench writes the file as indented JSON.
+func WriteBench(w io.Writer, f *BenchFile) error {
+	f.Schema = BenchSchema
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// SaveBench writes the file to path.
+func SaveBench(path string, f *BenchFile) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	return WriteBench(out, f)
+}
+
+// LoadBench reads and version-checks a persisted result set.
+func LoadBench(path string) (*BenchFile, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f BenchFile
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("report: decoding %s: %w", path, err)
+	}
+	if f.Schema != BenchSchema {
+		return nil, fmt.Errorf("report: %s has schema %d, this tool reads %d", path, f.Schema, BenchSchema)
+	}
+	return &f, nil
+}
+
+// BenchTable renders the result set as an aligned text/CSV table.
+func BenchTable(f *BenchFile) *Table {
+	t := NewTable("scenario", "family", "size", "strategy", "tasks", "runs",
+		"best_cost", "best_ms", "mean_ms", "front", "evals", "evals_per_s", "wall_ms", "note")
+	for i := range f.Results {
+		r := &f.Results[i]
+		if r.Skipped != "" {
+			t.AddRow(r.Scenario, r.Family, r.Size, r.Strategy, r.Tasks, "-",
+				"-", "-", "-", "-", "-", "-", "-", "skipped: "+r.Skipped)
+			continue
+		}
+		t.AddRow(r.Scenario, r.Family, r.Size, r.Strategy, r.Tasks, r.Runs,
+			fmt.Sprintf("%.4f", r.BestCost), r.BestMakespanMS, r.MeanMakespanMS,
+			r.FrontSize, r.Evaluations, fmt.Sprintf("%.0f", r.EvalsPerSec), r.WallMS, "")
+	}
+	return t
+}
+
+// Regression is one baseline-comparison finding.
+type Regression struct {
+	// Key is the offending cell ("scenario/strategy").
+	Key string
+	// Metric names the compared quantity ("bestCost") or the structural
+	// problem ("missing": the cell exists in the baseline but not in the
+	// new results).
+	Metric string
+	// Old, New and Ratio quantify the change (Ratio = New/Old).
+	Old, New, Ratio float64
+}
+
+// String renders the finding for the failure report.
+func (r Regression) String() string {
+	if r.Metric == "missing" {
+		return fmt.Sprintf("%s: present in baseline, missing from results", r.Key)
+	}
+	return fmt.Sprintf("%s: %s %.4f -> %.4f (%.1f%% worse)", r.Key, r.Metric, r.Old, r.New, (r.Ratio-1)*100)
+}
+
+// CompareBench gates new results against a baseline: a cell regresses when
+// its best cost worsens by more than threshold (e.g. 0.20 = 20%) relative
+// to the baseline, or when a baseline cell disappears. Cells new in
+// `now`, skipped cells, and the machine-dependent telemetry fields are
+// ignored. Findings are sorted by key for a deterministic report.
+func CompareBench(baseline, now *BenchFile, threshold float64) []Regression {
+	current := map[string]*BenchRow{}
+	for i := range now.Results {
+		r := &now.Results[i]
+		if r.Skipped == "" {
+			current[r.Key()] = r
+		}
+	}
+	var regs []Regression
+	for i := range baseline.Results {
+		old := &baseline.Results[i]
+		if old.Skipped != "" {
+			continue
+		}
+		cur, ok := current[old.Key()]
+		if !ok {
+			regs = append(regs, Regression{Key: old.Key(), Metric: "missing"})
+			continue
+		}
+		if old.BestCost > 0 && cur.BestCost > old.BestCost*(1+threshold) {
+			regs = append(regs, Regression{
+				Key: old.Key(), Metric: "bestCost",
+				Old: old.BestCost, New: cur.BestCost, Ratio: cur.BestCost / old.BestCost,
+			})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].Key < regs[j].Key })
+	return regs
+}

@@ -1,0 +1,106 @@
+package report
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleBench() *BenchFile {
+	return &BenchFile{
+		Tool:   "dsebench",
+		Params: map[string]string{"smoke": "true"},
+		Results: []BenchRow{
+			{Scenario: "a", Family: "pipeline", Size: "tiny", Strategy: "sa", Tasks: 8, Runs: 2,
+				BestCost: 5.0, BestMakespanMS: 5.0, MeanMakespanMS: 5.5, FrontSize: 3,
+				Evaluations: 1000, EvalsPerSec: 5e5, WallMS: 2},
+			{Scenario: "a", Family: "pipeline", Size: "tiny", Strategy: "list", Tasks: 8, Runs: 2,
+				BestCost: 6.0, BestMakespanMS: 6.0, MeanMakespanMS: 6.0, FrontSize: 2,
+				Evaluations: 40, EvalsPerSec: 1e5, WallMS: 1},
+			{Scenario: "big", Family: "paper", Size: "medium", Strategy: "brute", Tasks: 28,
+				Skipped: "28 tasks > brute bound 24"},
+		},
+	}
+}
+
+func TestBenchRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := SaveBench(path, sampleBench()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != BenchSchema || got.Tool != "dsebench" || len(got.Results) != 3 {
+		t.Fatalf("round trip mangled the file: %+v", got)
+	}
+	if got.Results[0] != sampleBench().Results[0] {
+		t.Fatalf("row changed: %+v", got.Results[0])
+	}
+	if _, err := LoadBench(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+func TestBenchSchemaRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	f := sampleBench()
+	if err := SaveBench(path, f); err != nil {
+		t.Fatal(err)
+	}
+	raw := []byte(`{"schema": 999, "tool": "dsebench", "results": []}`)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBench(path); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}
+
+func TestCompareBench(t *testing.T) {
+	base := sampleBench()
+
+	// Identical results: no regressions.
+	if regs := CompareBench(base, sampleBench(), 0.20); len(regs) != 0 {
+		t.Fatalf("self-comparison regressed: %v", regs)
+	}
+
+	// One cell 30% worse, another within threshold.
+	now := sampleBench()
+	now.Results[0].BestCost = 6.5 // +30% on a/sa
+	now.Results[1].BestCost = 6.6 // +10% on a/list
+	regs := CompareBench(base, now, 0.20)
+	if len(regs) != 1 || regs[0].Key != "a/sa" || regs[0].Metric != "bestCost" {
+		t.Fatalf("want one bestCost regression on a/sa, got %v", regs)
+	}
+	if !strings.Contains(regs[0].String(), "a/sa") {
+		t.Fatalf("unreadable finding: %s", regs[0])
+	}
+
+	// A gated cell disappearing is a regression; skipped cells are not
+	// gated; new cells are ignored.
+	now = sampleBench()
+	now.Results = now.Results[1:]
+	now.Results = append(now.Results, BenchRow{Scenario: "new", Strategy: "sa", BestCost: 1})
+	regs = CompareBench(base, now, 0.20)
+	if len(regs) != 1 || regs[0].Metric != "missing" || regs[0].Key != "a/sa" {
+		t.Fatalf("want one missing-cell finding, got %v", regs)
+	}
+}
+
+func TestBenchTableRendersSkips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := BenchTable(sampleBench()).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "skipped: 28 tasks") {
+		t.Fatalf("skip note missing:\n%s", out)
+	}
+	if !strings.Contains(out, "best_cost") || !strings.Contains(out, "evals_per_s") {
+		t.Fatalf("header wrong:\n%s", out)
+	}
+}

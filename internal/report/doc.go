@@ -1,0 +1,4 @@
+// Package report renders experiment results: aligned text tables, CSV
+// files, and terminal line plots used to regenerate the paper's figures in
+// ASCII form.
+package report

@@ -51,9 +51,15 @@ func SA(app *model.App, arch *model.Arch, cfg core.Config) (RunFunc, error) {
 // drives one fresh instance built by the factory to exhaustion. The
 // factory is constructed once, so validation and the SA preparation are
 // hoisted out of the per-run path.
-func Strategy(f *search.Factory) RunFunc {
+func Strategy(f *search.Factory) RunFunc { return StrategyBudget(f, 0) }
+
+// StrategyBudget is Strategy with a per-run step budget: each run drives
+// its instance for at most maxSteps driver steps (0 = to exhaustion) and
+// reports the strategy's evaluation telemetry in Outcome.Evaluations —
+// the budgeted batch primitive behind the dsebench scenario matrix.
+func StrategyBudget(f *search.Factory, maxSteps int) RunFunc {
 	return func(ctx context.Context, run int, seed int64) (*Outcome, error) {
-		out, err := search.Run(ctx, f, seed, 0)
+		out, stats, err := search.RunStats(ctx, f, seed, maxSteps)
 		if err != nil {
 			return nil, err
 		}
@@ -65,6 +71,8 @@ func Strategy(f *search.Factory) RunFunc {
 			Eval:        out.Eval,
 			MetDeadline: out.MetDeadline,
 			Front:       out.Front,
+			Evaluations: stats.Evaluations,
+			Cost:        out.Cost,
 		}, nil
 	}
 }

@@ -1,22 +1,3 @@
-// Package runner is the parallel multi-run exploration engine: it executes
-// N independent exploration runs (simulated annealing or the GA baseline)
-// across a pool of workers, one deterministic seed stream per run, and
-// aggregates their results as they stream in.
-//
-// The paper's headline results are averages over ~100 independent annealing
-// runs per configuration — an embarrassingly parallel outer loop. The
-// runner parallelizes exactly that loop while keeping it reproducible:
-//
-//   - run i always uses seed BaseSeed+i, so each run's outcome is a pure
-//     function of its seed regardless of the worker count;
-//   - completed runs pass through an in-order merger (a reorder buffer keyed
-//     by run index) before touching the aggregate, so the streamed
-//     statistics, the best-solution tie-breaks and the Pareto archive are
-//     byte-identical between Workers=1 and Workers=NumCPU.
-//
-// Cancellation is cooperative: the context is forwarded into each run's
-// Stop hook, so an in-flight annealing run winds down within one iteration
-// and the batch returns the aggregate of every run that completed.
 package runner
 
 import (
@@ -80,6 +61,14 @@ type Outcome struct {
 	// archive; the engine merges the fronts of all completed runs (in run
 	// order) into Aggregate.Front, re-tagging points with the run index.
 	Front *pareto.NArchive
+	// Evaluations is the number of candidate solutions the run scored (0
+	// when the RunFunc does not report telemetry); the engine sums it
+	// into Aggregate.Evaluations.
+	Evaluations int
+	// Cost is the best solution's scalarized objective cost (0 when the
+	// RunFunc does not report it — the legacy SA/GA adapters); consumers
+	// needing the cross-run minimum track it via Options.OnResult.
+	Cost float64
 }
 
 // RunFunc executes one independent exploration run. It must derive all its
@@ -111,6 +100,9 @@ type Aggregate struct {
 	Contexts stats.Summary
 	// DeadlineMet counts runs whose best solution met the deadline.
 	DeadlineMet int
+	// Evaluations sums the per-run scored-candidate counts (0 when the
+	// RunFunc does not report them).
+	Evaluations int
 	// Best is the overall best mapping (lowest makespan; ties go to the
 	// lowest run index), with its evaluation and origin.
 	Best     *sched.Mapping
@@ -140,6 +132,7 @@ func (a *Aggregate) add(app *model.App, r RunResult) {
 	if r.Outcome.MetDeadline {
 		a.DeadlineMet++
 	}
+	a.Evaluations += r.Outcome.Evaluations
 	if a.Best == nil || ev.Makespan < a.BestEval.Makespan {
 		a.Best = r.Outcome.Best
 		a.BestEval = ev

@@ -1,0 +1,138 @@
+package archgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/model"
+)
+
+// TRRegime classifies the per-CLB reconfiguration-time scale of generated
+// reconfigurable circuits.
+type TRRegime int
+
+const (
+	// TRTypical is the paper's Virtex-E constant: 22.5 µs/CLB.
+	TRTypical TRRegime = iota
+	// TRFast is two orders of magnitude quicker (≈0.2 µs/CLB): an
+	// architecture where reconfiguration overhead is nearly free.
+	TRFast
+	// TRSlow is ≈100 µs/CLB: reconfiguration dominates, stressing the
+	// explorer's temporal-partitioning moves.
+	TRSlow
+)
+
+var trNames = [...]string{"typical", "fast", "slow"}
+
+// String implements fmt.Stringer.
+func (r TRRegime) String() string {
+	if r < TRTypical || r > TRSlow {
+		return fmt.Sprintf("TRRegime(%d)", int(r))
+	}
+	return trNames[r]
+}
+
+// base returns the regime's central per-CLB reconfiguration time.
+func (r TRRegime) base() model.Time {
+	switch r {
+	case TRFast:
+		return model.FromMicros(0.2)
+	case TRSlow:
+		return model.FromMicros(100)
+	default:
+		return model.FromMicros(22.5)
+	}
+}
+
+// Config parameterizes one generated architecture.
+type Config struct {
+	// Name names the architecture; empty derives one from the shape.
+	Name string
+	// Processors is the number of programmable processors (≥ 1 for the
+	// search strategies that need a software fallback).
+	Processors int
+	// SpeedMin/SpeedMax bound the processors' speed factors relative to
+	// the reference processor; the first processor is always the 1.0
+	// reference. Zero values mean a homogeneous 1.0 pool.
+	SpeedMin, SpeedMax float64
+	// RCs is the number of reconfigurable circuits.
+	RCs int
+	// NCLBMin/NCLBMax bound each RC's CLB capacity (drawn uniformly).
+	NCLBMin, NCLBMax int
+	// TR selects the reconfiguration-time regime; each RC's per-CLB time
+	// is the regime's base scaled by ±20% jitter.
+	TR TRRegime
+	// BusRate is the shared bus throughput in bytes/second (0 selects the
+	// paper's 80 MB/s).
+	BusRate int64
+	// Contention serializes bus transactions (the paper's setting).
+	Contention bool
+}
+
+// DefaultConfig returns the paper-shaped single-processor single-RC
+// architecture template at the typical reconfiguration regime.
+func DefaultConfig() Config {
+	return Config{
+		Processors: 1,
+		RCs:        1,
+		NCLBMin:    2000,
+		NCLBMax:    2000,
+		TR:         TRTypical,
+		BusRate:    80_000_000,
+		Contention: true,
+	}
+}
+
+// Generate builds one validated architecture from cfg, drawing every
+// random choice from rng. The result is a pure function of (rng state,
+// cfg).
+func Generate(rng *rand.Rand, cfg Config) (*model.Arch, error) {
+	if cfg.Processors < 0 || cfg.RCs < 0 || cfg.Processors+cfg.RCs == 0 {
+		return nil, fmt.Errorf("archgen: invalid resource counts: %d processors, %d rcs", cfg.Processors, cfg.RCs)
+	}
+	if cfg.RCs > 0 && (cfg.NCLBMin <= 0 || cfg.NCLBMax < cfg.NCLBMin) {
+		return nil, fmt.Errorf("archgen: invalid CLB bounds [%d, %d]", cfg.NCLBMin, cfg.NCLBMax)
+	}
+	rate := cfg.BusRate
+	if rate == 0 {
+		rate = 80_000_000
+	}
+	name := cfg.Name
+	if name == "" {
+		name = fmt.Sprintf("gen-%dp%drc-%s", cfg.Processors, cfg.RCs, cfg.TR)
+	}
+	arch := &model.Arch{
+		Name: name,
+		Bus:  model.Bus{Rate: rate, Contention: cfg.Contention},
+	}
+	for i := 0; i < cfg.Processors; i++ {
+		speed := 1.0
+		if i > 0 && cfg.SpeedMax > cfg.SpeedMin && cfg.SpeedMin > 0 {
+			speed = cfg.SpeedMin + rng.Float64()*(cfg.SpeedMax-cfg.SpeedMin)
+		}
+		arch.Processors = append(arch.Processors, model.Processor{
+			Name:        fmt.Sprintf("proc%d", i),
+			SpeedFactor: speed,
+			Cost:        10 * speed,
+		})
+	}
+	for i := 0; i < cfg.RCs; i++ {
+		nclb := cfg.NCLBMin
+		if cfg.NCLBMax > cfg.NCLBMin {
+			nclb = cfg.NCLBMin + rng.Intn(cfg.NCLBMax-cfg.NCLBMin+1)
+		}
+		// ±20% multiplicative jitter around the regime base keeps
+		// heterogeneous RC pools from being time-identical.
+		tr := model.Time(float64(cfg.TR.base()) * (0.8 + 0.4*rng.Float64()))
+		if tr < model.Nanosecond {
+			tr = model.Nanosecond
+		}
+		arch.RCs = append(arch.RCs, model.RC{
+			Name: fmt.Sprintf("rc%d", i),
+			NCLB: nclb,
+			TR:   tr,
+			Cost: 25 * float64(nclb) / 2000,
+		})
+	}
+	return arch, arch.Validate()
+}

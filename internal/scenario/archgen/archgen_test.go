@@ -1,0 +1,97 @@
+package archgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{
+		Processors: 3, SpeedMin: 0.5, SpeedMax: 2.0,
+		RCs: 2, NCLBMin: 1000, NCLBMax: 4000,
+		TR: TRSlow, Contention: true,
+	}
+	a, err := Generate(rand.New(rand.NewSource(7)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(rand.New(rand.NewSource(7)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatal("nondeterministic architecture generation")
+	}
+	c, err := Generate(rand.New(rand.NewSource(8)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() == c.Digest() {
+		t.Fatal("different seeds produced identical architectures")
+	}
+}
+
+func TestGenerateShapeAndBounds(t *testing.T) {
+	cfg := Config{
+		Processors: 2, SpeedMin: 0.5, SpeedMax: 1.5,
+		RCs: 3, NCLBMin: 500, NCLBMax: 1500,
+		TR: TRTypical, BusRate: 0, Contention: true,
+	}
+	arch, err := Generate(rand.New(rand.NewSource(3)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := arch.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(arch.Processors) != 2 || len(arch.RCs) != 3 {
+		t.Fatalf("shape %dp+%drc, want 2p+3rc", len(arch.Processors), len(arch.RCs))
+	}
+	if arch.Processors[0].SpeedFactor != 1.0 {
+		t.Fatal("first processor must be the 1.0 reference")
+	}
+	if arch.Bus.Rate != 80_000_000 {
+		t.Fatalf("default bus rate %d, want the paper's 80 MB/s", arch.Bus.Rate)
+	}
+	for _, rc := range arch.RCs {
+		if rc.NCLB < 500 || rc.NCLB > 1500 {
+			t.Fatalf("rc capacity %d outside [500, 1500]", rc.NCLB)
+		}
+	}
+}
+
+// TestRegimesOrdered: the per-CLB reconfiguration times of the three
+// regimes must be strictly ordered fast < typical < slow, jitter included
+// (the ±20% band cannot bridge the order-of-magnitude gaps).
+func TestRegimesOrdered(t *testing.T) {
+	tr := func(regime TRRegime, seed int64) model.Time {
+		cfg := DefaultConfig()
+		cfg.TR = regime
+		arch, err := Generate(rand.New(rand.NewSource(seed)), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return arch.RCs[0].TR
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		fast, typ, slow := tr(TRFast, seed), tr(TRTypical, seed), tr(TRSlow, seed)
+		if !(fast < typ && typ < slow) {
+			t.Fatalf("seed %d: regimes out of order: fast %v, typical %v, slow %v", seed, fast, typ, slow)
+		}
+	}
+}
+
+func TestGenerateRejectsBadConfigs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Generate(rng, Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := Generate(rng, Config{Processors: 1, RCs: 1}); err == nil {
+		t.Fatal("zero CLB bounds accepted")
+	}
+	if _, err := Generate(rng, Config{Processors: 1, RCs: 1, NCLBMin: 100, NCLBMax: 50}); err == nil {
+		t.Fatal("inverted CLB bounds accepted")
+	}
+}

@@ -1,0 +1,13 @@
+// Package archgen generates target architectures for the scenario corpus:
+// processor/RC mixes, CLB capacities, bus rates and reconfiguration-time
+// regimes, all drawn deterministically from an explicit rng (the same
+// determinism contract as internal/apps — a Config plus a seeded rng is a
+// reproducible architecture).
+//
+// The reconfiguration-time regimes span the axis the paper's Figure 3
+// explores implicitly through device size: TRFast models a device whose
+// contexts load almost for free (reconfiguration is never the bottleneck),
+// TRTypical the paper's Virtex-E constant of 22.5 µs/CLB, and TRSlow a
+// device where every context switch hurts — the regime that makes temporal
+// partitioning decisions dominate the cost landscape.
+package archgen

@@ -1,0 +1,141 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/combi"
+	"repro/internal/objective"
+	"repro/internal/report"
+	"repro/internal/runner"
+	"repro/internal/search"
+)
+
+// MatrixOptions configures a strategy × scenario benchmark matrix.
+type MatrixOptions struct {
+	// Strategies are the unified-engine strategy names to run per
+	// scenario; empty selects the full matrix (search.Names()).
+	Strategies []string
+	// Runs overrides each scenario's default independent-run count when
+	// positive.
+	Runs int
+	// Workers is the per-cell worker-pool size (0 = NumCPU).
+	Workers int
+	// BaseSeed offsets the per-run seed streams; cells are reproducible
+	// for any worker count.
+	BaseSeed int64
+	// MaxSteps caps driver steps per run when positive, overriding the
+	// scenario budget (dsebench -max-steps, for quick bounded sweeps).
+	MaxSteps int
+	// Progress, when non-nil, receives each completed cell in matrix
+	// order.
+	Progress func(report.BenchRow)
+}
+
+// strategies resolves the effective strategy list.
+func (o *MatrixOptions) strategies() []string {
+	if len(o.Strategies) > 0 {
+		return o.Strategies
+	}
+	return search.Names()
+}
+
+// frontMetrics is the area/makespan trade-off every cell archives; the
+// row's FrontSize is the merged cross-run front.
+var frontMetrics = []objective.Metric{objective.HWArea, objective.Makespan}
+
+// RunMatrix executes every (scenario, strategy) cell of the matrix on the
+// parallel multi-run engine and returns one report.BenchRow per cell, in
+// matrix order (scenarios as given, strategies inner). Infeasible cells —
+// today only brute on instances above its task bound — come back as
+// skipped rows rather than errors, so one oversized scenario cannot sink
+// a whole benchmark batch. Cancelling ctx returns the completed rows with
+// ctx.Err().
+func RunMatrix(ctx context.Context, scenarios []*Scenario, opts MatrixOptions) ([]report.BenchRow, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rows := make([]report.BenchRow, 0, len(scenarios)*len(opts.strategies()))
+	emit := func(row report.BenchRow) {
+		rows = append(rows, row)
+		if opts.Progress != nil {
+			opts.Progress(row)
+		}
+	}
+	for _, s := range scenarios {
+		app, arch, err := s.Instantiate()
+		if err != nil {
+			return rows, err
+		}
+		cfg := s.SearchConfig()
+		cfg.FrontMetrics = frontMetrics
+		runs := s.Budget.Runs
+		if opts.Runs > 0 {
+			runs = opts.Runs
+		}
+		if runs < 1 {
+			runs = 1
+		}
+		maxSteps := s.Budget.MaxSteps
+		if opts.MaxSteps > 0 {
+			maxSteps = opts.MaxSteps
+		}
+		for _, name := range opts.strategies() {
+			if ctx.Err() != nil {
+				return rows, ctx.Err()
+			}
+			row := report.BenchRow{
+				Scenario: s.Name,
+				Family:   s.Family,
+				Size:     s.Size.String(),
+				Strategy: name,
+				Tasks:    app.N(),
+				Runs:     runs,
+			}
+			if name == "brute" && app.N() > combi.MaxExhaustiveTasks {
+				row.Skipped = fmt.Sprintf("%d tasks > brute bound %d", app.N(), combi.MaxExhaustiveTasks)
+				emit(row)
+				continue
+			}
+			factory, err := search.NewFactory(name, app, arch, cfg)
+			if err != nil {
+				return rows, fmt.Errorf("scenario %s, strategy %s: %w", s.Name, name, err)
+			}
+			bestCost := math.Inf(1)
+			start := time.Now()
+			agg, err := runner.Run(ctx, app, runner.Options{
+				Runs:     runs,
+				Workers:  opts.Workers,
+				BaseSeed: opts.BaseSeed,
+				OnResult: func(r runner.RunResult) {
+					if r.Outcome.Cost < bestCost {
+						bestCost = r.Outcome.Cost
+					}
+				},
+			}, runner.StrategyBudget(factory, maxSteps))
+			wall := time.Since(start)
+			if err != nil {
+				if ctx.Err() != nil {
+					return rows, ctx.Err()
+				}
+				return rows, fmt.Errorf("scenario %s, strategy %s: %w", s.Name, name, err)
+			}
+			row.BestCost = bestCost
+			row.BestMakespanMS = agg.BestEval.Makespan.Millis()
+			row.MeanMakespanMS = agg.MakespanMS.Mean()
+			row.DeadlineMet = agg.DeadlineMet
+			row.Evaluations = agg.Evaluations
+			if f := agg.Front; f != nil {
+				row.FrontSize = f.Len()
+			}
+			row.WallMS = float64(wall.Microseconds()) / 1e3
+			if secs := wall.Seconds(); secs > 0 {
+				row.EvalsPerSec = float64(agg.Evaluations) / secs
+			}
+			emit(row)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,97 @@
+package scenario
+
+import (
+	"context"
+	"testing"
+)
+
+// TestRunMatrixSmokeSlice drives the real driver over one tiny scenario ×
+// two strategies — the same path as `dsebench -smoke`, shrunk.
+func TestRunMatrixSmokeSlice(t *testing.T) {
+	s, ok := Lookup("pipeline-chain-tiny")
+	if !ok {
+		t.Fatal("pipeline-chain-tiny missing")
+	}
+	rows, err := RunMatrix(context.Background(), []*Scenario{s}, MatrixOptions{
+		Strategies: []string{"sa", "list"},
+		Runs:       2,
+		Workers:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Skipped != "" {
+			t.Fatalf("%s unexpectedly skipped: %s", r.Key(), r.Skipped)
+		}
+		if r.BestCost <= 0 || r.BestMakespanMS <= 0 {
+			t.Fatalf("%s: empty quality metrics: %+v", r.Key(), r)
+		}
+		if r.Evaluations <= 0 || r.EvalsPerSec <= 0 || r.WallMS <= 0 {
+			t.Fatalf("%s: empty throughput telemetry: %+v", r.Key(), r)
+		}
+		if r.FrontSize <= 0 {
+			t.Fatalf("%s: empty Pareto front", r.Key())
+		}
+		if r.Runs != 2 || r.Tasks != 8 {
+			t.Fatalf("%s: wrong shape: %+v", r.Key(), r)
+		}
+	}
+	if rows[0].Strategy != "sa" || rows[1].Strategy != "list" {
+		t.Fatalf("rows out of matrix order: %s, %s", rows[0].Strategy, rows[1].Strategy)
+	}
+}
+
+// TestRunMatrixQualityDeterministic: the gated quality fields must be
+// identical across repeated matrix runs (they are what the CI baseline
+// compares).
+func TestRunMatrixQualityDeterministic(t *testing.T) {
+	s, _ := Lookup("forkjoin-tiny")
+	opts := MatrixOptions{Strategies: []string{"sa"}, Runs: 2, Workers: 2}
+	a, err := RunMatrix(context.Background(), []*Scenario{s}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 1 // worker count must not matter
+	b, err := RunMatrix(context.Background(), []*Scenario{s}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].BestCost != b[0].BestCost || a[0].BestMakespanMS != b[0].BestMakespanMS ||
+		a[0].MeanMakespanMS != b[0].MeanMakespanMS || a[0].FrontSize != b[0].FrontSize {
+		t.Fatalf("quality fields vary across runs:\n  %+v\n  %+v", a[0], b[0])
+	}
+}
+
+// TestRunMatrixSkipsOversizedBrute: brute on a >24-task instance must
+// yield a skipped row, not an error.
+func TestRunMatrixSkipsOversizedBrute(t *testing.T) {
+	s, _ := Lookup("paper-fig2") // 28 tasks
+	rows, err := RunMatrix(context.Background(), []*Scenario{s}, MatrixOptions{
+		Strategies: []string{"brute"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Skipped == "" {
+		t.Fatalf("want one skipped row, got %+v", rows)
+	}
+}
+
+// TestRunMatrixCancellation: a cancelled context stops the matrix without
+// fabricating rows.
+func TestRunMatrixCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s, _ := Lookup("pipeline-chain-tiny")
+	rows, err := RunMatrix(ctx, []*Scenario{s}, MatrixOptions{Strategies: []string{"sa"}})
+	if err == nil {
+		t.Fatal("cancelled matrix returned no error")
+	}
+	if len(rows) != 0 {
+		t.Fatalf("cancelled matrix fabricated %d rows", len(rows))
+	}
+}

@@ -1,0 +1,243 @@
+package scenario
+
+import (
+	"math/rand"
+
+	"repro/internal/apps"
+	"repro/internal/model"
+	"repro/internal/scenario/archgen"
+	"repro/internal/sdf"
+)
+
+// budgetFor scales the default search allowance with the size class. The
+// tiny/small budgets are what keeps `dsebench -smoke` (and the CI job
+// built on it) inside a few seconds; medium is the paper's Figure 2
+// protocol.
+func budgetFor(size apps.Size) Budget {
+	switch size {
+	case apps.Tiny:
+		return Budget{SAIters: 1500, Warmup: 300, QuenchIters: 500, GAPop: 60, GAGens: 30, Runs: 2}
+	case apps.Small:
+		return Budget{SAIters: 2500, Warmup: 500, QuenchIters: 1000, GAPop: 100, GAGens: 50, Runs: 2}
+	case apps.Medium:
+		return Budget{SAIters: 5000, Warmup: 1200, QuenchIters: 4000, GAPop: 300, GAGens: 120, Runs: 3}
+	case apps.Large:
+		return Budget{SAIters: 6000, Warmup: 1200, QuenchIters: 4000, GAPop: 300, GAGens: 120, Runs: 3}
+	default: // XL
+		return Budget{SAIters: 8000, Warmup: 1500, QuenchIters: 4000, GAPop: 300, GAGens: 150, Runs: 3}
+	}
+}
+
+// fromFamily adapts a registered apps generator at a fixed size class.
+func fromFamily(family string, size apps.Size) func(*rand.Rand) (*model.App, error) {
+	g, ok := apps.Lookup(family)
+	if !ok {
+		panic("scenario: unknown apps family " + family)
+	}
+	return func(rng *rand.Rand) (*model.App, error) { return g.Build(rng, size) }
+}
+
+// genArch is a shorthand archgen configuration: p processors, r RCs of
+// nclb blocks each, at the given reconfiguration regime.
+func genArch(p, r, nclbMin, nclbMax int, tr archgen.TRRegime) archgen.Config {
+	cfg := archgen.DefaultConfig()
+	cfg.Processors = p
+	cfg.RCs = r
+	cfg.NCLBMin = nclbMin
+	cfg.NCLBMax = nclbMax
+	cfg.TR = tr
+	if p > 1 {
+		cfg.SpeedMin, cfg.SpeedMax = 0.6, 1.4
+	}
+	return cfg
+}
+
+// sdfUpsample is the 1→4 upsampling front end of examples/sdfapp: source
+// --1:4--> fir(×4 firings) --4:2--> mixer(×2) --2:1--> sink, 8 firings
+// after expansion.
+func sdfUpsample(rng *rand.Rand) (*model.App, error) {
+	g := &sdf.Graph{
+		Name: "sdf-upsample",
+		Actors: []sdf.Actor{
+			{Name: "source", SW: model.FromMicros(400)},
+			{Name: "fir", SW: model.FromMicros(900), HW: apps.SynthHW(rng, model.FromMicros(900), 5, 120, 360, 6, 18)},
+			{Name: "mixer", SW: model.FromMicros(700), HW: apps.SynthHW(rng, model.FromMicros(700), 5, 100, 300, 5, 14)},
+			{Name: "sink", SW: model.FromMicros(300)},
+		},
+		Channels: []sdf.Channel{
+			{From: 0, To: 1, Prod: 4, Cons: 1, TokenBytes: 256},
+			{From: 1, To: 2, Prod: 2, Cons: 4, TokenBytes: 256},
+			{From: 2, To: 3, Prod: 1, Cons: 2, TokenBytes: 512},
+		},
+	}
+	return g.Expand()
+}
+
+// sdfRateConverter is a multirate audio-style chain whose repetition
+// vector multiplies out to a few dozen firings: in --2:3--> up
+// --3:4--> filt --4:3--> down --3:1--> out, plus a side analysis tap.
+func sdfRateConverter(rng *rand.Rand) (*model.App, error) {
+	hw := func(us float64, minC, maxC int) []model.Impl {
+		return apps.SynthHW(rng, model.FromMicros(us), 5, minC, maxC, 4, 16)
+	}
+	g := &sdf.Graph{
+		Name: "sdf-ratechange",
+		Actors: []sdf.Actor{
+			{Name: "in", SW: model.FromMicros(250)},
+			{Name: "up", SW: model.FromMicros(600), HW: hw(600, 90, 280)},
+			{Name: "filt", SW: model.FromMicros(1100), HW: hw(1100, 140, 420)},
+			{Name: "down", SW: model.FromMicros(500), HW: hw(500, 80, 240)},
+			{Name: "out", SW: model.FromMicros(200)},
+			{Name: "tap", SW: model.FromMicros(800), HW: hw(800, 110, 330)},
+		},
+		Channels: []sdf.Channel{
+			{From: 0, To: 1, Prod: 2, Cons: 3, TokenBytes: 128},
+			{From: 1, To: 2, Prod: 3, Cons: 4, TokenBytes: 128},
+			{From: 2, To: 3, Prod: 4, Cons: 3, TokenBytes: 128},
+			{From: 3, To: 4, Prod: 3, Cons: 1, TokenBytes: 384},
+			{From: 2, To: 5, Prod: 4, Cons: 6, TokenBytes: 128},
+		},
+	}
+	return g.Expand()
+}
+
+// The corpus. Seeds are arbitrary but frozen: changing one changes the
+// scenario's identity (and fails the golden digest test, deliberately).
+func init() {
+	mcfg := apps.DefaultMotionConfig()
+	motionApp := func(*rand.Rand) (*model.App, error) { return apps.MotionDetection(mcfg), nil }
+	motionArch := func(nclb int) func(*rand.Rand) (*model.Arch, error) {
+		return func(*rand.Rand) (*model.Arch, error) { return apps.MotionArch(nclb, mcfg), nil }
+	}
+
+	// --- paper: the published Section 5 instances ---
+	Register(Scenario{
+		Name: "paper-fig2", Family: "paper", Size: apps.Medium, Seed: 2005,
+		Stresses:   "the paper's Figure 2 run: 28-task motion detection on the 2000-CLB Virtex-E, 40 ms deadline",
+		DeadlineMS: 40,
+		Budget:     budgetFor(apps.Medium),
+		buildApp:   motionApp, buildArch: motionArch(2000),
+	})
+	Register(Scenario{
+		Name: "paper-small-device", Family: "paper", Size: apps.Medium, Seed: 2005,
+		Stresses:   "motion detection on a 600-CLB device: capacity overflow forces multi-context temporal partitioning",
+		DeadlineMS: 40,
+		Budget:     budgetFor(apps.Medium),
+		buildApp:   motionApp, buildArch: motionArch(600),
+	})
+
+	// --- pipeline: series-parallel media/DSP pipelines ---
+	Register(Scenario{
+		Name: "pipeline-chain-tiny", Family: "pipeline", Size: apps.Tiny, Seed: 101,
+		Stresses: "an 8-task serial chain on a small device: context ordering on a pure critical path",
+		Budget:   budgetFor(apps.Tiny),
+		buildApp: fromFamily("chain", apps.Tiny),
+		arch:     genArch(1, 1, 800, 800, archgen.TRTypical),
+	})
+	Register(Scenario{
+		Name: "pipeline-chain-large", Family: "pipeline", Size: apps.Large, Seed: 104,
+		Stresses: "a 64-task chain across two RCs: long sequentialization chains, deep context schedules",
+		Budget:   budgetFor(apps.Large),
+		buildApp: fromFamily("chain", apps.Large),
+		arch:     genArch(1, 2, 2000, 3000, archgen.TRTypical),
+	})
+	Register(Scenario{
+		Name: "pipeline-jpeg", Family: "pipeline", Size: apps.Medium, Seed: 77,
+		Stresses: "the 15-stage JPEG encoder: three parallel component pipelines joining into entropy coding",
+		Budget:   budgetFor(apps.Medium),
+		buildApp: fromFamily("jpeg", apps.Medium),
+		arch:     genArch(1, 1, 1500, 1500, archgen.TRTypical),
+	})
+	Register(Scenario{
+		Name: "pipeline-fft-small", Family: "pipeline", Size: apps.Small, Seed: 108,
+		Stresses: "an 8-point FFT's butterfly ranks on a fast-reconfiguration device: wide regular parallelism, tiny tasks",
+		Budget:   budgetFor(apps.Small),
+		buildApp: fromFamily("fft", apps.Small),
+		arch:     genArch(1, 1, 1000, 1000, archgen.TRFast),
+	})
+
+	// --- forkjoin: blocks of width-way parallel branches ---
+	Register(Scenario{
+		Name: "forkjoin-tiny", Family: "forkjoin", Size: apps.Tiny, Seed: 201,
+		Stresses: "one fork-join block: can the explorer pack two independent branches into one context?",
+		Budget:   budgetFor(apps.Tiny),
+		buildApp: fromFamily("forkjoin", apps.Tiny),
+		arch:     genArch(1, 1, 900, 900, archgen.TRTypical),
+	})
+	Register(Scenario{
+		Name: "forkjoin-medium", Family: "forkjoin", Size: apps.Medium, Seed: 203,
+		Stresses: "three 4-wide fork-join blocks: parallelism inside contexts vs across processors",
+		Budget:   budgetFor(apps.Medium),
+		buildApp: fromFamily("forkjoin", apps.Medium),
+		arch:     genArch(2, 1, 1800, 1800, archgen.TRTypical),
+	})
+	Register(Scenario{
+		Name: "forkjoin-large", Family: "forkjoin", Size: apps.Large, Seed: 204,
+		Stresses: "four 6-wide blocks on a 2-processor 2-RC system: the spatial-assignment space dominates",
+		Budget:   budgetFor(apps.Large),
+		buildApp: fromFamily("forkjoin", apps.Large),
+		arch:     genArch(2, 2, 1500, 2500, archgen.TRTypical),
+	})
+
+	// --- layered: random DAGs (the stress/scalability family) ---
+	Register(Scenario{
+		Name: "layered-small", Family: "layered", Size: apps.Small, Seed: 301,
+		Stresses: "a 20-task random DAG: baseline general-shape workload",
+		Budget:   budgetFor(apps.Small),
+		buildApp: fromFamily("layered", apps.Small),
+		arch:     genArch(1, 1, 1200, 1200, archgen.TRTypical),
+	})
+	Register(Scenario{
+		Name: "layered-medium", Family: "layered", Size: apps.Medium, Seed: 303,
+		Stresses: "a 40-task random DAG with bus contention: communication scheduling matters",
+		Budget:   budgetFor(apps.Medium),
+		buildApp: fromFamily("layered", apps.Medium),
+		arch:     genArch(1, 1, 2000, 2000, archgen.TRTypical),
+	})
+	Register(Scenario{
+		Name: "layered-large", Family: "layered", Size: apps.Large, Seed: 304,
+		Stresses: "an 80-task DAG on 2 processors + 2 RCs: the regime where the incremental evaluator wins",
+		Budget:   budgetFor(apps.Large),
+		buildApp: fromFamily("layered", apps.Large),
+		arch:     genArch(2, 2, 2000, 3000, archgen.TRTypical),
+	})
+	Register(Scenario{
+		Name: "layered-xl", Family: "layered", Size: apps.XL, Seed: 305,
+		Stresses: "a 160-task DAG on 4 processors + 2 RCs: the scalability ceiling of the corpus",
+		Budget:   budgetFor(apps.XL),
+		buildApp: fromFamily("layered", apps.XL),
+		arch:     genArch(4, 2, 2500, 4000, archgen.TRTypical),
+	})
+
+	// --- sdf: synchronous-dataflow expansions (multirate structure) ---
+	Register(Scenario{
+		Name: "sdf-upsample-tiny", Family: "sdf", Size: apps.Tiny, Seed: 401,
+		Stresses: "a 1→4 upsampling SDF chain expanded to 8 firings: repeated firings of one actor share structure",
+		Budget:   budgetFor(apps.Tiny),
+		buildApp: sdfUpsample,
+		arch:     genArch(1, 1, 800, 800, archgen.TRTypical),
+	})
+	Register(Scenario{
+		Name: "sdf-ratechange-medium", Family: "sdf", Size: apps.Medium, Seed: 403,
+		Stresses: "a multirate 2:3/3:4/4:3 converter with an analysis tap: uneven firing counts, dense flow pattern",
+		Budget:   budgetFor(apps.Medium),
+		buildApp: sdfRateConverter,
+		arch:     genArch(1, 1, 1800, 1800, archgen.TRTypical),
+	})
+
+	// --- reconfig: the reconfiguration-overhead regimes (Ding et al. axis) ---
+	Register(Scenario{
+		Name: "reconfig-slow-medium", Family: "reconfig", Size: apps.Medium, Seed: 501,
+		Stresses: "a 40-task DAG at 100 µs/CLB on a small device: reconfiguration dominates, temporal partitioning decides the cost",
+		Budget:   budgetFor(apps.Medium),
+		buildApp: fromFamily("layered", apps.Medium),
+		arch:     genArch(1, 1, 900, 900, archgen.TRSlow),
+	})
+	Register(Scenario{
+		Name: "reconfig-fast-medium", Family: "reconfig", Size: apps.Medium, Seed: 501,
+		Stresses: "the same 40-task DAG at 0.2 µs/CLB: near-free contexts — the contrast point for reconfig-slow-medium",
+		Budget:   budgetFor(apps.Medium),
+		buildApp: fromFamily("layered", apps.Medium),
+		arch:     genArch(1, 1, 900, 900, archgen.TRFast),
+	})
+}

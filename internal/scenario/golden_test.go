@@ -1,0 +1,71 @@
+package scenario
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/golden.txt from the current corpus")
+
+const goldenPath = "testdata/golden.txt"
+
+// goldenLines renders the current corpus fingerprints, one scenario per
+// line: "name appDigest archDigest", sorted by name.
+func goldenLines(t *testing.T) []string {
+	t.Helper()
+	var lines []string
+	for _, s := range All() {
+		app, arch, err := s.Instantiate()
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		lines = append(lines, fmt.Sprintf("%s %s %s", s.Name, app.Digest(), arch.Digest()))
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// TestGoldenDigests pins every scenario's generated application and
+// architecture to checked-in fingerprints: scenario generation must be
+// bit-identical across calls, machines, and Go releases (the determinism
+// contract of internal/apps and archgen). An intentional corpus change
+// regenerates the file with:
+//
+//	go test ./internal/scenario -run Golden -update
+func TestGoldenDigests(t *testing.T) {
+	lines := goldenLines(t)
+
+	// Regeneration is itself the double-call determinism check: digests
+	// computed twice from fresh Instantiate calls must agree.
+	again := goldenLines(t)
+	for i := range lines {
+		if lines[i] != again[i] {
+			t.Fatalf("nondeterministic generation:\n  first  %s\n  second %s", lines[i], again[i])
+		}
+	}
+
+	got := strings.Join(lines, "\n") + "\n"
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d scenarios)", goldenPath, len(lines))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden file)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("scenario fingerprints diverge from %s — an intentional corpus change must regenerate it with -update.\n got:\n%s\nwant:\n%s",
+			goldenPath, got, want)
+	}
+}

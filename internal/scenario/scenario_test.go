@@ -1,0 +1,118 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+)
+
+// TestCorpusShape is the acceptance pin of the corpus: at least 12
+// scenarios across at least 4 families, unique names, every entry fully
+// described.
+func TestCorpusShape(t *testing.T) {
+	names := Names()
+	if len(names) < 12 {
+		t.Fatalf("corpus has %d scenarios, want >= 12", len(names))
+	}
+	if fams := Families(); len(fams) < 4 {
+		t.Fatalf("corpus has %d families, want >= 4: %v", len(fams), fams)
+	}
+	seen := map[string]bool{}
+	for _, s := range All() {
+		if seen[s.Name] {
+			t.Fatalf("duplicate scenario %s", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Stresses == "" {
+			t.Fatalf("%s: empty Stresses doc", s.Name)
+		}
+		if !strings.HasPrefix(s.Name, s.Family) && s.Family != "paper" && s.Family != "pipeline" {
+			t.Errorf("%s: name does not lead with family %s", s.Name, s.Family)
+		}
+		if s.Budget.Runs < 1 || s.Budget.SAIters < 1 {
+			t.Fatalf("%s: unusable budget %+v", s.Name, s.Budget)
+		}
+	}
+}
+
+// TestEveryScenarioInstantiates: all registered scenarios generate valid
+// model pairs and a usable search configuration.
+func TestEveryScenarioInstantiates(t *testing.T) {
+	for _, s := range All() {
+		app, arch, err := s.Instantiate()
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if err := app.Validate(); err != nil {
+			t.Fatalf("%s app: %v", s.Name, err)
+		}
+		if err := arch.Validate(); err != nil {
+			t.Fatalf("%s arch: %v", s.Name, err)
+		}
+		if len(arch.Processors) == 0 {
+			t.Fatalf("%s: no processor — list/ga/brute would be unusable", s.Name)
+		}
+		cfg := s.SearchConfig()
+		if cfg.SA.MaxIters != s.Budget.SAIters {
+			t.Fatalf("%s: SearchConfig did not apply the SA budget", s.Name)
+		}
+		if cfg.SA.Deadline != s.Deadline() {
+			t.Fatalf("%s: SearchConfig did not apply the deadline", s.Name)
+		}
+	}
+}
+
+func TestLookupAndSelect(t *testing.T) {
+	if _, ok := Lookup("paper-fig2"); !ok {
+		t.Fatal("paper-fig2 missing from the corpus")
+	}
+	if _, ok := Lookup("no-such"); ok {
+		t.Fatal("phantom scenario resolved")
+	}
+
+	all, err := Select("")
+	if err != nil || len(all) != len(Names()) {
+		t.Fatalf("empty selector: %d scenarios, err %v", len(all), err)
+	}
+	one, err := Select("paper-fig2")
+	if err != nil || len(one) != 1 || one[0].Name != "paper-fig2" {
+		t.Fatalf("name selector: %v, err %v", one, err)
+	}
+	fam, err := Select("layered")
+	if err != nil || len(fam) < 3 {
+		t.Fatalf("family selector: %d scenarios, err %v", len(fam), err)
+	}
+	for _, s := range fam {
+		if s.Family != "layered" {
+			t.Fatalf("family selector leaked %s", s.Name)
+		}
+	}
+	mixed, err := Select("paper-fig2,sdf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"paper-fig2": true}
+	for _, s := range mixed {
+		if s.Family != "sdf" && !want[s.Name] {
+			t.Fatalf("mixed selector leaked %s", s.Name)
+		}
+	}
+	if _, err := Select("bogus"); err == nil {
+		t.Fatal("unknown selector accepted")
+	}
+}
+
+// TestSizesCoverTinyToXL: the corpus spans the whole size axis, so the
+// smoke slice (tiny/small) and the scalability ceiling (xl) both exist.
+func TestSizesCoverTinyToXL(t *testing.T) {
+	have := map[apps.Size]bool{}
+	for _, s := range All() {
+		have[s.Size] = true
+	}
+	for _, size := range apps.Sizes() {
+		if !have[size] {
+			t.Fatalf("no scenario of size %s", size)
+		}
+	}
+}

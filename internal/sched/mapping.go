@@ -1,16 +1,3 @@
-// Package sched turns a candidate mapping of an application onto a
-// reconfigurable architecture into a search graph and evaluates its
-// makespan, realizing Sections 3.3 and 4.4 of the paper.
-//
-// A solution (Mapping) comprises the HW/SW spatial partitioning, the
-// temporal partitioning of hardware tasks into run-time contexts, the total
-// execution order of each processor, the per-task hardware implementation
-// choice, and — implicitly — a total order of the bus transactions derived
-// consistently from the task execution order. Evaluation builds the search
-// graph G' = <V, E ∪ Esw ∪ Ehw>: the precedence edges E, the software
-// sequentialization edges Esw, and the context sequentialization edges Ehw
-// whose weights carry the partial-reconfiguration delays, then computes the
-// longest path.
 package sched
 
 import (

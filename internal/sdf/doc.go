@@ -1,0 +1,7 @@
+// Package sdf implements a synchronous-dataflow front end for the explorer
+// — the extension the paper's conclusion announces ("we are currently
+// working on developing simulated annealing moves for systems described by
+// multiple models of computation, including SDF"). An SDF graph with
+// consistent rates is expanded into one iteration's precedence graph, which
+// the explorer then maps like any other application.
+package sdf

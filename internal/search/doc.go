@@ -1,0 +1,13 @@
+// Package search is the unified strategy engine of the explorer: one
+// interface over every search algorithm of the reproduction — the paper's
+// simulated annealing (internal/core), the genetic-algorithm baseline
+// (internal/ga), a deterministic list-scheduling seeder
+// (internal/listsched), and exhaustive enumeration on small instances
+// (internal/combi) — plus a portfolio runner that races strategies under
+// one shared step budget.
+//
+// Every strategy scores candidates through the shared objective layer
+// (internal/objective), so "better" means exactly the same thing whichever
+// algorithm found the solution, and every strategy can archive the
+// non-dominated objective vectors it visits (internal/pareto.NArchive).
+package search

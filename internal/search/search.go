@@ -1,15 +1,3 @@
-// Package search is the unified strategy engine of the explorer: one
-// interface over every search algorithm of the reproduction — the paper's
-// simulated annealing (internal/core), the genetic-algorithm baseline
-// (internal/ga), a deterministic list-scheduling seeder
-// (internal/listsched), and exhaustive enumeration on small instances
-// (internal/combi) — plus a portfolio runner that races strategies under
-// one shared step budget.
-//
-// Every strategy scores candidates through the shared objective layer
-// (internal/objective), so "better" means exactly the same thing whichever
-// algorithm found the solution, and every strategy can archive the
-// non-dominated objective vectors it visits (internal/pareto.NArchive).
 package search
 
 import (
@@ -238,12 +226,19 @@ func (f *Factory) newNamed(name string) (Strategy, error) {
 // best-so-far together with ctx.Err(); a run that never found a feasible
 // solution returns an error.
 func Run(ctx context.Context, f *Factory, seed int64, maxSteps int) (*Outcome, error) {
+	out, _, err := RunStats(ctx, f, seed, maxSteps)
+	return out, err
+}
+
+// RunStats is Run plus the instance's final telemetry — the evaluation
+// counts the benchmark harness turns into evals/s.
+func RunStats(ctx context.Context, f *Factory, seed int64, maxSteps int) (*Outcome, Stats, error) {
 	s, err := f.New()
 	if err != nil {
-		return nil, err
+		return nil, Stats{}, err
 	}
 	if err := s.Init(seed); err != nil {
-		return nil, err
+		return nil, Stats{}, err
 	}
 	for step := 0; maxSteps == 0 || step < maxSteps; step++ {
 		if ctx != nil && ctx.Err() != nil {
@@ -251,7 +246,7 @@ func Run(ctx context.Context, f *Factory, seed int64, maxSteps int) (*Outcome, e
 		}
 		more, err := s.Step()
 		if err != nil {
-			return nil, err
+			return nil, s.Stats(), err
 		}
 		if !more {
 			break
@@ -259,12 +254,12 @@ func Run(ctx context.Context, f *Factory, seed int64, maxSteps int) (*Outcome, e
 	}
 	out := s.Best()
 	if out == nil {
-		return nil, fmt.Errorf("search: strategy %q found no feasible solution", s.Name())
+		return nil, s.Stats(), fmt.Errorf("search: strategy %q found no feasible solution", s.Name())
 	}
 	if ctx != nil && ctx.Err() != nil {
-		return out, ctx.Err()
+		return out, s.Stats(), ctx.Err()
 	}
-	return out, nil
+	return out, s.Stats(), nil
 }
 
 // metDeadline is the shared deadline report of the Outcome builders.

@@ -3,6 +3,7 @@ package search
 import (
 	"context"
 	"math"
+	"math/rand"
 	"testing"
 
 	"repro/internal/apps"
@@ -36,7 +37,7 @@ func fastConfig() Config {
 // algorithms (plus the portfolio) run behind the one Strategy interface
 // and return feasible, correctly-scored solutions.
 func TestEveryStrategyRunsBehindTheInterface(t *testing.T) {
-	app := apps.JPEG() // 15 tasks: small enough for brute
+	app := apps.JPEG(rand.New(rand.NewSource(77))) // 15 tasks: small enough for brute
 	arch := apps.MotionArch(2000, apps.DefaultMotionConfig())
 	cfg := fastConfig()
 	for _, name := range Names() {
@@ -172,7 +173,7 @@ func TestSAGACostAgreement(t *testing.T) {
 // TestBruteIsExhaustive: on a tiny chain, brute must match the cost of the
 // best solution found by directly sweeping every bipartition.
 func TestBruteIsExhaustive(t *testing.T) {
-	app := apps.Chain(8, model.FromMillis(2), 10_000, 3)
+	app := apps.Chain(rand.New(rand.NewSource(3)), 8, model.FromMillis(2), 10_000)
 	arch := apps.MotionArch(800, apps.DefaultMotionConfig())
 	cfg := fastConfig()
 	f, err := NewFactory("brute", app, arch, cfg)
@@ -213,7 +214,7 @@ func TestBruteIsExhaustive(t *testing.T) {
 // TestPortfolioRacesAndMerges: the portfolio's best is the member minimum
 // and its front is the member merge; the race is deterministic per seed.
 func TestPortfolioDeterministicAndBestOfMembers(t *testing.T) {
-	app := apps.JPEG()
+	app := apps.JPEG(rand.New(rand.NewSource(77)))
 	arch := apps.MotionArch(1500, apps.DefaultMotionConfig())
 	cfg := fastConfig()
 	cfg.Portfolio = []string{"sa", "list", "ga"}
