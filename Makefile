@@ -2,12 +2,12 @@
 # these targets so local runs and CI runs cannot drift apart.
 
 GO ?= go
-BENCH_JSON ?= BENCH_PR4.json
+BENCH_JSON ?= BENCH_PR5.json
 BENCH_MICRO_JSON ?= BENCH_MICRO.json
 BENCH_BASELINE ?= bench/BENCH_BASELINE.json
 BENCH_THRESHOLD ?= 0.20
 
-.PHONY: all build test race bench bench-json bench-check bench-baseline bench-micro-json docs-check fmt fmt-check vet ci
+.PHONY: all build test race bench bench-json bench-check bench-baseline bench-micro-json dsed-smoke docs-check fmt fmt-check vet ci
 
 all: build test
 
@@ -27,17 +27,20 @@ bench:
 
 # Scenario macro-benchmarks: dsebench over the smoke corpus (tiny/small
 # scenarios, sa+list), per-cell best cost / front size / evals/s into
-# $(BENCH_JSON). CI uploads the file as an artifact so the trajectory
-# accumulates per commit.
+# $(BENCH_JSON). -cache runs every cell cold and then cache-warm, so the
+# file also records the cold-vs-warm cell times (warm_ms/hits) and the
+# warm pass is verified bit-identical to the cold one. CI uploads the
+# file as an artifact so the trajectory accumulates per commit.
 bench-json:
-	$(GO) run ./cmd/dsebench -smoke -json $(BENCH_JSON)
+	$(GO) run ./cmd/dsebench -smoke -cache -json $(BENCH_JSON)
 
-# The CI regression gate: the same smoke matrix under the race detector,
-# compared against the committed baseline. Only the deterministic quality
-# fields (best cost per cell) are gated; exits 3 on a >$(BENCH_THRESHOLD)
-# relative regression.
+# The CI regression gate: the same smoke matrix (including the cache-warm
+# verification pass) under the race detector, compared against the
+# committed baseline. Only the deterministic quality fields (best cost
+# per cell) are gated; exits 3 on a >$(BENCH_THRESHOLD) relative
+# regression.
 bench-check:
-	$(GO) run -race ./cmd/dsebench -smoke -json $(BENCH_JSON) \
+	$(GO) run -race ./cmd/dsebench -smoke -cache -json $(BENCH_JSON) \
 		-baseline $(BENCH_BASELINE) -threshold $(BENCH_THRESHOLD)
 
 # Regenerate the committed baseline after an intentional quality change
@@ -53,6 +56,13 @@ bench-micro-json:
 		-bench='BenchmarkEvaluateMapping|BenchmarkSA$$|BenchmarkFig2TypicalRun|BenchmarkSAMotionEval|BenchmarkSALayered160Eval|BenchmarkEvalIncremental|BenchmarkEvalFull|BenchmarkExploreMany|BenchmarkPortfolio' \
 		. > $(BENCH_MICRO_JSON)
 	@grep -c '"Action":"output"' $(BENCH_MICRO_JSON) >/dev/null && echo "wrote $(BENCH_MICRO_JSON)"
+
+# The dsed job-server self-test: serve on a loopback port, submit the
+# fig2-small scenario, resubmit it, and assert the resubmission is
+# answered from the memoized result cache with bit-identical quality
+# fields. This is the CI smoke for the serving layer.
+dsed-smoke:
+	$(GO) run ./cmd/dsed -smoke
 
 # Documentation lint: every package (library and command alike) must carry
 # a package comment ("// Package x ..." or "// Command x ...").
@@ -76,4 +86,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet docs-check build race bench bench-check
+ci: fmt-check vet docs-check build race bench bench-check dsed-smoke

@@ -14,10 +14,17 @@
 //
 // Usage:
 //
+// With -cache every cell runs behind the sharded memoized result cache
+// and is then run a second, cache-warm time: the warm pass must reproduce
+// the cold pass's quality fields bit-for-bit (the run is a pure function
+// of its key) and the row records the warm wall time and hit count — the
+// cold-vs-warm trajectory BENCH_PR5.json archives.
+//
 //	dsebench -list                              # the scenario catalog
 //	dsebench                                    # full corpus × sa,list
 //	dsebench -scenarios layered,paper-fig2 -strategies sa,ga,list -runs 5 -j 8
-//	dsebench -smoke -json BENCH_PR4.json        # CI: tiny corpus, fast budgets
+//	dsebench -smoke -json BENCH_PR5.json        # CI: tiny corpus, fast budgets
+//	dsebench -smoke -cache                      # cold vs warm cell times
 //	dsebench -smoke -baseline bench/BENCH_BASELINE.json -threshold 0.20
 //
 // Exit codes: 0 success, 1 run error, 2 flag-usage error (the flag
@@ -36,6 +43,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/scenario"
 )
 
@@ -55,6 +63,8 @@ func main() {
 		csvPath    = flag.String("csv", "", "write results as CSV to this file")
 		baseline   = flag.String("baseline", "", "compare best costs against this JSON baseline")
 		threshold  = flag.Float64("threshold", 0.20, "relative best-cost worsening that counts as a regression")
+		cacheOn    = flag.Bool("cache", false, "memoize run outcomes and rerun each cell cache-warm (records warm_ms and hits)")
+		cacheSize  = flag.Int("cache-size", 8192, "result-cache capacity in entries (with -cache)")
 		verbose    = flag.Bool("v", false, "print each cell as it completes")
 	)
 	flag.Parse()
@@ -74,6 +84,10 @@ func main() {
 		Workers:    *workers,
 		BaseSeed:   *seed,
 		MaxSteps:   *maxSteps,
+	}
+	if *cacheOn {
+		opts.Cache = runner.NewResultCache(*cacheSize, 0)
+		opts.Warm = true
 	}
 	if *smoke {
 		// The CI job's contract: a corpus slice small enough to finish in
@@ -122,6 +136,7 @@ func main() {
 			"strategies": *strategies,
 			"smoke":      fmt.Sprint(*smoke),
 			"seed":       fmt.Sprint(*seed),
+			"cache":      fmt.Sprint(*cacheOn),
 		},
 		Results: rows,
 	}

@@ -14,6 +14,7 @@
 //
 //	dsecompare [-nclb 2000] [-sa-runs 10] [-ga-pop 300] [-ga-gens 120] [-j 8]
 //	dsecompare -front front.csv      # dump the cross-run Pareto front as CSV
+//	dsecompare -cache                # memoize runs (identical reruns hit the cache)
 package main
 
 import (
@@ -46,8 +47,14 @@ func main() {
 		gaRuns   = flag.Int("ga-runs", 3, "GA runs (best/average reported)")
 		workers  = flag.Int("j", runtime.NumCPU(), "parallel runs per method")
 		frontCSV = flag.String("front", "", "write the cross-run area/makespan Pareto front to this CSV file")
+		cacheOn  = flag.Bool("cache", false, "memoize run outcomes (identical reruns of either method become cache hits)")
 	)
 	flag.Parse()
+
+	var cache *runner.ResultCache
+	if *cacheOn {
+		cache = runner.NewResultCache(0, 0)
+	}
 
 	mcfg := apps.DefaultMotionConfig()
 	app := apps.MotionDetection(mcfg)
@@ -65,7 +72,7 @@ func main() {
 	saCfg.MaxIters = *saIter
 	saCfg.Deadline = apps.MotionDeadline
 	saCfg.FrontMetrics = []objective.Metric{objective.HWArea, objective.Makespan}
-	saFn, err := runner.SA(app, arch, saCfg)
+	saFn, err := runner.CachedSA(cache, app, arch, saCfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,7 +87,7 @@ func main() {
 	gaCfg := ga.DefaultConfig()
 	gaCfg.Population = *gaPop
 	gaCfg.Generations = *gaGens
-	gaFn, err := runner.GA(app, arch, gaCfg, apps.MotionDeadline)
+	gaFn, err := runner.CachedGA(cache, app, arch, gaCfg, apps.MotionDeadline)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -112,6 +119,11 @@ func main() {
 	addRow(fmt.Sprintf("GA [6] pop=%d", *gaPop), gaAgg, gaWall)
 	if err := tb.Render(os.Stdout); err != nil {
 		log.Fatal(err)
+	}
+	if cache != nil {
+		st := cache.Stats()
+		fmt.Printf("\nresult cache: %d hits, %d misses, %d resident (SA %d + GA %d cached runs)\n",
+			st.Hits, st.Misses, st.Entries, saAgg.CacheHits, gaAgg.CacheHits)
 	}
 
 	if saAgg.Completed > 0 && gaAgg.Completed > 0 {

@@ -1,0 +1,147 @@
+// Command dsed is the design-space-exploration job server: it serves
+// async exploration jobs over HTTP, streams per-run progress as NDJSON,
+// and answers repeated jobs from the sharded memoized result cache —
+// resubmitting an identical (scenario|models, strategy, seed, budget)
+// job returns bit-identical quality fields without recomputation.
+//
+// Endpoints (see internal/serve): POST /jobs, GET /jobs[/{id}[/stream]],
+// DELETE /jobs/{id}, POST /run (synchronous streaming; disconnecting
+// cancels the run), GET /scenarios, GET /cache, GET /healthz.
+//
+// Usage:
+//
+//	dsed                                    # serve on :8080, cache enabled
+//	dsed -addr :9090 -max-jobs 4
+//	dsed -cache-size 16384 -cache-ttl 1h
+//	dsed -smoke                             # self-test: submit fig2-small twice,
+//	                                        # assert the resubmission is a cache hit
+//
+// Submit a job with curl:
+//
+//	curl -s -X POST localhost:8080/jobs -d '{"scenario":"fig2-small","runs":10}'
+//	curl -s localhost:8080/jobs/job-000001/stream     # NDJSON progress
+//	curl -s -X DELETE localhost:8080/jobs/job-000001  # cancel
+//
+// Exit codes: 0 success, 1 serve/smoke failure, 2 flag-usage error.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/dse"
+	"repro/internal/runner"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dsed: ")
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		noCache   = flag.Bool("no-cache", false, "disable the memoized result cache")
+		cacheSize = flag.Int("cache-size", 8192, "result-cache capacity (entries)")
+		cacheTTL  = flag.Duration("cache-ttl", 0, "result-cache entry TTL (0 = never expire)")
+		maxJobs   = flag.Int("max-jobs", 2, "concurrently executing jobs (excess queues)")
+		maxDone   = flag.Int("max-finished", 1000, "finished job records retained (oldest evicted beyond this)")
+		smoke     = flag.Bool("smoke", false, "run the self-test (serve on a loopback port, submit fig2-small twice, assert a cache hit) and exit")
+	)
+	flag.Parse()
+
+	var cache *runner.ResultCache
+	if !*noCache {
+		cache = runner.NewResultCache(*cacheSize, *cacheTTL)
+	}
+	srv := serve.New(serve.Options{Cache: cache, MaxJobs: *maxJobs, MaxFinished: *maxDone, Logf: log.Printf})
+
+	if *smoke {
+		if err := runSmoke(srv); err != nil {
+			log.Fatalf("smoke: %v", err)
+		}
+		fmt.Println("dsed smoke: PASS")
+		return
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutdownCtx)
+	}()
+	log.Printf("serving on %s (cache %v, max-jobs %d)", *addr, !*noCache, *maxJobs)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Printf("shut down")
+}
+
+// runSmoke is the CI self-test: an in-process server on a loopback port,
+// one scenario job computed cold, the identical job resubmitted, and the
+// resubmission asserted to be answered from the cache with bit-identical
+// quality fields.
+func runSmoke(srv *serve.Server) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	client := dse.NewClient("http://" + ln.Addr().String())
+	if err := client.Health(ctx); err != nil {
+		return err
+	}
+	spec := dse.JobSpec{Scenario: "fig2-small", Strategy: "sa", Runs: 4, MaxSteps: 10}
+
+	submit := func() (*dse.JobStatus, time.Duration, error) {
+		start := time.Now()
+		st, err := client.SubmitJob(ctx, spec)
+		if err != nil {
+			return nil, 0, err
+		}
+		st, err = client.WaitJob(ctx, st.ID, 20*time.Millisecond)
+		if err != nil {
+			return nil, 0, err
+		}
+		if st.State != dse.JobDone {
+			return nil, 0, fmt.Errorf("job %s finished %s: %s", st.ID, st.State, st.Error)
+		}
+		return st, time.Since(start), nil
+	}
+
+	cold, coldWall, err := submit()
+	if err != nil {
+		return fmt.Errorf("cold job: %w", err)
+	}
+	if cold.Summary.CacheHits != 0 {
+		return fmt.Errorf("cold job reported %d cache hits", cold.Summary.CacheHits)
+	}
+	warm, warmWall, err := submit()
+	if err != nil {
+		return fmt.Errorf("warm job: %w", err)
+	}
+	if warm.Summary.CacheHits != spec.Runs {
+		return fmt.Errorf("warm job hit %d/%d runs", warm.Summary.CacheHits, spec.Runs)
+	}
+	c, w := cold.Summary, warm.Summary
+	if c.BestCost != w.BestCost || c.BestMakespanMS != w.BestMakespanMS || c.FrontSize != w.FrontSize {
+		return fmt.Errorf("warm job diverged: cold %+v, warm %+v", c, w)
+	}
+	fmt.Printf("fig2-small × %d runs: cold %v (best cost %.4f), warm %v from cache (%d hits)\n",
+		spec.Runs, coldWall.Round(time.Millisecond), c.BestCost, warmWall.Round(time.Millisecond), w.CacheHits)
+	return nil
+}

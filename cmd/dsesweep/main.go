@@ -55,6 +55,7 @@ func main() {
 		strategy   = flag.String("strategy", "sa", "search strategy per run: sa, ga, list, brute, portfolio")
 		wArea      = flag.Float64("w-area", 0, "objective weight on occupied hardware area (cost units per CLB)")
 		wReconf    = flag.Float64("w-reconf", 0, "objective weight on reconfiguration time (cost units per ms, initial+dynamic)")
+		cacheOn    = flag.Bool("cache", false, "memoize run outcomes across sweep points (repeated sizes/seeds become cache hits)")
 	)
 	flag.Parse()
 
@@ -70,6 +71,11 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	var cache *runner.ResultCache
+	if *cacheOn {
+		cache = runner.NewResultCache(0, 0)
+	}
 
 	fmt.Printf("Figure 3 — device-size sweep on %q (%d runs/size, %d iterations, %d workers, splits=%v, strategy %s)\n\n",
 		app.Name, *runs, *iters, *workers, *splits, *strategy)
@@ -96,7 +102,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fn := runner.Strategy(factory)
+		fn := runner.CachedStrategyBudget(cache, factory, 0)
 		agg, err := runner.Run(ctx, app, runner.Options{
 			Runs:     *runs,
 			Workers:  *workers,
@@ -133,6 +139,10 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\ntotal wall time: %v\n", time.Since(start).Round(time.Millisecond))
+	if cache != nil {
+		st := cache.Stats()
+		fmt.Printf("result cache: %d hits, %d misses, %d resident\n", st.Hits, st.Misses, st.Entries)
+	}
 
 	if !*noplot && len(xs) > 1 {
 		fmt.Println("\nexecution time / reconfiguration times (ms) and contexts vs FPGA size:")

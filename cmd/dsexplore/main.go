@@ -22,6 +22,14 @@
 //	dsexplore -motion -strategy portfolio -w-area 0.001
 //	dsexplore -app app.json -arch arch.json [-deadline 40] [-gantt]
 //	dsexplore -dump-app app.json -dump-arch arch.json    # emit built-ins
+//	dsexplore -motion -runs 20 -server http://localhost:8080
+//
+// With -server the exploration is submitted to a dsed job server instead
+// of running locally: the application and architecture ship inline, the
+// per-run results stream back live, and repeated submissions are answered
+// from the server's memoized result cache. Ctrl-C cancels the remote
+// computation. (-gantt/-assign need the mapping itself, which the wire
+// summary does not carry, so they are local-only.)
 package main
 
 import (
@@ -34,6 +42,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/dse"
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/model"
@@ -69,6 +78,7 @@ func main() {
 		strategy   = flag.String("strategy", "sa", "search strategy: sa, ga, list, brute, portfolio")
 		wArea      = flag.Float64("w-area", 0, "objective weight on occupied hardware area (cost units per CLB)")
 		wReconf    = flag.Float64("w-reconf", 0, "objective weight on reconfiguration time (cost units per ms, initial+dynamic)")
+		server     = flag.String("server", "", "submit the job to this dsed server (e.g. http://localhost:8080) instead of running locally")
 	)
 	flag.Parse()
 
@@ -110,6 +120,17 @@ func main() {
 		if arch, err = model.LoadArch(*archPath); err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	if *server != "" {
+		spec := dse.JobSpec{
+			App: app, Arch: arch,
+			Strategy: *strategy, Runs: *runs, Seed: *seed, Workers: *workers,
+			SAIters: *iters, Quality: *quality, DeadlineMS: *deadlineMS,
+			WArea: *wArea, WReconf: *wReconf,
+		}
+		runRemote(*server, spec)
+		return
 	}
 
 	cfg := core.DefaultConfig()
@@ -236,6 +257,46 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+}
+
+// runRemote ships the instance to a dsed server as a synchronous
+// streaming job, prints each completed run as it arrives, and closes with
+// the server-side summary (cache hits included). The spec carries every
+// result-shaping knob of the local path (strategy, budget, quality,
+// objective weights, deadline), so the remote run optimizes the same
+// cost as the identical local invocation. Interrupting drops the
+// connection, which cancels the remote computation.
+func runRemote(base string, spec dse.JobSpec) {
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSig()
+	client := dse.NewClient(base)
+	if err := client.Health(ctx); err != nil {
+		log.Fatalf("server %s unreachable: %v", base, err)
+	}
+	fmt.Printf("application %q (%d tasks) on %q, strategy %s — served by %s\n\n",
+		spec.App.Name, spec.App.N(), spec.Arch.Name, spec.Strategy, base)
+	start := time.Now()
+	summary, err := client.RunJob(ctx, spec, func(ev dse.JobEvent) {
+		cached := ""
+		if ev.Cached {
+			cached = "  [cache]"
+		}
+		fmt.Printf("  run %3d (seed %d): cost %.4f, %.3f ms, %d contexts%s\n",
+			ev.Run, ev.Seed, ev.Cost, ev.MakespanMS, ev.Contexts, cached)
+	})
+	if err != nil {
+		if summary == nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ninterrupted (%v) — partial summary:\n", err)
+	}
+	fmt.Printf("\n  runs completed          : %d/%d\n", summary.Completed, summary.Requested)
+	fmt.Printf("  best cost               : %.4f (run %d, seed %d)\n", summary.BestCost, summary.BestRun, summary.BestSeed)
+	fmt.Printf("  best execution time     : %.3f ms (mean %.3f ms)\n", summary.BestMakespanMS, summary.MeanMakespanMS)
+	fmt.Printf("  area/makespan front     : %d non-dominated points\n", summary.FrontSize)
+	fmt.Printf("  evaluations             : %d (%d runs from cache)\n", summary.Evaluations, summary.CacheHits)
+	fmt.Printf("  server wall time        : %.1f ms (round trip %v)\n",
+		summary.WallMS, time.Since(start).Round(time.Millisecond))
 }
 
 func writeJSON(path string, write func(*os.File) error) {

@@ -1,0 +1,232 @@
+package dse
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Service wire types (see internal/serve for field documentation).
+type (
+	// JobSpec describes one exploration job submitted to a dsed server:
+	// a named scenario or inline App/Arch models, plus strategy/budget.
+	JobSpec = serve.JobSpec
+	// JobStatus is a job's server-side state.
+	JobStatus = serve.JobStatus
+	// JobSummary is the aggregate of a finished job.
+	JobSummary = serve.JobSummary
+	// JobEvent is one completed run streamed while a job executes.
+	JobEvent = serve.RunEvent
+)
+
+// Job states reported in JobStatus.State.
+const (
+	JobQueued   = serve.StateQueued
+	JobRunning  = serve.StateRunning
+	JobDone     = serve.StateDone
+	JobFailed   = serve.StateFailed
+	JobCanceled = serve.StateCanceled
+)
+
+// Client talks to a dsed server. The zero value is not usable; construct
+// with NewClient.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient creates a client for the server at base (e.g.
+// "http://localhost:8080"). Requests carry no overall timeout — job
+// streams are long-lived — so bound them with the caller's context.
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), http: &http.Client{}}
+}
+
+// do issues a request and decodes the JSON response into out (unless the
+// status is an error, which is surfaced with the server's message).
+func (c *Client) do(ctx context.Context, method, path string, body, out interface{}) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return decodeServerError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func decodeServerError(resp *http.Response) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+		return fmt.Errorf("dse: server: %s", e.Error)
+	}
+	return fmt.Errorf("dse: server returned %s", resp.Status)
+}
+
+// Health probes the server.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// SubmitJob submits an asynchronous job and returns its queued status.
+func (c *Client) SubmitJob(ctx context.Context, spec JobSpec) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodPost, "/jobs", &spec, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Job fetches a job's status.
+func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodGet, "/jobs/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Jobs lists every job the server knows.
+func (c *Client) Jobs(ctx context.Context) ([]JobStatus, error) {
+	var out []JobStatus
+	if err := c.do(ctx, http.MethodGet, "/jobs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CancelJob requests cancellation of a queued or running job.
+func (c *Client) CancelJob(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/jobs/"+id, nil, nil)
+}
+
+// WaitJob polls until the job reaches a terminal state (done, failed,
+// canceled) or ctx expires.
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*JobStatus, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		switch st.State {
+		case JobDone, JobFailed, JobCanceled:
+			return st, nil
+		}
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return st, ctx.Err()
+		}
+	}
+}
+
+// finalLine is the closing NDJSON record of a job stream.
+type finalLine struct {
+	State   string      `json:"state"`
+	Error   string      `json:"error"`
+	Summary *JobSummary `json:"summary"`
+}
+
+// RunJob executes a job synchronously on the server (POST /run): onEvent
+// (optional) receives each completed run as it streams back, and the
+// final summary is returned. Cancelling ctx closes the connection, which
+// cancels the server-side computation. This is the interactive path
+// dsexplore -server uses; for fire-and-forget submission use SubmitJob.
+func (c *Client) RunJob(ctx context.Context, spec JobSpec, onEvent func(JobEvent)) (*JobSummary, error) {
+	b, err := json.Marshal(&spec)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/run", bytes.NewReader(b))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return nil, decodeServerError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	var last finalLine
+	seenFinal := false
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		// Final lines carry "state"; event lines carry "run".
+		var probe struct {
+			State *string `json:"state"`
+		}
+		if json.Unmarshal(line, &probe) == nil && probe.State != nil {
+			if err := json.Unmarshal(line, &last); err != nil {
+				return nil, fmt.Errorf("dse: decoding stream summary: %w", err)
+			}
+			seenFinal = true
+			continue
+		}
+		var ev JobEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("dse: decoding stream event: %w", err)
+		}
+		if onEvent != nil {
+			onEvent(ev)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !seenFinal {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("dse: job stream ended without a summary")
+	}
+	switch last.State {
+	case JobDone:
+		return last.Summary, nil
+	case JobCanceled:
+		return last.Summary, context.Canceled
+	default:
+		return last.Summary, fmt.Errorf("dse: job failed: %s", last.Error)
+	}
+}

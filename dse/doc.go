@@ -38,4 +38,16 @@
 //	app, arch, opts, err := dse.LoadScenario("layered-medium")
 //	if err != nil { ... }
 //	out, err := dse.Search(ctx, "portfolio", app, arch, opts, 1)
+//
+// Explorations can also be served remotely: cmd/dsed runs the engine as
+// a long-lived HTTP job service with a sharded memoized result cache
+// (every run is a pure function of its (app, arch, objective, strategy,
+// seed, budget) key), and Client talks to it — submit asynchronous jobs,
+// stream per-run progress, cancel, or run synchronously:
+//
+//	c := dse.NewClient("http://localhost:8080")
+//	st, err := c.SubmitJob(ctx, dse.JobSpec{Scenario: "layered-160", Runs: 8})
+//	if err != nil { ... }
+//	st, err = c.WaitJob(ctx, st.ID, 0)
+//	fmt.Println(st.Summary.BestCost, st.Summary.CacheHits)
 package dse

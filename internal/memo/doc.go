@@ -1,0 +1,19 @@
+// Package memo is a sharded, LRU-bounded, optionally TTL'd in-memory
+// result cache with singleflight de-duplication.
+//
+// The design follows the shape of production in-memory caches (the
+// samber/hot lineage): the key space is split across 2^k independently
+// locked shards so concurrent Get/Put traffic from a worker pool never
+// serializes on one mutex, each shard bounds its entry count with an
+// intrusive LRU list, and entries may carry an expiry deadline checked
+// lazily on access. On top of the shards, Do provides singleflight
+// semantics: concurrent callers of the same missing key block on one
+// compute instead of racing N identical computations — exactly what a
+// design-space-exploration service needs when identical jobs arrive
+// together.
+//
+// Keys are 32-byte digests (use KeyOf to derive one from string parts);
+// values are opaque to the cache. Callers that hand out cached values to
+// mutating consumers must clone on the way in and out — the cache stores
+// exactly what it is given.
+package memo

@@ -1,0 +1,318 @@
+package memo
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Key is the cache key: a 32-byte digest. Derive keys with KeyOf so
+// distinct part lists can never collide by concatenation.
+type Key [32]byte
+
+// KeyOf hashes the parts into a Key. Each part is length-prefixed, so
+// ("ab", "c") and ("a", "bc") produce different keys.
+func KeyOf(parts ...string) Key {
+	h := sha256.New()
+	var n [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write([]byte(p))
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// Default sizing used when Options fields are zero.
+const (
+	DefaultCapacity = 4096
+	DefaultShards   = 16
+)
+
+// Options configures a Cache.
+type Options struct {
+	// Capacity bounds the total entry count across all shards (each shard
+	// holds Capacity/Shards entries, minimum one). Non-positive selects
+	// DefaultCapacity.
+	Capacity int
+	// Shards is the shard count, rounded up to a power of two.
+	// Non-positive selects DefaultShards.
+	Shards int
+	// TTL, when positive, expires entries that many nanoseconds after
+	// insertion; expiry is checked lazily on access.
+	TTL time.Duration
+	// Clock overrides time.Now for TTL checks (tests inject a fake).
+	Clock func() time.Time
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Hits and Misses count Get/Do lookups by outcome.
+	Hits, Misses uint64
+	// Shared counts Do callers that piggybacked on another caller's
+	// in-flight compute instead of computing themselves.
+	Shared uint64
+	// Evictions counts entries dropped by the LRU bound, Expirations
+	// entries dropped because their TTL had passed.
+	Evictions, Expirations uint64
+	// Entries is the current resident entry count.
+	Entries int
+}
+
+// entry is one resident key/value pair, threaded on its shard's LRU list
+// (front = most recently used).
+type entry[V any] struct {
+	key        Key
+	val        V
+	exp        time.Time // zero = never expires
+	prev, next *entry[V]
+}
+
+// shard is one independently locked slice of the key space.
+type shard[V any] struct {
+	mu    sync.Mutex
+	items map[Key]*entry[V]
+	// head/tail are sentinels of the intrusive LRU list.
+	head, tail entry[V]
+	cap        int
+}
+
+func (s *shard[V]) init(capacity int) {
+	s.items = make(map[Key]*entry[V], capacity)
+	s.cap = capacity
+	s.head.next = &s.tail
+	s.tail.prev = &s.head
+}
+
+func (s *shard[V]) unlink(e *entry[V]) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+}
+
+func (s *shard[V]) pushFront(e *entry[V]) {
+	e.prev = &s.head
+	e.next = s.head.next
+	e.prev.next = e
+	e.next.prev = e
+}
+
+// call is one in-flight singleflight compute.
+type call[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Cache is a sharded LRU/TTL cache. All methods are safe for concurrent
+// use. The zero value is not usable; construct with New.
+type Cache[V any] struct {
+	shards []shard[V]
+	mask   uint64
+	ttl    time.Duration
+	clock  func() time.Time
+
+	flightMu sync.Mutex
+	flight   map[Key]*call[V]
+
+	hits, misses, shared, evictions, expirations atomic.Uint64
+}
+
+// New creates a cache with the given options.
+func New[V any](opts Options) *Cache[V] {
+	capacity := opts.Capacity
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	n := opts.Shards
+	if n <= 0 {
+		n = DefaultShards
+	}
+	// Round up to a power of two so the shard index is a mask.
+	shards := 1
+	for shards < n {
+		shards <<= 1
+	}
+	perShard := (capacity + shards - 1) / shards
+	if perShard < 1 {
+		perShard = 1
+	}
+	clock := opts.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	c := &Cache[V]{
+		shards: make([]shard[V], shards),
+		mask:   uint64(shards - 1),
+		ttl:    opts.TTL,
+		clock:  clock,
+		flight: make(map[Key]*call[V]),
+	}
+	for i := range c.shards {
+		c.shards[i].init(perShard)
+	}
+	return c
+}
+
+// shardFor picks the shard owning k. Keys are cryptographic digests, so
+// the low bytes are already uniformly distributed.
+func (c *Cache[V]) shardFor(k Key) *shard[V] {
+	return &c.shards[binary.LittleEndian.Uint64(k[:8])&c.mask]
+}
+
+// Get returns the cached value for k, if resident and unexpired.
+func (c *Cache[V]) Get(k Key) (V, bool) {
+	v, ok := c.lookup(k)
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+// lookup is Get without the hit/miss accounting — Do's double-check
+// under the flight registration uses it so one logical lookup never
+// counts as two misses.
+func (c *Cache[V]) lookup(k Key) (V, bool) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	e, ok := s.items[k]
+	if !ok {
+		s.mu.Unlock()
+		var zero V
+		return zero, false
+	}
+	if !e.exp.IsZero() && c.clock().After(e.exp) {
+		s.unlink(e)
+		delete(s.items, k)
+		s.mu.Unlock()
+		c.expirations.Add(1)
+		var zero V
+		return zero, false
+	}
+	s.unlink(e)
+	s.pushFront(e)
+	v := e.val
+	s.mu.Unlock()
+	return v, true
+}
+
+// Put inserts (or refreshes) k, evicting the shard's least recently used
+// entry when the bound is exceeded.
+func (c *Cache[V]) Put(k Key, v V) {
+	var exp time.Time
+	if c.ttl > 0 {
+		exp = c.clock().Add(c.ttl)
+	}
+	s := c.shardFor(k)
+	s.mu.Lock()
+	if e, ok := s.items[k]; ok {
+		e.val = v
+		e.exp = exp
+		s.unlink(e)
+		s.pushFront(e)
+		s.mu.Unlock()
+		return
+	}
+	e := &entry[V]{key: k, val: v, exp: exp}
+	s.items[k] = e
+	s.pushFront(e)
+	if len(s.items) > s.cap {
+		lru := s.tail.prev
+		s.unlink(lru)
+		delete(s.items, lru.key)
+		s.mu.Unlock()
+		c.evictions.Add(1)
+		return
+	}
+	s.mu.Unlock()
+}
+
+// Do returns the cached value for k, computing and caching it on a miss.
+// Concurrent Do calls for the same missing key compute once: one caller
+// runs compute, the rest block and share its result. hit reports whether
+// the returned value came from the cache or another caller's compute
+// (false only for the caller that actually computed). A compute error is
+// returned to every waiting caller and nothing is cached — a cancelled or
+// failed computation never poisons the cache. A waiting caller whose ctx
+// is cancelled gives up with ctx.Err() (the compute itself keeps running
+// under the leader).
+func (c *Cache[V]) Do(ctx context.Context, k Key, compute func() (V, error)) (v V, hit bool, err error) {
+	if v, ok := c.Get(k); ok {
+		return v, true, nil
+	}
+	c.flightMu.Lock()
+	if f, ok := c.flight[k]; ok {
+		c.flightMu.Unlock()
+		c.shared.Add(1)
+		select {
+		case <-f.done:
+			return f.val, true, f.err
+		case <-ctx.Done():
+			var zero V
+			return zero, false, ctx.Err()
+		}
+	}
+	f := &call[V]{done: make(chan struct{})}
+	c.flight[k] = f
+	c.flightMu.Unlock()
+
+	completed := false
+	defer func() {
+		// A panicking compute unwinds through here with err still nil; the
+		// waiters must not mistake that for a successful zero value. The
+		// panic itself keeps propagating to the leader's caller.
+		if !completed && err == nil {
+			err = errors.New("memo: compute panicked")
+		}
+		f.val, f.err = v, err
+		c.flightMu.Lock()
+		delete(c.flight, k)
+		c.flightMu.Unlock()
+		close(f.done)
+	}()
+
+	// Re-check under the flight: a previous leader may have populated the
+	// entry between our Get miss and registering the call. Uncounted —
+	// this is the same logical lookup that just missed.
+	if cached, ok := c.lookup(k); ok {
+		completed = true
+		return cached, true, nil
+	}
+	v, err = compute()
+	completed = true
+	if err == nil {
+		c.Put(k, v)
+	}
+	return v, false, err
+}
+
+// Len returns the resident entry count.
+func (c *Cache[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.items)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the counters.
+func (c *Cache[V]) Stats() Stats {
+	return Stats{
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Shared:      c.shared.Load(),
+		Evictions:   c.evictions.Load(),
+		Expirations: c.expirations.Load(),
+		Entries:     c.Len(),
+	}
+}

@@ -1,0 +1,262 @@
+package memo
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestKeyOfPartBoundaries(t *testing.T) {
+	if KeyOf("ab", "c") == KeyOf("a", "bc") {
+		t.Fatal("length prefixing failed: shifted parts collide")
+	}
+	if KeyOf("a") == KeyOf("a", "") {
+		t.Fatal("trailing empty part should change the key")
+	}
+	if KeyOf("x", "y") != KeyOf("x", "y") {
+		t.Fatal("KeyOf is not deterministic")
+	}
+}
+
+func TestGetPut(t *testing.T) {
+	c := New[int](Options{Capacity: 8, Shards: 2})
+	k := KeyOf("a")
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k, 42)
+	if v, ok := c.Get(k); !ok || v != 42 {
+		t.Fatalf("Get = %v, %v; want 42, true", v, ok)
+	}
+	c.Put(k, 43) // refresh in place
+	if v, _ := c.Get(k); v != 43 {
+		t.Fatalf("refresh lost: %v", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// One shard, capacity 2: inserting a third key evicts the least
+	// recently used.
+	c := New[string](Options{Capacity: 2, Shards: 1})
+	ka, kb, kc := KeyOf("a"), KeyOf("b"), KeyOf("c")
+	c.Put(ka, "a")
+	c.Put(kb, "b")
+	c.Get(ka) // a is now more recent than b
+	c.Put(kc, "c")
+	if _, ok := c.Get(kb); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	for _, k := range []Key{ka, kc} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("recent entry evicted")
+		}
+	}
+	if ev := c.Stats().Evictions; ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	c := New[int](Options{Capacity: 8, TTL: time.Minute, Clock: clock})
+	k := KeyOf("x")
+	c.Put(k, 7)
+	if _, ok := c.Get(k); !ok {
+		t.Fatal("fresh entry missing")
+	}
+	mu.Lock()
+	now = now.Add(2 * time.Minute)
+	mu.Unlock()
+	if _, ok := c.Get(k); ok {
+		t.Fatal("expired entry returned")
+	}
+	if exp := c.Stats().Expirations; exp != 1 {
+		t.Fatalf("expirations = %d, want 1", exp)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("expired entry still resident")
+	}
+}
+
+// TestSingleflight is the contract test of the tentpole: N concurrent
+// requests for one missing key run exactly one compute.
+func TestSingleflight(t *testing.T) {
+	c := New[int](Options{Capacity: 16})
+	k := KeyOf("job")
+	const n = 32
+	var computes atomic.Int32
+	gate := make(chan struct{})
+
+	var wg sync.WaitGroup
+	results := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := c.Do(context.Background(), k, func() (int, error) {
+				computes.Add(1)
+				<-gate // hold every other goroutine in the waiter path
+				return 99, nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Let the leader enter compute and the rest pile up, then release.
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("compute ran %d times, want 1", got)
+	}
+	for i, v := range results {
+		if v != 99 {
+			t.Fatalf("caller %d got %d, want 99", i, v)
+		}
+	}
+	if v, ok := c.Get(k); !ok || v != 99 {
+		t.Fatalf("value not cached after singleflight: %v %v", v, ok)
+	}
+}
+
+func TestDoErrorNotCached(t *testing.T) {
+	c := New[int](Options{Capacity: 8})
+	k := KeyOf("fail")
+	boom := errors.New("boom")
+	calls := 0
+	_, _, err := c.Do(context.Background(), k, func() (int, error) { calls++; return 0, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("failed compute was cached")
+	}
+	// The next Do computes again (and may succeed).
+	v, hit, err := c.Do(context.Background(), k, func() (int, error) { calls++; return 5, nil })
+	if err != nil || hit || v != 5 {
+		t.Fatalf("retry = %v, %v, %v", v, hit, err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2", calls)
+	}
+}
+
+// TestDoPanicPropagatesErrorToWaiters pins the panic contract: a
+// panicking compute re-panics in the leader, while waiters receive an
+// error — never a successful zero value — and nothing is cached.
+func TestDoPanicPropagatesErrorToWaiters(t *testing.T) {
+	c := New[int](Options{Capacity: 8})
+	k := KeyOf("boom")
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("leader's panic did not propagate")
+			}
+		}()
+		c.Do(context.Background(), k, func() (int, error) {
+			close(leaderIn)
+			<-release
+			panic("compute exploded")
+		})
+	}()
+	<-leaderIn
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(context.Background(), k, func() (int, error) {
+			t.Error("waiter computed while the flight was registered")
+			return 0, nil
+		})
+		waiterErr <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the waiter join the flight
+	close(release)
+	if err := <-waiterErr; err == nil {
+		t.Fatal("waiter got a nil error from a panicked compute")
+	}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("panicked compute left a cached value")
+	}
+}
+
+func TestDoWaiterCancellation(t *testing.T) {
+	c := New[int](Options{Capacity: 8})
+	k := KeyOf("slow")
+	gate := make(chan struct{})
+	leaderIn := make(chan struct{})
+	go func() {
+		c.Do(context.Background(), k, func() (int, error) {
+			close(leaderIn)
+			<-gate
+			return 1, nil
+		})
+	}()
+	<-leaderIn
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.Do(ctx, k, func() (int, error) { t.Error("waiter computed"); return 0, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter err = %v", err)
+	}
+	close(gate)
+}
+
+// TestShardEvictionRace hammers a small cache from many goroutines; run
+// under -race this is the satellite's shard-eviction concurrency test.
+func TestShardEvictionRace(t *testing.T) {
+	c := New[int](Options{Capacity: 32, Shards: 4, TTL: time.Millisecond})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := KeyOf(fmt.Sprint(i % 100))
+				switch i % 3 {
+				case 0:
+					c.Put(k, i)
+				case 1:
+					c.Get(k)
+				default:
+					c.Do(context.Background(), k, func() (int, error) { return i, nil })
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 32 {
+		t.Fatalf("cache overflowed its bound: %d entries", c.Len())
+	}
+}
+
+func TestCapacityDistribution(t *testing.T) {
+	// 1000 distinct digest keys across a 64-entry, 8-shard cache must
+	// never exceed the global bound.
+	c := New[int](Options{Capacity: 64, Shards: 8})
+	for i := 0; i < 1000; i++ {
+		c.Put(KeyOf(fmt.Sprint(i)), i)
+	}
+	if c.Len() > 64 {
+		t.Fatalf("Len = %d, want <= 64", c.Len())
+	}
+	if c.Stats().Evictions == 0 {
+		t.Fatal("no evictions recorded")
+	}
+}

@@ -86,6 +86,17 @@ func (a *NArchive) Merge(other *NArchive) {
 // Len returns the number of frontier points.
 func (a *NArchive) Len() int { return len(a.pts) }
 
+// Clone returns a deep copy of the archive (fresh point and coordinate
+// storage) — the isolation the memoized result cache needs when the same
+// archived outcome is handed to several consumers.
+func (a *NArchive) Clone() *NArchive {
+	c := &NArchive{dims: a.dims, pts: make([]NPoint, len(a.pts))}
+	for i, p := range a.pts {
+		c.pts[i] = NPoint{V: append([]float64(nil), p.V...), ID: p.ID}
+	}
+	return c
+}
+
 // Points returns the frontier sorted lexicographically by coordinates. The
 // returned slice is freshly allocated but shares the coordinate storage.
 func (a *NArchive) Points() []NPoint {

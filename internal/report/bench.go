@@ -37,6 +37,14 @@ type BenchRow struct {
 	EvalsPerSec float64 `json:"evalsPerSec"`
 	WallMS      float64 `json:"wallMS"`
 
+	// WarmWallMS and CacheHits are recorded when the cell ran a second,
+	// cache-warm pass (dsebench -cache): the warm pass's wall time and how
+	// many of its runs were served from the memoized result cache. The
+	// warm pass's quality fields are verified bit-identical to the cold
+	// pass before the row is emitted, so they are not stored twice.
+	WarmWallMS float64 `json:"warmWallMS,omitempty"`
+	CacheHits  int     `json:"cacheHits,omitempty"`
+
 	// Skipped, when non-empty, records why the cell did not run (e.g.
 	// brute on an instance above its task bound); the metric fields are
 	// zero and the regression gate ignores the row.
@@ -92,17 +100,24 @@ func LoadBench(path string) (*BenchFile, error) {
 // BenchTable renders the result set as an aligned text/CSV table.
 func BenchTable(f *BenchFile) *Table {
 	t := NewTable("scenario", "family", "size", "strategy", "tasks", "runs",
-		"best_cost", "best_ms", "mean_ms", "front", "evals", "evals_per_s", "wall_ms", "note")
+		"best_cost", "best_ms", "mean_ms", "front", "evals", "evals_per_s", "wall_ms",
+		"warm_ms", "hits", "note")
 	for i := range f.Results {
 		r := &f.Results[i]
 		if r.Skipped != "" {
 			t.AddRow(r.Scenario, r.Family, r.Size, r.Strategy, r.Tasks, "-",
-				"-", "-", "-", "-", "-", "-", "-", "skipped: "+r.Skipped)
+				"-", "-", "-", "-", "-", "-", "-", "-", "-", "skipped: "+r.Skipped)
 			continue
+		}
+		warm, hits := "-", "-"
+		if r.WarmWallMS > 0 {
+			warm = fmt.Sprintf("%.2f", r.WarmWallMS)
+			hits = fmt.Sprint(r.CacheHits)
 		}
 		t.AddRow(r.Scenario, r.Family, r.Size, r.Strategy, r.Tasks, r.Runs,
 			fmt.Sprintf("%.4f", r.BestCost), r.BestMakespanMS, r.MeanMakespanMS,
-			r.FrontSize, r.Evaluations, fmt.Sprintf("%.0f", r.EvalsPerSec), r.WallMS, "")
+			r.FrontSize, r.Evaluations, fmt.Sprintf("%.0f", r.EvalsPerSec), r.WallMS,
+			warm, hits, "")
 	}
 	return t
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"unicode/utf8"
 )
 
 // Table accumulates rows and renders them with aligned columns.
@@ -31,16 +32,18 @@ func (t *Table) AddRow(cells ...interface{}) {
 	t.rows = append(t.rows, row)
 }
 
-// Render writes the aligned table.
+// Render writes the aligned table. Column widths are measured in runes,
+// not bytes, so non-ASCII cells ("µs" units, UTF-8 scenario names) do not
+// misalign the columns after them.
 func (t *Table) Render(w io.Writer) error {
 	widths := make([]int, len(t.header))
 	for i, h := range t.header {
-		widths[i] = len(h)
+		widths[i] = utf8.RuneCountInString(h)
 	}
 	for _, row := range t.rows {
 		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
+			if i < len(widths) && utf8.RuneCountInString(c) > widths[i] {
+				widths[i] = utf8.RuneCountInString(c)
 			}
 		}
 	}
@@ -72,10 +75,12 @@ func (t *Table) Render(w io.Writer) error {
 	return nil
 }
 
-// CSV writes the table as comma-separated values.
+// CSV writes the table as comma-separated values (RFC 4180: cells
+// containing separators, quotes, or any line-break byte — \n or \r — are
+// quoted, with embedded quotes doubled).
 func (t *Table) CSV(w io.Writer) error {
 	esc := func(s string) string {
-		if strings.ContainsAny(s, ",\"\n") {
+		if strings.ContainsAny(s, ",\"\n\r") {
 			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
 		}
 		return s
@@ -93,11 +98,14 @@ func (t *Table) CSV(w io.Writer) error {
 	return nil
 }
 
+// pad right-pads s to w display columns, counting runes (byte length
+// over-counts multi-byte UTF-8 and under-pads the cell).
 func pad(s string, w int) string {
-	if len(s) >= w {
+	n := utf8.RuneCountInString(s)
+	if n >= w {
 		return s
 	}
-	return s + strings.Repeat(" ", w-len(s))
+	return s + strings.Repeat(" ", w-n)
 }
 
 // Series is one named line of a plot.

@@ -45,6 +45,71 @@ func TestTableCSV(t *testing.T) {
 	}
 }
 
+// TestTableCSVEscaping is the table-driven RFC 4180 regression suite: the
+// escape set must cover \r (a bare carriage return or a \r\n pair inside a
+// cell previously left the cell unquoted, producing a malformed record).
+func TestTableCSVEscaping(t *testing.T) {
+	cases := []struct {
+		name string
+		cell string
+		want string // encoding of the single-cell data row
+	}{
+		{"plain", "abc", "abc"},
+		{"comma", "a,b", `"a,b"`},
+		{"quote", `a"b`, `"a""b"`},
+		{"newline", "a\nb", "\"a\nb\""},
+		{"carriage-return", "a\rb", "\"a\rb\""},
+		{"crlf", "a\r\nb", "\"a\r\nb\""},
+		{"lone-cr-at-end", "a\r", "\"a\r\""},
+		{"unicode", "µs", "µs"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tb := NewTable("h")
+			tb.AddRow(tc.cell)
+			var buf bytes.Buffer
+			if err := tb.CSV(&buf); err != nil {
+				t.Fatal(err)
+			}
+			want := "h\n" + tc.want + "\n"
+			if buf.String() != want {
+				t.Fatalf("CSV(%q) = %q, want %q", tc.cell, buf.String(), want)
+			}
+		})
+	}
+}
+
+// TestTableRenderUnicodeAlignment pins the pad() bugfix: byte-length
+// padding under-pads multi-byte cells ("µs", UTF-8 scenario names),
+// shifting every column after them.
+func TestTableRenderUnicodeAlignment(t *testing.T) {
+	tb := NewTable("unit", "value")
+	tb.AddRow("µs", 1)    // 2 runes, 3 bytes
+	tb.AddRow("ms", 2)    // 2 runes, 2 bytes
+	tb.AddRow("décod", 3) // 5 runes, 6 bytes
+	tb.AddRow("plain", 4) // 5 runes, 5 bytes
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	// The "value" column must start at the same rune offset in every row.
+	wantCol := strings.Index(lines[0], "value")
+	for _, ln := range lines[2:] {
+		runes := []rune(ln)
+		digit := -1
+		for i, r := range runes {
+			if r >= '1' && r <= '9' {
+				digit = i
+				break
+			}
+		}
+		if digit != wantCol {
+			t.Fatalf("value column at rune %d, want %d:\n%s", digit, wantCol, buf.String())
+		}
+	}
+}
+
 func TestPlotBasics(t *testing.T) {
 	var buf bytes.Buffer
 	err := Plot(&buf, 40, 10,

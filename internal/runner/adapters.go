@@ -73,6 +73,7 @@ func StrategyBudget(f *search.Factory, maxSteps int) RunFunc {
 			Front:       out.Front,
 			Evaluations: stats.Evaluations,
 			Cost:        out.Cost,
+			HasCost:     true,
 		}, nil
 	}
 }

@@ -1,0 +1,87 @@
+package runner
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// TestAggregateBestObjectiveConsistent pins the satellite bugfix: when
+// runs report scalarized costs, the aggregate's Best is the minimum-cost
+// run even when a different run has the minimum makespan (e.g. under an
+// area-weighted objective, where a slightly slower but much smaller
+// solution wins).
+func TestAggregateBestObjectiveConsistent(t *testing.T) {
+	// Run 0: fast but expensive under the objective. Run 1: slower but
+	// cheapest. Run 2: middling on both axes.
+	costs := []float64{3.0, 1.0, 2.0}
+	makespans := []model.Time{model.FromMillis(10), model.FromMillis(20), model.FromMillis(15)}
+	fn := func(ctx context.Context, run int, seed int64) (*Outcome, error) {
+		return &Outcome{
+			Best:    &sched.Mapping{},
+			Eval:    sched.Result{Makespan: makespans[run]},
+			Cost:    costs[run],
+			HasCost: true,
+		}, nil
+	}
+	agg, err := Run(context.Background(), nil, Options{Runs: 3, Workers: 1}, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !agg.BestHasCost {
+		t.Fatal("aggregate lost the cost report")
+	}
+	if agg.BestRun != 1 || agg.BestCost != 1.0 {
+		t.Fatalf("Best picked run %d (cost %v); want the min-cost run 1", agg.BestRun, agg.BestCost)
+	}
+	if agg.BestEval.Makespan != makespans[1] {
+		t.Fatalf("BestEval does not belong to the winning run: %v", agg.BestEval.Makespan)
+	}
+}
+
+// TestAggregateBestLegacyMakespan pins the fallback: outcomes that do not
+// report costs (HasCost false) keep the historical lowest-makespan
+// selection, and a genuine zero cost is distinguishable from "unreported".
+func TestAggregateBestLegacyMakespan(t *testing.T) {
+	makespans := []model.Time{model.FromMillis(12), model.FromMillis(8), model.FromMillis(30)}
+	fn := func(ctx context.Context, run int, seed int64) (*Outcome, error) {
+		return &Outcome{
+			Best: &sched.Mapping{},
+			Eval: sched.Result{Makespan: makespans[run]},
+			// Cost deliberately left 0 with HasCost false: legacy adapters.
+		}, nil
+	}
+	agg, err := Run(context.Background(), nil, Options{Runs: 3, Workers: 1}, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.BestHasCost {
+		t.Fatal("legacy batch claims a cost report")
+	}
+	if agg.BestRun != 1 {
+		t.Fatalf("legacy Best picked run %d; want the min-makespan run 1", agg.BestRun)
+	}
+
+	// A genuine zero-cost batch is not mistaken for the legacy case.
+	zero := func(ctx context.Context, run int, seed int64) (*Outcome, error) {
+		return &Outcome{
+			Best:    &sched.Mapping{},
+			Eval:    sched.Result{Makespan: makespans[run]},
+			Cost:    0,
+			HasCost: true,
+		}, nil
+	}
+	agg, err = Run(context.Background(), nil, Options{Runs: 3, Workers: 1}, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !agg.BestHasCost || agg.BestCost != 0 {
+		t.Fatalf("zero-cost batch misreported: hasCost=%v cost=%v", agg.BestHasCost, agg.BestCost)
+	}
+	// Equal costs: ties go to the lowest run index.
+	if agg.BestRun != 0 {
+		t.Fatalf("tie broken toward run %d; want run 0", agg.BestRun)
+	}
+}

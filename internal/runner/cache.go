@@ -1,0 +1,217 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ga"
+	"repro/internal/memo"
+	"repro/internal/model"
+	"repro/internal/objective"
+	"repro/internal/search"
+)
+
+// ResultCache memoizes completed run outcomes under the deterministic run
+// key — sha256 over (application digest, architecture digest, strategy /
+// objective fingerprint, seed, step budget). Since PR 4 every run is a
+// pure function of that key, so a hit is bit-identical to recomputation:
+// the cache stores a private deep copy and hands a fresh deep copy to
+// every consumer, which keeps cached mappings and fronts isolated from
+// whatever the engine mutates downstream.
+type ResultCache struct {
+	c *memo.Cache[*Outcome]
+}
+
+// NewResultCache creates a cache bounded to capacity entries (<=0 selects
+// memo.DefaultCapacity) whose entries expire after ttl (0 = never).
+func NewResultCache(capacity int, ttl time.Duration) *ResultCache {
+	return &ResultCache{c: memo.New[*Outcome](memo.Options{Capacity: capacity, TTL: ttl})}
+}
+
+// Stats snapshots the underlying cache counters.
+func (rc *ResultCache) Stats() memo.Stats { return rc.c.Stats() }
+
+// Len returns the resident entry count.
+func (rc *ResultCache) Len() int { return rc.c.Len() }
+
+// cloneOutcome deep-copies an outcome so cache-resident state never
+// aliases state owned by a consumer. FromCache is deliberately reset —
+// it describes a delivery, not the solution.
+func cloneOutcome(o *Outcome) *Outcome {
+	c := *o
+	c.FromCache = false
+	if o.Best != nil {
+		c.Best = o.Best.Clone()
+	}
+	if o.Front != nil {
+		c.Front = o.Front.Clone()
+	}
+	return &c
+}
+
+// KeyFunc derives the memoization key of one run; ok=false marks the run
+// uncacheable (the wrapper then always computes).
+type KeyFunc func(run int, seed int64) (memo.Key, bool)
+
+// uncacheable is the KeyFunc of configurations that must not be cached.
+func uncacheable(int, int64) (memo.Key, bool) { return memo.Key{}, false }
+
+// StrategyKey builds the KeyFunc of a strategy-factory batch: the
+// instance digests and the factory fingerprint are computed once, each
+// run then contributes only its seed and the driver's step budget. The
+// run index is deliberately absent — a run's result depends on its seed
+// alone. Factories carrying function-typed hooks are uncacheable.
+func StrategyKey(f *search.Factory, maxSteps int) KeyFunc {
+	fp, ok := f.Fingerprint()
+	if !ok {
+		return uncacheable
+	}
+	appD, archD := f.App().Digest(), f.Arch().Digest()
+	steps := strconv.Itoa(maxSteps)
+	return func(run int, seed int64) (memo.Key, bool) {
+		return memo.KeyOf(appD, archD, fp, steps, strconv.FormatInt(seed, 10)), true
+	}
+}
+
+// SAKey builds the KeyFunc of a legacy runner.SA batch over the same key
+// derivation (tagged "sa-core" so the legacy driver and the stepped
+// strategy engine never share entries — their results are bit-identical
+// by contract, but the contract is enforced by tests, not construction).
+func SAKey(app *model.App, arch *model.Arch, cfg core.Config) KeyFunc {
+	if cfg.Schedule != nil || cfg.Stop != nil || cfg.Trace != nil || cfg.Objective != nil {
+		return uncacheable
+	}
+	fp := "sa-core|" +
+		strconv.FormatFloat(cfg.Quality, 'g', -1, 64) + "|" +
+		strconv.Itoa(cfg.Warmup) + "|" +
+		strconv.Itoa(cfg.MaxIters) + "|" +
+		strconv.FormatInt(int64(cfg.Deadline), 10) + "|" +
+		strconv.FormatBool(cfg.ExploreArch) + "|" +
+		strconv.FormatFloat(cfg.PenaltyWeight, 'g', -1, 64) + "|" +
+		strconv.FormatBool(cfg.AdaptiveMoves) + "|" +
+		strconv.Itoa(cfg.QuenchIters) + "|" +
+		strconv.FormatBool(cfg.EnableCtxSplit) + "|" +
+		metricsTag(cfg.FrontMetrics)
+	appD, archD := app.Digest(), arch.Digest()
+	return func(run int, seed int64) (memo.Key, bool) {
+		return memo.KeyOf(appD, archD, fp, strconv.FormatInt(seed, 10)), true
+	}
+}
+
+// GAKey builds the KeyFunc of a legacy runner.GA batch (tagged
+// "ga-core", mirroring SAKey).
+func GAKey(app *model.App, arch *model.Arch, cfg ga.Config, deadline model.Time) KeyFunc {
+	if cfg.Stop != nil || cfg.Objective != nil {
+		return uncacheable
+	}
+	fp := "ga-core|" +
+		strconv.Itoa(cfg.Population) + "|" +
+		strconv.Itoa(cfg.Generations) + "|" +
+		strconv.Itoa(cfg.Stall) + "|" +
+		strconv.FormatFloat(cfg.CrossoverRate, 'g', -1, 64) + "|" +
+		strconv.FormatFloat(cfg.MutationRate, 'g', -1, 64) + "|" +
+		strconv.Itoa(cfg.Elite) + "|" +
+		strconv.Itoa(cfg.TournamentK) + "|" +
+		strconv.FormatInt(int64(deadline), 10) + "|" +
+		metricsTag(cfg.FrontMetrics)
+	appD, archD := app.Digest(), arch.Digest()
+	return func(run int, seed int64) (memo.Key, bool) {
+		return memo.KeyOf(appD, archD, fp, strconv.FormatInt(seed, 10)), true
+	}
+}
+
+// metricsTag encodes a front-metric list for the legacy key fingerprint.
+func metricsTag(ms []objective.Metric) string {
+	var b []byte
+	for _, m := range ms {
+		b = append(b, m.String()...)
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+// Cached wraps fn with the memoized result cache: a hit returns a deep
+// copy of the stored outcome (flagged FromCache) without invoking fn, a
+// miss computes, stores a deep copy of the completed outcome, and
+// returns the original. Concurrent identical misses compute once
+// (singleflight). Errors — including the cancellation errors a RunFunc
+// returns for truncated runs — are never cached, so a partial result
+// cannot poison the cache. A nil cache returns fn unchanged.
+func Cached(cache *ResultCache, keyFor KeyFunc, fn RunFunc) RunFunc {
+	if cache == nil {
+		return fn
+	}
+	return func(ctx context.Context, run int, seed int64) (*Outcome, error) {
+		k, ok := keyFor(run, seed)
+		if !ok {
+			return fn(ctx, run, seed)
+		}
+		for {
+			var fresh *Outcome
+			v, hit, err := cache.c.Do(ctx, k, func() (*Outcome, error) {
+				out, err := fn(ctx, run, seed)
+				if err != nil {
+					return nil, err
+				}
+				fresh = out
+				return cloneOutcome(out), nil
+			})
+			if err != nil {
+				// A singleflight waiter inherits the leader's error — but
+				// the leader's cancellation is not ours. When this caller's
+				// context is still live, re-enter Do so a single new leader
+				// is elected among the surviving waiters (computing via fn
+				// directly here would race N duplicate explorations —
+				// exactly what the singleflight exists to prevent). A
+				// caller whose own context is cancelled falls through and
+				// returns the error.
+				if ctx.Err() == nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+					continue
+				}
+				return nil, err
+			}
+			if v == nil {
+				// Defensive: nil is never a legitimately cached outcome.
+				return nil, errors.New("runner: cache returned nil outcome")
+			}
+			if fresh != nil && !hit {
+				// This caller ran the compute; hand back its own outcome
+				// (the cache holds an independent copy).
+				return fresh, nil
+			}
+			out := cloneOutcome(v)
+			out.FromCache = true
+			return out, nil
+		}
+	}
+}
+
+// CachedStrategyBudget is StrategyBudget behind the result cache — the
+// budgeted batch primitive of dsebench, dsed, and every other consumer
+// that replays scenario × strategy cells. A nil cache degrades to the
+// uncached primitive.
+func CachedStrategyBudget(cache *ResultCache, f *search.Factory, maxSteps int) RunFunc {
+	return Cached(cache, StrategyKey(f, maxSteps), StrategyBudget(f, maxSteps))
+}
+
+// CachedSA is runner.SA behind the result cache, for the legacy
+// annealing-batch drivers (dsecompare).
+func CachedSA(cache *ResultCache, app *model.App, arch *model.Arch, cfg core.Config) (RunFunc, error) {
+	fn, err := SA(app, arch, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return Cached(cache, SAKey(app, arch, cfg), fn), nil
+}
+
+// CachedGA is runner.GA behind the result cache.
+func CachedGA(cache *ResultCache, app *model.App, arch *model.Arch, cfg ga.Config, deadline model.Time) (RunFunc, error) {
+	fn, err := GA(app, arch, cfg, deadline)
+	if err != nil {
+		return nil, err
+	}
+	return Cached(cache, GAKey(app, arch, cfg, deadline), fn), nil
+}

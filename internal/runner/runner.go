@@ -65,10 +65,22 @@ type Outcome struct {
 	// when the RunFunc does not report telemetry); the engine sums it
 	// into Aggregate.Evaluations.
 	Evaluations int
-	// Cost is the best solution's scalarized objective cost (0 when the
-	// RunFunc does not report it — the legacy SA/GA adapters); consumers
-	// needing the cross-run minimum track it via Options.OnResult.
+	// Cost is the best solution's scalarized objective cost. It is
+	// meaningful only when HasCost is set: a zero Cost with HasCost true
+	// is a genuine zero-cost solution, while HasCost false (the legacy
+	// SA/GA adapters, which never report it) means "unreported" — the two
+	// used to be conflated in a single float.
 	Cost float64
+	// HasCost reports whether Cost carries the run's scalarized objective
+	// cost. When every outcome of a batch reports it, the engine selects
+	// Aggregate.Best by lowest cost (objective-consistent even under
+	// weighted or penalized scalarizations); otherwise it falls back to
+	// lowest makespan.
+	HasCost bool
+	// FromCache reports that this outcome was served by the memoized
+	// result cache instead of a fresh computation; the engine counts such
+	// runs in Aggregate.CacheHits.
+	FromCache bool
 }
 
 // RunFunc executes one independent exploration run. It must derive all its
@@ -103,12 +115,23 @@ type Aggregate struct {
 	// Evaluations sums the per-run scored-candidate counts (0 when the
 	// RunFunc does not report them).
 	Evaluations int
-	// Best is the overall best mapping (lowest makespan; ties go to the
-	// lowest run index), with its evaluation and origin.
+	// Best is the overall best mapping, with its evaluation and origin.
+	// When the runs report scalarized costs (Outcome.HasCost — the
+	// strategy-engine adapters do) the winner is the lowest-cost run, so
+	// the selection agrees with whatever objective the batch optimizes;
+	// legacy batches fall back to lowest makespan. Ties go to the lowest
+	// run index either way.
 	Best     *sched.Mapping
 	BestEval sched.Result
 	BestRun  int
 	BestSeed int64
+	// BestCost is Best's scalarized cost; meaningful only when
+	// BestHasCost (see Outcome.Cost/HasCost for the convention).
+	BestCost    float64
+	BestHasCost bool
+	// CacheHits counts completed runs served from the memoized result
+	// cache (Outcome.FromCache).
+	CacheHits int
 	// Archive is the cross-run area/time Pareto frontier: each run's best
 	// solution contributes one (occupied CLBs, makespan) point tagged with
 	// its run index.
@@ -133,11 +156,27 @@ func (a *Aggregate) add(app *model.App, r RunResult) {
 		a.DeadlineMet++
 	}
 	a.Evaluations += r.Outcome.Evaluations
-	if a.Best == nil || ev.Makespan < a.BestEval.Makespan {
+	if r.Outcome.FromCache {
+		a.CacheHits++
+	}
+	// Objective-consistent winner selection: compare by scalarized cost
+	// when both sides report one, by makespan otherwise (a batch is
+	// homogeneous — one RunFunc — so the comparator never flip-flops).
+	better := a.Completed == 1 // first completed run seeds the incumbent
+	if !better {
+		if r.Outcome.HasCost && a.BestHasCost {
+			better = r.Outcome.Cost < a.BestCost
+		} else {
+			better = ev.Makespan < a.BestEval.Makespan
+		}
+	}
+	if better {
 		a.Best = r.Outcome.Best
 		a.BestEval = ev
 		a.BestRun = r.Run
 		a.BestSeed = r.Seed
+		a.BestCost = r.Outcome.Cost
+		a.BestHasCost = r.Outcome.HasCost
 	}
 	if app != nil && r.Outcome.Best != nil {
 		a.Archive.Add(model.Impl{CLBs: objective.HWAreaOf(app, r.Outcome.Best), Time: ev.Makespan}, r.Run)

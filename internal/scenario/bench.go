@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/combi"
+	"repro/internal/model"
 	"repro/internal/objective"
 	"repro/internal/report"
 	"repro/internal/runner"
@@ -29,6 +30,16 @@ type MatrixOptions struct {
 	// MaxSteps caps driver steps per run when positive, overriding the
 	// scenario budget (dsebench -max-steps, for quick bounded sweeps).
 	MaxSteps int
+	// Cache, when non-nil, memoizes per-run outcomes under the
+	// deterministic run key, so repeated cells (and repeated matrix
+	// invocations sharing the cache) are served without recomputation.
+	Cache *runner.ResultCache
+	// Warm, when set together with Cache, runs every cell a second time
+	// against the now-warm cache and records the warm pass in the row
+	// (WarmWallMS, CacheHits). The warm pass must reproduce the cold
+	// pass's quality fields bit-for-bit; any difference fails the matrix —
+	// this is the acceptance gate of the result cache.
+	Warm bool
 	// Progress, when non-nil, receives each completed cell in matrix
 	// order.
 	Progress func(report.BenchRow)
@@ -45,6 +56,35 @@ func (o *MatrixOptions) strategies() []string {
 // frontMetrics is the area/makespan trade-off every cell archives; the
 // row's FrontSize is the merged cross-run front.
 var frontMetrics = []objective.Metric{objective.HWArea, objective.Makespan}
+
+// runCell executes one (scenario, strategy) cell and times it.
+func runCell(ctx context.Context, app *model.App, ropts runner.Options, fn runner.RunFunc) (*runner.Aggregate, time.Duration, error) {
+	start := time.Now()
+	agg, err := runner.Run(ctx, app, ropts, fn)
+	return agg, time.Since(start), err
+}
+
+// fillRow copies a cell aggregate into its report row. BestCost comes
+// straight from the aggregate now that the engine's winner selection is
+// objective-consistent (the strategy adapters report per-run costs, so
+// Aggregate.BestCost is the cross-run minimum).
+func fillRow(row *report.BenchRow, agg *runner.Aggregate, wall time.Duration) {
+	row.BestCost = math.Inf(1)
+	if agg.BestHasCost {
+		row.BestCost = agg.BestCost
+	}
+	row.BestMakespanMS = agg.BestEval.Makespan.Millis()
+	row.MeanMakespanMS = agg.MakespanMS.Mean()
+	row.DeadlineMet = agg.DeadlineMet
+	row.Evaluations = agg.Evaluations
+	if f := agg.Front; f != nil {
+		row.FrontSize = f.Len()
+	}
+	row.WallMS = float64(wall.Microseconds()) / 1e3
+	if secs := wall.Seconds(); secs > 0 {
+		row.EvalsPerSec = float64(agg.Evaluations) / secs
+	}
+}
 
 // RunMatrix executes every (scenario, strategy) cell of the matrix on the
 // parallel multi-run engine and returns one report.BenchRow per cell, in
@@ -103,36 +143,35 @@ func RunMatrix(ctx context.Context, scenarios []*Scenario, opts MatrixOptions) (
 			if err != nil {
 				return rows, fmt.Errorf("scenario %s, strategy %s: %w", s.Name, name, err)
 			}
-			bestCost := math.Inf(1)
-			start := time.Now()
-			agg, err := runner.Run(ctx, app, runner.Options{
-				Runs:     runs,
-				Workers:  opts.Workers,
-				BaseSeed: opts.BaseSeed,
-				OnResult: func(r runner.RunResult) {
-					if r.Outcome.Cost < bestCost {
-						bestCost = r.Outcome.Cost
-					}
-				},
-			}, runner.StrategyBudget(factory, maxSteps))
-			wall := time.Since(start)
+			fn := runner.CachedStrategyBudget(opts.Cache, factory, maxSteps)
+			ropts := runner.Options{Runs: runs, Workers: opts.Workers, BaseSeed: opts.BaseSeed}
+			agg, wall, err := runCell(ctx, app, ropts, fn)
 			if err != nil {
 				if ctx.Err() != nil {
 					return rows, ctx.Err()
 				}
 				return rows, fmt.Errorf("scenario %s, strategy %s: %w", s.Name, name, err)
 			}
-			row.BestCost = bestCost
-			row.BestMakespanMS = agg.BestEval.Makespan.Millis()
-			row.MeanMakespanMS = agg.MakespanMS.Mean()
-			row.DeadlineMet = agg.DeadlineMet
-			row.Evaluations = agg.Evaluations
-			if f := agg.Front; f != nil {
-				row.FrontSize = f.Len()
-			}
-			row.WallMS = float64(wall.Microseconds()) / 1e3
-			if secs := wall.Seconds(); secs > 0 {
-				row.EvalsPerSec = float64(agg.Evaluations) / secs
+			fillRow(&row, agg, wall)
+			if opts.Cache != nil && opts.Warm {
+				// Second pass over the warm cache: same seeds, same budget.
+				warmAgg, warmWall, err := runCell(ctx, app, ropts, fn)
+				if err != nil {
+					if ctx.Err() != nil {
+						return rows, ctx.Err()
+					}
+					return rows, fmt.Errorf("scenario %s, strategy %s (warm): %w", s.Name, name, err)
+				}
+				var warmRow report.BenchRow
+				fillRow(&warmRow, warmAgg, warmWall)
+				if warmRow.BestCost != row.BestCost || warmRow.BestMakespanMS != row.BestMakespanMS ||
+					warmRow.MeanMakespanMS != row.MeanMakespanMS || warmRow.FrontSize != row.FrontSize ||
+					warmRow.DeadlineMet != row.DeadlineMet || warmRow.Evaluations != row.Evaluations {
+					return rows, fmt.Errorf("scenario %s, strategy %s: warm pass diverged from cold (cold %+v, warm %+v)",
+						s.Name, name, row, warmRow)
+				}
+				row.WarmWallMS = float64(warmWall.Microseconds()) / 1e3
+				row.CacheHits = warmAgg.CacheHits
 			}
 			emit(row)
 		}

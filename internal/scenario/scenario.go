@@ -136,6 +136,17 @@ func (s *Scenario) SearchConfig() search.Config {
 
 var registry = map[string]*Scenario{}
 
+// aliases maps convenience names — the task-count shorthand used by the
+// service docs and smoke jobs — onto registry keys. Lookup resolves them;
+// Names/All list only canonical names so the catalog stays duplicate-free.
+var aliases = map[string]string{
+	"fig2-small":  "paper-small-device",
+	"layered-20":  "layered-small",
+	"layered-40":  "layered-medium",
+	"layered-80":  "layered-large",
+	"layered-160": "layered-xl",
+}
+
 // Register adds a scenario to the corpus; it panics on a duplicate or
 // half-initialized entry (registration is an init-time programming act).
 func Register(s Scenario) {
@@ -148,8 +159,11 @@ func Register(s Scenario) {
 	registry[s.Name] = &s
 }
 
-// Lookup resolves a registered scenario by name.
+// Lookup resolves a registered scenario by canonical name or alias.
 func Lookup(name string) (*Scenario, bool) {
+	if canon, ok := aliases[name]; ok {
+		name = canon
+	}
 	s, ok := registry[name]
 	return s, ok
 }
@@ -210,8 +224,8 @@ func Select(selector string) ([]*Scenario, error) {
 		fams[f] = true
 	}
 	for _, tok := range SplitComma(selector) {
-		if _, ok := registry[tok]; ok {
-			wanted[tok] = true
+		if s, ok := Lookup(tok); ok { // canonical names and aliases alike
+			wanted[s.Name] = true
 			continue
 		}
 		if fams[tok] {

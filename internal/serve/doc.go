@@ -1,0 +1,26 @@
+// Package serve turns the exploration library into a long-running
+// design-space-exploration service: an HTTP API over the parallel
+// multi-run engine with asynchronous job submission, NDJSON progress
+// streaming, context-propagated cancellation, and the sharded memoized
+// result cache in front of every run — so resubmitting an identical
+// (application, architecture, objective, strategy, seed, budget) job is
+// answered from memory, bit-identically, in microseconds.
+//
+// The API surface (see docs/CLI.md for the dsed command wrapping it):
+//
+//	POST   /jobs            submit a job (scenario name or inline models); 202 + job id
+//	GET    /jobs            list jobs
+//	GET    /jobs/{id}       job status, and the summary once finished
+//	GET    /jobs/{id}/stream  NDJSON: buffered per-run events, then live ones, then the summary
+//	DELETE /jobs/{id}       cancel a queued or running job
+//	POST   /run             synchronous streaming run: NDJSON events while the
+//	                        job computes in-request; disconnecting cancels it
+//	GET    /scenarios       the scenario corpus
+//	GET    /cache           result-cache counters
+//	GET    /healthz         liveness
+//
+// Async jobs outlive their submitting connection and are cancelled only
+// through DELETE. The synchronous /run path ties the computation to the
+// request context instead: a client that disconnects mid-stream cancels
+// the run within one step, and the truncated runs are never cached.
+package serve
