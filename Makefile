@@ -60,9 +60,12 @@ bench-micro-json:
 # The dsed job-server self-test: serve on a loopback port, submit the
 # fig2-small scenario, resubmit it, and assert the resubmission is
 # answered from the memoized result cache with bit-identical quality
-# fields. This is the CI smoke for the serving layer.
+# fields; then snapshot the cache, boot a fresh server from the file (a
+# simulated kill/restart), assert the resubmitted job is a pure cache
+# hit, and scrape /v1/metrics for non-zero per-shard hit counters. This
+# is the CI smoke for the serving layer.
 dsed-smoke:
-	$(GO) run ./cmd/dsed -smoke
+	$(GO) run ./cmd/dsed -smoke -snapshot /tmp/dsed-smoke.snap
 
 # Documentation lint: every package (library and command alike) must carry
 # a package comment ("// Package x ..." or "// Command x ...").

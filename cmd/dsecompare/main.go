@@ -72,7 +72,7 @@ func main() {
 	saCfg.MaxIters = *saIter
 	saCfg.Deadline = apps.MotionDeadline
 	saCfg.FrontMetrics = []objective.Metric{objective.HWArea, objective.Makespan}
-	saFn, err := runner.CachedSA(cache, app, arch, saCfg)
+	saFn, err := runner.WithCache(runner.CacheConfig{Cache: cache, SA: &saCfg, App: app, Arch: arch})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func main() {
 	gaCfg := ga.DefaultConfig()
 	gaCfg.Population = *gaPop
 	gaCfg.Generations = *gaGens
-	gaFn, err := runner.CachedGA(cache, app, arch, gaCfg, apps.MotionDeadline)
+	gaFn, err := runner.WithCache(runner.CacheConfig{Cache: cache, GA: &gaCfg, GADeadline: apps.MotionDeadline, App: app, Arch: arch})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -2,25 +2,34 @@
 // async exploration jobs over HTTP, streams per-run progress as NDJSON,
 // and answers repeated jobs from the sharded memoized result cache —
 // resubmitting an identical (scenario|models, strategy, seed, budget)
-// job returns bit-identical quality fields without recomputation.
+// job returns bit-identical quality fields without recomputation. With
+// -snapshot the cache survives restarts: it is restored on boot and
+// saved periodically, and again on SIGTERM/interrupt.
 //
-// Endpoints (see internal/serve): POST /jobs, GET /jobs[/{id}[/stream]],
-// DELETE /jobs/{id}, POST /run (synchronous streaming; disconnecting
-// cancels the run), GET /scenarios, GET /cache, GET /healthz.
+// Endpoints (see internal/serve) live under /v1: POST /v1/jobs,
+// GET /v1/jobs[/{id}[/stream]], DELETE /v1/jobs/{id}, POST /v1/run
+// (synchronous streaming; disconnecting cancels the run),
+// GET /v1/scenarios, GET /v1/cache, GET /v1/metrics (Prometheus text),
+// GET /v1/healthz. The unversioned paths of the original API remain as
+// deprecated aliases.
 //
 // Usage:
 //
 //	dsed                                    # serve on :8080, cache enabled
 //	dsed -addr :9090 -max-jobs 4
-//	dsed -cache-size 16384 -cache-ttl 1h
+//	dsed -cache-size 16384 -cache-ttl 1h -policy 2q
+//	dsed -snapshot /var/lib/dsed/cache.snap -snapshot-interval 5m
 //	dsed -smoke                             # self-test: submit fig2-small twice,
-//	                                        # assert the resubmission is a cache hit
+//	                                        # assert the resubmission is a cache hit,
+//	                                        # then restart from a snapshot and assert
+//	                                        # the cache survived
 //
 // Submit a job with curl:
 //
-//	curl -s -X POST localhost:8080/jobs -d '{"scenario":"fig2-small","runs":10}'
-//	curl -s localhost:8080/jobs/job-000001/stream     # NDJSON progress
-//	curl -s -X DELETE localhost:8080/jobs/job-000001  # cancel
+//	curl -s -X POST localhost:8080/v1/jobs -d '{"scenario":"fig2-small","runs":10}'
+//	curl -s localhost:8080/v1/jobs/job-000001/stream     # NDJSON progress
+//	curl -s -X DELETE localhost:8080/v1/jobs/job-000001  # cancel
+//	curl -s localhost:8080/v1/metrics                    # Prometheus scrape
 //
 // Exit codes: 0 success, 1 serve/smoke failure, 2 flag-usage error.
 package main
@@ -30,14 +39,18 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"repro/dse"
+	"repro/internal/memo"
 	"repro/internal/runner"
 	"repro/internal/serve"
 )
@@ -50,98 +63,283 @@ func main() {
 		noCache   = flag.Bool("no-cache", false, "disable the memoized result cache")
 		cacheSize = flag.Int("cache-size", 8192, "result-cache capacity (entries)")
 		cacheTTL  = flag.Duration("cache-ttl", 0, "result-cache entry TTL (0 = never expire)")
+		policy    = flag.String("policy", "lru", "cache eviction policy: lru, lfu, or 2q")
+		staleFor  = flag.Duration("stale-for", 0, "with -cache-ttl, keep serving expired entries for this long while a background refresh recomputes (0 = off)")
+		snapPath  = flag.String("snapshot", "", "cache snapshot file: restored on boot, saved every -snapshot-interval and on shutdown (empty = no persistence)")
+		snapEvery = flag.Duration("snapshot-interval", 5*time.Minute, "how often to save the cache snapshot (requires -snapshot)")
 		maxJobs   = flag.Int("max-jobs", 2, "concurrently executing jobs (excess queues)")
 		maxDone   = flag.Int("max-finished", 1000, "finished job records retained (oldest evicted beyond this)")
-		smoke     = flag.Bool("smoke", false, "run the self-test (serve on a loopback port, submit fig2-small twice, assert a cache hit) and exit")
+		smoke     = flag.Bool("smoke", false, "run the self-test (cold job, cache-hit resubmit, snapshot restart, /metrics scrape) and exit")
 	)
 	flag.Parse()
 
+	pol, err := memo.ParsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsed: %v\n", err)
+		os.Exit(2)
+	}
+
 	var cache *runner.ResultCache
 	if !*noCache {
-		cache = runner.NewResultCache(*cacheSize, *cacheTTL)
+		cache = runner.NewResultCacheWith(runner.ResultCacheOptions{
+			Capacity: *cacheSize,
+			TTL:      *cacheTTL,
+			StaleFor: *staleFor,
+			Policy:   pol,
+		})
 	}
 	srv := serve.New(serve.Options{Cache: cache, MaxJobs: *maxJobs, MaxFinished: *maxDone, Logf: log.Printf})
 
 	if *smoke {
-		if err := runSmoke(srv); err != nil {
+		if err := runSmoke(srv, pol, *snapPath); err != nil {
 			log.Fatalf("smoke: %v", err)
 		}
 		fmt.Println("dsed smoke: PASS")
 		return
 	}
 
+	if cache != nil && *snapPath != "" {
+		restoreSnapshot(cache, *snapPath)
+	}
+
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if cache != nil && *snapPath != "" && *snapEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*snapEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					saveSnapshot(cache, *snapPath)
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
 	go func() {
 		<-ctx.Done()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		httpSrv.Shutdown(shutdownCtx)
 	}()
-	log.Printf("serving on %s (cache %v, max-jobs %d)", *addr, !*noCache, *maxJobs)
+	log.Printf("serving on %s (cache %v, policy %s, max-jobs %d)", *addr, !*noCache, pol, *maxJobs)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
+	}
+	if cache != nil && *snapPath != "" {
+		// Final save after the listener has drained: the snapshot includes
+		// every job that completed before shutdown.
+		saveSnapshot(cache, *snapPath)
 	}
 	log.Printf("shut down")
 }
 
-// runSmoke is the CI self-test: an in-process server on a loopback port,
-// one scenario job computed cold, the identical job resubmitted, and the
-// resubmission asserted to be answered from the cache with bit-identical
-// quality fields.
-func runSmoke(srv *serve.Server) error {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+// restoreSnapshot warm-starts the cache from path. Every failure mode —
+// missing file, truncation, corruption, version skew — degrades to a
+// cold cache with a logged warning; a bad snapshot must never prevent
+// the server from starting.
+func restoreSnapshot(cache *runner.ResultCache, path string) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		log.Printf("snapshot %s: not found, starting cold", path)
+		return
+	}
+	if err != nil {
+		log.Printf("warning: snapshot %s unreadable (%v), starting cold", path, err)
+		return
+	}
+	defer f.Close()
+	n, err := cache.Restore(f)
+	if err != nil {
+		log.Printf("warning: snapshot %s rejected (%v), starting cold", path, err)
+		return
+	}
+	log.Printf("snapshot %s: restored %d cached results", path, n)
+}
+
+// saveSnapshot writes the cache to path atomically (tmp file + rename),
+// so a crash mid-save leaves the previous snapshot intact.
+func saveSnapshot(cache *runner.ResultCache, path string) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		log.Printf("warning: snapshot save: %v", err)
+		return
+	}
+	if err := cache.Snapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		log.Printf("warning: snapshot save: %v", err)
+		return
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		log.Printf("warning: snapshot save: %v", err)
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		log.Printf("warning: snapshot save: %v", err)
+		return
+	}
+	log.Printf("snapshot %s: saved %d cached results", path, cache.Len())
+}
+
+// runSmoke is the CI self-test. Three acts:
+//
+//  1. Cold job on a fresh server, identical resubmission answered from
+//     cache with bit-identical quality fields.
+//  2. Snapshot the cache, boot a second server restored from the file
+//     (a simulated kill/restart), and assert the resubmitted job is a
+//     pure cache hit with the same summary.
+//  3. Scrape /v1/metrics on the restarted server and assert non-zero
+//     per-shard hit counters.
+//
+// snapPath selects the snapshot file; empty uses a temp file.
+func runSmoke(srv *serve.Server, pol memo.Policy, snapPath string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 240*time.Second)
+	defer cancel()
+	spec := dse.JobSpec{Scenario: "fig2-small", Strategy: "sa", Runs: 4, MaxSteps: 10}
+
+	// Act 1: cold compute, warm resubmit.
+	base, closeA, err := serveLoopback(srv)
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
-	go httpSrv.Serve(ln)
-	defer httpSrv.Close()
-
-	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
-	defer cancel()
-	client := dse.NewClient("http://" + ln.Addr().String())
+	defer closeA()
+	client := dse.NewClient(base)
 	if err := client.Health(ctx); err != nil {
 		return err
 	}
-	spec := dse.JobSpec{Scenario: "fig2-small", Strategy: "sa", Runs: 4, MaxSteps: 10}
-
-	submit := func() (*dse.JobStatus, time.Duration, error) {
-		start := time.Now()
-		st, err := client.SubmitJob(ctx, spec)
-		if err != nil {
-			return nil, 0, err
-		}
-		st, err = client.WaitJob(ctx, st.ID, 20*time.Millisecond)
-		if err != nil {
-			return nil, 0, err
-		}
-		if st.State != dse.JobDone {
-			return nil, 0, fmt.Errorf("job %s finished %s: %s", st.ID, st.State, st.Error)
-		}
-		return st, time.Since(start), nil
-	}
-
-	cold, coldWall, err := submit()
+	cold, coldWall, err := submitAndWait(ctx, client, spec)
 	if err != nil {
 		return fmt.Errorf("cold job: %w", err)
 	}
 	if cold.Summary.CacheHits != 0 {
 		return fmt.Errorf("cold job reported %d cache hits", cold.Summary.CacheHits)
 	}
-	warm, warmWall, err := submit()
+	warm, warmWall, err := submitAndWait(ctx, client, spec)
 	if err != nil {
 		return fmt.Errorf("warm job: %w", err)
 	}
 	if warm.Summary.CacheHits != spec.Runs {
 		return fmt.Errorf("warm job hit %d/%d runs", warm.Summary.CacheHits, spec.Runs)
 	}
-	c, w := cold.Summary, warm.Summary
-	if c.BestCost != w.BestCost || c.BestMakespanMS != w.BestMakespanMS || c.FrontSize != w.FrontSize {
-		return fmt.Errorf("warm job diverged: cold %+v, warm %+v", c, w)
+	if err := summariesMatch(cold.Summary, warm.Summary); err != nil {
+		return fmt.Errorf("warm job diverged: %w", err)
 	}
 	fmt.Printf("fig2-small × %d runs: cold %v (best cost %.4f), warm %v from cache (%d hits)\n",
-		spec.Runs, coldWall.Round(time.Millisecond), c.BestCost, warmWall.Round(time.Millisecond), w.CacheHits)
+		spec.Runs, coldWall.Round(time.Millisecond), cold.Summary.BestCost,
+		warmWall.Round(time.Millisecond), warm.Summary.CacheHits)
+
+	// Act 2: snapshot, "kill", restart from the file, resubmit.
+	if snapPath == "" {
+		f, err := os.CreateTemp("", "dsed-smoke-*.snap")
+		if err != nil {
+			return err
+		}
+		snapPath = f.Name()
+		f.Close()
+		defer os.Remove(snapPath)
+	}
+	saveSnapshot(srv.Cache(), snapPath)
+	closeA()
+
+	cache2 := runner.NewResultCacheWith(runner.ResultCacheOptions{Capacity: 8192, Policy: pol})
+	restoreSnapshot(cache2, snapPath)
+	if cache2.Len() == 0 {
+		return fmt.Errorf("restart: snapshot %s restored 0 entries", snapPath)
+	}
+	srv2 := serve.New(serve.Options{Cache: cache2, MaxJobs: 2, Logf: log.Printf})
+	base2, closeB, err := serveLoopback(srv2)
+	if err != nil {
+		return err
+	}
+	defer closeB()
+	client2 := dse.NewClient(base2)
+	restarted, restartWall, err := submitAndWait(ctx, client2, spec)
+	if err != nil {
+		return fmt.Errorf("post-restart job: %w", err)
+	}
+	if restarted.Summary.CacheHits != spec.Runs {
+		return fmt.Errorf("post-restart job hit %d/%d runs — snapshot did not survive the restart", restarted.Summary.CacheHits, spec.Runs)
+	}
+	if err := summariesMatch(cold.Summary, restarted.Summary); err != nil {
+		return fmt.Errorf("post-restart job diverged from the original: %w", err)
+	}
+	fmt.Printf("restart from %s: %v, %d/%d runs from the restored cache\n",
+		snapPath, restartWall.Round(time.Millisecond), restarted.Summary.CacheHits, spec.Runs)
+
+	// Act 3: the metrics endpoint reports the hits.
+	body, err := scrape(ctx, base2+"/v1/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics scrape: %w", err)
+	}
+	if !strings.Contains(body, `dse_cache_hits_total{shard=`) {
+		return fmt.Errorf("metrics scrape missing per-shard hit counters:\n%s", body)
+	}
+	hits := cache2.Stats().Hits
+	if hits == 0 {
+		return fmt.Errorf("restored cache reports zero hits after a fully-cached job")
+	}
+	fmt.Printf("metrics: %d cache hits across %d shards\n", hits, len(cache2.Stats().Shards))
 	return nil
+}
+
+func serveLoopback(srv *serve.Server) (base string, shutdown func(), err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	return "http://" + ln.Addr().String(), func() { httpSrv.Close() }, nil
+}
+
+func submitAndWait(ctx context.Context, client *dse.Client, spec dse.JobSpec) (*dse.JobStatus, time.Duration, error) {
+	start := time.Now()
+	st, err := client.SubmitJob(ctx, spec)
+	if err != nil {
+		return nil, 0, err
+	}
+	st, err = client.WaitJob(ctx, st.ID, 20*time.Millisecond)
+	if err != nil {
+		return nil, 0, err
+	}
+	if st.State != dse.JobDone {
+		return nil, 0, fmt.Errorf("job %s finished %s: %s", st.ID, st.State, st.Error)
+	}
+	return st, time.Since(start), nil
+}
+
+// summariesMatch compares the quality fields the acceptance criteria
+// pin as bit-identical across cache hits and restarts.
+func summariesMatch(a, b *dse.JobSummary) error {
+	if a.BestCost != b.BestCost || a.BestMakespanMS != b.BestMakespanMS || a.FrontSize != b.FrontSize {
+		return fmt.Errorf("cold %+v vs %+v", a, b)
+	}
+	return nil
+}
+
+func scrape(ctx context.Context, url string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: %d: %s", url, resp.StatusCode, b)
+	}
+	return string(b), nil
 }

@@ -102,7 +102,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fn := runner.CachedStrategyBudget(cache, factory, 0)
+		fn, err := runner.WithCache(runner.CacheConfig{Cache: cache, Factory: factory})
+		if err != nil {
+			log.Fatal(err)
+		}
 		agg, err := runner.Run(ctx, app, runner.Options{
 			Runs:     *runs,
 			Workers:  *workers,

@@ -43,11 +43,16 @@ type Client struct {
 	http *http.Client
 }
 
+// apiPrefix is the versioned path prefix the client speaks. The server
+// keeps the unversioned paths as deprecated aliases, but this client
+// always addresses the current /v1 API.
+const apiPrefix = "/v1"
+
 // NewClient creates a client for the server at base (e.g.
 // "http://localhost:8080"). Requests carry no overall timeout — job
 // streams are long-lived — so bound them with the caller's context.
 func NewClient(base string) *Client {
-	return &Client{base: strings.TrimRight(base, "/"), http: &http.Client{}}
+	return &Client{base: strings.TrimRight(base, "/") + apiPrefix, http: &http.Client{}}
 }
 
 // do issues a request and decodes the JSON response into out (unless the
@@ -82,12 +87,26 @@ func (c *Client) do(ctx context.Context, method, path string, body, out interfac
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
+// decodeServerError parses the /v1 error envelope
+// {"error":{"code":...,"message":...}}, falling back to the legacy
+// {"error":"string"} shape so the client still reports useful messages
+// against an old server.
 func decodeServerError(resp *http.Response) error {
-	var e struct {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if json.Unmarshal(body, &env) == nil && env.Error.Message != "" {
+		return fmt.Errorf("dse: server: %s (%s)", env.Error.Message, env.Error.Code)
+	}
+	var legacy struct {
 		Error string `json:"error"`
 	}
-	if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-		return fmt.Errorf("dse: server: %s", e.Error)
+	if json.Unmarshal(body, &legacy) == nil && legacy.Error != "" {
+		return fmt.Errorf("dse: server: %s", legacy.Error)
 	}
 	return fmt.Errorf("dse: server returned %s", resp.Status)
 }
@@ -127,6 +146,20 @@ func (c *Client) Jobs(ctx context.Context) ([]JobStatus, error) {
 // CancelJob requests cancellation of a queued or running job.
 func (c *Client) CancelJob(ctx context.Context, id string) error {
 	return c.do(ctx, http.MethodDelete, "/jobs/"+id, nil, nil)
+}
+
+// CacheInfo mirrors the server's GET /v1/cache response: whether the
+// result cache is enabled plus its full statistics (aggregate counters,
+// policy, capacity, per-shard breakdown).
+type CacheInfo = serve.CacheInfo
+
+// CacheStats fetches the server's cache statistics.
+func (c *Client) CacheStats(ctx context.Context) (*CacheInfo, error) {
+	var info CacheInfo
+	if err := c.do(ctx, http.MethodGet, "/cache", nil, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
 }
 
 // WaitJob polls until the job reaches a terminal state (done, failed,

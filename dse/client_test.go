@@ -2,7 +2,9 @@ package dse
 
 import (
 	"context"
+	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -84,5 +86,46 @@ func TestClientErrorsSurfaceServerMessage(t *testing.T) {
 	}
 	if _, err := c.Job(ctx, "job-999999"); err == nil {
 		t.Fatal("missing job returned")
+	}
+}
+
+// TestClientSpeaksV1 pins that the client addresses the versioned API:
+// requests must carry the /v1 prefix and therefore no Deprecation
+// header comes back.
+func TestClientSpeaksV1(t *testing.T) {
+	var sawPath string
+	srv := serve.New(serve.Options{Cache: runner.NewResultCache(16, 0), Logf: t.Logf})
+	inner := srv.Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sawPath = r.URL.Path
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL)
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if sawPath != "/v1/healthz" {
+		t.Fatalf("client requested %q, want /v1/healthz", sawPath)
+	}
+	info, err := c.CacheStats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Enabled || info.Policy != "lru" {
+		t.Fatalf("CacheStats = %+v, want enabled lru cache", info)
+	}
+}
+
+// TestClientParsesErrorEnvelope pins that the structured /v1 error
+// envelope surfaces both message and code.
+func TestClientParsesErrorEnvelope(t *testing.T) {
+	c := testService(t)
+	_, err := c.Job(context.Background(), "job-999999")
+	if err == nil {
+		t.Fatal("missing job returned no error")
+	}
+	if !strings.Contains(err.Error(), "not_found") || !strings.Contains(err.Error(), "job-999999") {
+		t.Fatalf("error %q missing code or message", err)
 	}
 }

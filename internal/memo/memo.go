@@ -47,60 +47,120 @@ type Options struct {
 	// TTL, when positive, expires entries that many nanoseconds after
 	// insertion; expiry is checked lazily on access.
 	TTL time.Duration
+	// StaleFor, when positive together with TTL, keeps expired entries
+	// servable for that additional window: Do returns the stale value
+	// immediately and refreshes it in the background (singleflight, errors
+	// never cached) — stale-while-revalidate. Entries older than
+	// TTL+StaleFor are dropped as before.
+	StaleFor time.Duration
+	// Policy selects the built-in eviction policy (PolicyLRU default).
+	Policy Policy
+	// NewEviction, when non-nil, overrides Policy with a custom per-shard
+	// policy factory; it is called once per shard with the shard's entry
+	// bound.
+	NewEviction func(capacity int) Eviction
 	// Clock overrides time.Now for TTL checks (tests inject a fake).
 	Clock func() time.Time
 }
 
-// Stats is a point-in-time snapshot of the cache counters.
-type Stats struct {
-	// Hits and Misses count Get/Do lookups by outcome.
-	Hits, Misses uint64
+// ShardStats is one shard's point-in-time counter snapshot.
+type ShardStats struct {
+	// Hits and Misses count Get/Do lookups by outcome (a stale serve
+	// counts as a hit and additionally as a StaleServe).
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
 	// Shared counts Do callers that piggybacked on another caller's
 	// in-flight compute instead of computing themselves.
-	Shared uint64
-	// Evictions counts entries dropped by the LRU bound, Expirations
-	// entries dropped because their TTL had passed.
-	Evictions, Expirations uint64
-	// Entries is the current resident entry count.
-	Entries int
+	Shared uint64 `json:"shared"`
+	// Evictions counts entries dropped by the capacity bound, Expirations
+	// entries dropped because their TTL (plus stale window) had passed.
+	Evictions   uint64 `json:"evictions"`
+	Expirations uint64 `json:"expirations"`
+	// StaleServes counts lookups answered with an expired-but-servable
+	// value; Refreshes counts background revalidations that completed
+	// successfully and re-armed the entry.
+	StaleServes uint64 `json:"staleServes"`
+	Refreshes   uint64 `json:"refreshes"`
+	// Entries is the shard's resident entry count.
+	Entries int `json:"entries"`
 }
 
-// entry is one resident key/value pair, threaded on its shard's LRU list
-// (front = most recently used).
+// add folds o into s (Stats aggregation).
+func (s *ShardStats) add(o ShardStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Shared += o.Shared
+	s.Evictions += o.Evictions
+	s.Expirations += o.Expirations
+	s.StaleServes += o.StaleServes
+	s.Refreshes += o.Refreshes
+	s.Entries += o.Entries
+}
+
+// Stats is a point-in-time snapshot of the cache counters: the per-shard
+// counters summed, plus the per-shard breakdown itself (the /metrics
+// endpoint labels series by shard index).
+type Stats struct {
+	ShardStats
+	// Policy is the eviction policy name ("lru", "lfu", "2q", or "custom"
+	// for an Options.NewEviction override).
+	Policy string `json:"policy"`
+	// Capacity is the total entry bound across all shards.
+	Capacity int `json:"capacity"`
+	// Shards holds each shard's own counters, indexed by shard.
+	Shards []ShardStats `json:"shards"`
+}
+
+// counters is one shard's live counter set. Lock-free: the hot paths
+// increment after releasing the shard mutex.
+type counters struct {
+	hits, misses, shared, evictions, expirations, staleServes, refreshes atomic.Uint64
+}
+
+// snapshot reads the counters into a ShardStats (Entries filled by the
+// caller, which holds the shard lock).
+func (c *counters) snapshot() ShardStats {
+	return ShardStats{
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Shared:      c.shared.Load(),
+		Evictions:   c.evictions.Load(),
+		Expirations: c.expirations.Load(),
+		StaleServes: c.staleServes.Load(),
+		Refreshes:   c.refreshes.Load(),
+	}
+}
+
+// entry is one resident key/value pair.
 type entry[V any] struct {
-	key        Key
-	val        V
-	exp        time.Time // zero = never expires
-	prev, next *entry[V]
+	val V
+	exp time.Time // freshness deadline; zero = never expires
 }
 
-// shard is one independently locked slice of the key space.
+// shard is one independently locked slice of the key space. The policy
+// owns the replacement order; the shard owns residency and expiry.
 type shard[V any] struct {
-	mu    sync.Mutex
-	items map[Key]*entry[V]
-	// head/tail are sentinels of the intrusive LRU list.
-	head, tail entry[V]
-	cap        int
+	mu     sync.Mutex
+	items  map[Key]*entry[V]
+	policy Eviction
+	cap    int
+	n      counters
 }
 
-func (s *shard[V]) init(capacity int) {
+func (s *shard[V]) init(capacity int, newEviction func(int) Eviction) {
 	s.items = make(map[Key]*entry[V], capacity)
+	s.policy = newEviction(capacity)
 	s.cap = capacity
-	s.head.next = &s.tail
-	s.tail.prev = &s.head
 }
 
-func (s *shard[V]) unlink(e *entry[V]) {
-	e.prev.next = e.next
-	e.next.prev = e.prev
-}
+// lookup state classification.
+type lookupState int
 
-func (s *shard[V]) pushFront(e *entry[V]) {
-	e.prev = &s.head
-	e.next = s.head.next
-	e.prev.next = e
-	e.next.prev = e
-}
+const (
+	lookupMiss lookupState = iota
+	lookupFresh
+	lookupStale
+)
 
 // call is one in-flight singleflight compute.
 type call[V any] struct {
@@ -109,18 +169,21 @@ type call[V any] struct {
 	err  error
 }
 
-// Cache is a sharded LRU/TTL cache. All methods are safe for concurrent
-// use. The zero value is not usable; construct with New.
+// Cache is a sharded TTL cache with pluggable eviction, singleflight
+// computation, stale-while-revalidate, and snapshot persistence (see
+// snapshot.go). All methods are safe for concurrent use. The zero value
+// is not usable; construct with New.
 type Cache[V any] struct {
-	shards []shard[V]
-	mask   uint64
-	ttl    time.Duration
-	clock  func() time.Time
+	shards   []shard[V]
+	mask     uint64
+	ttl      time.Duration
+	staleFor time.Duration
+	clock    func() time.Time
+	policy   string
+	capacity int
 
 	flightMu sync.Mutex
 	flight   map[Key]*call[V]
-
-	hits, misses, shared, evictions, expirations atomic.Uint64
 }
 
 // New creates a cache with the given options.
@@ -146,18 +209,34 @@ func New[V any](opts Options) *Cache[V] {
 	if clock == nil {
 		clock = time.Now
 	}
+	newEviction := opts.NewEviction
+	policy := opts.Policy.String()
+	if newEviction == nil {
+		newEviction = opts.Policy.NewEviction
+	} else {
+		policy = "custom"
+	}
 	c := &Cache[V]{
-		shards: make([]shard[V], shards),
-		mask:   uint64(shards - 1),
-		ttl:    opts.TTL,
-		clock:  clock,
-		flight: make(map[Key]*call[V]),
+		shards:   make([]shard[V], shards),
+		mask:     uint64(shards - 1),
+		ttl:      opts.TTL,
+		staleFor: opts.StaleFor,
+		clock:    clock,
+		policy:   policy,
+		capacity: perShard * shards,
+		flight:   make(map[Key]*call[V]),
 	}
 	for i := range c.shards {
-		c.shards[i].init(perShard)
+		c.shards[i].init(perShard, newEviction)
 	}
 	return c
 }
+
+// Policy returns the eviction policy name.
+func (c *Cache[V]) Policy() string { return c.policy }
+
+// Capacity returns the total entry bound across all shards.
+func (c *Cache[V]) Capacity() int { return c.capacity }
 
 // shardFor picks the shard owning k. Keys are cryptographic digests, so
 // the low bytes are already uniformly distributed.
@@ -165,73 +244,102 @@ func (c *Cache[V]) shardFor(k Key) *shard[V] {
 	return &c.shards[binary.LittleEndian.Uint64(k[:8])&c.mask]
 }
 
-// Get returns the cached value for k, if resident and unexpired.
+// Get returns the cached value for k, if resident and servable. An
+// expired entry still inside the stale window is served (and counted as
+// a StaleServe); only Do triggers its background revalidation.
 func (c *Cache[V]) Get(k Key) (V, bool) {
-	v, ok := c.lookup(k)
-	if ok {
-		c.hits.Add(1)
-	} else {
-		c.misses.Add(1)
+	v, state := c.lookup(k)
+	s := c.shardFor(k)
+	switch state {
+	case lookupFresh:
+		s.n.hits.Add(1)
+	case lookupStale:
+		s.n.hits.Add(1)
+		s.n.staleServes.Add(1)
+	default:
+		s.n.misses.Add(1)
 	}
-	return v, ok
+	return v, state != lookupMiss
 }
 
-// lookup is Get without the hit/miss accounting — Do's double-check
-// under the flight registration uses it so one logical lookup never
-// counts as two misses.
-func (c *Cache[V]) lookup(k Key) (V, bool) {
+// lookup classifies k without touching the hit/miss counters — Do's
+// double-check under the flight registration uses it so one logical
+// lookup never counts as two misses (expiry is still counted, it happens
+// at most once per entry).
+func (c *Cache[V]) lookup(k Key) (V, lookupState) {
 	s := c.shardFor(k)
 	s.mu.Lock()
 	e, ok := s.items[k]
 	if !ok {
 		s.mu.Unlock()
 		var zero V
-		return zero, false
+		return zero, lookupMiss
 	}
-	if !e.exp.IsZero() && c.clock().After(e.exp) {
-		s.unlink(e)
-		delete(s.items, k)
-		s.mu.Unlock()
-		c.expirations.Add(1)
-		var zero V
-		return zero, false
+	if !e.exp.IsZero() {
+		now := c.clock()
+		if now.After(e.exp.Add(c.staleFor)) {
+			s.policy.Remove(k)
+			delete(s.items, k)
+			s.mu.Unlock()
+			s.n.expirations.Add(1)
+			var zero V
+			return zero, lookupMiss
+		}
+		if now.After(e.exp) {
+			s.policy.Touch(k)
+			v := e.val
+			s.mu.Unlock()
+			return v, lookupStale
+		}
 	}
-	s.unlink(e)
-	s.pushFront(e)
+	s.policy.Touch(k)
 	v := e.val
 	s.mu.Unlock()
-	return v, true
+	return v, lookupFresh
 }
 
-// Put inserts (or refreshes) k, evicting the shard's least recently used
-// entry when the bound is exceeded.
+// Put inserts (or refreshes) k, evicting the policy's victim when the
+// shard bound is exceeded.
 func (c *Cache[V]) Put(k Key, v V) {
 	var exp time.Time
 	if c.ttl > 0 {
 		exp = c.clock().Add(c.ttl)
 	}
+	c.put(k, v, exp)
+}
+
+// put inserts with an explicit freshness deadline (zero = never
+// expires). Snapshot restore re-inserts entries with their original
+// deadlines through this path.
+func (c *Cache[V]) put(k Key, v V, exp time.Time) {
 	s := c.shardFor(k)
 	s.mu.Lock()
 	if e, ok := s.items[k]; ok {
 		e.val = v
 		e.exp = exp
-		s.unlink(e)
-		s.pushFront(e)
+		s.policy.Touch(k)
 		s.mu.Unlock()
 		return
 	}
-	e := &entry[V]{key: k, val: v, exp: exp}
-	s.items[k] = e
-	s.pushFront(e)
-	if len(s.items) > s.cap {
-		lru := s.tail.prev
-		s.unlink(lru)
-		delete(s.items, lru.key)
-		s.mu.Unlock()
-		c.evictions.Add(1)
-		return
+	// Evict before admitting: the victim is chosen among the resident
+	// entries, so a policy can never select the newcomer itself (LFU and
+	// 2Q would otherwise refuse admission — a fresh entry is both least
+	// frequent and newest in the admission queue).
+	evicted := 0
+	for len(s.items) >= s.cap {
+		victim, ok := s.policy.Victim()
+		if !ok {
+			break
+		}
+		delete(s.items, victim)
+		evicted++
 	}
+	s.items[k] = &entry[V]{val: v, exp: exp}
+	s.policy.Admit(k)
 	s.mu.Unlock()
+	if evicted > 0 {
+		s.n.evictions.Add(uint64(evicted))
+	}
 }
 
 // Do returns the cached value for k, computing and caching it on a miss.
@@ -243,14 +351,28 @@ func (c *Cache[V]) Put(k Key, v V) {
 // failed computation never poisons the cache. A waiting caller whose ctx
 // is cancelled gives up with ctx.Err() (the compute itself keeps running
 // under the leader).
+//
+// With Options.StaleFor configured, a lookup that finds an expired entry
+// still inside the stale window returns it immediately (hit=true) and
+// revalidates in the background: one refresh per key at a time
+// (singleflight), a successful refresh re-arms the entry, a failed or
+// panicking refresh changes nothing — the stale value keeps serving
+// until the window closes.
 func (c *Cache[V]) Do(ctx context.Context, k Key, compute func() (V, error)) (v V, hit bool, err error) {
-	if v, ok := c.Get(k); ok {
+	s := c.shardFor(k)
+	if v, state := c.lookup(k); state != lookupMiss {
+		s.n.hits.Add(1)
+		if state == lookupStale {
+			s.n.staleServes.Add(1)
+			go c.refresh(k, compute)
+		}
 		return v, true, nil
 	}
+	s.n.misses.Add(1)
 	c.flightMu.Lock()
 	if f, ok := c.flight[k]; ok {
 		c.flightMu.Unlock()
-		c.shared.Add(1)
+		s.n.shared.Add(1)
 		select {
 		case <-f.done:
 			return f.val, true, f.err
@@ -279,9 +401,9 @@ func (c *Cache[V]) Do(ctx context.Context, k Key, compute func() (V, error)) (v 
 	}()
 
 	// Re-check under the flight: a previous leader may have populated the
-	// entry between our Get miss and registering the call. Uncounted —
+	// entry between our lookup miss and registering the call. Uncounted —
 	// this is the same logical lookup that just missed.
-	if cached, ok := c.lookup(k); ok {
+	if cached, state := c.lookup(k); state != lookupMiss {
 		completed = true
 		return cached, true, nil
 	}
@@ -291,6 +413,54 @@ func (c *Cache[V]) Do(ctx context.Context, k Key, compute func() (V, error)) (v 
 		c.Put(k, v)
 	}
 	return v, false, err
+}
+
+// refresh revalidates a stale entry in the background under the
+// singleflight registry: at most one refresh (or leader compute) per key
+// is in flight, a successful compute re-arms the entry, and errors —
+// including panics, which have no caller to propagate to here — leave
+// the stale value in place.
+func (c *Cache[V]) refresh(k Key, compute func() (V, error)) {
+	c.flightMu.Lock()
+	if _, inflight := c.flight[k]; inflight {
+		c.flightMu.Unlock()
+		return
+	}
+	f := &call[V]{done: make(chan struct{})}
+	c.flight[k] = f
+	c.flightMu.Unlock()
+
+	var (
+		v         V
+		err       error
+		refreshed bool
+		completed bool
+	)
+	defer func() {
+		if r := recover(); r != nil || !completed {
+			err = errors.New("memo: refresh compute panicked")
+		}
+		if err == nil && refreshed {
+			c.Put(k, v)
+			c.shardFor(k).n.refreshes.Add(1)
+		}
+		f.val, f.err = v, err
+		c.flightMu.Lock()
+		delete(c.flight, k)
+		c.flightMu.Unlock()
+		close(f.done)
+	}()
+	// Re-check under the flight: an earlier refresh (or leader compute)
+	// may have re-armed the entry between the stale serve that spawned
+	// this goroutine and the flight registration — recomputing then would
+	// be pure waste.
+	if cached, state := c.lookup(k); state == lookupFresh {
+		v, completed = cached, true
+		return
+	}
+	v, err = compute()
+	refreshed = true
+	completed = true
 }
 
 // Len returns the resident entry count.
@@ -305,14 +475,21 @@ func (c *Cache[V]) Len() int {
 	return n
 }
 
-// Stats snapshots the counters.
+// Stats snapshots the counters: per-shard breakdowns plus their sum.
 func (c *Cache[V]) Stats() Stats {
-	return Stats{
-		Hits:        c.hits.Load(),
-		Misses:      c.misses.Load(),
-		Shared:      c.shared.Load(),
-		Evictions:   c.evictions.Load(),
-		Expirations: c.expirations.Load(),
-		Entries:     c.Len(),
+	st := Stats{
+		Policy:   c.policy,
+		Capacity: c.capacity,
+		Shards:   make([]ShardStats, len(c.shards)),
 	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		sh := s.n.snapshot()
+		s.mu.Lock()
+		sh.Entries = len(s.items)
+		s.mu.Unlock()
+		st.Shards[i] = sh
+		st.ShardStats.add(sh)
+	}
+	return st
 }

@@ -1,0 +1,337 @@
+package memo
+
+import "fmt"
+
+// Policy names a built-in eviction policy.
+type Policy int
+
+const (
+	// PolicyLRU evicts the least recently used entry (the default).
+	PolicyLRU Policy = iota
+	// PolicyLFU evicts the least frequently used entry, breaking ties by
+	// recency (least recent first). Good when a small set of keys is
+	// re-requested far more often than the rest — a one-shot scan cannot
+	// displace the hot set.
+	PolicyLFU
+	// Policy2Q is a simplified 2Q: new entries enter a FIFO admission
+	// queue and are promoted to the main LRU queue only on a second
+	// access. One-shot keys die in the admission queue without ever
+	// touching the hot entries.
+	Policy2Q
+)
+
+// String returns the flag-friendly policy name.
+func (p Policy) String() string {
+	switch p {
+	case PolicyLRU:
+		return "lru"
+	case PolicyLFU:
+		return "lfu"
+	case Policy2Q:
+		return "2q"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// ParsePolicy maps a flag value ("lru", "lfu", "2q") to its Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "lru":
+		return PolicyLRU, nil
+	case "lfu":
+		return PolicyLFU, nil
+	case "2q", "twoq":
+		return Policy2Q, nil
+	}
+	return 0, fmt.Errorf("memo: unknown eviction policy %q (have lru, lfu, 2q)", s)
+}
+
+// Eviction is one shard's replacement policy: the cache tells it about
+// admissions, accesses, and removals, and asks it to select victims when
+// the shard exceeds its bound. Implementations need no internal locking —
+// every call happens under the owning shard's mutex — but independent
+// shards use independent instances, so a factory (Options.NewEviction)
+// constructs them.
+//
+// The contract: every resident key is known to the policy (Admit on
+// insert, Remove on expiry or explicit deletion), Touch is called for
+// each access of a resident key, and Victim both selects and forgets the
+// evicted key (the caller removes it from the item map).
+type Eviction interface {
+	// Admit records a newly inserted key.
+	Admit(k Key)
+	// Touch records an access of a resident key.
+	Touch(k Key)
+	// Remove forgets a key removed from the shard (expiry or deletion).
+	Remove(k Key)
+	// Victim selects the entry to evict, removes it from the policy's
+	// own bookkeeping, and returns it; ok is false when nothing is
+	// tracked.
+	Victim() (k Key, ok bool)
+}
+
+// NewEviction constructs the built-in policy p for a shard bounded to
+// capacity entries. It is the default Options.NewEviction factory.
+func (p Policy) NewEviction(capacity int) Eviction {
+	switch p {
+	case PolicyLFU:
+		return newLFU()
+	case Policy2Q:
+		return newTwoQ(capacity)
+	default:
+		return newLRU()
+	}
+}
+
+// ring is an intrusive doubly-linked list node. Keys double as list
+// identity; each policy maps Key → *ring for O(1) unlink.
+type ring struct {
+	key        Key
+	prev, next *ring
+}
+
+// list is a sentinel-rooted doubly-linked list of rings (front = most
+// recently used / most recently admitted).
+type list struct {
+	root ring
+	n    int
+}
+
+func (l *list) init() {
+	l.root.prev = &l.root
+	l.root.next = &l.root
+	l.n = 0
+}
+
+func (l *list) pushFront(r *ring) {
+	r.prev = &l.root
+	r.next = l.root.next
+	r.prev.next = r
+	r.next.prev = r
+	l.n++
+}
+
+func (l *list) unlink(r *ring) {
+	r.prev.next = r.next
+	r.next.prev = r.prev
+	r.prev, r.next = nil, nil
+	l.n--
+}
+
+// back returns the least recently used ring (nil when empty).
+func (l *list) back() *ring {
+	if l.n == 0 {
+		return nil
+	}
+	return l.root.prev
+}
+
+// lruPolicy is the classic least-recently-used order: one list, touch
+// moves to front, victim pops the back.
+type lruPolicy struct {
+	nodes map[Key]*ring
+	order list
+}
+
+func newLRU() *lruPolicy {
+	p := &lruPolicy{nodes: make(map[Key]*ring)}
+	p.order.init()
+	return p
+}
+
+func (p *lruPolicy) Admit(k Key) {
+	r := &ring{key: k}
+	p.nodes[k] = r
+	p.order.pushFront(r)
+}
+
+func (p *lruPolicy) Touch(k Key) {
+	if r, ok := p.nodes[k]; ok {
+		p.order.unlink(r)
+		p.order.pushFront(r)
+	}
+}
+
+func (p *lruPolicy) Remove(k Key) {
+	if r, ok := p.nodes[k]; ok {
+		p.order.unlink(r)
+		delete(p.nodes, k)
+	}
+}
+
+func (p *lruPolicy) Victim() (Key, bool) {
+	r := p.order.back()
+	if r == nil {
+		return Key{}, false
+	}
+	p.order.unlink(r)
+	delete(p.nodes, r.key)
+	return r.key, true
+}
+
+// lfuNode pairs a ring with its access count.
+type lfuNode struct {
+	ring
+	freq uint64
+}
+
+// lfuPolicy is an O(1) least-frequently-used policy: nodes live in
+// per-frequency recency lists, minFreq tracks the lowest populated
+// frequency, and the victim is the least recent node of that list.
+type lfuPolicy struct {
+	nodes   map[Key]*lfuNode
+	buckets map[uint64]*list
+	minFreq uint64
+}
+
+func newLFU() *lfuPolicy {
+	return &lfuPolicy{nodes: make(map[Key]*lfuNode), buckets: make(map[uint64]*list)}
+}
+
+func (p *lfuPolicy) bucket(f uint64) *list {
+	b, ok := p.buckets[f]
+	if !ok {
+		b = &list{}
+		b.init()
+		p.buckets[f] = b
+	}
+	return b
+}
+
+func (p *lfuPolicy) Admit(k Key) {
+	n := &lfuNode{freq: 1}
+	n.key = k
+	p.nodes[k] = n
+	p.bucket(1).pushFront(&n.ring)
+	p.minFreq = 1
+}
+
+func (p *lfuPolicy) Touch(k Key) {
+	n, ok := p.nodes[k]
+	if !ok {
+		return
+	}
+	old := p.buckets[n.freq]
+	old.unlink(&n.ring)
+	if old.n == 0 {
+		delete(p.buckets, n.freq)
+		if p.minFreq == n.freq {
+			p.minFreq++
+		}
+	}
+	n.freq++
+	p.bucket(n.freq).pushFront(&n.ring)
+}
+
+func (p *lfuPolicy) Remove(k Key) {
+	n, ok := p.nodes[k]
+	if !ok {
+		return
+	}
+	b := p.buckets[n.freq]
+	b.unlink(&n.ring)
+	if b.n == 0 {
+		delete(p.buckets, n.freq)
+	}
+	delete(p.nodes, k)
+}
+
+func (p *lfuPolicy) Victim() (Key, bool) {
+	if len(p.nodes) == 0 {
+		return Key{}, false
+	}
+	// Removals can strand minFreq on an empty frequency; resynchronize by
+	// scanning upward (bounded by the next populated bucket — amortized
+	// cheap because Touch only ever moves nodes one frequency up).
+	b, ok := p.buckets[p.minFreq]
+	for !ok || b.n == 0 {
+		p.minFreq++
+		b, ok = p.buckets[p.minFreq]
+	}
+	r := b.back()
+	b.unlink(r)
+	if b.n == 0 {
+		delete(p.buckets, p.minFreq)
+	}
+	delete(p.nodes, r.key)
+	return r.key, true
+}
+
+// twoQNode is a ring tagged with the queue it currently lives in.
+type twoQNode struct {
+	ring
+	hot bool // false: admission FIFO (a1in); true: main LRU (am)
+}
+
+// twoQPolicy is simplified 2Q (no ghost queue): admissions enter a FIFO
+// queue sized to ~1/4 of the shard; a second access promotes to the main
+// LRU queue. Victims come from the admission queue while it is over its
+// share (so one-shot scans cannot flush the hot set), from the main
+// queue's LRU end otherwise.
+type twoQPolicy struct {
+	nodes map[Key]*twoQNode
+	a1in  list // admission FIFO: front = newest, back = oldest
+	am    list // main LRU: front = most recent
+	kin   int  // admission-queue share
+}
+
+func newTwoQ(capacity int) *twoQPolicy {
+	kin := capacity / 4
+	if kin < 1 {
+		kin = 1
+	}
+	p := &twoQPolicy{nodes: make(map[Key]*twoQNode), kin: kin}
+	p.a1in.init()
+	p.am.init()
+	return p
+}
+
+func (p *twoQPolicy) Admit(k Key) {
+	n := &twoQNode{}
+	n.key = k
+	p.nodes[k] = n
+	p.a1in.pushFront(&n.ring)
+}
+
+func (p *twoQPolicy) Touch(k Key) {
+	n, ok := p.nodes[k]
+	if !ok {
+		return
+	}
+	if n.hot {
+		p.am.unlink(&n.ring)
+		p.am.pushFront(&n.ring)
+		return
+	}
+	// Second access while still in the admission queue: promote.
+	p.a1in.unlink(&n.ring)
+	n.hot = true
+	p.am.pushFront(&n.ring)
+}
+
+func (p *twoQPolicy) Remove(k Key) {
+	n, ok := p.nodes[k]
+	if !ok {
+		return
+	}
+	if n.hot {
+		p.am.unlink(&n.ring)
+	} else {
+		p.a1in.unlink(&n.ring)
+	}
+	delete(p.nodes, k)
+}
+
+func (p *twoQPolicy) Victim() (Key, bool) {
+	var r *ring
+	if p.a1in.n > p.kin || p.am.n == 0 {
+		r = p.a1in.back()
+	} else {
+		r = p.am.back()
+	}
+	if r == nil {
+		return Key{}, false
+	}
+	p.Remove(r.key)
+	return r.key, true
+}

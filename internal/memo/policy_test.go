@@ -1,0 +1,181 @@
+package memo
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestParsePolicy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Policy
+		err  bool
+	}{
+		{"", PolicyLRU, false},
+		{"lru", PolicyLRU, false},
+		{"lfu", PolicyLFU, false},
+		{"2q", Policy2Q, false},
+		{"twoq", Policy2Q, false},
+		{"arc", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParsePolicy(c.in)
+		if (err != nil) != c.err {
+			t.Fatalf("ParsePolicy(%q) err = %v", c.in, err)
+		}
+		if err == nil && got != c.want {
+			t.Fatalf("ParsePolicy(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, p := range []Policy{PolicyLRU, PolicyLFU, Policy2Q} {
+		back, err := ParsePolicy(p.String())
+		if err != nil || back != p {
+			t.Fatalf("round trip %v -> %q -> %v (%v)", p, p.String(), back, err)
+		}
+	}
+}
+
+// keys returns n distinct cache keys.
+func keys(n int) []Key {
+	out := make([]Key, n)
+	for i := range out {
+		out[i] = KeyOf(fmt.Sprintf("k%d", i))
+	}
+	return out
+}
+
+// TestLFUKeepsHotEntries pins the LFU contract: a frequently accessed
+// entry survives a stream of one-shot insertions that would evict it
+// under LRU.
+func TestLFUKeepsHotEntries(t *testing.T) {
+	c := New[int](Options{Capacity: 4, Shards: 1, Policy: PolicyLFU})
+	ks := keys(16)
+	hot := ks[0]
+	c.Put(hot, 100)
+	for i := 0; i < 8; i++ {
+		c.Get(hot) // crank the hot entry's frequency
+	}
+	for i := 1; i < len(ks); i++ {
+		c.Put(ks[i], i) // one-shot entries churn through the other slots
+	}
+	if _, ok := c.Get(hot); !ok {
+		t.Fatal("LFU evicted the most frequently used entry")
+	}
+	if c.Len() > 4 {
+		t.Fatalf("capacity bound violated: %d entries", c.Len())
+	}
+}
+
+// TestLFUVictimIsLeastFrequent pins victim selection order: with
+// distinct frequencies, the least frequent entry goes first.
+func TestLFUVictimIsLeastFrequent(t *testing.T) {
+	c := New[int](Options{Capacity: 3, Shards: 1, Policy: PolicyLFU})
+	ka, kb, kc, kd := KeyOf("a"), KeyOf("b"), KeyOf("c"), KeyOf("d")
+	c.Put(ka, 1)
+	c.Put(kb, 2)
+	c.Put(kc, 3)
+	c.Get(ka)
+	c.Get(ka)
+	c.Get(kc) // freq: a=3, c=2, b=1
+	c.Put(kd, 4)
+	if _, ok := c.Get(kb); ok {
+		t.Fatal("least frequent entry b survived")
+	}
+	for _, k := range []Key{ka, kc, kd} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatal("wrong LFU victim")
+		}
+	}
+}
+
+// TestTwoQScanResistance pins the 2Q contract: entries accessed twice
+// are promoted to the main queue and survive a one-shot scan that would
+// flush a pure LRU.
+func TestTwoQScanResistance(t *testing.T) {
+	c := New[int](Options{Capacity: 8, Shards: 1, Policy: Policy2Q})
+	ks := keys(32)
+	// Two hot keys: admitted, then touched (promoted to the main queue).
+	c.Put(ks[0], 0)
+	c.Put(ks[1], 1)
+	c.Get(ks[0])
+	c.Get(ks[1])
+	// A long one-shot scan.
+	for i := 2; i < len(ks); i++ {
+		c.Put(ks[i], i)
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := c.Get(ks[i]); !ok {
+			t.Fatalf("scan flushed promoted entry %d", i)
+		}
+	}
+	if c.Len() > 8 {
+		t.Fatalf("capacity bound violated: %d entries", c.Len())
+	}
+}
+
+// TestPolicyRemoveConsistency drives every built-in policy through
+// admit/touch/remove/victim cycles directly, checking that removal of
+// arbitrary keys never corrupts victim selection.
+func TestPolicyRemoveConsistency(t *testing.T) {
+	for _, pk := range []Policy{PolicyLRU, PolicyLFU, Policy2Q} {
+		t.Run(pk.String(), func(t *testing.T) {
+			p := pk.NewEviction(8)
+			ks := keys(8)
+			tracked := map[Key]bool{}
+			for _, k := range ks {
+				p.Admit(k)
+				tracked[k] = true
+			}
+			for i, k := range ks {
+				for j := 0; j < i; j++ {
+					p.Touch(k)
+				}
+			}
+			// Remove half the keys explicitly.
+			for i := 0; i < 4; i++ {
+				p.Remove(ks[i*2])
+				delete(tracked, ks[i*2])
+			}
+			// Victim must drain exactly the remaining keys.
+			got := map[Key]bool{}
+			for {
+				k, ok := p.Victim()
+				if !ok {
+					break
+				}
+				if got[k] {
+					t.Fatalf("victim %x returned twice", k[:4])
+				}
+				got[k] = true
+			}
+			if len(got) != len(tracked) {
+				t.Fatalf("drained %d victims, want %d", len(got), len(tracked))
+			}
+			for k := range tracked {
+				if !got[k] {
+					t.Fatalf("tracked key %x never became a victim", k[:4])
+				}
+			}
+		})
+	}
+}
+
+// TestStatsReportPolicy checks the policy name and capacity surface
+// through Stats.
+func TestStatsReportPolicy(t *testing.T) {
+	c := New[int](Options{Capacity: 64, Shards: 4, Policy: Policy2Q})
+	st := c.Stats()
+	if st.Policy != "2q" {
+		t.Fatalf("policy = %q", st.Policy)
+	}
+	if st.Capacity < 64 {
+		t.Fatalf("capacity = %d", st.Capacity)
+	}
+	if len(st.Shards) != 4 {
+		t.Fatalf("shards = %d", len(st.Shards))
+	}
+	custom := New[int](Options{NewEviction: func(capacity int) Eviction { return newLRU() }})
+	if got := custom.Stats().Policy; got != "custom" {
+		t.Fatalf("custom policy reported %q", got)
+	}
+}

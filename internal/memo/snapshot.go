@@ -1,0 +1,230 @@
+package memo
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Snapshot format (all integers little-endian):
+//
+//	magic    [8]byte  "DSEMEMO\x01"
+//	version  uint32   SnapshotVersion
+//	count    uint64   entry count
+//	entries  count ×:
+//	    key      [32]byte
+//	    exp      int64    freshness deadline, UnixNano (0 = never expires)
+//	    len      uint64   value length in bytes
+//	    value    [len]byte
+//	checksum [32]byte  sha256 over everything above
+//
+// The checksum makes truncation and corruption detectable; the version
+// makes format evolution explicit. Restore refuses both with an error
+// and loads nothing — a corrupt snapshot degrades to a cold cache, never
+// to a poisoned one.
+
+// SnapshotVersion is the current snapshot format version.
+const SnapshotVersion = 1
+
+var snapshotMagic = [8]byte{'D', 'S', 'E', 'M', 'E', 'M', 'O', 1}
+
+// maxSnapshotValueBytes bounds one encoded value (and, via count×length,
+// the allocations a hostile snapshot can demand before the checksum is
+// ever verified).
+const maxSnapshotValueBytes = 64 << 20
+
+// Snapshot writes every resident entry to w: a versioned header, the
+// entries in deterministic (key-sorted) order with their absolute
+// freshness deadlines, and a trailing sha256 checksum. encode serializes
+// one value; it runs outside the shard locks, so it must not race with
+// mutators of the value (values handed to a cache of deep-copied
+// entries, like the runner's result cache, are safe). Entries whose
+// stale window has fully passed are skipped.
+func (c *Cache[V]) Snapshot(w io.Writer, encode func(V) ([]byte, error)) error {
+	type rec struct {
+		key Key
+		exp time.Time
+		val V
+	}
+	var recs []rec
+	now := c.clock()
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for k, e := range s.items {
+			if !e.exp.IsZero() && now.After(e.exp.Add(c.staleFor)) {
+				continue
+			}
+			recs = append(recs, rec{key: k, exp: e.exp, val: e.val})
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		return bytes.Compare(recs[i].key[:], recs[j].key[:]) < 0
+	})
+
+	h := sha256.New()
+	hw := io.MultiWriter(w, h)
+	if _, err := hw.Write(snapshotMagic[:]); err != nil {
+		return fmt.Errorf("memo: writing snapshot header: %w", err)
+	}
+	if err := writeUint32(hw, SnapshotVersion); err != nil {
+		return err
+	}
+	if err := writeUint64(hw, uint64(len(recs))); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		b, err := encode(r.val)
+		if err != nil {
+			return fmt.Errorf("memo: encoding snapshot entry: %w", err)
+		}
+		var exp int64
+		if !r.exp.IsZero() {
+			exp = r.exp.UnixNano()
+		}
+		if _, err := hw.Write(r.key[:]); err != nil {
+			return fmt.Errorf("memo: writing snapshot entry: %w", err)
+		}
+		if err := writeUint64(hw, uint64(exp)); err != nil {
+			return err
+		}
+		if err := writeUint64(hw, uint64(len(b))); err != nil {
+			return err
+		}
+		if _, err := hw.Write(b); err != nil {
+			return fmt.Errorf("memo: writing snapshot entry: %w", err)
+		}
+	}
+	if _, err := w.Write(h.Sum(nil)); err != nil {
+		return fmt.Errorf("memo: writing snapshot checksum: %w", err)
+	}
+	return nil
+}
+
+// Restore loads a snapshot written by Snapshot into c, decoding each
+// value with decode. The whole file is read and its checksum verified
+// before anything is inserted, so a truncated, corrupt, or
+// version-mismatched snapshot returns an error with the cache untouched.
+// Entries already expired past their stale window (by c's clock) are
+// skipped; the rest re-enter with their original freshness deadlines.
+// Restore returns the number of entries inserted.
+func Restore[V any](c *Cache[V], r io.Reader, decode func([]byte) (V, error)) (int, error) {
+	h := sha256.New()
+	hr := io.TeeReader(r, h)
+
+	var magic [8]byte
+	if _, err := io.ReadFull(hr, magic[:]); err != nil {
+		return 0, fmt.Errorf("memo: reading snapshot header: %w", err)
+	}
+	if magic != snapshotMagic {
+		return 0, fmt.Errorf("memo: not a cache snapshot (bad magic %q)", magic[:])
+	}
+	version, err := readUint32(hr)
+	if err != nil {
+		return 0, fmt.Errorf("memo: reading snapshot version: %w", err)
+	}
+	if version != SnapshotVersion {
+		return 0, fmt.Errorf("memo: snapshot version %d, this build reads %d", version, SnapshotVersion)
+	}
+	count, err := readUint64(hr)
+	if err != nil {
+		return 0, fmt.Errorf("memo: reading snapshot entry count: %w", err)
+	}
+
+	type rec struct {
+		key Key
+		exp time.Time
+		raw []byte
+	}
+	recs := make([]rec, 0, min(count, 1<<16)) // cap the pre-allocation; count is unverified until the checksum
+	for i := uint64(0); i < count; i++ {
+		var rc rec
+		if _, err := io.ReadFull(hr, rc.key[:]); err != nil {
+			return 0, fmt.Errorf("memo: snapshot truncated at entry %d: %w", i, err)
+		}
+		expNano, err := readUint64(hr)
+		if err != nil {
+			return 0, fmt.Errorf("memo: snapshot truncated at entry %d: %w", i, err)
+		}
+		if expNano != 0 {
+			rc.exp = time.Unix(0, int64(expNano))
+		}
+		n, err := readUint64(hr)
+		if err != nil {
+			return 0, fmt.Errorf("memo: snapshot truncated at entry %d: %w", i, err)
+		}
+		if n > maxSnapshotValueBytes {
+			return 0, fmt.Errorf("memo: snapshot entry %d claims %d bytes (corrupt length)", i, n)
+		}
+		rc.raw = make([]byte, n)
+		if _, err := io.ReadFull(hr, rc.raw); err != nil {
+			return 0, fmt.Errorf("memo: snapshot truncated at entry %d: %w", i, err)
+		}
+		recs = append(recs, rc)
+	}
+	// The checksum trailer is read from r directly — it must not hash
+	// itself.
+	sum := h.Sum(nil)
+	var stored [sha256.Size]byte
+	if _, err := io.ReadFull(r, stored[:]); err != nil {
+		return 0, fmt.Errorf("memo: reading snapshot checksum: %w", err)
+	}
+	if !bytes.Equal(sum, stored[:]) {
+		return 0, fmt.Errorf("memo: snapshot checksum mismatch (file corrupt)")
+	}
+
+	now := c.clock()
+	inserted := 0
+	for i := range recs {
+		rc := &recs[i]
+		if !rc.exp.IsZero() && now.After(rc.exp.Add(c.staleFor)) {
+			continue
+		}
+		v, err := decode(rc.raw)
+		if err != nil {
+			return inserted, fmt.Errorf("memo: decoding snapshot entry: %w", err)
+		}
+		c.put(rc.key, v, rc.exp)
+		inserted++
+	}
+	return inserted, nil
+}
+
+func writeUint32(w io.Writer, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	if _, err := w.Write(b[:]); err != nil {
+		return fmt.Errorf("memo: writing snapshot: %w", err)
+	}
+	return nil
+}
+
+func writeUint64(w io.Writer, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	if _, err := w.Write(b[:]); err != nil {
+		return fmt.Errorf("memo: writing snapshot: %w", err)
+	}
+	return nil
+}
+
+func readUint32(r io.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func readUint64(r io.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}

@@ -1,0 +1,266 @@
+package memo
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a mutex-guarded settable clock for TTL tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{now: time.Unix(1000, 0)} }
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
+}
+
+// TestStaleWhileRevalidateServesAndRefreshes pins the SWR contract: an
+// expired entry inside the stale window is served immediately (no
+// blocking on recompute) while one background refresh re-arms it.
+func TestStaleWhileRevalidateServesAndRefreshes(t *testing.T) {
+	clk := newFakeClock()
+	c := New[int](Options{Capacity: 8, TTL: time.Minute, StaleFor: time.Hour, Clock: clk.Now})
+	k := KeyOf("swr")
+	c.Put(k, 1)
+	clk.Advance(2 * time.Minute) // expired, inside the stale window
+
+	var computes atomic.Int32
+	refreshed := make(chan struct{})
+	v, hit, err := c.Do(context.Background(), k, func() (int, error) {
+		computes.Add(1)
+		defer close(refreshed)
+		return 2, nil
+	})
+	if err != nil || !hit || v != 1 {
+		t.Fatalf("stale Do = %d, hit=%v, err=%v; want the stale value 1 served as a hit", v, hit, err)
+	}
+	<-refreshed
+	// The refresh re-armed the entry with the new value; wait for the
+	// background Put (close happens inside compute, Put after).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if v, _ := c.Get(k); v == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("refresh never re-armed the entry")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := c.Stats()
+	if st.StaleServes != 1 {
+		t.Fatalf("staleServes = %d, want 1", st.StaleServes)
+	}
+	if st.Refreshes != 1 {
+		t.Fatalf("refreshes = %d, want 1", st.Refreshes)
+	}
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("compute ran %d times, want 1 (background refresh only)", got)
+	}
+}
+
+// TestStaleWindowClosesToMiss pins the boundary: beyond TTL+StaleFor the
+// entry is gone and Do computes fresh.
+func TestStaleWindowClosesToMiss(t *testing.T) {
+	clk := newFakeClock()
+	c := New[int](Options{Capacity: 8, TTL: time.Minute, StaleFor: time.Minute, Clock: clk.Now})
+	k := KeyOf("gone")
+	c.Put(k, 1)
+	clk.Advance(3 * time.Minute) // past TTL + stale window
+	v, hit, err := c.Do(context.Background(), k, func() (int, error) { return 9, nil })
+	if err != nil || hit || v != 9 {
+		t.Fatalf("Do past the stale window = %d, hit=%v, err=%v; want a fresh compute", v, hit, err)
+	}
+	if exp := c.Stats().Expirations; exp != 1 {
+		t.Fatalf("expirations = %d, want 1", exp)
+	}
+}
+
+// TestStaleRefreshErrorKeepsServingStale pins "never cache errors": a
+// failing refresh leaves the stale value serving.
+func TestStaleRefreshErrorKeepsServingStale(t *testing.T) {
+	clk := newFakeClock()
+	c := New[int](Options{Capacity: 8, TTL: time.Minute, StaleFor: time.Hour, Clock: clk.Now})
+	k := KeyOf("flaky")
+	c.Put(k, 7)
+	clk.Advance(2 * time.Minute)
+
+	done := make(chan struct{})
+	v, hit, err := c.Do(context.Background(), k, func() (int, error) {
+		defer close(done)
+		panic("refresh exploded")
+	})
+	if err != nil || !hit || v != 7 {
+		t.Fatalf("stale Do = %d, hit=%v, err=%v", v, hit, err)
+	}
+	<-done
+	// Wait for the refresh goroutine to finish unwinding, then check the
+	// stale value is still served and nothing was re-armed.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c.flightMu.Lock()
+		_, inflight := c.flight[k]
+		c.flightMu.Unlock()
+		if !inflight {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("refresh flight never cleared")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if v, ok := c.Get(k); !ok || v != 7 {
+		t.Fatalf("stale value lost after failed refresh: %d, %v", v, ok)
+	}
+	if r := c.Stats().Refreshes; r != 0 {
+		t.Fatalf("failed refresh counted as success: %d", r)
+	}
+}
+
+// TestStaleRefreshSingleflight: many concurrent stale serves trigger at
+// most one background refresh.
+func TestStaleRefreshSingleflight(t *testing.T) {
+	clk := newFakeClock()
+	c := New[int](Options{Capacity: 8, TTL: time.Minute, StaleFor: time.Hour, Clock: clk.Now})
+	k := KeyOf("popular")
+	c.Put(k, 1)
+	clk.Advance(2 * time.Minute)
+
+	var computes atomic.Int32
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, hit, err := c.Do(context.Background(), k, func() (int, error) {
+				computes.Add(1)
+				<-gate
+				return 2, nil
+			})
+			if err != nil || !hit || v != 1 {
+				t.Errorf("stale Do = %d, hit=%v, err=%v", v, hit, err)
+			}
+		}()
+	}
+	wg.Wait() // every caller got the stale value without blocking on the gate
+	close(gate)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if v, _ := c.Get(k); v == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("refresh never landed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("%d refresh computes ran, want 1", got)
+	}
+}
+
+// TestExactCounterAccounting is the satellite's accounting test: with a
+// gated compute, every counter transition is forced into a known order
+// and asserted exactly. Run under -race this also exercises the
+// concurrent counter paths.
+func TestExactCounterAccounting(t *testing.T) {
+	c := New[int](Options{Capacity: 2, Shards: 1})
+	k := KeyOf("counted")
+
+	// Phase 1: one leader, K waiters coalesce on the same missing key.
+	const waiters = 8
+	entered := make(chan struct{})
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Do(context.Background(), k, func() (int, error) {
+			close(entered)
+			<-gate
+			return 42, nil
+		})
+	}()
+	<-entered // the leader is inside compute; the entry does not exist yet
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, hit, err := c.Do(context.Background(), k, func() (int, error) {
+				t.Error("waiter computed")
+				return 0, nil
+			})
+			if err != nil || !hit || v != 42 {
+				t.Errorf("waiter got %d, hit=%v, err=%v", v, hit, err)
+			}
+		}()
+	}
+	// Wait until every waiter has registered on the flight (each counts
+	// one miss and one shared before blocking).
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Stats().Shared != waiters {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d waiters coalesced", c.Stats().Shared, waiters)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+
+	st := c.Stats()
+	if st.Misses != 1+waiters {
+		t.Fatalf("misses = %d, want %d (leader + every coalesced waiter missed first)", st.Misses, 1+waiters)
+	}
+	if st.Shared != waiters {
+		t.Fatalf("shared = %d, want %d", st.Shared, waiters)
+	}
+	if st.Hits != 0 {
+		t.Fatalf("hits = %d, want 0 before any resident lookup", st.Hits)
+	}
+
+	// Phase 2: three resident lookups are three hits.
+	for i := 0; i < 3; i++ {
+		if _, hit, _ := c.Do(context.Background(), k, nil); !hit {
+			t.Fatal("resident lookup missed")
+		}
+	}
+	st = c.Stats()
+	if st.Hits != 3 || st.Misses != 1+waiters {
+		t.Fatalf("after hits: %+v", st.ShardStats)
+	}
+
+	// Phase 3: capacity 2, shard 1 — inserting two more keys evicts
+	// exactly one entry.
+	c.Put(KeyOf("b"), 2)
+	c.Put(KeyOf("c"), 3)
+	st = c.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Entries != 2 {
+		t.Fatalf("entries = %d, want 2", st.Entries)
+	}
+	// The sum of shard counters equals the aggregate.
+	var sum ShardStats
+	for _, sh := range st.Shards {
+		sum.add(sh)
+	}
+	if sum != st.ShardStats {
+		t.Fatalf("aggregate %+v != shard sum %+v", st.ShardStats, sum)
+	}
+}

@@ -3,6 +3,7 @@ package runner
 import (
 	"context"
 	"errors"
+	"fmt"
 	"strconv"
 	"time"
 
@@ -25,10 +26,42 @@ type ResultCache struct {
 	c *memo.Cache[*Outcome]
 }
 
+// ResultCacheOptions sizes and shapes a ResultCache: capacity, shard
+// count, eviction policy, and the TTL / stale-while-revalidate windows.
+// The zero value selects the memo defaults (LRU, no expiry).
+type ResultCacheOptions struct {
+	// Capacity bounds the total cached outcome count (<=0 selects
+	// memo.DefaultCapacity).
+	Capacity int
+	// Shards is the lock-shard count (<=0 selects memo.DefaultShards).
+	Shards int
+	// TTL expires outcomes that long after insertion (0 = never).
+	TTL time.Duration
+	// StaleFor, with TTL, keeps expired outcomes servable for that
+	// additional window while a background singleflight refresh
+	// revalidates them (stale-while-revalidate).
+	StaleFor time.Duration
+	// Policy selects the eviction policy (memo.PolicyLRU default).
+	Policy memo.Policy
+}
+
+// NewResultCacheWith creates a cache shaped by opts.
+func NewResultCacheWith(opts ResultCacheOptions) *ResultCache {
+	return &ResultCache{c: memo.New[*Outcome](memo.Options{
+		Capacity: opts.Capacity,
+		Shards:   opts.Shards,
+		TTL:      opts.TTL,
+		StaleFor: opts.StaleFor,
+		Policy:   opts.Policy,
+	})}
+}
+
 // NewResultCache creates a cache bounded to capacity entries (<=0 selects
-// memo.DefaultCapacity) whose entries expire after ttl (0 = never).
+// memo.DefaultCapacity) whose entries expire after ttl (0 = never), with
+// the default LRU policy. Use NewResultCacheWith for policy and
+// stale-while-revalidate control.
 func NewResultCache(capacity int, ttl time.Duration) *ResultCache {
-	return &ResultCache{c: memo.New[*Outcome](memo.Options{Capacity: capacity, TTL: ttl})}
+	return NewResultCacheWith(ResultCacheOptions{Capacity: capacity, TTL: ttl})
 }
 
 // Stats snapshots the underlying cache counters.
@@ -133,14 +166,88 @@ func metricsTag(ms []objective.Metric) string {
 	return string(b)
 }
 
-// Cached wraps fn with the memoized result cache: a hit returns a deep
-// copy of the stored outcome (flagged FromCache) without invoking fn, a
-// miss computes, stores a deep copy of the completed outcome, and
-// returns the original. Concurrent identical misses compute once
-// (singleflight). Errors — including the cancellation errors a RunFunc
-// returns for truncated runs — are never cached, so a partial result
-// cannot poison the cache. A nil cache returns fn unchanged.
-func Cached(cache *ResultCache, keyFor KeyFunc, fn RunFunc) RunFunc {
+// CacheConfig describes one memoized run source for WithCache: the
+// cache itself plus exactly one source — a strategy-engine factory
+// (Factory + MaxSteps), a legacy annealing batch (SA + App/Arch), a
+// legacy genetic batch (GA + GADeadline + App/Arch), or an arbitrary
+// RunFunc with its own key derivation (Fn + Key).
+type CacheConfig struct {
+	// Cache is the memoized result cache; nil disables caching (the
+	// resolved RunFunc computes every run).
+	Cache *ResultCache
+
+	// Factory + MaxSteps select a budgeted strategy-engine batch
+	// (StrategyBudget behind StrategyKey) — the primitive dsed, dsebench,
+	// and dsesweep replay.
+	Factory  *search.Factory
+	MaxSteps int
+
+	// SA selects a legacy annealing batch over App/Arch (runner.SA behind
+	// SAKey).
+	SA *core.Config
+	// GA selects a legacy genetic batch over App/Arch with the given
+	// deadline (runner.GA behind GAKey).
+	GA         *ga.Config
+	GADeadline model.Time
+	// App and Arch are the models of an SA or GA source.
+	App  *model.App
+	Arch *model.Arch
+
+	// Fn + Key lift an arbitrary RunFunc over the cache with a custom key
+	// derivation.
+	Fn  RunFunc
+	Key KeyFunc
+}
+
+// WithCache resolves cfg into a cache-wrapped RunFunc — the single entry
+// point behind which the per-driver Cached* constructors collapsed. A
+// hit returns a deep copy of the stored outcome (flagged FromCache)
+// without computing; a miss computes, stores a deep copy, and returns
+// the original; concurrent identical misses compute once (singleflight);
+// errors — including the cancellation errors truncated runs return — are
+// never cached. With cfg.Cache nil the source runs uncached.
+func WithCache(cfg CacheConfig) (RunFunc, error) {
+	sources := 0
+	for _, set := range []bool{cfg.Factory != nil, cfg.SA != nil, cfg.GA != nil, cfg.Fn != nil} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, fmt.Errorf("runner: WithCache needs exactly one source (Factory, SA, GA, or Fn), got %d", sources)
+	}
+	switch {
+	case cfg.Factory != nil:
+		return cached(cfg.Cache, StrategyKey(cfg.Factory, cfg.MaxSteps), StrategyBudget(cfg.Factory, cfg.MaxSteps)), nil
+	case cfg.SA != nil:
+		if cfg.App == nil || cfg.Arch == nil {
+			return nil, fmt.Errorf("runner: WithCache SA source needs App and Arch")
+		}
+		fn, err := SA(cfg.App, cfg.Arch, *cfg.SA)
+		if err != nil {
+			return nil, err
+		}
+		return cached(cfg.Cache, SAKey(cfg.App, cfg.Arch, *cfg.SA), fn), nil
+	case cfg.GA != nil:
+		if cfg.App == nil || cfg.Arch == nil {
+			return nil, fmt.Errorf("runner: WithCache GA source needs App and Arch")
+		}
+		fn, err := GA(cfg.App, cfg.Arch, *cfg.GA, cfg.GADeadline)
+		if err != nil {
+			return nil, err
+		}
+		return cached(cfg.Cache, GAKey(cfg.App, cfg.Arch, *cfg.GA, cfg.GADeadline), fn), nil
+	default:
+		if cfg.Key == nil {
+			return nil, fmt.Errorf("runner: WithCache Fn source needs a Key derivation")
+		}
+		return cached(cfg.Cache, cfg.Key, cfg.Fn), nil
+	}
+}
+
+// cached wraps fn with the memoized result cache under keyFor. A nil
+// cache returns fn unchanged.
+func cached(cache *ResultCache, keyFor KeyFunc, fn RunFunc) RunFunc {
 	if cache == nil {
 		return fn
 	}
@@ -189,29 +296,30 @@ func Cached(cache *ResultCache, keyFor KeyFunc, fn RunFunc) RunFunc {
 	}
 }
 
-// CachedStrategyBudget is StrategyBudget behind the result cache — the
-// budgeted batch primitive of dsebench, dsed, and every other consumer
-// that replays scenario × strategy cells. A nil cache degrades to the
-// uncached primitive.
-func CachedStrategyBudget(cache *ResultCache, f *search.Factory, maxSteps int) RunFunc {
-	return Cached(cache, StrategyKey(f, maxSteps), StrategyBudget(f, maxSteps))
+// Cached wraps fn with the memoized result cache under keyFor.
+//
+// Deprecated: use WithCache with CacheConfig{Cache, Fn, Key}.
+func Cached(cache *ResultCache, keyFor KeyFunc, fn RunFunc) RunFunc {
+	return cached(cache, keyFor, fn)
 }
 
-// CachedSA is runner.SA behind the result cache, for the legacy
-// annealing-batch drivers (dsecompare).
+// CachedStrategyBudget is StrategyBudget behind the result cache.
+//
+// Deprecated: use WithCache with CacheConfig{Cache, Factory, MaxSteps}.
+func CachedStrategyBudget(cache *ResultCache, f *search.Factory, maxSteps int) RunFunc {
+	return cached(cache, StrategyKey(f, maxSteps), StrategyBudget(f, maxSteps))
+}
+
+// CachedSA is runner.SA behind the result cache.
+//
+// Deprecated: use WithCache with CacheConfig{Cache, SA, App, Arch}.
 func CachedSA(cache *ResultCache, app *model.App, arch *model.Arch, cfg core.Config) (RunFunc, error) {
-	fn, err := SA(app, arch, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return Cached(cache, SAKey(app, arch, cfg), fn), nil
+	return WithCache(CacheConfig{Cache: cache, SA: &cfg, App: app, Arch: arch})
 }
 
 // CachedGA is runner.GA behind the result cache.
+//
+// Deprecated: use WithCache with CacheConfig{Cache, GA: &cfg, GADeadline: deadline, App: app, Arch: arch}.
 func CachedGA(cache *ResultCache, app *model.App, arch *model.Arch, cfg ga.Config, deadline model.Time) (RunFunc, error) {
-	fn, err := GA(app, arch, cfg, deadline)
-	if err != nil {
-		return nil, err
-	}
-	return Cached(cache, GAKey(app, arch, cfg, deadline), fn), nil
+	return WithCache(CacheConfig{Cache: cache, GA: &cfg, GADeadline: deadline, App: app, Arch: arch})
 }

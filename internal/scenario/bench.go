@@ -143,7 +143,10 @@ func RunMatrix(ctx context.Context, scenarios []*Scenario, opts MatrixOptions) (
 			if err != nil {
 				return rows, fmt.Errorf("scenario %s, strategy %s: %w", s.Name, name, err)
 			}
-			fn := runner.CachedStrategyBudget(opts.Cache, factory, maxSteps)
+			fn, err := runner.WithCache(runner.CacheConfig{Cache: opts.Cache, Factory: factory, MaxSteps: maxSteps})
+			if err != nil {
+				return rows, fmt.Errorf("scenario %s, strategy %s: %w", s.Name, name, err)
+			}
 			ropts := runner.Options{Runs: runs, Workers: opts.Workers, BaseSeed: opts.BaseSeed}
 			agg, wall, err := runCell(ctx, app, ropts, fn)
 			if err != nil {

@@ -8,9 +8,11 @@ import (
 	"log"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/memo"
 	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/search"
@@ -99,21 +101,53 @@ func (s *Server) pruneLocked() {
 // Cache returns the server's result cache (nil when disabled).
 func (s *Server) Cache() *runner.ResultCache { return s.cache }
 
-// Handler mounts the API.
+// APIVersion is the current (and only) versioned API prefix. Every
+// endpoint lives under /v1; the unversioned paths of the original API
+// remain as deprecated aliases that answer identically but carry a
+// Deprecation header pointing at their successor.
+const APIVersion = "v1"
+
+// Handler mounts the API: each route once under /v1 and once at its
+// legacy unversioned path.
 func (s *Server) Handler() http.Handler {
+	routes := []struct {
+		pattern string
+		h       http.HandlerFunc
+	}{
+		{"GET /healthz", s.handleHealthz},
+		{"GET /scenarios", s.handleScenarios},
+		{"GET /cache", s.handleCache},
+		{"GET /metrics", s.handleMetrics},
+		{"POST /jobs", s.handleSubmit},
+		{"GET /jobs", s.handleList},
+		{"GET /jobs/{id}", s.handleStatus},
+		{"GET /jobs/{id}/stream", s.handleStream},
+		{"DELETE /jobs/{id}", s.handleCancel},
+		{"POST /run", s.handleRunSync},
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
-	mux.HandleFunc("GET /scenarios", s.handleScenarios)
-	mux.HandleFunc("GET /cache", s.handleCache)
-	mux.HandleFunc("POST /jobs", s.handleSubmit)
-	mux.HandleFunc("GET /jobs", s.handleList)
-	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
-	mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
-	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
-	mux.HandleFunc("POST /run", s.handleRunSync)
+	for _, rt := range routes {
+		method, path, _ := strings.Cut(rt.pattern, " ")
+		mux.Handle(method+" /"+APIVersion+path, rt.h)
+		mux.Handle(rt.pattern, deprecatedAlias(path, rt.h))
+	}
 	return mux
+}
+
+// deprecatedAlias serves a legacy unversioned route with the standard
+// deprecation signals (draft-ietf-httpapi-deprecation-header): a
+// Deprecation header plus a Link to the successor path.
+func deprecatedAlias(path string, h http.HandlerFunc) http.Handler {
+	successor := "/" + APIVersion + path
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h(w, r)
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {
@@ -124,8 +158,36 @@ func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 	enc.Encode(v)
 }
 
+// APIError is the uniform error envelope of the /v1 API: every non-2xx
+// JSON response has the shape {"error":{"code":...,"message":...}}. The
+// code is a stable machine-readable slug; the message is for humans.
+type APIError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+type errorEnvelope struct {
+	Error APIError `json:"error"`
+}
+
+// errorCode maps an HTTP status to the envelope's stable slug.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusRequestEntityTooLarge:
+		return "too_large"
+	case http.StatusInternalServerError:
+		return "internal"
+	default:
+		return strings.ToLower(strings.ReplaceAll(http.StatusText(status), " ", "_"))
+	}
+}
+
 func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+	writeJSON(w, code, errorEnvelope{Error: APIError{Code: errorCode(code), Message: err.Error()}})
 }
 
 func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
@@ -147,12 +209,20 @@ func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// CacheInfo is the /cache wire shape: whether caching is on, plus the
+// full cache statistics (aggregate counters, policy, capacity, and the
+// per-shard breakdown) when it is.
+type CacheInfo struct {
+	Enabled bool `json:"enabled"`
+	memo.Stats
+}
+
 func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
 	if s.cache == nil {
-		writeJSON(w, http.StatusOK, map[string]bool{"enabled": false})
+		writeJSON(w, http.StatusOK, CacheInfo{Enabled: false})
 		return
 	}
-	writeJSON(w, http.StatusOK, s.cache.Stats())
+	writeJSON(w, http.StatusOK, CacheInfo{Enabled: true, Stats: s.cache.Stats()})
 }
 
 // maxSpecBytes bounds a job-spec request body. Inline models are a few
@@ -275,7 +345,10 @@ func (s *Server) runJob(ctx context.Context, j *job, res *resolved) (*JobSummary
 	if err != nil {
 		return nil, err
 	}
-	fn := runner.CachedStrategyBudget(s.cache, factory, res.maxSteps)
+	fn, err := runner.WithCache(runner.CacheConfig{Cache: s.cache, Factory: factory, MaxSteps: res.maxSteps})
+	if err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	spec := j.snapshot().Spec
 	agg, err := runner.Run(ctx, res.app, runner.Options{
@@ -415,6 +488,11 @@ func (s *Server) handleRunSync(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	fn, err := runner.WithCache(runner.CacheConfig{Cache: s.cache, Factory: factory, MaxSteps: res.maxSteps})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
@@ -424,7 +502,6 @@ func (s *Server) handleRunSync(w http.ResponseWriter, r *http.Request) {
 		flusher.Flush()
 	}
 	enc := json.NewEncoder(w)
-	fn := runner.CachedStrategyBudget(s.cache, factory, res.maxSteps)
 	start := time.Now()
 	agg, runErr := runner.Run(r.Context(), res.app, runner.Options{
 		Runs:     res.runs,
