@@ -2,12 +2,14 @@
 # these targets so local runs and CI runs cannot drift apart.
 
 GO ?= go
-BENCH_JSON ?= BENCH_PR5.json
+BENCH_JSON ?= BENCH_PR7.json
 BENCH_MICRO_JSON ?= BENCH_MICRO.json
 BENCH_BASELINE ?= bench/BENCH_BASELINE.json
 BENCH_THRESHOLD ?= 0.20
+# Speculative batch width of the bench-batch-smoke leg (CI runs 1 and 8).
+BATCH ?= 8
 
-.PHONY: all build test race bench bench-json bench-check bench-baseline bench-micro-json dsed-smoke docs-check fmt fmt-check vet ci
+.PHONY: all build test race bench bench-json bench-check bench-baseline bench-batch-smoke bench-micro-json dsed-smoke docs-check fmt fmt-check vet ci
 
 all: build test
 
@@ -25,29 +27,44 @@ race:
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
-# Scenario macro-benchmarks: dsebench over the smoke corpus (tiny/small
-# scenarios, sa+list), per-cell best cost / front size / evals/s into
-# $(BENCH_JSON). -cache runs every cell cold and then cache-warm, so the
-# file also records the cold-vs-warm cell times (warm_ms/hits) and the
-# warm pass is verified bit-identical to the cold one. CI uploads the
-# file as an artifact so the trajectory accumulates per commit.
+# Scenario macro-benchmarks, assembled in two slices: the smoke corpus
+# (tiny/small scenarios, sa+list; -cache reruns every cell cache-warm and
+# verifies the warm pass bit-identical, recording warm_ms/hits) plus the
+# layered-xl SA cell — the cold-throughput pin of the hot-loop perf work.
+# Per-cell best cost / front size / evals/s land in $(BENCH_JSON), which
+# CI uploads as an artifact so the trajectory accumulates per commit.
 bench-json:
 	$(GO) run ./cmd/dsebench -smoke -cache -json $(BENCH_JSON)
+	$(GO) run ./cmd/dsebench -scenarios layered-xl -strategies sa -json $(BENCH_JSON) -append
 
-# The CI regression gate: the same smoke matrix (including the cache-warm
-# verification pass) under the race detector, compared against the
-# committed baseline. Only the deterministic quality fields (best cost
-# per cell) are gated; exits 3 on a >$(BENCH_THRESHOLD) relative
-# regression.
+# The CI regression gate: the same two slices under the race detector,
+# with the final (appending) slice comparing the whole merged matrix
+# against the committed baseline. Gated per cell: best cost (quality) and
+# evals/s (throughput), each at $(BENCH_THRESHOLD) relative worsening;
+# exits 3 on any regression. The throughput gate only makes sense
+# like-for-like, which is why the baseline below is also race-built.
 bench-check:
-	$(GO) run -race ./cmd/dsebench -smoke -cache -json $(BENCH_JSON) \
+	$(GO) run -race ./cmd/dsebench -smoke -cache -json $(BENCH_JSON)
+	$(GO) run -race ./cmd/dsebench -scenarios layered-xl -strategies sa -json $(BENCH_JSON) -append \
 		-baseline $(BENCH_BASELINE) -threshold $(BENCH_THRESHOLD)
 
-# Regenerate the committed baseline after an intentional quality change
-# (new scenarios, retuned budgets, algorithm improvements). Commit the
-# resulting file together with the change that explains it.
+# Regenerate the committed baseline after an intentional quality or speed
+# change (new scenarios, retuned budgets, algorithm work). Must mirror
+# bench-check's flags exactly — same race detector, same cache mode — or
+# the evals/s gate compares incommensurable numbers. Commit the resulting
+# file together with the change that explains it.
 bench-baseline:
-	$(GO) run ./cmd/dsebench -smoke -json $(BENCH_BASELINE)
+	$(GO) run -race ./cmd/dsebench -smoke -cache -json $(BENCH_BASELINE)
+	$(GO) run -race ./cmd/dsebench -scenarios layered-xl -strategies sa -json $(BENCH_BASELINE) -append
+
+# The batched-speculation smoke: two scenarios through the SA hot loop at
+# speculative batch width $(BATCH) under the race detector (CI runs the
+# serial batch=1 and speculative batch=8 legs as a matrix), each leg
+# writing a pprof CPU profile so a perf regression in either code path is
+# diagnosable straight from the CI artifact.
+bench-batch-smoke:
+	$(GO) run -race ./cmd/dsebench -scenarios layered-small,pipeline-fft-small -strategies sa \
+		-batch $(BATCH) -json BENCH_BATCH_$(BATCH).json -cpuprofile dsebench_batch$(BATCH).pprof
 
 # Measured run of the key micro-benchmarks (the ones whose trajectory the
 # perf PRs track), with allocation stats, as a test2json stream.

@@ -7,12 +7,13 @@
 // the BENCH_PR4.json trajectory CI archives per commit.
 //
 // Against a baseline file the run becomes a regression gate: cells whose
-// best cost worsens by more than -threshold (or that disappear) fail the
-// run with exit code 3. Only the deterministic quality fields are gated;
-// the machine-dependent throughput telemetry is recorded but never
-// compared.
-//
-// Usage:
+// best cost worsens by more than -threshold, whose evals/s drops by more
+// than -threshold below the baseline (gated only for cells whose baseline
+// measurement ran ≥1 s — report.ThroughputGateMinWallMS — since
+// millisecond rates are noise), or that disappear fail the run with exit
+// code 3. The throughput gate makes the committed baseline
+// machine-specific: regenerate it (make bench-baseline) when the
+// reference machine or build flags change.
 //
 // With -cache every cell runs behind the sharded memoized result cache
 // and is then run a second, cache-warm time: the warm pass must reproduce
@@ -20,12 +21,22 @@
 // of its key) and the row records the warm wall time and hit count — the
 // cold-vs-warm trajectory BENCH_PR5.json archives.
 //
+// -batch runs the SA cells with speculative batched move evaluation (a
+// different but deterministic trajectory, so batched results compare only
+// against batched baselines); -early-stop/-early-stop-window enable the
+// adaptive early stop. -append merges this invocation's rows into an
+// existing -json file, so a matrix can be assembled in slices; -baseline
+// then gates the whole merged file, not just this invocation's rows.
+//
+// Usage:
+//
 //	dsebench -list                              # the scenario catalog
 //	dsebench                                    # full corpus × sa,list
 //	dsebench -scenarios layered,paper-fig2 -strategies sa,ga,list -runs 5 -j 8
 //	dsebench -smoke -json BENCH_PR5.json        # CI: tiny corpus, fast budgets
 //	dsebench -smoke -cache                      # cold vs warm cell times
 //	dsebench -smoke -baseline bench/BENCH_BASELINE.json -threshold 0.20
+//	dsebench -scenarios layered-xl -strategies sa -batch 8 -json b.json -append
 //
 // Exit codes: 0 success, 1 run error, 2 flag-usage error (the flag
 // package's convention), 3 regression vs baseline.
@@ -42,6 +53,7 @@ import (
 	"strings"
 
 	"repro/internal/apps"
+	"repro/internal/prof"
 	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/scenario"
@@ -66,6 +78,12 @@ func main() {
 		cacheOn    = flag.Bool("cache", false, "memoize run outcomes and rerun each cell cache-warm (records warm_ms and hits)")
 		cacheSize  = flag.Int("cache-size", 8192, "result-cache capacity in entries (with -cache)")
 		verbose    = flag.Bool("v", false, "print each cell as it completes")
+		batch      = flag.Int("batch", 0, "speculative batch width for SA cells (<=1 = serial)")
+		batchWk    = flag.Int("batch-workers", 0, "goroutines scoring each speculated batch (0 = GOMAXPROCS; never changes results)")
+		earlyStop  = flag.Float64("early-stop", 0, "adaptive early stop: end a run when best cost improves < this fraction over -early-stop-window steps (0 = off)")
+		earlyStopW = flag.Int("early-stop-window", 32, "sliding-window length (driver steps) of -early-stop")
+		appendJSON = flag.Bool("append", false, "merge rows into an existing -json file instead of overwriting it")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the matrix to this file")
 	)
 	flag.Parse()
 
@@ -78,12 +96,21 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	stopProfile := prof.Start(*cpuprofile, "")
+	defer stopProfile()
+
 	opts := scenario.MatrixOptions{
-		Strategies: scenario.SplitComma(*strategies),
-		Runs:       *runs,
-		Workers:    *workers,
-		BaseSeed:   *seed,
-		MaxSteps:   *maxSteps,
+		Strategies:   scenario.SplitComma(*strategies),
+		Runs:         *runs,
+		Workers:      *workers,
+		BaseSeed:     *seed,
+		MaxSteps:     *maxSteps,
+		Batch:        *batch,
+		BatchWorkers: *batchWk,
+	}
+	if *earlyStop > 0 {
+		opts.EarlyStopEpsilon = *earlyStop
+		opts.EarlyStopWindow = *earlyStopW
 	}
 	if *cacheOn {
 		opts.Cache = runner.NewResultCache(*cacheSize, 0)
@@ -140,15 +167,53 @@ func main() {
 		},
 		Results: rows,
 	}
+	if *batch > 1 {
+		file.Params["batch"] = fmt.Sprint(*batch)
+	}
+	if *earlyStop > 0 {
+		file.Params["earlyStop"] = fmt.Sprintf("%g/%d", *earlyStop, *earlyStopW)
+	}
 	fmt.Println()
 	if err := report.BenchTable(file).Render(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
+	// out is what -json persists and -baseline gates: this invocation's
+	// rows, or — with -append — the whole merged file, so a matrix
+	// assembled in slices is gated as one unit by its final slice.
+	out := file
 	if *jsonPath != "" {
-		if err := report.SaveBench(*jsonPath, file); err != nil {
+		if *appendJSON {
+			if prev, err := report.LoadBench(*jsonPath); err == nil {
+				// Merge: this invocation's rows replace same-key rows of the
+				// existing file and append after the rest, so re-running a
+				// slice updates it in place.
+				fresh := make(map[string]bool, len(rows))
+				for i := range rows {
+					fresh[rows[i].Key()] = true
+				}
+				merged := prev
+				kept := merged.Results[:0]
+				for _, r := range merged.Results {
+					if !fresh[r.Key()] {
+						kept = append(kept, r)
+					}
+				}
+				merged.Results = append(kept, rows...)
+				for k, v := range file.Params {
+					if merged.Params == nil {
+						merged.Params = map[string]string{}
+					}
+					merged.Params[k] = v
+				}
+				out = merged
+			} else if !os.IsNotExist(err) {
+				log.Fatal(err)
+			}
+		}
+		if err := report.SaveBench(*jsonPath, out); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("\nwrote %s (%d cells)\n", *jsonPath, len(rows))
+		fmt.Printf("\nwrote %s (%d cells)\n", *jsonPath, len(out.Results))
 	}
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
@@ -174,7 +239,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		regs := report.CompareBench(base, file, *threshold)
+		regs := report.CompareBench(base, out, *threshold)
 		if len(regs) > 0 {
 			fmt.Printf("\n%d regression(s) vs %s (threshold %.0f%%):\n", len(regs), *baseline, *threshold*100)
 			for _, r := range regs {

@@ -56,6 +56,10 @@ func main() {
 		wArea      = flag.Float64("w-area", 0, "objective weight on occupied hardware area (cost units per CLB)")
 		wReconf    = flag.Float64("w-reconf", 0, "objective weight on reconfiguration time (cost units per ms, initial+dynamic)")
 		cacheOn    = flag.Bool("cache", false, "memoize run outcomes across sweep points (repeated sizes/seeds become cache hits)")
+		batch      = flag.Int("batch", 0, "speculative batch width for SA moves (<=1 = serial; changes the trajectory deterministically)")
+		batchWk    = flag.Int("batch-workers", 0, "goroutines scoring each speculated batch (0 = GOMAXPROCS; never changes results)")
+		earlyStop  = flag.Float64("early-stop", 0, "adaptive early stop: end a run when best cost improves < this fraction over -early-stop-window steps (0 = off)")
+		earlyStopW = flag.Int("early-stop-window", 32, "sliding-window length (driver steps) of -early-stop")
 	)
 	flag.Parse()
 
@@ -89,8 +93,14 @@ func main() {
 		cfg.MaxIters = *iters
 		cfg.Deadline = apps.MotionDeadline
 		cfg.EnableCtxSplit = *splits
+		cfg.Batch = *batch
+		cfg.BatchWorkers = *batchWk
 		scfg := search.DefaultConfig()
 		scfg.SA = cfg
+		if *earlyStop > 0 {
+			scfg.EarlyStopEpsilon = *earlyStop
+			scfg.EarlyStopWindow = *earlyStopW
+		}
 		if *wArea != 0 || *wReconf != 0 {
 			scal := objective.FixedArch()
 			scal.Weights[objective.HWArea] = *wArea

@@ -74,6 +74,24 @@ func main() {
 	fmt.Printf("  iterations=%d accepted=%d rejected=%d infeasible=%d wall=%v (paper: <10 s)\n\n",
 		res.Stats.Iters, res.Stats.Accepted, res.Stats.Rejected, res.Stats.Infeasible, elapsed.Round(time.Millisecond))
 
+	fmt.Println("move mix (proposed / accepted per kind):")
+	mt := report.NewTable("move", "proposed", "accepted", "accept_rate")
+	for k := 0; k < core.NumMoveKinds; k++ {
+		prop, acc := res.MoveStats.Proposed[k], res.MoveStats.Accepted[k]
+		if prop == 0 && acc == 0 {
+			continue
+		}
+		rate := "-"
+		if prop > 0 {
+			rate = fmt.Sprintf("%.1f%%", 100*float64(acc)/float64(prop))
+		}
+		mt.AddRow(core.MoveKindName(k), prop, acc, rate)
+	}
+	if err := mt.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
 	if !*noplot && len(its) > 0 {
 		fmt.Println("execution time (ms) vs iteration:")
 		if err := report.Plot(os.Stdout, 78, 16, report.Series{Name: "execution time (ms)", X: its, Y: exec}); err != nil {

@@ -79,6 +79,10 @@ func main() {
 		wArea      = flag.Float64("w-area", 0, "objective weight on occupied hardware area (cost units per CLB)")
 		wReconf    = flag.Float64("w-reconf", 0, "objective weight on reconfiguration time (cost units per ms, initial+dynamic)")
 		server     = flag.String("server", "", "submit the job to this dsed server (e.g. http://localhost:8080) instead of running locally")
+		batch      = flag.Int("batch", 0, "speculative batch width for SA moves (<=1 = serial; changes the trajectory deterministically)")
+		batchWk    = flag.Int("batch-workers", 0, "goroutines scoring each speculated batch (0 = GOMAXPROCS; pure throughput, never changes results)")
+		earlyStop  = flag.Float64("early-stop", 0, "adaptive early stop: end a run when best cost improves < this fraction over -early-stop-window steps (0 = off)")
+		earlyStopW = flag.Int("early-stop-window", 32, "sliding-window length (driver steps) of -early-stop")
 	)
 	flag.Parse()
 
@@ -128,6 +132,8 @@ func main() {
 			Strategy: *strategy, Runs: *runs, Seed: *seed, Workers: *workers,
 			SAIters: *iters, Quality: *quality, DeadlineMS: *deadlineMS,
 			WArea: *wArea, WReconf: *wReconf,
+			Batch: *batch, BatchWorkers: *batchWk,
+			EarlyStopEpsilon: *earlyStop, EarlyStopWindow: *earlyStopW,
 		}
 		runRemote(*server, spec)
 		return
@@ -138,10 +144,16 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Quality = *quality
 	cfg.Deadline = model.FromMillis(*deadlineMS)
+	cfg.Batch = *batch
+	cfg.BatchWorkers = *batchWk
 
 	scfg := search.DefaultConfig()
 	scfg.SA = cfg
 	scfg.FrontMetrics = []objective.Metric{objective.HWArea, objective.Makespan}
+	if *earlyStop > 0 {
+		scfg.EarlyStopEpsilon = *earlyStop
+		scfg.EarlyStopWindow = *earlyStopW
+	}
 	if *wArea != 0 || *wReconf != 0 {
 		scal := objective.FixedArch()
 		scal.Weights[objective.HWArea] = *wArea

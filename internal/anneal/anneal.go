@@ -31,6 +31,34 @@ type BestKeeper interface {
 	KeepBest()
 }
 
+// BatchProblem is optionally implemented by problems that support
+// speculative batch evaluation: the runner asks for a batch of independent
+// candidate moves up front, the problem evaluates them all against the
+// *current* solution (possibly in parallel), and the runner then consumes
+// the scores one by one in canonical order i = 0..n-1 through the usual
+// Metropolis rule. The first accepted candidate invalidates the rest of the
+// batch — their scores were measured against a state that no longer exists —
+// so the runner discards them (Stats.Discarded) and speculates a fresh
+// batch. The consumed trajectory is therefore a pure function of (seed,
+// batch width): the worker count used to evaluate a batch can never shift a
+// decision.
+type BatchProblem interface {
+	Problem
+	// SpeculateBatch draws up to k candidate moves from rng and evaluates
+	// each against the current solution, returning the number of candidates
+	// speculated (normally k). The problem's state must be left exactly as
+	// it was before the call.
+	SpeculateBatch(rng *rand.Rand, k int) int
+	// Candidate reports speculated candidate i: its move kind (-1 when the
+	// draw produced no move), whether it evaluated feasibly, and its cost.
+	Candidate(i int) (kind int, ok bool, cost float64)
+	// ConsumeCandidate finalizes candidate i. With accepted true the
+	// problem must re-apply the candidate to its current solution and
+	// report success; with accepted false it records the rejection (no
+	// state change — speculation already rolled back).
+	ConsumeCandidate(i int, accepted bool) bool
+}
+
 // Observation is the per-iteration telemetry passed to trace callbacks.
 type Observation struct {
 	Iter        int
@@ -62,6 +90,15 @@ type Options struct {
 	// interrupts the run (the tool "can be interrupted by the user at any
 	// time and will then return the current solution").
 	Stop func() bool
+	// Batch, when >1 and the problem implements BatchProblem, switches the
+	// runner to speculative batch evaluation with that many candidates per
+	// round. Values <=1 (and problems without batch support) run the exact
+	// serial loop, bit-identical to earlier releases. Batched runs follow a
+	// different (equally valid) trajectory than serial ones — the RNG
+	// interleaving differs — but are themselves fully deterministic for a
+	// given (Seed, Batch), independent of how the problem parallelizes the
+	// speculative evaluations.
+	Batch int
 }
 
 // NewOptions returns Options with the target disabled.
@@ -69,7 +106,8 @@ func NewOptions(s Schedule) Options {
 	return Options{Schedule: s, TargetCost: math.NaN()}
 }
 
-// Stats summarizes a finished run.
+// Stats summarizes a finished run. It stays a comparable value type —
+// drivers snapshot and diff it with ==.
 type Stats struct {
 	Iters      int
 	Accepted   int
@@ -78,6 +116,14 @@ type Stats struct {
 	BestCost   float64
 	BestIter   int
 	FinalCost  float64
+	// Speculated counts candidates drawn by speculative batch rounds
+	// (zero in serial runs); Discarded counts the speculated candidates
+	// that were never consumed because an earlier candidate of their batch
+	// was accepted (or the run ended mid-batch). Their evaluation work is
+	// the price of speculation: Accepted+Rejected+Discarded is the total
+	// number of scored candidates.
+	Speculated int
+	Discarded  int
 }
 
 // Runner is a resumable annealing run: the loop of Run decomposed into
@@ -90,6 +136,7 @@ type Runner struct {
 	opt    Options
 	rng    *rand.Rand
 	keeper BestKeeper
+	bp     BatchProblem // non-nil only when batch mode is active
 	cost   float64
 	st     Stats
 	it     int
@@ -103,6 +150,9 @@ func NewRunner(p Problem, opt Options) *Runner {
 		panic("anneal: Options.Schedule is required")
 	}
 	r := &Runner{p: p, opt: opt, rng: rand.New(rand.NewSource(opt.Seed))}
+	if opt.Batch > 1 {
+		r.bp, _ = p.(BatchProblem)
+	}
 	r.cost = p.Cost()
 	r.st = Stats{BestCost: r.cost, FinalCost: r.cost}
 	r.keeper, _ = p.(BestKeeper)
@@ -114,10 +164,16 @@ func NewRunner(p Problem, opt Options) *Runner {
 
 // Step executes up to n iterations and reports whether the run can
 // continue. It returns false once the run is over — iteration budget spent,
-// schedule frozen, Stop hook fired, or target cost reached.
+// schedule frozen, Stop hook fired, or target cost reached. In batch mode a
+// Step may overshoot n by up to Batch-1 iterations: a speculated batch is
+// always consumed to its natural end (acceptance or exhaustion), so the
+// trajectory is independent of the step granularity.
 func (r *Runner) Step(n int) bool {
 	if r.done {
 		return false
+	}
+	if r.bp != nil {
+		return r.stepBatched(n)
 	}
 	opt := &r.opt
 	for k := 0; k < n; k++ {
@@ -184,6 +240,111 @@ func (r *Runner) Step(n int) bool {
 		if !math.IsNaN(opt.TargetCost) && r.st.BestCost <= opt.TargetCost {
 			r.done = true
 			return false
+		}
+	}
+	return true
+}
+
+// stepBatched is the speculative-evaluation loop: rounds of up to
+// opt.Batch candidates are speculated at once, then consumed in canonical
+// order through the same Metropolis rule, budget checks, schedule
+// observations and trace stream as the serial loop. Acceptance invalidates
+// the unconsumed remainder of a round (those candidates were scored against
+// the pre-acceptance solution); they are counted in Stats.Discarded.
+func (r *Runner) stepBatched(n int) bool {
+	opt := &r.opt
+	for n > 0 {
+		if opt.MaxIters != 0 && r.it >= opt.MaxIters {
+			r.done = true
+			return false
+		}
+		if opt.Schedule.Done() {
+			r.done = true
+			return false
+		}
+		if opt.Stop != nil && opt.Stop() {
+			r.done = true
+			return false
+		}
+		// Never speculate past the iteration budget: the final round
+		// shrinks so the consumed count lands exactly on MaxIters.
+		k := opt.Batch
+		if opt.MaxIters != 0 && opt.MaxIters-r.it < k {
+			k = opt.MaxIters - r.it
+		}
+		got := r.bp.SpeculateBatch(r.rng, k)
+		if got <= 0 {
+			// Defensive: a problem that speculated nothing still spent a
+			// draw; record one infeasible attempt so the loop provably
+			// terminates under any implementation.
+			r.it++
+			r.st.Iters++
+			r.st.Infeasible++
+			opt.Schedule.Observe(r.cost, false)
+			n--
+			continue
+		}
+		r.st.Speculated += got
+		for i := 0; i < got; i++ {
+			if opt.Schedule.Done() {
+				r.st.Discarded += got - i
+				r.done = true
+				return false
+			}
+			it := r.it
+			r.it++
+			r.st.Iters++
+			kind, ok, cost := r.bp.Candidate(i)
+			accepted := false
+			if !ok {
+				r.st.Infeasible++
+				r.bp.ConsumeCandidate(i, false)
+			} else {
+				delta := cost - r.cost
+				if delta <= 0 || r.rng.Float64() < math.Exp(-delta/opt.Schedule.Temperature()) {
+					if r.bp.ConsumeCandidate(i, true) {
+						accepted = true
+						r.cost = cost
+						r.st.Accepted++
+						if r.cost < r.st.BestCost {
+							r.st.BestCost = r.cost
+							r.st.BestIter = it
+							if r.keeper != nil {
+								r.keeper.KeepBest()
+							}
+						}
+					} else {
+						// Re-applying a speculated candidate to the very
+						// state it was scored against cannot fail; treat a
+						// refusal as infeasibility so the run still ends.
+						r.st.Infeasible++
+					}
+				} else {
+					r.bp.ConsumeCandidate(i, false)
+					r.st.Rejected++
+				}
+			}
+			opt.Schedule.Observe(r.cost, accepted)
+			if opt.Trace != nil {
+				opt.Trace(Observation{
+					Iter:        it,
+					Cost:        r.cost,
+					Best:        r.st.BestCost,
+					Temperature: opt.Schedule.Temperature(),
+					Accepted:    accepted,
+					MoveKind:    kind,
+				})
+			}
+			n--
+			if !math.IsNaN(opt.TargetCost) && r.st.BestCost <= opt.TargetCost {
+				r.st.Discarded += got - 1 - i
+				r.done = true
+				return false
+			}
+			if accepted {
+				r.st.Discarded += got - 1 - i
+				break
+			}
 		}
 	}
 	return true

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/model"
+	"repro/internal/objective"
+)
+
+// runWithConfig is runWithMode without the mode override: one full Explore
+// with a trace tap, for comparing whole trajectories across configurations.
+func runWithConfig(t *testing.T, app *model.App, arch *model.Arch, cfg Config) (*Result, []equivTracePoint) {
+	t.Helper()
+	var trace []equivTracePoint
+	cfg.Trace = func(p TracePoint) {
+		trace = append(trace, equivTracePoint{
+			cost:     p.Cost,
+			makespan: p.Makespan,
+			accepted: p.Accepted,
+			moveKind: p.MoveKind,
+		})
+	}
+	res, err := Explore(app, arch, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, trace
+}
+
+func assertSameTrajectory(t *testing.T, name string, resA, resB *Result, traceA, traceB []equivTracePoint) {
+	t.Helper()
+	if len(traceA) != len(traceB) {
+		t.Fatalf("%s: trace lengths differ: %d vs %d", name, len(traceA), len(traceB))
+	}
+	for i := range traceA {
+		if traceA[i] != traceB[i] {
+			t.Fatalf("%s: traces diverge at iteration %d:\n  a %+v\n  b %+v", name, i, traceA[i], traceB[i])
+		}
+	}
+	if resA.BestEval != resB.BestEval {
+		t.Fatalf("%s: best evaluations differ:\n  a %+v\n  b %+v", name, resA.BestEval, resB.BestEval)
+	}
+	if resA.Stats != resB.Stats {
+		t.Fatalf("%s: run statistics differ:\n  a %+v\n  b %+v", name, resA.Stats, resB.Stats)
+	}
+	if resA.MoveStats != resB.MoveStats {
+		t.Fatalf("%s: move statistics differ:\n  a %+v\n  b %+v", name, resA.MoveStats, resB.MoveStats)
+	}
+}
+
+// TestBatchOneIsSerial is the bit-identity guard of the batch knob: widths
+// 0 and 1 run the exact serial loop, so the whole trajectory — every
+// per-iteration cost, makespan and accept decision — must be identical to
+// the default configuration's, and no speculation telemetry may appear.
+func TestBatchOneIsSerial(t *testing.T) {
+	mcfg := apps.DefaultMotionConfig()
+	app := apps.MotionDetection(mcfg)
+	arch := apps.MotionArch(2000, mcfg)
+
+	cfg := DefaultConfig()
+	cfg.MaxIters = 1500
+	cfg.Warmup = 300
+	cfg.QuenchIters = 400
+
+	resSerial, traceSerial := runWithConfig(t, app, arch, cfg)
+	for _, width := range []int{0, 1} {
+		c := cfg
+		c.Batch = width
+		res, trace := runWithConfig(t, app, arch, c)
+		assertSameTrajectory(t, "batch<=1 vs serial", resSerial, res, traceSerial, trace)
+		if res.Stats.Speculated != 0 || res.Stats.Discarded != 0 {
+			t.Fatalf("batch=%d reported speculation telemetry: %+v", width, res.Stats)
+		}
+	}
+}
+
+// TestBatchDeterministicForSeed: a batched run is a pure function of
+// (seed, batch width) — repeating it must reproduce every iteration.
+func TestBatchDeterministicForSeed(t *testing.T) {
+	mcfg := apps.DefaultMotionConfig()
+	app := apps.MotionDetection(mcfg)
+	arch := apps.MotionArch(2000, mcfg)
+
+	cfg := DefaultConfig()
+	cfg.MaxIters = 1200
+	cfg.Warmup = 250
+	cfg.QuenchIters = 300
+	cfg.Batch = 8
+
+	resA, traceA := runWithConfig(t, app, arch, cfg)
+	resB, traceB := runWithConfig(t, app, arch, cfg)
+	assertSameTrajectory(t, "batch rerun", resA, resB, traceA, traceB)
+	if resA.Stats.Speculated == 0 {
+		t.Fatal("batched run speculated nothing")
+	}
+	if resA.Stats.Accepted+resA.Stats.Rejected+resA.Stats.Discarded == 0 {
+		t.Fatal("batched run consumed nothing")
+	}
+}
+
+// TestBatchWorkerCountIndependence: BatchWorkers is pure throughput — the
+// trajectory, the statistics, and the in-run Pareto front must be
+// bit-identical for every worker count (including widths that leave some
+// shadows idle on the final short round).
+func TestBatchWorkerCountIndependence(t *testing.T) {
+	mcfg := apps.DefaultMotionConfig()
+	app := apps.MotionDetection(mcfg)
+	arch := apps.MotionArch(2000, mcfg)
+
+	cfg := DefaultConfig()
+	cfg.MaxIters = 1000
+	cfg.Warmup = 200
+	cfg.QuenchIters = 300
+	cfg.Batch = 6
+	cfg.FrontMetrics = []objective.Metric{objective.HWArea, objective.Makespan}
+
+	type outcome struct {
+		res   *Result
+		trace []equivTracePoint
+	}
+	var base *outcome
+	for _, workers := range []int{1, 2, 3, 7} {
+		c := cfg
+		c.BatchWorkers = workers
+		res, trace := runWithConfig(t, app, arch, c)
+		if base == nil {
+			base = &outcome{res: res, trace: trace}
+			continue
+		}
+		assertSameTrajectory(t, "worker-count independence", base.res, res, base.trace, trace)
+		bp, rp := base.res.Front.Points(), res.Front.Points()
+		if len(bp) != len(rp) {
+			t.Fatalf("workers=%d: front sizes differ: %d vs %d", workers, len(bp), len(rp))
+		}
+		for i := range bp {
+			if bp[i].ID != rp[i].ID || len(bp[i].V) != len(rp[i].V) {
+				t.Fatalf("workers=%d: front point %d differs: %+v vs %+v", workers, i, bp[i], rp[i])
+			}
+			for d := range bp[i].V {
+				if bp[i].V[d] != rp[i].V[d] {
+					t.Fatalf("workers=%d: front point %d coord %d differs", workers, i, d)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchEvalPathEquivalence replays batched runs through both
+// evaluation paths: speculation relies on the journal's rollback
+// bit-exactness, so the full-rebuild and incremental paths must still
+// agree on every iteration when candidates are scored speculatively.
+func TestBatchEvalPathEquivalence(t *testing.T) {
+	mcfg := apps.DefaultMotionConfig()
+	motion := apps.MotionDetection(mcfg)
+
+	cfg := DefaultConfig()
+	cfg.Seed = 5
+	cfg.MaxIters = 1200
+	cfg.Warmup = 250
+	cfg.QuenchIters = 300
+	cfg.Batch = 6
+	assertEquivalent(t, "motion/2000/batch6", motion, apps.MotionArch(2000, mcfg), cfg)
+
+	// Wide template with every move kind (architecture exploration,
+	// context splits) and multiple speculation workers.
+	rcfg := apps.DefaultRandomConfig()
+	rcfg.Tasks = 30
+	app, err := apps.Layered(rand.New(rand.NewSource(3)), rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = DefaultConfig()
+	cfg.Seed = 17
+	cfg.MaxIters = 1000
+	cfg.Warmup = 200
+	cfg.QuenchIters = 300
+	cfg.ExploreArch = true
+	cfg.EnableCtxSplit = true
+	cfg.Deadline = model.FromMillis(20)
+	cfg.Batch = 4
+	cfg.BatchWorkers = 3
+	assertEquivalent(t, "layered30/wide/batch4", app, wideArch(true), cfg)
+}
+
+// TestMoveStatsCounters checks the per-kind telemetry invariants on both
+// serial and batched runs: acceptances tally to the annealer's Accepted
+// count, no kind accepts more than it proposed, and proposals cover the
+// whole run.
+func TestMoveStatsCounters(t *testing.T) {
+	mcfg := apps.DefaultMotionConfig()
+	app := apps.MotionDetection(mcfg)
+	arch := apps.MotionArch(2000, mcfg)
+
+	for _, batch := range []int{0, 8} {
+		cfg := DefaultConfig()
+		cfg.MaxIters = 1200
+		cfg.Warmup = 250
+		cfg.QuenchIters = 400
+		cfg.Batch = batch
+		res, err := Explore(app, arch, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var proposed, accepted int64
+		for k := 0; k < NumMoveKinds; k++ {
+			p, a := res.MoveStats.Proposed[k], res.MoveStats.Accepted[k]
+			if a > p {
+				t.Fatalf("batch=%d: kind %s accepted %d > proposed %d", batch, MoveKindName(k), a, p)
+			}
+			proposed += p
+			accepted += a
+		}
+		if proposed == 0 {
+			t.Fatalf("batch=%d: no proposals recorded", batch)
+		}
+		if accepted != int64(res.Stats.Accepted) {
+			t.Fatalf("batch=%d: per-kind acceptances %d != Stats.Accepted %d", batch, accepted, res.Stats.Accepted)
+		}
+	}
+}

@@ -42,6 +42,38 @@ const (
 	numMoveKinds
 )
 
+// NumMoveKinds is the number of move kinds, for sizing per-kind telemetry.
+const NumMoveKinds = numMoveKinds
+
+// moveKindNames are the stable external names of the move kinds, used by
+// trace printers and benchmark rows.
+var moveKindNames = [numMoveKinds]string{
+	MoveReorder:   "reorder",
+	MoveReassign:  "reassign",
+	MoveRemoveRes: "removeRes",
+	MoveCreateRes: "createRes",
+	MoveImpl:      "impl",
+	MoveCtxSwap:   "ctxSwap",
+	MoveCtxSplit:  "ctxSplit",
+}
+
+// MoveKindName returns the stable name of a move kind ("?" out of range).
+func MoveKindName(kind int) string {
+	if kind < 0 || kind >= numMoveKinds {
+		return "?"
+	}
+	return moveKindNames[kind]
+}
+
+// MoveStats counts per-kind move proposals and acceptances across a run —
+// a comparable value type (fixed-size arrays), so snapshots diff with ==.
+// Proposed counts every selector draw of the kind, including draws that
+// found no applicable candidate; Accepted counts consumed acceptances.
+type MoveStats struct {
+	Proposed [numMoveKinds]int64
+	Accepted [numMoveKinds]int64
+}
+
 // EvalMode selects how the annealing loop re-evaluates a mutated mapping.
 // Both concrete paths produce bit-identical results (enforced by the
 // equivalence tests and the fuzz harness); they differ only in cost shape.
@@ -147,6 +179,20 @@ type Config struct {
 	// returned in Result.Front. Leave nil to disable (the hot loop then
 	// never computes mapping-derived metrics).
 	FrontMetrics []objective.Metric
+	// Batch, when >1, enables speculative batched move evaluation: each
+	// annealing round proposes Batch independent candidates, scores them
+	// all against the current solution, and consumes the scores in
+	// canonical order. Values <=1 run the exact serial loop (bit-identical
+	// to earlier releases). A batched run follows a different — equally
+	// valid — trajectory than the serial run with the same seed, but is
+	// itself fully deterministic for a given (Seed, Batch), independent of
+	// BatchWorkers.
+	Batch int
+	// BatchWorkers bounds the goroutines scoring a speculated batch
+	// (0 = GOMAXPROCS). It is pure throughput tuning: results are
+	// bit-identical for any worker count, so it never appears in
+	// fingerprints or cache keys.
+	BatchWorkers int
 }
 
 // DefaultConfig mirrors the paper's Figure 2 run: 1200 warmup iterations,
@@ -187,6 +233,8 @@ type Result struct {
 	InitialEval sched.Result
 	// Stats carries the annealer's run statistics.
 	Stats anneal.Stats
+	// MoveStats counts per-kind proposals and acceptances across the run.
+	MoveStats MoveStats
 	// MetDeadline reports whether the best solution satisfies the
 	// configured deadline (vacuously true when no deadline is set).
 	MetDeadline bool

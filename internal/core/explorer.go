@@ -64,8 +64,51 @@ type Explorer struct {
 	mv       move
 	rng      *rand.Rand // move-parameter randomness (separate from the annealer's)
 
-	// Proposal scratch buffers (allocation-free move drawing).
-	scratchA, scratchB, scratchC []int
+	// Pool-rebuild scratch buffers (allocation-free move drawing).
+	scratchB, scratchC []int
+
+	// stateTick versions the current mapping: it bumps on every mutation
+	// and is restored on revert, so the prefetched candidate pools (which
+	// cache the Propose scan lists) stay valid across the long runs of
+	// rejected moves that dominate a cooled-down anneal.
+	stateTick uint64
+	pools     candidatePools
+
+	// kindProposed and kindAccepted tally per-kind selector draws and
+	// consumed acceptances across the run (Result.MoveStats).
+	kindProposed [numMoveKinds]int64
+	kindAccepted [numMoveKinds]int64
+
+	// Speculative batch state (Config.Batch > 1; see batch.go): spec holds
+	// the current round's candidates, shadows the worker explorers scoring
+	// them, specLog the accepted moves shadows still have to replay,
+	// specEpoch the wholesale-reset counter that invalidates replay, and
+	// speculating suppresses front offers while a round is being scored.
+	spec        []specCand
+	shadows     []*Explorer
+	specLog     []specCand
+	specEpoch   uint64
+	speculating bool
+}
+
+// candidatePools caches the mapping scans of the proposal helpers. Each
+// pool carries the stateTick it was built at and is rebuilt lazily on first
+// use after the mapping changed; the rebuild produces exactly the list the
+// inline scan used to, so draws consume the same randomness and the search
+// trajectory is bit-identical to the unpooled code.
+type candidatePools struct {
+	procs2Tick  uint64
+	procs2      []int // processors with ≥2 ordered tasks (reorder)
+	singlesTick uint64
+	singles     []int // lone tasks of singleton resources (removeRes)
+	emptyTick   uint64
+	empty       []int // encoded unused resource slots (createRes)
+	rcs2Tick    uint64
+	rcs2        []int // RCs with ≥2 contexts (ctxSwap)
+	splitTick   uint64
+	split       []int // encoded splittable (rc,ctx) pairs (ctxSplit)
+	splitMaxCtx int
+	emptyRC     int // first RC with no contexts, -1 = none (ctxSplit seed)
 }
 
 // Prepared caches everything about an (application, architecture) pair that
@@ -225,6 +268,12 @@ func (e *Explorer) reset(m *sched.Mapping) error {
 	e.curCost = e.costOf(res)
 	e.journal.reset()
 	e.cs.Reset()
+	e.stateTick++
+	// A wholesale install invalidates the shadows' replay log: they must
+	// re-clone instead of replaying moves into a solution that no longer
+	// exists.
+	e.specEpoch++
+	e.specLog = e.specLog[:0]
 	e.offerFront()
 	return nil
 }
@@ -251,7 +300,11 @@ func (e *Explorer) costOf(res sched.Result) float64 {
 // must not drag mapping scans for metrics nobody archives into the hot
 // loop.
 func (e *Explorer) offerFront() {
-	if e.front == nil {
+	if e.front == nil || e.speculating {
+		// Speculative scorings are suppressed (not just on shadows, which
+		// carry no archive, but on the master too): the archive must be
+		// identical for every BatchWorkers value, and which explorer scores
+		// a given candidate is a scheduling accident.
 		return
 	}
 	objective.Project(e.cfg.FrontMetrics, e.app, e.arch, e.cur, e.curRes, e.frontCoords)
@@ -276,6 +329,7 @@ func (e *Explorer) KeepBest() {
 // applicable move (e.g. m1 with no processor running two tasks).
 func (e *Explorer) Propose(rng *rand.Rand) anneal.Move {
 	kind := e.selector.Pick(rng)
+	e.kindProposed[kind]++
 	ok := false
 	switch kind {
 	case MoveReorder:
@@ -326,10 +380,14 @@ func (e *Explorer) Start() {
 		Seed:       e.cfg.Seed,
 		TargetCost: nanIfUnset(),
 		Stop:       e.cfg.Stop,
+		Batch:      e.cfg.Batch,
 	}
 	opt.Trace = func(o anneal.Observation) {
 		if o.MoveKind >= 0 {
 			e.selector.Observe(o.MoveKind, o.Accepted)
+			if o.Accepted {
+				e.kindAccepted[o.MoveKind]++
+			}
 		}
 		if e.cfg.Trace != nil {
 			e.cfg.Trace(TracePoint{
@@ -380,6 +438,15 @@ func (e *Explorer) Step(n int) (bool, error) {
 			Seed:       e.cfg.Seed ^ 0x9e3779b9,
 			TargetCost: nanIfUnset(),
 			Stop:       e.cfg.Stop,
+			Batch:      e.cfg.Batch,
+			// Tally-only trace: the quench still runs without selector
+			// feedback and without the user trace (matching the historical
+			// single-shot Run), but its acceptances do count in MoveStats.
+			Trace: func(o anneal.Observation) {
+				if o.MoveKind >= 0 && o.Accepted {
+					e.kindAccepted[o.MoveKind]++
+				}
+			},
 		}
 		r.runner = anneal.NewRunner(e, qopt)
 		r.phase = 1
@@ -388,20 +455,54 @@ func (e *Explorer) Step(n int) (bool, error) {
 		if r.runner.Step(n) {
 			return true, nil
 		}
-		qst := r.runner.Stats()
-		r.st.Iters += qst.Iters
-		r.st.Accepted += qst.Accepted
-		r.st.Rejected += qst.Rejected
-		r.st.Infeasible += qst.Infeasible
-		if qst.BestCost < r.st.BestCost {
-			r.st.BestCost = qst.BestCost
-		}
-		r.st.FinalCost = qst.FinalCost
+		mergeStats(&r.st, r.runner.Stats())
 		r.phase = 2
 		return false, nil
 	default:
 		return false, nil
 	}
+}
+
+// mergeStats folds one phase's annealer statistics into a cross-phase
+// accumulator.
+func mergeStats(st *anneal.Stats, cur anneal.Stats) {
+	st.Iters += cur.Iters
+	st.Accepted += cur.Accepted
+	st.Rejected += cur.Rejected
+	st.Infeasible += cur.Infeasible
+	st.Speculated += cur.Speculated
+	st.Discarded += cur.Discarded
+	if cur.BestCost < st.BestCost {
+		st.BestCost = cur.BestCost
+	}
+	st.FinalCost = cur.FinalCost
+}
+
+// StatsSnapshot returns the run statistics accumulated so far — the phases
+// merged on the fly for an unfinished run — without cloning the best
+// solution. It is the cheap per-step progress probe behind the unified
+// driver's early-stop monitor; Finish returns the same numbers.
+func (e *Explorer) StatsSnapshot() anneal.Stats {
+	r := e.run
+	if r == nil {
+		return anneal.Stats{BestCost: e.curCost, FinalCost: e.curCost}
+	}
+	st := r.st
+	if r.phase < 2 {
+		cur := r.runner.Stats()
+		if r.phase == 0 {
+			st = cur
+		} else {
+			mergeStats(&st, cur)
+		}
+	}
+	return st
+}
+
+// MoveStatsSnapshot returns the per-kind proposal/acceptance counters
+// accumulated so far.
+func (e *Explorer) MoveStatsSnapshot() MoveStats {
+	return MoveStats{Proposed: e.kindProposed, Accepted: e.kindAccepted}
 }
 
 // Finish closes a stepped exploration and returns the best solution found
@@ -415,33 +516,17 @@ func (e *Explorer) Finish() *Result {
 			Best:        e.best.Clone(),
 			BestEval:    e.bestRes,
 			InitialEval: e.curRes,
+			MoveStats:   e.MoveStatsSnapshot(),
 			MetDeadline: e.cfg.Deadline <= 0 || e.bestRes.Makespan <= e.cfg.Deadline,
 			Front:       e.front,
-		}
-	}
-	st := r.st
-	if r.phase < 2 {
-		// Snapshot of an unfinished run: current-phase statistics merged
-		// on the fly.
-		cur := r.runner.Stats()
-		if r.phase == 0 {
-			st = cur
-		} else {
-			st.Iters += cur.Iters
-			st.Accepted += cur.Accepted
-			st.Rejected += cur.Rejected
-			st.Infeasible += cur.Infeasible
-			if cur.BestCost < st.BestCost {
-				st.BestCost = cur.BestCost
-			}
-			st.FinalCost = cur.FinalCost
 		}
 	}
 	return &Result{
 		Best:        e.best.Clone(),
 		BestEval:    e.bestRes,
 		InitialEval: r.initial,
-		Stats:       st,
+		Stats:       e.StatsSnapshot(),
+		MoveStats:   e.MoveStatsSnapshot(),
 		MetDeadline: e.cfg.Deadline <= 0 || e.bestRes.Makespan <= e.cfg.Deadline,
 		Front:       e.front,
 	}

@@ -9,20 +9,21 @@ import (
 )
 
 // FuzzEvalPathEquivalence drives randomized annealing runs — random task
-// graph, random knob settings, random seed, all drawn from the fuzz input —
-// through both evaluation paths and requires bit-identical traces and
-// results. Run with
+// graph, random knob settings, random seed, random speculative-batch
+// width, all drawn from the fuzz input — through both evaluation paths and
+// requires bit-identical traces and results. Run with
 //
 //	go test -fuzz=FuzzEvalPathEquivalence ./internal/core
 //
 // to search for divergences beyond the seeded corpus.
 func FuzzEvalPathEquivalence(f *testing.F) {
-	f.Add(int64(1), uint8(18), uint8(0b011), uint16(400))
-	f.Add(int64(42), uint8(25), uint8(0b111), uint16(700))
-	f.Add(int64(-7), uint8(12), uint8(0b101), uint16(300))
-	f.Add(int64(977), uint8(35), uint8(0b110), uint16(500))
+	f.Add(int64(1), uint8(18), uint8(0b011), uint16(400), uint8(0))
+	f.Add(int64(42), uint8(25), uint8(0b111), uint16(700), uint8(1))
+	f.Add(int64(-7), uint8(12), uint8(0b101), uint16(300), uint8(4))
+	f.Add(int64(977), uint8(35), uint8(0b110), uint16(500), uint8(8))
+	f.Add(int64(31), uint8(20), uint8(0b010), uint16(600), uint8(19))
 
-	f.Fuzz(func(t *testing.T, seed int64, nTasks, knobs uint8, iters uint16) {
+	f.Fuzz(func(t *testing.T, seed int64, nTasks, knobs uint8, iters uint16, batch uint8) {
 		tasks := 6 + int(nTasks)%40
 		rcfg := apps.DefaultRandomConfig()
 		rcfg.Tasks = tasks
@@ -43,6 +44,12 @@ func FuzzEvalPathEquivalence(f *testing.F) {
 		cfg.ExploreArch = knobs&0b010 != 0
 		cfg.EnableCtxSplit = knobs&0b100 != 0
 		cfg.Deadline = model.FromMillis(15)
+		// Speculative batching must preserve the equivalence too: the batch
+		// width reshuffles the trajectory, but full and incremental must
+		// still agree on it bit for bit. Width also varies the worker count
+		// (batch%3+1) so shadow explorers are exercised.
+		cfg.Batch = int(batch) % 17
+		cfg.BatchWorkers = int(batch)%3 + 1
 
 		resFull, traceFull := runWithMode(t, app, arch, cfg, EvalFull)
 		resInc, traceInc := runWithMode(t, app, arch, cfg, EvalIncremental)

@@ -24,6 +24,7 @@ type move struct {
 
 	prevRes  sched.Result
 	prevCost float64
+	prevTick uint64
 }
 
 // Kind implements anneal.Move.
@@ -41,12 +42,18 @@ func (m *move) Apply() bool {
 	e := m.e
 	e.journal.reset()
 	m.prevRes, m.prevCost = e.curRes, e.curCost
+	// Invalidate the candidate pools for the applied state; every failure
+	// or revert path restores prevTick along with the mapping, so pools
+	// built before the move stay valid across rejected moves.
+	m.prevTick = e.stateTick
+	e.stateTick++
 	if !m.mutate() {
 		// The mutation stopped midway: undo whatever it already did. The
 		// evaluator was not touched, and the marks this attempt added to
 		// the change set only name layers that are in their pre-move state
 		// (re-deriving them later is a no-op diff).
 		e.rollback()
+		e.stateTick = m.prevTick
 		return false
 	}
 	var (
@@ -60,6 +67,7 @@ func (m *move) Apply() bool {
 			// partially patched layers recorded in the change set; the
 			// next update re-derives them from the restored state.
 			e.rollback()
+			e.stateTick = m.prevTick
 			return false
 		}
 		e.cs.Reset()
@@ -67,6 +75,7 @@ func (m *move) Apply() bool {
 		res, err = e.fullEval().Evaluate(e.cur)
 		if err != nil {
 			e.rollback()
+			e.stateTick = m.prevTick
 			return false
 		}
 	}
@@ -103,6 +112,8 @@ func (m *move) Revert() {
 	}
 	e.rollback()
 	e.curRes, e.curCost = m.prevRes, m.prevCost
+	// The rollback restored the exact state the pools at prevTick describe.
+	e.stateTick = m.prevTick
 }
 
 // remark translates the journaled undo ops of the applied move back into
@@ -158,18 +169,168 @@ type destination struct {
 	before int // software insertion point (task id); -1 = append
 }
 
+// ---------- candidate pools (prefetched proposal scan lists) ----------
+
+// poolProcs2 returns the processors with at least two ordered tasks,
+// rescanning only when the mapping changed since the pool was built.
+func (e *Explorer) poolProcs2() []int {
+	pl := &e.pools
+	if pl.procs2Tick != e.stateTick {
+		pl.procs2Tick = e.stateTick
+		procs := pl.procs2[:0]
+		for p, order := range e.cur.SWOrders {
+			if len(order) >= 2 {
+				procs = append(procs, p)
+			}
+		}
+		pl.procs2 = procs
+	}
+	return pl.procs2
+}
+
+// poolSingles returns the lone tasks of singleton resources.
+func (e *Explorer) poolSingles() []int {
+	pl := &e.pools
+	if pl.singlesTick != e.stateTick {
+		pl.singlesTick = e.stateTick
+		singles := pl.singles[:0]
+		for _, order := range e.cur.SWOrders {
+			if len(order) == 1 {
+				singles = append(singles, order[0])
+			}
+		}
+		for r := range e.cur.Contexts {
+			total, last := 0, -1
+			for _, c := range e.cur.Contexts[r] {
+				total += len(c.Tasks)
+				if len(c.Tasks) > 0 {
+					last = c.Tasks[0]
+				}
+			}
+			if total == 1 {
+				singles = append(singles, last)
+			}
+		}
+		// Per-ASIC occupancy: count tasks and remember the latest-seen
+		// task of each ASIC; singletons qualify.
+		cnt := e.scratchB[:0]
+		one := e.scratchC[:0]
+		for range e.arch.ASICs {
+			cnt = append(cnt, 0)
+			one = append(one, -1)
+		}
+		for t, p := range e.cur.Assign {
+			if p.Kind == model.KindASIC {
+				cnt[p.Res]++
+				one[p.Res] = t
+			}
+		}
+		for x := range e.arch.ASICs {
+			if cnt[x] == 1 {
+				singles = append(singles, one[x])
+			}
+		}
+		pl.singles, e.scratchB, e.scratchC = singles, cnt, one
+	}
+	return pl.singles
+}
+
+// poolEmpty returns the unused template resource slots, encoded as
+// kind+3*index to keep the draw allocation-free.
+func (e *Explorer) poolEmpty() []int {
+	const (
+		tagProc = iota
+		tagRC
+		tagASIC
+	)
+	pl := &e.pools
+	if pl.emptyTick != e.stateTick {
+		pl.emptyTick = e.stateTick
+		empty := pl.empty[:0]
+		for p, order := range e.cur.SWOrders {
+			if len(order) == 0 {
+				empty = append(empty, tagProc+3*p)
+			}
+		}
+		for r := range e.cur.Contexts {
+			if e.cur.NumContexts(r) == 0 {
+				empty = append(empty, tagRC+3*r)
+			}
+		}
+		used := e.scratchB[:0]
+		for range e.arch.ASICs {
+			used = append(used, 0)
+		}
+		for _, p := range e.cur.Assign {
+			if p.Kind == model.KindASIC {
+				used[p.Res] = 1
+			}
+		}
+		for x, u := range used {
+			if u == 0 {
+				empty = append(empty, tagASIC+3*x)
+			}
+		}
+		pl.empty, e.scratchB = empty, used
+	}
+	return pl.empty
+}
+
+// poolRCs2 returns the RCs whose context order holds at least two contexts.
+func (e *Explorer) poolRCs2() []int {
+	pl := &e.pools
+	if pl.rcs2Tick != e.stateTick {
+		pl.rcs2Tick = e.stateTick
+		rcs := pl.rcs2[:0]
+		for r := range e.cur.Contexts {
+			if len(e.cur.Contexts[r]) >= 2 {
+				rcs = append(rcs, r)
+			}
+		}
+		pl.rcs2 = rcs
+	}
+	return pl.rcs2
+}
+
+// poolSplit returns the splittable (rc, context) pairs encoded as
+// rc*maxCtx+ci, the encoding stride, and the first context-less RC (-1 when
+// every RC has a context).
+func (e *Explorer) poolSplit() (split []int, maxCtx, emptyRC int) {
+	pl := &e.pools
+	if pl.splitTick != e.stateTick {
+		pl.splitTick = e.stateTick
+		pl.emptyRC = -1
+		for r := range e.cur.Contexts {
+			if len(e.cur.Contexts[r]) == 0 {
+				pl.emptyRC = r
+				break
+			}
+		}
+		maxCtx := 0
+		for r := range e.cur.Contexts {
+			if len(e.cur.Contexts[r]) > maxCtx {
+				maxCtx = len(e.cur.Contexts[r])
+			}
+		}
+		split := pl.split[:0]
+		for r := range e.cur.Contexts {
+			for ci := range e.cur.Contexts[r] {
+				if len(e.cur.Contexts[r][ci].Tasks) >= 2 {
+					split = append(split, r*maxCtx+ci)
+				}
+			}
+		}
+		pl.split, pl.splitMaxCtx = split, maxCtx
+	}
+	return pl.split, pl.splitMaxCtx, pl.emptyRC
+}
+
 // ---------- proposal helpers (parameter drawing) ----------
 
 // proposeReorder draws m1: a processor with at least two tasks and a
 // (source, destination) pair in its order.
 func (e *Explorer) proposeReorder(rng *rand.Rand) bool {
-	procs := e.scratchA[:0]
-	for p, order := range e.cur.SWOrders {
-		if len(order) >= 2 {
-			procs = append(procs, p)
-		}
-	}
-	e.scratchA = procs
+	procs := e.poolProcs2()
 	if len(procs) == 0 {
 		return false
 	}
@@ -293,44 +454,7 @@ func (e *Explorer) pickDestination(rng *rand.Rand, vs int) (destination, bool) {
 // proposeRemoveRes draws m3: a resource executing a single task loses it to
 // the destination task's resource, emptying (removing) the source resource.
 func (e *Explorer) proposeRemoveRes(rng *rand.Rand) bool {
-	singles := e.scratchA[:0] // the lone tasks of singleton resources
-	for _, order := range e.cur.SWOrders {
-		if len(order) == 1 {
-			singles = append(singles, order[0])
-		}
-	}
-	for r := range e.cur.Contexts {
-		total, last := 0, -1
-		for _, c := range e.cur.Contexts[r] {
-			total += len(c.Tasks)
-			if len(c.Tasks) > 0 {
-				last = c.Tasks[0]
-			}
-		}
-		if total == 1 {
-			singles = append(singles, last)
-		}
-	}
-	// Per-ASIC occupancy: count tasks and remember the latest-seen task of
-	// each ASIC; singletons qualify.
-	cnt := e.scratchB[:0]
-	one := e.scratchC[:0]
-	for range e.arch.ASICs {
-		cnt = append(cnt, 0)
-		one = append(one, -1)
-	}
-	for t, pl := range e.cur.Assign {
-		if pl.Kind == model.KindASIC {
-			cnt[pl.Res]++
-			one[pl.Res] = t
-		}
-	}
-	for x := range e.arch.ASICs {
-		if cnt[x] == 1 {
-			singles = append(singles, one[x])
-		}
-	}
-	e.scratchA, e.scratchB, e.scratchC = singles, cnt, one
+	singles := e.poolSingles()
 	if len(singles) == 0 {
 		return false
 	}
@@ -347,37 +471,7 @@ func (e *Explorer) proposeRemoveRes(rng *rand.Rand) bool {
 // with a randomly chosen task. Empty slots are encoded into a scratch list
 // as kind*maxRes+index to keep the draw allocation-free.
 func (e *Explorer) proposeCreateRes(rng *rand.Rand) bool {
-	const (
-		tagProc = iota
-		tagRC
-		tagASIC
-	)
-	empty := e.scratchA[:0]
-	for p, order := range e.cur.SWOrders {
-		if len(order) == 0 {
-			empty = append(empty, tagProc+3*p)
-		}
-	}
-	for r := range e.cur.Contexts {
-		if e.cur.NumContexts(r) == 0 {
-			empty = append(empty, tagRC+3*r)
-		}
-	}
-	used := e.scratchB[:0]
-	for range e.arch.ASICs {
-		used = append(used, 0)
-	}
-	for _, pl := range e.cur.Assign {
-		if pl.Kind == model.KindASIC {
-			used[pl.Res] = 1
-		}
-	}
-	for x, u := range used {
-		if u == 0 {
-			empty = append(empty, tagASIC+3*x)
-		}
-	}
-	e.scratchA, e.scratchB = empty, used
+	empty := e.poolEmpty()
 	if len(empty) == 0 {
 		return false
 	}
@@ -418,13 +512,7 @@ func (e *Explorer) proposeImpl(rng *rand.Rand) bool {
 
 // proposeCtxSwap draws an adjacent transposition in some RC's context order.
 func (e *Explorer) proposeCtxSwap(rng *rand.Rand) bool {
-	rcs := e.scratchA[:0]
-	for r := range e.cur.Contexts {
-		if len(e.cur.Contexts[r]) >= 2 {
-			rcs = append(rcs, r)
-		}
-	}
-	e.scratchA = rcs
+	rcs := e.poolRCs2()
 	if len(rcs) == 0 {
 		return false
 	}
@@ -447,12 +535,11 @@ func (e *Explorer) proposeCtxSwap(rng *rand.Rand) bool {
 // multi-task context in two, or — when an RC has no context at all — seed
 // its first context with a hardware-capable task.
 func (e *Explorer) proposeCtxSplit(rng *rand.Rand) bool {
+	splittable, maxCtx, emptyRC := e.poolSplit()
 	// Seed an empty RC first if one exists: hardware is otherwise
 	// unreachable when the initial partition placed everything in software.
-	for r := range e.cur.Contexts {
-		if len(e.cur.Contexts[r]) > 0 {
-			continue
-		}
+	if emptyRC >= 0 {
+		r := emptyRC
 		n := e.app.N()
 		off := rng.Intn(n)
 		for i := 0; i < n; i++ {
@@ -469,21 +556,6 @@ func (e *Explorer) proposeCtxSplit(rng *rand.Rand) bool {
 		// overflow in m2 (and the seeding above).
 		return false
 	}
-	splittable := e.scratchA[:0] // encoded (rc, ctx) pairs with ≥2 tasks
-	maxCtx := 0
-	for r := range e.cur.Contexts {
-		if len(e.cur.Contexts[r]) > maxCtx {
-			maxCtx = len(e.cur.Contexts[r])
-		}
-	}
-	for r := range e.cur.Contexts {
-		for ci := range e.cur.Contexts[r] {
-			if len(e.cur.Contexts[r][ci].Tasks) >= 2 {
-				splittable = append(splittable, r*maxCtx+ci)
-			}
-		}
-	}
-	e.scratchA = splittable
 	if len(splittable) == 0 {
 		return false
 	}

@@ -1,7 +1,5 @@
 package graph
 
-import "slices"
-
 // DynTopo maintains a topological order of a DAG under edge insertions using
 // the Pearce–Kelly algorithm (Pearce & Kelly, "A dynamic topological sort
 // algorithm for directed acyclic graphs", JEA 2007). Insertions that would
@@ -18,8 +16,10 @@ type DynTopo struct {
 	ord []int // ord[v] = position of v
 	pos []int // pos[i] = node at position i (inverse of ord)
 
-	// scratch buffers reused across operations
+	// scratch buffers reused across operations. visited marks members of
+	// either affected set; inF distinguishes the forward set.
 	visited Bits
+	inF     Bits
 	deltaF  []int
 	deltaB  []int
 	slots   []int
@@ -37,6 +37,7 @@ func NewDynTopo(g *DAG) (*DynTopo, error) {
 		ord:     make([]int, g.N()),
 		pos:     make([]int, g.N()),
 		visited: NewBits(g.N()),
+		inF:     NewBits(g.N()),
 	}
 	for i, v := range order {
 		d.ord[v] = i
@@ -69,80 +70,83 @@ func (d *DynTopo) OnAddEdge(u, v int) error {
 	}
 	// Discover the affected region: deltaF = nodes reachable from v with
 	// position <= ub, deltaB = nodes reaching u with position >= lb.
-	d.deltaF = d.deltaF[:0]
-	d.deltaB = d.deltaB[:0]
 	d.visited.Reset()
+	d.inF.Reset()
 	if !d.dfsForward(v, ub) {
 		// u is reachable from v: inserting (u,v)'s counterpart created a
 		// cycle. (u itself was encountered during the forward walk.)
 		return ErrCycle
 	}
 	d.dfsBackward(u, lb)
-	d.reorder()
+	d.reorder(lb, ub)
 	return nil
 }
 
-// dfsForward collects nodes reachable from w whose position is ≤ ub into
-// deltaF. It returns false when it encounters a node at position ub (that
-// node must be u, proving a cycle).
+// dfsForward marks nodes reachable from w whose position is ≤ ub (in both
+// visited and inF). It returns false when it encounters a node at position
+// ub (that node must be u, proving a cycle).
 func (d *DynTopo) dfsForward(w, ub int) bool {
 	d.visited.Set(w)
-	d.deltaF = append(d.deltaF, w)
-	ok := true
-	d.g.EachSucc(w, func(s int, _ int64) {
-		if !ok || d.visited.Get(s) {
-			return
+	d.inF.Set(w)
+	for _, h := range d.g.succ[w] {
+		s := int(h.to)
+		if d.visited.Get(s) {
+			continue
 		}
 		if d.ord[s] == ub {
-			ok = false // found u ⇒ cycle
-			return
+			return false // found u ⇒ cycle
 		}
-		if d.ord[s] < ub {
-			if !d.dfsForward(s, ub) {
-				ok = false
-			}
+		if d.ord[s] < ub && !d.dfsForward(s, ub) {
+			return false
 		}
-	})
-	return ok
+	}
+	return true
 }
 
-// dfsBackward collects nodes that reach w with position ≥ lb into deltaB.
+// dfsBackward marks nodes that reach w with position ≥ lb (visited only).
 func (d *DynTopo) dfsBackward(w, lb int) {
 	d.visited.Set(w)
-	d.deltaB = append(d.deltaB, w)
-	d.g.EachPred(w, func(p int, _ int64) {
+	for _, h := range d.g.pred[w] {
+		p := int(h.to)
 		if !d.visited.Get(p) && d.ord[p] > lb {
 			d.dfsBackward(p, lb)
 		}
-	})
+	}
 }
 
 // reorder reassigns the positions occupied by deltaB ∪ deltaF so that every
 // node of deltaB precedes every node of deltaF, preserving relative order
-// within each set. slices.SortFunc — unlike the sort.Slice this replaced —
-// does not allocate, keeping edge insertion free of steady-state garbage.
-func (d *DynTopo) reorder() {
-	byOrd := func(a, b int) int { return d.ord[a] - d.ord[b] }
-	slices.SortFunc(d.deltaB, byOrd)
-	slices.SortFunc(d.deltaF, byOrd)
-
+// within each set. Both sets live inside the window [lb, ub], so a single
+// scan of the position array over that window yields the occupied slots and
+// each set's members already in position order — no sorting at all. (The
+// comparator sorts this replaces dominated the annealing hot loop.)
+func (d *DynTopo) reorder(lb, ub int) {
 	d.slots = d.slots[:0]
-	for _, w := range d.deltaB {
-		d.slots = append(d.slots, d.ord[w])
+	bs, fs := d.deltaB[:0], d.deltaF[:0]
+	for i := lb; i <= ub; i++ {
+		w := d.pos[i]
+		if !d.visited.Get(w) {
+			continue
+		}
+		d.slots = append(d.slots, i)
+		if d.inF.Get(w) {
+			fs = append(fs, w)
+		} else {
+			bs = append(bs, w)
+		}
 	}
-	for _, w := range d.deltaF {
-		d.slots = append(d.slots, d.ord[w])
+	k := 0
+	for _, w := range bs {
+		d.ord[w] = d.slots[k]
+		d.pos[d.slots[k]] = w
+		k++
 	}
-	slices.Sort(d.slots)
-	for i, w := range d.deltaB {
-		d.ord[w] = d.slots[i]
-		d.pos[d.slots[i]] = w
+	for _, w := range fs {
+		d.ord[w] = d.slots[k]
+		d.pos[d.slots[k]] = w
+		k++
 	}
-	off := len(d.deltaB)
-	for i, w := range d.deltaF {
-		d.ord[w] = d.slots[off+i]
-		d.pos[d.slots[off+i]] = w
-	}
+	d.deltaB, d.deltaF = bs, fs
 }
 
 // Verify reports whether the maintained order is a valid topological order

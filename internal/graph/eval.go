@@ -1,6 +1,6 @@
 package graph
 
-import "slices"
+import "math/bits"
 
 // Evaluator maintains the longest-path start times of a changing DAG
 // incrementally. After a batch of edge insertions/removals and duration
@@ -23,17 +23,19 @@ type Evaluator struct {
 	fin   []int64
 
 	dirty Bits
-	// roots collects the nodes marked between flushes (unsorted); pending
-	// is the in-drain worklist, kept sorted by topological position.
-	roots   []int32
-	pending []posEntry
-}
+	// roots collects the nodes marked between flushes (unsorted); posDirty
+	// is the in-drain worklist, a bit set keyed by topological *position* so
+	// the drain visits nodes in order by scanning words front to back.
+	roots    []int32
+	posDirty Bits
 
-// posEntry is one pending dirty node with its topological position frozen
-// for the duration of a drain (edge mutations — the only thing that moves
-// positions — never happen mid-drain).
-type posEntry struct {
-	pos, node int32
+	// maxFin/maxNode track the makespan incrementally: the drain updates
+	// them as fin values change, so Flush does not rescan every node. Only
+	// when the tracked argmax node's own fin *decreases* does the true
+	// maximum become unknown, and rescan requests the (rare) full pass.
+	maxFin  int64
+	maxNode int32
+	rescan  bool
 }
 
 // NewEvaluator builds an evaluator over g with node durations dur. The
@@ -48,12 +50,13 @@ func NewEvaluator(g *DAG, dur []int64) (*Evaluator, error) {
 		return nil, err
 	}
 	e := &Evaluator{
-		g:     g,
-		dt:    dt,
-		dur:   dur,
-		start: make([]int64, g.N()),
-		fin:   make([]int64, g.N()),
-		dirty: NewBits(g.N()),
+		g:        g,
+		dt:       dt,
+		dur:      dur,
+		start:    make([]int64, g.N()),
+		fin:      make([]int64, g.N()),
+		dirty:    NewBits(g.N()),
+		posDirty: NewBits(g.N()),
 	}
 	e.fullEval()
 	return e, nil
@@ -66,6 +69,20 @@ func (e *Evaluator) fullEval() {
 		e.start[v] = e.recomputeStart(v)
 		e.fin[v] = e.start[v] + e.dur[v]
 	}
+	e.rescanMax()
+}
+
+// rescanMax recomputes the tracked maximum fin from scratch.
+func (e *Evaluator) rescanMax() {
+	e.rescan = false
+	var mk int64
+	var mn int32
+	for v, f := range e.fin {
+		if f > mk {
+			mk, mn = f, int32(v)
+		}
+	}
+	e.maxFin, e.maxNode = mk, mn
 }
 
 func (e *Evaluator) recomputeStart(v int) int64 {
@@ -126,56 +143,70 @@ func (e *Evaluator) mark(v int) {
 
 // Flush processes all pending changes and returns the current makespan.
 //
-// The root marks are sorted by their (current) topological position, then
-// drained front to back. Every node discovered during the drain is a
-// successor of the node being processed, so its position is strictly
-// larger and an ordered insert into the unprocessed tail keeps the
-// invariant — each node is recomputed at most once per Flush, with plain
-// integer comparisons instead of heap sifts through position lookups.
+// The drain worklist is a bit set keyed by topological position: scanning
+// its words front to back visits dirty nodes in topological order with no
+// sorting or ordered inserts. Every node discovered during the drain is a
+// successor of the node being processed, so its position — and hence its
+// bit — is strictly ahead of the scan cursor: either a higher bit of the
+// word in hand (OR'd into the working copy) or a later word. Positions
+// never move mid-drain (edge mutations happen only between flushes), and
+// each node is recomputed at most once per Flush.
 func (e *Evaluator) Flush() int64 {
 	if len(e.roots) > 0 {
-		pending := e.pending[:0]
+		minPos := e.g.N()
 		for _, v := range e.roots {
-			pending = append(pending, posEntry{pos: int32(e.dt.ord[v]), node: v})
+			p := e.dt.ord[v]
+			e.posDirty.Set(p)
+			if p < minPos {
+				minPos = p
+			}
 		}
 		e.roots = e.roots[:0]
-		slices.SortFunc(pending, func(a, b posEntry) int { return int(a.pos) - int(b.pos) })
-		for head := 0; head < len(pending); head++ {
-			v := int(pending[head].node)
-			e.dirty.Clear(v)
-			ns := e.recomputeStart(v)
-			nf := ns + e.dur[v]
-			if ns == e.start[v] && nf == e.fin[v] {
+		pd := e.posDirty
+		for wi := minPos >> 6; wi < len(pd); wi++ {
+			w := pd[wi]
+			if w == 0 {
 				continue
 			}
-			e.start[v] = ns
-			e.fin[v] = nf
-			for _, h := range e.g.succ[v] {
-				s := int(h.to)
-				if e.dirty.Get(s) {
+			pd[wi] = 0
+			for w != 0 {
+				v := e.dt.pos[wi<<6+bits.TrailingZeros64(w)]
+				w &= w - 1
+				e.dirty.Clear(v)
+				ns := e.recomputeStart(v)
+				nf := ns + e.dur[v]
+				if ns == e.start[v] && nf == e.fin[v] {
 					continue
 				}
-				e.dirty.Set(s)
-				// Ordered insert into the unprocessed tail.
-				p := int32(e.dt.ord[s])
-				pending = append(pending, posEntry{})
-				j := len(pending) - 1
-				for j > head+1 && pending[j-1].pos > p {
-					pending[j] = pending[j-1]
-					j--
+				e.start[v] = ns
+				e.fin[v] = nf
+				if nf >= e.maxFin {
+					e.maxFin, e.maxNode = nf, int32(v)
+				} else if int32(v) == e.maxNode {
+					// The argmax node shrank; the true maximum may now be
+					// a node this drain never touched.
+					e.rescan = true
 				}
-				pending[j] = posEntry{pos: p, node: h.to}
+				for _, h := range e.g.succ[v] {
+					s := int(h.to)
+					if e.dirty.Get(s) {
+						continue
+					}
+					e.dirty.Set(s)
+					p := e.dt.ord[s]
+					if p>>6 == wi {
+						w |= 1 << (uint(p) & 63)
+					} else {
+						pd.Set(p)
+					}
+				}
 			}
 		}
-		e.pending = pending
-	}
-	var mk int64
-	for _, f := range e.fin {
-		if f > mk {
-			mk = f
+		if e.rescan {
+			e.rescanMax()
 		}
 	}
-	return mk
+	return e.maxFin
 }
 
 // Start returns the longest-path start time of v as of the last Flush.

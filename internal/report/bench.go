@@ -15,10 +15,13 @@ const BenchSchema = 1
 // BenchRow is one cell of the scenario × strategy benchmark matrix.
 //
 // BestCost, BestMakespanMS, MeanMakespanMS, FrontSize, DeadlineMet and
-// Evaluations are deterministic given the scenario seed and run count
-// (identical for any worker count); the regression gate compares
-// BestCost. EvalsPerSec and WallMS are machine-dependent telemetry,
-// recorded for the performance trajectory but never gated on.
+// Evaluations are deterministic given the scenario seed, run count, and
+// the batch/early-stop parameters (identical for any worker count); the
+// regression gate compares BestCost. WallMS is machine-dependent
+// telemetry, never gated on; EvalsPerSec is machine-dependent too but is
+// gated against the committed baseline (CompareBench), which is why the
+// baseline must be regenerated on the reference configuration whenever
+// the machine or build flags change.
 type BenchRow struct {
 	Scenario string `json:"scenario"`
 	Family   string `json:"family"`
@@ -26,6 +29,14 @@ type BenchRow struct {
 	Strategy string `json:"strategy"`
 	Tasks    int    `json:"tasks"`
 	Runs     int    `json:"runs"`
+
+	// Batch, EarlyStopEpsilon and EarlyStopWindow record the cell's
+	// speculative-batch width and adaptive early-stop parameters (omitted
+	// when the features are off — serial rows stay byte-identical to
+	// earlier schema-1 files).
+	Batch            int     `json:"batch,omitempty"`
+	EarlyStopEpsilon float64 `json:"earlyStopEpsilon,omitempty"`
+	EarlyStopWindow  int     `json:"earlyStopWindow,omitempty"`
 
 	BestCost       float64 `json:"bestCost"`
 	BestMakespanMS float64 `json:"bestMakespanMS"`
@@ -36,6 +47,17 @@ type BenchRow struct {
 	Evaluations int     `json:"evaluations"`
 	EvalsPerSec float64 `json:"evalsPerSec"`
 	WallMS      float64 `json:"wallMS"`
+
+	// Speculated/Discarded sum the runs' batch-evaluation telemetry;
+	// EarlyStopped counts runs truncated by the early-stop rule;
+	// MoveProposed/MoveAccepted sum the per-move-kind counters (map keys
+	// are core.MoveKindName values; Go's JSON encoder sorts them, so the
+	// rows stay byte-deterministic).
+	Speculated   int              `json:"speculated,omitempty"`
+	Discarded    int              `json:"discarded,omitempty"`
+	EarlyStopped int              `json:"earlyStopped,omitempty"`
+	MoveProposed map[string]int64 `json:"moveProposed,omitempty"`
+	MoveAccepted map[string]int64 `json:"moveAccepted,omitempty"`
 
 	// WarmWallMS and CacheHits are recorded when the cell ran a second,
 	// cache-warm pass (dsebench -cache): the warm pass's wall time and how
@@ -139,14 +161,30 @@ func (r Regression) String() string {
 	if r.Metric == "missing" {
 		return fmt.Sprintf("%s: present in baseline, missing from results", r.Key)
 	}
+	if r.Ratio < 1 {
+		// Throughput regressions: the new value dropped below the baseline.
+		return fmt.Sprintf("%s: %s %.4f -> %.4f (%.1f%% slower)", r.Key, r.Metric, r.Old, r.New, (1-r.Ratio)*100)
+	}
 	return fmt.Sprintf("%s: %s %.4f -> %.4f (%.1f%% worse)", r.Key, r.Metric, r.Old, r.New, (r.Ratio-1)*100)
 }
 
+// ThroughputGateMinWallMS is the baseline wall time below which a cell's
+// evals/s is recorded but not gated: a rate measured over a few
+// milliseconds swings well past any reasonable threshold on scheduler
+// noise alone, so only cells whose baseline measurement ran at least this
+// long (the dedicated throughput-pin cells, e.g. layered-xl SA) are held
+// to the gate.
+const ThroughputGateMinWallMS = 1000.0
+
 // CompareBench gates new results against a baseline: a cell regresses when
 // its best cost worsens by more than threshold (e.g. 0.20 = 20%) relative
-// to the baseline, or when a baseline cell disappears. Cells new in
-// `now`, skipped cells, and the machine-dependent telemetry fields are
-// ignored. Findings are sorted by key for a deterministic report.
+// to the baseline, when its evaluation throughput drops by more than the
+// same threshold below the baseline's (only gated when the baseline
+// recorded a throughput — older baselines and skipped cells carry none —
+// over a run of at least ThroughputGateMinWallMS), or when a baseline
+// cell disappears. Cells new in `now`, skipped cells, and the remaining
+// telemetry fields are ignored. Findings are sorted by key for a
+// deterministic report.
 func CompareBench(baseline, now *BenchFile, threshold float64) []Regression {
 	current := map[string]*BenchRow{}
 	for i := range now.Results {
@@ -170,6 +208,16 @@ func CompareBench(baseline, now *BenchFile, threshold float64) []Regression {
 			regs = append(regs, Regression{
 				Key: old.Key(), Metric: "bestCost",
 				Old: old.BestCost, New: cur.BestCost, Ratio: cur.BestCost / old.BestCost,
+			})
+		}
+		// Throughput gates in the opposite direction: lower is worse. The
+		// Ratio convention stays New/Old, so a report of 0.7 reads "30%
+		// slower".
+		if old.EvalsPerSec > 0 && old.WallMS >= ThroughputGateMinWallMS &&
+			cur.EvalsPerSec < old.EvalsPerSec*(1-threshold) {
+			regs = append(regs, Regression{
+				Key: old.Key(), Metric: "evalsPerSec",
+				Old: old.EvalsPerSec, New: cur.EvalsPerSec, Ratio: cur.EvalsPerSec / old.EvalsPerSec,
 			})
 		}
 	}

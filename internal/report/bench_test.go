@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -15,7 +16,7 @@ func sampleBench() *BenchFile {
 		Results: []BenchRow{
 			{Scenario: "a", Family: "pipeline", Size: "tiny", Strategy: "sa", Tasks: 8, Runs: 2,
 				BestCost: 5.0, BestMakespanMS: 5.0, MeanMakespanMS: 5.5, FrontSize: 3,
-				Evaluations: 1000, EvalsPerSec: 5e5, WallMS: 2},
+				Evaluations: 1000, EvalsPerSec: 5e5, WallMS: 2000},
 			{Scenario: "a", Family: "pipeline", Size: "tiny", Strategy: "list", Tasks: 8, Runs: 2,
 				BestCost: 6.0, BestMakespanMS: 6.0, MeanMakespanMS: 6.0, FrontSize: 2,
 				Evaluations: 40, EvalsPerSec: 1e5, WallMS: 1},
@@ -37,7 +38,7 @@ func TestBenchRoundTrip(t *testing.T) {
 	if got.Schema != BenchSchema || got.Tool != "dsebench" || len(got.Results) != 3 {
 		t.Fatalf("round trip mangled the file: %+v", got)
 	}
-	if got.Results[0] != sampleBench().Results[0] {
+	if !reflect.DeepEqual(got.Results[0], sampleBench().Results[0]) {
 		t.Fatalf("row changed: %+v", got.Results[0])
 	}
 	if _, err := LoadBench(filepath.Join(t.TempDir(), "missing.json")); err == nil {
@@ -78,6 +79,35 @@ func TestCompareBench(t *testing.T) {
 	}
 	if !strings.Contains(regs[0].String(), "a/sa") {
 		t.Fatalf("unreadable finding: %s", regs[0])
+	}
+
+	// Throughput gates downward: a 30% evals/s drop regresses, a 10% drop
+	// and any speedup do not, and cells whose baseline recorded no
+	// throughput (older files) are not gated.
+	now = sampleBench()
+	now.Results[0].EvalsPerSec = 3e5 // -40% on a/sa
+	now.Results[1].EvalsPerSec = 9e4 // -10% on a/list
+	regs = CompareBench(base, now, 0.20)
+	if len(regs) != 1 || regs[0].Key != "a/sa" || regs[0].Metric != "evalsPerSec" {
+		t.Fatalf("want one evalsPerSec regression on a/sa, got %v", regs)
+	}
+	if !strings.Contains(regs[0].String(), "slower") {
+		t.Fatalf("unreadable throughput finding: %s", regs[0])
+	}
+	noThroughput := sampleBench()
+	noThroughput.Results[0].EvalsPerSec = 0
+	now = sampleBench()
+	now.Results[0].EvalsPerSec = 1
+	if regs := CompareBench(noThroughput, now, 0.20); len(regs) != 0 {
+		t.Fatalf("baseline without throughput gated: %v", regs)
+	}
+	// Sub-second baseline cells are never throughput-gated: a rate
+	// measured over a few milliseconds swings on scheduler noise alone
+	// (a/list's baseline wall is 1 ms, so even a 90% drop passes).
+	now = sampleBench()
+	now.Results[1].EvalsPerSec = 1e4
+	if regs := CompareBench(base, now, 0.20); len(regs) != 0 {
+		t.Fatalf("millisecond cell throughput-gated: %v", regs)
 	}
 
 	// A gated cell disappearing is a regression; skipped cells are not

@@ -67,15 +67,36 @@ func StrategyBudget(f *search.Factory, maxSteps int) RunFunc {
 			return nil, err
 		}
 		return &Outcome{
-			Best:        out.Best,
-			Eval:        out.Eval,
-			MetDeadline: out.MetDeadline,
-			Front:       out.Front,
-			Evaluations: stats.Evaluations,
-			Cost:        out.Cost,
-			HasCost:     true,
+			Best:         out.Best,
+			Eval:         out.Eval,
+			MetDeadline:  out.MetDeadline,
+			Front:        out.Front,
+			Evaluations:  stats.Evaluations,
+			Cost:         out.Cost,
+			HasCost:      true,
+			Speculated:   stats.Speculated,
+			Discarded:    stats.Discarded,
+			EarlyStopped: stats.EarlyStopped,
+			MoveProposed: moveKindMap(stats.MoveStats.Proposed),
+			MoveAccepted: moveKindMap(stats.MoveStats.Accepted),
 		}, nil
 	}
+}
+
+// moveKindMap converts a per-kind counter array to its named wire form,
+// keeping only the kinds that fired; nil when none did.
+func moveKindMap(counts [core.NumMoveKinds]int64) map[string]int64 {
+	var m map[string]int64
+	for k, v := range counts {
+		if v == 0 {
+			continue
+		}
+		if m == nil {
+			m = make(map[string]int64)
+		}
+		m[core.MoveKindName(k)] = v
+	}
+	return m
 }
 
 // GA builds the RunFunc of a genetic-algorithm baseline batch. deadline is

@@ -82,6 +82,18 @@ func cloneOutcome(o *Outcome) *Outcome {
 	if o.Front != nil {
 		c.Front = o.Front.Clone()
 	}
+	if o.MoveProposed != nil {
+		c.MoveProposed = make(map[string]int64, len(o.MoveProposed))
+		for k, v := range o.MoveProposed {
+			c.MoveProposed[k] = v
+		}
+	}
+	if o.MoveAccepted != nil {
+		c.MoveAccepted = make(map[string]int64, len(o.MoveAccepted))
+		for k, v := range o.MoveAccepted {
+			c.MoveAccepted[k] = v
+		}
+	}
 	return &c
 }
 

@@ -39,6 +39,15 @@ type outcomeWire struct {
 	Evaluations int            `json:"evaluations"`
 	Cost        float64        `json:"cost"`
 	HasCost     bool           `json:"hasCost"`
+	// The batch/early-stop telemetry is omitempty in both directions:
+	// snapshots written by earlier releases decode with zero values, and
+	// outcomes of serial runs encode byte-identically to earlier releases
+	// (golden snapshot digests unchanged).
+	Speculated   int              `json:"speculated,omitempty"`
+	Discarded    int              `json:"discarded,omitempty"`
+	EarlyStopped bool             `json:"earlyStopped,omitempty"`
+	MoveProposed map[string]int64 `json:"moveProposed,omitempty"`
+	MoveAccepted map[string]int64 `json:"moveAccepted,omitempty"`
 }
 
 // EncodeOutcome serializes a cached outcome for snapshot persistence.
@@ -47,12 +56,17 @@ func EncodeOutcome(o *Outcome) ([]byte, error) {
 		return nil, fmt.Errorf("runner: encoding nil outcome")
 	}
 	w := outcomeWire{
-		Best:        o.Best,
-		Eval:        o.Eval,
-		MetDeadline: o.MetDeadline,
-		Evaluations: o.Evaluations,
-		Cost:        o.Cost,
-		HasCost:     o.HasCost,
+		Best:         o.Best,
+		Eval:         o.Eval,
+		MetDeadline:  o.MetDeadline,
+		Evaluations:  o.Evaluations,
+		Cost:         o.Cost,
+		HasCost:      o.HasCost,
+		Speculated:   o.Speculated,
+		Discarded:    o.Discarded,
+		EarlyStopped: o.EarlyStopped,
+		MoveProposed: o.MoveProposed,
+		MoveAccepted: o.MoveAccepted,
 	}
 	if o.Front != nil {
 		fw := &frontWire{Dims: o.Front.Dims()}
@@ -73,12 +87,17 @@ func DecodeOutcome(b []byte) (*Outcome, error) {
 		return nil, fmt.Errorf("runner: decoding outcome: %w", err)
 	}
 	o := &Outcome{
-		Best:        w.Best,
-		Eval:        w.Eval,
-		MetDeadline: w.MetDeadline,
-		Evaluations: w.Evaluations,
-		Cost:        w.Cost,
-		HasCost:     w.HasCost,
+		Best:         w.Best,
+		Eval:         w.Eval,
+		MetDeadline:  w.MetDeadline,
+		Evaluations:  w.Evaluations,
+		Cost:         w.Cost,
+		HasCost:      w.HasCost,
+		Speculated:   w.Speculated,
+		Discarded:    w.Discarded,
+		EarlyStopped: w.EarlyStopped,
+		MoveProposed: w.MoveProposed,
+		MoveAccepted: w.MoveAccepted,
 	}
 	if w.Front != nil {
 		if w.Front.Dims < 1 {

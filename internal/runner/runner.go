@@ -81,6 +81,21 @@ type Outcome struct {
 	// result cache instead of a fresh computation; the engine counts such
 	// runs in Aggregate.CacheHits.
 	FromCache bool
+	// Speculated and Discarded carry the run's SA batch-evaluation
+	// telemetry (zero for serial runs and non-SA strategies): candidates
+	// drawn by speculative rounds, and the subset invalidated by an earlier
+	// acceptance in their round.
+	Speculated int
+	Discarded  int
+	// EarlyStopped reports that the driver's adaptive early-stop rule
+	// truncated the run (see search.Config.EarlyStopEpsilon).
+	EarlyStopped bool
+	// MoveProposed and MoveAccepted count per-move-kind proposals and
+	// consumed acceptances, keyed by core.MoveKindName; nil when the run
+	// reports none (non-SA strategies, legacy adapters). Only non-zero
+	// kinds appear.
+	MoveProposed map[string]int64
+	MoveAccepted map[string]int64
 }
 
 // RunFunc executes one independent exploration run. It must derive all its
@@ -115,6 +130,15 @@ type Aggregate struct {
 	// Evaluations sums the per-run scored-candidate counts (0 when the
 	// RunFunc does not report them).
 	Evaluations int
+	// Speculated and Discarded sum the per-run batch-evaluation telemetry.
+	Speculated int
+	Discarded  int
+	// EarlyStopped counts runs truncated by the adaptive early-stop rule.
+	EarlyStopped int
+	// MoveProposed and MoveAccepted sum the per-run per-move-kind counters
+	// (nil when no run reports any).
+	MoveProposed map[string]int64
+	MoveAccepted map[string]int64
 	// Best is the overall best mapping, with its evaluation and origin.
 	// When the runs report scalarized costs (Outcome.HasCost — the
 	// strategy-engine adapters do) the winner is the lowest-cost run, so
@@ -156,6 +180,27 @@ func (a *Aggregate) add(app *model.App, r RunResult) {
 		a.DeadlineMet++
 	}
 	a.Evaluations += r.Outcome.Evaluations
+	a.Speculated += r.Outcome.Speculated
+	a.Discarded += r.Outcome.Discarded
+	if r.Outcome.EarlyStopped {
+		a.EarlyStopped++
+	}
+	if len(r.Outcome.MoveProposed) > 0 {
+		if a.MoveProposed == nil {
+			a.MoveProposed = make(map[string]int64)
+		}
+		for k, v := range r.Outcome.MoveProposed {
+			a.MoveProposed[k] += v
+		}
+	}
+	if len(r.Outcome.MoveAccepted) > 0 {
+		if a.MoveAccepted == nil {
+			a.MoveAccepted = make(map[string]int64)
+		}
+		for k, v := range r.Outcome.MoveAccepted {
+			a.MoveAccepted[k] += v
+		}
+	}
 	if r.Outcome.FromCache {
 		a.CacheHits++
 	}

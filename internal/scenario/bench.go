@@ -30,6 +30,20 @@ type MatrixOptions struct {
 	// MaxSteps caps driver steps per run when positive, overriding the
 	// scenario budget (dsebench -max-steps, for quick bounded sweeps).
 	MaxSteps int
+	// Batch, when >1, runs every SA cell with speculative batched move
+	// evaluation of that width (core.Config.Batch); non-SA strategies
+	// ignore it. Batched cells follow a different — equally valid, equally
+	// deterministic — trajectory than serial ones, so batched results are
+	// compared against batched baselines only.
+	Batch int
+	// BatchWorkers bounds the goroutines scoring each speculated batch
+	// (0 = GOMAXPROCS). Pure throughput tuning; results are identical for
+	// any value.
+	BatchWorkers int
+	// EarlyStopEpsilon/EarlyStopWindow enable the driver-level adaptive
+	// early stop for every cell (see search.Config); zero disables it.
+	EarlyStopEpsilon float64
+	EarlyStopWindow  int
 	// Cache, when non-nil, memoizes per-run outcomes under the
 	// deterministic run key, so repeated cells (and repeated matrix
 	// invocations sharing the cache) are served without recomputation.
@@ -84,6 +98,11 @@ func fillRow(row *report.BenchRow, agg *runner.Aggregate, wall time.Duration) {
 	if secs := wall.Seconds(); secs > 0 {
 		row.EvalsPerSec = float64(agg.Evaluations) / secs
 	}
+	row.Speculated = agg.Speculated
+	row.Discarded = agg.Discarded
+	row.EarlyStopped = agg.EarlyStopped
+	row.MoveProposed = agg.MoveProposed
+	row.MoveAccepted = agg.MoveAccepted
 }
 
 // RunMatrix executes every (scenario, strategy) cell of the matrix on the
@@ -111,6 +130,12 @@ func RunMatrix(ctx context.Context, scenarios []*Scenario, opts MatrixOptions) (
 		}
 		cfg := s.SearchConfig()
 		cfg.FrontMetrics = frontMetrics
+		if opts.Batch > 1 {
+			cfg.SA.Batch = opts.Batch
+		}
+		cfg.SA.BatchWorkers = opts.BatchWorkers
+		cfg.EarlyStopEpsilon = opts.EarlyStopEpsilon
+		cfg.EarlyStopWindow = opts.EarlyStopWindow
 		runs := s.Budget.Runs
 		if opts.Runs > 0 {
 			runs = opts.Runs
@@ -127,12 +152,17 @@ func RunMatrix(ctx context.Context, scenarios []*Scenario, opts MatrixOptions) (
 				return rows, ctx.Err()
 			}
 			row := report.BenchRow{
-				Scenario: s.Name,
-				Family:   s.Family,
-				Size:     s.Size.String(),
-				Strategy: name,
-				Tasks:    app.N(),
-				Runs:     runs,
+				Scenario:         s.Name,
+				Family:           s.Family,
+				Size:             s.Size.String(),
+				Strategy:         name,
+				Tasks:            app.N(),
+				Runs:             runs,
+				EarlyStopEpsilon: opts.EarlyStopEpsilon,
+				EarlyStopWindow:  opts.EarlyStopWindow,
+			}
+			if name == "sa" && opts.Batch > 1 {
+				row.Batch = opts.Batch
 			}
 			if name == "brute" && app.N() > combi.MaxExhaustiveTasks {
 				row.Skipped = fmt.Sprintf("%d tasks > brute bound %d", app.N(), combi.MaxExhaustiveTasks)
@@ -169,7 +199,9 @@ func RunMatrix(ctx context.Context, scenarios []*Scenario, opts MatrixOptions) (
 				fillRow(&warmRow, warmAgg, warmWall)
 				if warmRow.BestCost != row.BestCost || warmRow.BestMakespanMS != row.BestMakespanMS ||
 					warmRow.MeanMakespanMS != row.MeanMakespanMS || warmRow.FrontSize != row.FrontSize ||
-					warmRow.DeadlineMet != row.DeadlineMet || warmRow.Evaluations != row.Evaluations {
+					warmRow.DeadlineMet != row.DeadlineMet || warmRow.Evaluations != row.Evaluations ||
+					warmRow.Speculated != row.Speculated || warmRow.Discarded != row.Discarded ||
+					warmRow.EarlyStopped != row.EarlyStopped {
 					return rows, fmt.Errorf("scenario %s, strategy %s: warm pass diverged from cold (cold %+v, warm %+v)",
 						s.Name, name, row, warmRow)
 				}

@@ -62,8 +62,21 @@ type Evaluator struct {
 	staticDeg []int32   // static out-degree per node (row reset value)
 	staticIn  []int32   // static in-degree per node (indeg reset value)
 
-	nodes  []nodeRec
-	proto  []nodeRec // reset prototype: start 0, static indeg, chain cleared
+	// Per-node evaluation state in struct-of-arrays layout: the Kahn pass
+	// reads start/dur/indeg densely and never touches stamp/chainNext, so
+	// splitting the old packed record into parallel slices keeps the hot
+	// loop's cache lines free of cold fields and lets the reset between
+	// calls be two bulk copies instead of a record-prototype copy (dur is
+	// fully rewritten every call; stamp and chainNext are self-cleaning —
+	// the relaxation pass zeroes each stamp on dequeue and unthreads the
+	// chain before returning). BenchmarkNodeLayout pins the layouts against
+	// each other on the isolated relaxation kernel.
+	start     []int64
+	dur       []int64
+	indeg     []int32
+	stamp     []int32 // in-queue marking for the relaxation pass
+	chainNext []int32 // successor in the contention chain, -1 outside it
+
 	queue  []int32
 	clbOf  []int32 // per-task CLB count under the current Impl (HW tasks)
 	resTag []int32 // per-task packed (kind,resource) of the current Assign
@@ -72,16 +85,6 @@ type Evaluator struct {
 	crossIdx []int32 // cross-resource flow node ids
 	relaxQ   []int32
 	qepoch   int32
-}
-
-// nodeRec packs the per-node evaluation state into one record so that the
-// longest-path passes touch a single cache line per node instead of three
-// parallel arrays.
-type nodeRec struct {
-	start, dur int64
-	indeg      int32
-	stamp      int32 // in-queue marking for the relaxation pass
-	chainNext  int32 // successor in the contention chain, -1 outside it
 }
 
 // NewEvaluator builds an evaluator for the given application and
@@ -94,8 +97,11 @@ func NewEvaluator(app *model.App, arch *model.Arch) *Evaluator {
 		rowLen:    make([]int32, s.v),
 		staticDeg: make([]int32, s.v),
 		staticIn:  make([]int32, s.v),
-		nodes:     make([]nodeRec, s.v),
-		proto:     make([]nodeRec, s.v),
+		start:     make([]int64, s.v),
+		dur:       make([]int64, s.v),
+		indeg:     make([]int32, s.v),
+		stamp:     make([]int32, s.v),
+		chainNext: make([]int32, s.v),
 		queue:     make([]int32, s.v),
 		clbOf:     make([]int32, s.nTasks),
 		resTag:    make([]int32, s.nTasks),
@@ -108,10 +114,8 @@ func NewEvaluator(app *model.App, arch *model.Arch) *Evaluator {
 		e.staticIn[cn]++
 		e.staticIn[fl.To]++
 	}
-	// Every dur is rewritten by Evaluate, so the prototype only has to
-	// carry the reset values of the remaining fields.
-	for i := range e.proto {
-		e.proto[i] = nodeRec{indeg: e.staticIn[i], chainNext: -1}
+	for i := range e.chainNext {
+		e.chainNext[i] = -1
 	}
 	e.relayout(4)
 	return e
@@ -154,11 +158,11 @@ func (e *Evaluator) relayout(headroom int32) {
 
 // StartOf returns the start time of a search-graph node as of the last
 // Evaluate call.
-func (e *Evaluator) StartOf(node int) model.Time { return model.Time(e.nodes[node].start) }
+func (e *Evaluator) StartOf(node int) model.Time { return model.Time(e.start[node]) }
 
 // DurOf returns the duration of a search-graph node as of the last
 // Evaluate call.
-func (e *Evaluator) DurOf(node int) model.Time { return model.Time(e.nodes[node].dur) }
+func (e *Evaluator) DurOf(node int) model.Time { return model.Time(e.dur[node]) }
 
 // emit scatters one dynamic search-graph edge into u's CSR row, growing the
 // layout when the row is full.
@@ -170,7 +174,7 @@ func (e *Evaluator) emit(u, v int32, w int64) {
 	}
 	e.csr[at] = csrEdge{to: v, w: w}
 	e.rowLen[u]++
-	e.nodes[v].indeg++
+	e.indeg[v]++
 }
 
 // ctxCLBs sums the cached per-task CLB counts of context ci of RC r; the
@@ -190,11 +194,13 @@ func (e *Evaluator) ctxCLBs(m *Mapping, r, ci int) int64 {
 func (e *Evaluator) Evaluate(m *Mapping) (Result, error) {
 	var res Result
 
-	// Reset every CSR row to its static prefix and the per-node state to
-	// the prototype (start 0, static in-degrees, chain threading cleared —
-	// durs are all rewritten below).
+	// Reset every CSR row to its static prefix, the start times to zero and
+	// the in-degrees to their static values. The durations are all
+	// rewritten below; stamps and chain links are self-cleaning (see the
+	// field comments).
 	copy(e.rowLen, e.staticDeg)
-	copy(e.nodes, e.proto)
+	clear(e.start)
+	copy(e.indeg, e.staticIn)
 
 	// Node durations: tasks (also refreshing the per-task CLB and
 	// resource-tag caches).
@@ -212,7 +218,7 @@ func (e *Evaluator) Evaluate(m *Mapping) (Result, error) {
 			sumHW += d
 		}
 		e.resTag[t] = int32(pl.Kind)<<24 | int32(pl.Res)
-		e.nodes[t].dur = d
+		e.dur[t] = d
 	}
 	res.ComputeSW = model.Time(sumSW)
 	res.ComputeHW = model.Time(sumHW)
@@ -227,7 +233,7 @@ func (e *Evaluator) Evaluate(m *Mapping) (Result, error) {
 		if e.resTag[fl.From] != e.resTag[fl.To] {
 			d = e.busTime[k]
 		}
-		e.nodes[e.nTasks+k].dur = d
+		e.dur[e.nTasks+k] = d
 		sumComm += d
 	}
 	res.Comm = model.Time(sumComm)
@@ -242,7 +248,7 @@ func (e *Evaluator) Evaluate(m *Mapping) (Result, error) {
 	// Context sequentialization edges Ehw and boot nodes.
 	for r := range m.Contexts {
 		boot := int32(e.BootNode(r))
-		e.nodes[boot].dur = 0
+		e.dur[boot] = 0
 		e.nonEmpty = e.nonEmpty[:0]
 		for ci := range m.Contexts[r] {
 			if len(m.Contexts[r][ci].Tasks) > 0 {
@@ -267,7 +273,7 @@ func (e *Evaluator) Evaluate(m *Mapping) (Result, error) {
 			curInit, curTerm := e.collectBoth(m, r, ci, e.initialBuf[:0], e.termBuf2[:0])
 			w := tr * e.ctxCLBs(m, r, ci)
 			if x == 0 {
-				e.nodes[boot].dur = w
+				e.dur[boot] = w
 				res.InitialReconfig += model.Time(w)
 				for _, t := range curInit {
 					e.emit(boot, t, 0)
@@ -303,12 +309,12 @@ func (e *Evaluator) Evaluate(m *Mapping) (Result, error) {
 		e.crossIdx = e.crossIdx[:0]
 		for k := 0; k < e.nFlows; k++ {
 			cn := e.nTasks + k
-			if e.nodes[cn].dur > 0 {
+			if e.dur[cn] > 0 {
 				e.crossIdx = append(e.crossIdx, int32(cn))
 			}
 		}
 		if len(e.crossIdx) > 1 {
-			sortByStart(e.crossIdx, e.nodes)
+			sortByStart(e.crossIdx, e.start)
 			mk = e.relaxChain(mk)
 		}
 	}
@@ -320,14 +326,14 @@ func (e *Evaluator) Evaluate(m *Mapping) (Result, error) {
 // runDP performs Kahn-order longest-path propagation over the CSR
 // adjacency. It reports false when the graph is cyclic.
 func (e *Evaluator) runDP() (int64, bool) {
-	nodes := e.nodes
+	start, dur, indeg := e.start, e.dur, e.indeg
 	head, csr := e.csrHead, e.csr
 	// Every node is enqueued at most once, so a fixed-size array with a
 	// cursor replaces append's per-push capacity checks.
 	queue := e.queue
 	qlen := 0
-	for i := range nodes {
-		if nodes[i].indeg == 0 {
+	for i, d := range indeg {
+		if d == 0 {
 			queue[qlen] = int32(i)
 			qlen++
 		}
@@ -336,18 +342,17 @@ func (e *Evaluator) runDP() (int64, bool) {
 	rowLen := e.rowLen
 	for h := 0; h < qlen; h++ {
 		u := queue[h]
-		fin := nodes[u].start + nodes[u].dur
+		fin := start[u] + dur[u]
 		if fin > mk {
 			mk = fin
 		}
 		row := head[u]
 		for _, ed := range csr[row : row+rowLen[u]] {
-			nd := &nodes[ed.to]
-			if s := fin + ed.w; s > nd.start {
-				nd.start = s
+			if s := fin + ed.w; s > start[ed.to] {
+				start[ed.to] = s
 			}
-			nd.indeg--
-			if nd.indeg == 0 {
+			indeg[ed.to]--
+			if indeg[ed.to] == 0 {
 				queue[qlen] = ed.to
 				qlen++
 			}
@@ -362,18 +367,19 @@ func (e *Evaluator) runDP() (int64, bool) {
 // worklist converges to the unique longest-path fixed point of the graph
 // plus chain.
 func (e *Evaluator) relaxChain(mk int64) int64 {
-	nodes := e.nodes
+	start, dur := e.start, e.dur
+	stamp, chainNext := e.stamp, e.chainNext
 	head, csr := e.csrHead, e.csr
 	e.qepoch++
 	epoch := e.qepoch
 	q := e.relaxQ[:0]
 	for i := 1; i < len(e.crossIdx); i++ {
 		a, b := e.crossIdx[i-1], e.crossIdx[i]
-		nodes[a].chainNext = b
-		if fin := nodes[a].start + nodes[a].dur; fin > nodes[b].start {
-			nodes[b].start = fin
-			if nodes[b].stamp != epoch {
-				nodes[b].stamp = epoch
+		chainNext[a] = b
+		if fin := start[a] + dur[a]; fin > start[b] {
+			start[b] = fin
+			if stamp[b] != epoch {
+				stamp[b] = epoch
 				q = append(q, b)
 			}
 		}
@@ -381,28 +387,26 @@ func (e *Evaluator) relaxChain(mk int64) int64 {
 	rowLen := e.rowLen
 	for h := 0; h < len(q); h++ {
 		u := q[h]
-		nodes[u].stamp = 0 // allow re-queueing if start[u] grows again later
-		fin := nodes[u].start + nodes[u].dur
+		stamp[u] = 0 // allow re-queueing if start[u] grows again later
+		fin := start[u] + dur[u]
 		if fin > mk {
 			mk = fin
 		}
 		row := head[u]
 		for _, ed := range csr[row : row+rowLen[u]] {
-			nd := &nodes[ed.to]
-			if s := fin + ed.w; s > nd.start {
-				nd.start = s
-				if nd.stamp != epoch {
-					nd.stamp = epoch
+			if s := fin + ed.w; s > start[ed.to] {
+				start[ed.to] = s
+				if stamp[ed.to] != epoch {
+					stamp[ed.to] = epoch
 					q = append(q, ed.to)
 				}
 			}
 		}
-		if nx := nodes[u].chainNext; nx >= 0 {
-			nd := &nodes[nx]
-			if fin > nd.start {
-				nd.start = fin
-				if nd.stamp != epoch {
-					nd.stamp = epoch
+		if nx := chainNext[u]; nx >= 0 {
+			if fin > start[nx] {
+				start[nx] = fin
+				if stamp[nx] != epoch {
+					stamp[nx] = epoch
 					q = append(q, nx)
 				}
 			}
@@ -411,7 +415,7 @@ func (e *Evaluator) relaxChain(mk int64) int64 {
 	e.relaxQ = q
 	// Clear the chain threading for the next call.
 	for _, c := range e.crossIdx {
-		nodes[c].chainNext = -1
+		chainNext[c] = -1
 	}
 	return mk
 }
@@ -421,12 +425,12 @@ func (e *Evaluator) relaxChain(mk int64) int64 {
 // insertion sort — unlike sort.Slice — allocates nothing. The node-id tie
 // break keeps the serialization order independent of evaluation internals,
 // so the full-rebuild and incremental paths derive the same chain.
-func sortByStart(idx []int32, nodes []nodeRec) {
+func sortByStart(idx []int32, start []int64) {
 	for i := 1; i < len(idx); i++ {
 		x := idx[i]
-		sx := nodes[x].start
+		sx := start[x]
 		j := i - 1
-		for j >= 0 && (nodes[idx[j]].start > sx || (nodes[idx[j]].start == sx && idx[j] > x)) {
+		for j >= 0 && (start[idx[j]] > sx || (start[idx[j]] == sx && idx[j] > x)) {
 			idx[j+1] = idx[j]
 			j--
 		}

@@ -78,6 +78,7 @@ type IncEvaluator struct {
 	fresh   []edge3 // arena of freshly generated layer edge lists
 	patches []layerPatch
 	keepScr []edge3 // failure-path scratch for rebuilding a stored list
+	uvScr   uvIndex // endpoint→index hash for large diff windows
 
 	// The installed contention chain (full graph only): the ordered member
 	// list and the successor of each member node.
@@ -99,9 +100,31 @@ type IncEvaluator struct {
 	sumSW, sumHW, sumComm, sumInit, sumDyn int64
 	sumCtx                                 int
 
-	crossIdx  []int32
-	installed bool
+	// crossIdx is the persistent list of cross-resource flow nodes (comm
+	// duration > 0), kept in its last sorted order across moves so the
+	// per-move re-sort is a nearly-linear insertion pass instead of a full
+	// sort from node-id order. crossState tracks membership per flow
+	// (crossAbsent/crossLive/crossStale); removals are lazy — finish
+	// compacts the list when crossDead counts any stale entries.
+	crossIdx   []int32
+	crossState []int8
+	crossDead  int
+	crossScr   []crossKey // start-time scratch for the re-sort
+	installed  bool
 }
+
+// crossKey pairs a cross-resource flow node with its chain-free start time
+// for the contention-order sort.
+type crossKey struct {
+	s  int64
+	id int32
+}
+
+const (
+	crossAbsent int8 = iota
+	crossLive
+	crossStale
+)
 
 // NewIncEvaluator builds the static skeletons for the given pair. The
 // models must already be validated; a cyclic precedence graph is an error.
@@ -130,19 +153,20 @@ func NewIncEvaluator(app *model.App, arch *model.Arch) (*IncEvaluator, error) {
 		return nil, err
 	}
 	e := &IncEvaluator{
-		shape:    s,
-		full:     full,
-		swEdges:  make([][]edge3, len(arch.Processors)),
-		rcEdges:  make([][]edge3, len(arch.RCs)),
-		busNext:  make([]int32, s.v),
-		newNext:  make([]int32, s.v),
-		taskDurV: make([]int64, s.nTasks),
-		taskIsHW: make([]bool, s.nTasks),
-		flowDurV: make([]int64, s.nFlows),
-		clbOf:    make([]int32, s.nTasks),
-		rcInit:   make([]int64, len(arch.RCs)),
-		rcDyn:    make([]int64, len(arch.RCs)),
-		rcCtx:    make([]int32, len(arch.RCs)),
+		shape:      s,
+		full:       full,
+		swEdges:    make([][]edge3, len(arch.Processors)),
+		rcEdges:    make([][]edge3, len(arch.RCs)),
+		busNext:    make([]int32, s.v),
+		newNext:    make([]int32, s.v),
+		taskDurV:   make([]int64, s.nTasks),
+		taskIsHW:   make([]bool, s.nTasks),
+		flowDurV:   make([]int64, s.nFlows),
+		crossState: make([]int8, s.nFlows),
+		clbOf:      make([]int32, s.nTasks),
+		rcInit:     make([]int64, len(arch.RCs)),
+		rcDyn:      make([]int64, len(arch.RCs)),
+		rcCtx:      make([]int32, len(arch.RCs)),
 	}
 	for i := range e.busNext {
 		e.busNext[i], e.newNext[i] = -1, -1
@@ -175,6 +199,13 @@ func (e *IncEvaluator) Install(m *Mapping) (Result, error) {
 	for k := range e.flowDurV {
 		e.flowDurV[k] = 0
 	}
+	// flowDurV was reset directly, bypassing the updateFlow transitions, so
+	// the membership list restarts from scratch too.
+	e.crossIdx = e.crossIdx[:0]
+	for k := range e.crossState {
+		e.crossState[k] = crossAbsent
+	}
+	e.crossDead = 0
 	for t := 0; t < e.nTasks; t++ {
 		e.updateTask(m, t)
 	}
@@ -337,6 +368,65 @@ func findUV(xs []edge3, u, v int32) int {
 	return -1
 }
 
+// uvIndex is a small open-addressing hash from edge endpoints to the edge's
+// index in a window slice. Context-layer diffs can carry windows of dozens
+// of edges (a CLB-sum change rewrites every transition weight of the RC),
+// where the quadratic findUV scans dominated the move cost; the index makes
+// each lookup O(1). Rebuilt per window from a reused scratch allocation.
+type uvIndex struct {
+	keys []int64 // packed (u<<32|v); -1 = empty slot
+	idxs []int32
+	mask uint64
+}
+
+// uvSmall is the window size below which the linear findUV scan wins.
+const uvSmall = 8
+
+func (ix *uvIndex) build(win []edge3) {
+	n := 16
+	for n < 2*len(win) {
+		n <<= 1
+	}
+	if cap(ix.keys) < n {
+		ix.keys = make([]int64, n)
+		ix.idxs = make([]int32, n)
+	}
+	ix.keys = ix.keys[:n]
+	ix.idxs = ix.idxs[:n]
+	for i := range ix.keys {
+		ix.keys[i] = -1
+	}
+	ix.mask = uint64(n - 1)
+	// Insert back to front so the lowest index wins, matching findUV's
+	// first-match semantics.
+	for i := len(win) - 1; i >= 0; i-- {
+		key := int64(win[i].u)<<32 | int64(win[i].v)
+		slot := (uint64(key) * 0x9e3779b97f4a7c15) >> 32 & ix.mask
+		for ix.keys[slot] >= 0 && ix.keys[slot] != key {
+			slot = (slot + 1) & ix.mask
+		}
+		ix.keys[slot] = key
+		ix.idxs[slot] = int32(i)
+	}
+}
+
+// find returns the index of (u,v) in the window the table was built from,
+// or -1.
+func (ix *uvIndex) find(u, v int32) int {
+	key := int64(u)<<32 | int64(v)
+	slot := (uint64(key) * 0x9e3779b97f4a7c15) >> 32 & ix.mask
+	for {
+		k := ix.keys[slot]
+		if k == key {
+			return int(ix.idxs[slot])
+		}
+		if k < 0 {
+			return -1
+		}
+		slot = (slot + 1) & ix.mask
+	}
+}
+
 // applyPatches performs every staged diff: first all removals, then all
 // insertions. The global remove-before-add order matters — a new edge of
 // one layer could otherwise close a phantom cycle through a doomed old
@@ -346,8 +436,19 @@ func (e *IncEvaluator) applyPatches() error {
 		pt := &e.patches[i]
 		old := *e.layerOf(pt)
 		frWin := e.fresh[pt.from+pt.fa : pt.from+pt.fb]
-		for _, oe := range old[pt.oa:pt.ob] {
-			if findUV(frWin, oe.u, oe.v) < 0 {
+		oldWin := old[pt.oa:pt.ob]
+		hashed := len(frWin) > uvSmall && len(oldWin) > 1
+		if hashed {
+			e.uvScr.build(frWin)
+		}
+		for _, oe := range oldWin {
+			var fi int
+			if hashed {
+				fi = e.uvScr.find(oe.u, oe.v)
+			} else {
+				fi = findUV(frWin, oe.u, oe.v)
+			}
+			if fi < 0 {
 				e.full.RemoveEdge(int(oe.u), int(oe.v))
 				if e.p1 != nil {
 					e.p1.RemoveEdge(int(oe.u), int(oe.v))
@@ -360,9 +461,18 @@ func (e *IncEvaluator) applyPatches() error {
 		layer := e.layerOf(pt)
 		oldWin := (*layer)[pt.oa:pt.ob]
 		frWin := e.fresh[pt.from+pt.fa : pt.from+pt.fb]
+		hashed := len(oldWin) > uvSmall && len(frWin) > 1
+		if hashed {
+			e.uvScr.build(oldWin)
+		}
 		for wi := range frWin {
 			ne := frWin[wi]
-			oi := findUV(oldWin, ne.u, ne.v)
+			var oi int
+			if hashed {
+				oi = e.uvScr.find(ne.u, ne.v)
+			} else {
+				oi = findUV(oldWin, ne.u, ne.v)
+			}
 			if oi >= 0 && oldWin[oi].w == ne.w {
 				continue
 			}
@@ -471,11 +581,25 @@ func (e *IncEvaluator) updateTask(m *Mapping, t int) {
 	}
 }
 
-// updateFlow refreshes flow k's communication duration.
+// updateFlow refreshes flow k's communication duration and the flow's
+// membership in the persistent cross-resource list. A flow can be refreshed
+// twice in one Update (both endpoints in the change set); the state machine
+// makes the second refresh a no-op instead of a duplicate entry.
 func (e *IncEvaluator) updateFlow(m *Mapping, k int) {
 	d := e.flowDur(m, k)
 	e.sumComm += d - e.flowDurV[k]
 	e.flowDurV[k] = d
+	switch cross := d > 0; {
+	case cross && e.crossState[k] == crossAbsent:
+		e.crossState[k] = crossLive
+		e.crossIdx = append(e.crossIdx, int32(e.nTasks+k))
+	case cross && e.crossState[k] == crossStale:
+		e.crossState[k] = crossLive
+		e.crossDead--
+	case !cross && e.crossState[k] == crossLive:
+		e.crossState[k] = crossStale
+		e.crossDead++
+	}
 	e.full.SetDur(e.nTasks+k, d)
 	if e.p1 != nil {
 		e.p1.SetDur(e.nTasks+k, d)
@@ -512,11 +636,18 @@ func (e *IncEvaluator) finish() (Result, error) {
 		mk = e.full.Flush()
 	} else {
 		e.p1.Flush()
-		e.crossIdx = e.crossIdx[:0]
-		for k := 0; k < e.nFlows; k++ {
-			if e.flowDurV[k] > 0 {
-				e.crossIdx = append(e.crossIdx, int32(e.nTasks+k))
+		if e.crossDead > 0 {
+			w := 0
+			for _, n := range e.crossIdx {
+				if e.crossState[int(n)-e.nTasks] == crossLive {
+					e.crossIdx[w] = n
+					w++
+				} else {
+					e.crossState[int(n)-e.nTasks] = crossAbsent
+				}
 			}
+			e.crossIdx = e.crossIdx[:w]
+			e.crossDead = 0
 		}
 		if len(e.crossIdx) > 1 {
 			e.sortCrossByStart()
@@ -572,18 +703,29 @@ func (e *IncEvaluator) patchChain() {
 
 // sortCrossByStart insertion-sorts the cross-resource flow nodes by
 // (chain-free start time, node id) — the same key the full-rebuild path
-// uses, so both paths serialize the bus identically.
+// uses, so both paths serialize the bus identically. The keys are staged
+// into a contiguous scratch first (one Start lookup per node, not per
+// comparison), and crossIdx arrives in its previous sorted order, so on
+// typical moves the pass is nearly linear.
 func (e *IncEvaluator) sortCrossByStart() {
 	ge := e.orderGraph()
-	idx := e.crossIdx
-	for i := 1; i < len(idx); i++ {
-		x := idx[i]
-		sx := ge.Start(int(x))
+	if cap(e.crossScr) < len(e.crossIdx) {
+		e.crossScr = make([]crossKey, len(e.crossIdx))
+	}
+	scr := e.crossScr[:len(e.crossIdx)]
+	for i, n := range e.crossIdx {
+		scr[i] = crossKey{s: ge.Start(int(n)), id: n}
+	}
+	for i := 1; i < len(scr); i++ {
+		x := scr[i]
 		j := i - 1
-		for j >= 0 && (ge.Start(int(idx[j])) > sx || (ge.Start(int(idx[j])) == sx && idx[j] > x)) {
-			idx[j+1] = idx[j]
+		for j >= 0 && (scr[j].s > x.s || (scr[j].s == x.s && scr[j].id > x.id)) {
+			scr[j+1] = scr[j]
 			j--
 		}
-		idx[j+1] = x
+		scr[j+1] = x
+	}
+	for i, k := range scr {
+		e.crossIdx[i] = k.id
 	}
 }

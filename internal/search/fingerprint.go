@@ -47,9 +47,19 @@ type saFields struct {
 	AdaptiveMoves  bool
 	QuenchIters    int
 	EnableCtxSplit bool
+	// Batch changes the annealing trajectory (see core.Config.Batch), so
+	// batched and serial runs must never share cache entries. Serial widths
+	// (<=1) normalize to 0 and omit from the JSON, keeping the fingerprint —
+	// and every previously persisted cache key — byte-identical for serial
+	// runs. BatchWorkers is deliberately absent: it is pure throughput.
+	Batch int `json:",omitempty"`
 }
 
 func saProject(c *core.Config) saFields {
+	b := c.Batch
+	if b <= 1 {
+		b = 0
+	}
 	return saFields{
 		Quality:        c.Quality,
 		Warmup:         c.Warmup,
@@ -60,6 +70,7 @@ func saProject(c *core.Config) saFields {
 		AdaptiveMoves:  c.AdaptiveMoves,
 		QuenchIters:    c.QuenchIters,
 		EnableCtxSplit: c.EnableCtxSplit,
+		Batch:          b,
 	}
 }
 
@@ -104,22 +115,29 @@ func (f *Factory) Fingerprint() (fp string, ok bool) {
 	// Objective pointer, so "nil objective in fixed-arch mode" and an
 	// explicit objective.FixedArch() hash identically — they are the same
 	// cost function.
+	// The early-stop knobs truncate runs, changing results, so they are
+	// fingerprinted; omitempty keeps fingerprints of non-early-stop runs
+	// byte-identical to those of earlier releases.
 	v := struct {
-		Kind         string
-		Objective    objective.Scalarizer
-		FrontMetrics []objective.Metric
-		SA           saFields
-		GA           gaFields
-		Portfolio    []string
-		SAChunk      int
+		Kind             string
+		Objective        objective.Scalarizer
+		FrontMetrics     []objective.Metric
+		SA               saFields
+		GA               gaFields
+		Portfolio        []string
+		SAChunk          int
+		EarlyStopEpsilon float64 `json:",omitempty"`
+		EarlyStopWindow  int     `json:",omitempty"`
 	}{
-		Kind:         f.name,
-		Objective:    f.scal,
-		FrontMetrics: f.cfg.FrontMetrics,
-		SA:           saProject(&f.cfg.SA),
-		GA:           gaProject(&f.cfg.GA),
-		Portfolio:    f.cfg.Portfolio,
-		SAChunk:      f.cfg.SAChunk,
+		Kind:             f.name,
+		Objective:        f.scal,
+		FrontMetrics:     f.cfg.FrontMetrics,
+		SA:               saProject(&f.cfg.SA),
+		GA:               gaProject(&f.cfg.GA),
+		Portfolio:        f.cfg.Portfolio,
+		SAChunk:          f.cfg.SAChunk,
+		EarlyStopEpsilon: f.cfg.EarlyStopEpsilon,
+		EarlyStopWindow:  f.cfg.EarlyStopWindow,
 	}
 	b, err := json.Marshal(v)
 	if err != nil {

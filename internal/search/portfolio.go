@@ -96,6 +96,12 @@ func (p *portfolio) Stats() Stats {
 	for _, m := range p.members {
 		ms := m.Stats()
 		st.Evaluations += ms.Evaluations
+		st.Speculated += ms.Speculated
+		st.Discarded += ms.Discarded
+		for k := range ms.MoveStats.Proposed {
+			st.MoveStats.Proposed[k] += ms.MoveStats.Proposed[k]
+			st.MoveStats.Accepted[k] += ms.MoveStats.Accepted[k]
+		}
 		if ms.BestCost < st.BestCost {
 			st.BestCost = ms.BestCost
 		}

@@ -3,6 +3,7 @@ package search
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/ga"
@@ -17,13 +18,24 @@ type Stats struct {
 	// Steps counts Step calls that did work.
 	Steps int
 	// Evaluations counts scored candidate solutions (annealing move
-	// evaluations, GA fitness calls, decoded seeds / bipartitions).
+	// evaluations — including speculated-and-discarded batch candidates —
+	// GA fitness calls, decoded seeds / bipartitions).
 	Evaluations int
 	// BestCost is the best scalarized cost observed so far (+Inf before
 	// the first feasible candidate).
 	BestCost float64
 	// Done reports whether the strategy has exhausted its search.
 	Done bool
+	// Speculated and Discarded carry the SA batch-evaluation telemetry
+	// (zero for serial runs and non-SA strategies; see anneal.Stats).
+	Speculated int
+	Discarded  int
+	// MoveStats carries the SA per-move-kind proposal/acceptance counters
+	// (zero for non-SA strategies).
+	MoveStats core.MoveStats
+	// EarlyStopped reports that the driver's adaptive early-stop rule
+	// truncated the run (see Config.EarlyStopEpsilon).
+	EarlyStopped bool
 }
 
 // Outcome is the best solution a strategy has found so far.
@@ -96,6 +108,17 @@ type Config struct {
 	// 64) — the granularity at which the portfolio interleaves SA with
 	// the other members.
 	SAChunk int
+	// EarlyStopEpsilon, together with EarlyStopWindow, enables the
+	// driver-level adaptive early stop in RunStats: the run ends once the
+	// best cost has improved by less than EarlyStopEpsilon (relative to
+	// its magnitude) over the last EarlyStopWindow driver steps. Zero (the
+	// default) disables the rule — runs then consume their full budget
+	// exactly as before. Early stopping changes results, so both knobs are
+	// part of the factory fingerprint.
+	EarlyStopEpsilon float64
+	// EarlyStopWindow is the sliding-window length, in driver steps, of
+	// the early-stop rule (<=0 disables it).
+	EarlyStopWindow int
 }
 
 // DefaultPortfolio is the default member set of the portfolio strategy.
@@ -231,7 +254,10 @@ func Run(ctx context.Context, f *Factory, seed int64, maxSteps int) (*Outcome, e
 }
 
 // RunStats is Run plus the instance's final telemetry — the evaluation
-// counts the benchmark harness turns into evals/s.
+// counts the benchmark harness turns into evals/s. When the factory's
+// configuration enables the adaptive early stop, RunStats also monitors the
+// best cost after every step and ends the run once a full window of steps
+// passes without meaningful improvement (Stats.EarlyStopped).
 func RunStats(ctx context.Context, f *Factory, seed int64, maxSteps int) (*Outcome, Stats, error) {
 	s, err := f.New()
 	if err != nil {
@@ -240,6 +266,13 @@ func RunStats(ctx context.Context, f *Factory, seed int64, maxSteps int) (*Outco
 	if err := s.Init(seed); err != nil {
 		return nil, Stats{}, err
 	}
+	eps, win := f.cfg.EarlyStopEpsilon, f.cfg.EarlyStopWindow
+	monitor := eps > 0 && win > 0
+	var hist []float64 // ring buffer: best cost at each of the last win+1 steps
+	if monitor {
+		hist = make([]float64, win+1)
+	}
+	earlyStopped := false
 	for step := 0; maxSteps == 0 || step < maxSteps; step++ {
 		if ctx != nil && ctx.Err() != nil {
 			break
@@ -248,18 +281,35 @@ func RunStats(ctx context.Context, f *Factory, seed int64, maxSteps int) (*Outco
 		if err != nil {
 			return nil, s.Stats(), err
 		}
+		if monitor {
+			bc := s.Stats().BestCost
+			hist[step%(win+1)] = bc
+			if step >= win {
+				// The improvement over the last win steps, relative to the
+				// cost's magnitude. +Inf window heads (no feasible solution
+				// yet) never trip the rule: Inf-Inf is NaN and Inf-finite
+				// is +Inf, both of which fail the <= comparison.
+				old := hist[(step-win)%(win+1)]
+				if old-bc <= eps*math.Abs(old) {
+					earlyStopped = true
+					break
+				}
+			}
+		}
 		if !more {
 			break
 		}
 	}
 	out := s.Best()
+	st := s.Stats()
+	st.EarlyStopped = earlyStopped
 	if out == nil {
-		return nil, s.Stats(), fmt.Errorf("search: strategy %q found no feasible solution", s.Name())
+		return nil, st, fmt.Errorf("search: strategy %q found no feasible solution", s.Name())
 	}
 	if ctx != nil && ctx.Err() != nil {
-		return out, s.Stats(), ctx.Err()
+		return out, st, ctx.Err()
 	}
-	return out, s.Stats(), nil
+	return out, st, nil
 }
 
 // metDeadline is the shared deadline report of the Outcome builders.

@@ -71,12 +71,19 @@ func (s *saStrategy) Best() *Outcome {
 }
 
 func (s *saStrategy) Stats() Stats {
-	st := s.e.Finish().Stats
+	// StatsSnapshot, not Finish: the early-stop driver probes Stats after
+	// every chunk, and Finish clones the best mapping each call.
+	st := s.e.StatsSnapshot()
 	return Stats{
-		Steps:       s.steps,
-		Evaluations: st.Accepted + st.Rejected,
+		Steps: s.steps,
+		// Every scored candidate counts, including the speculated-and-
+		// discarded ones — their evaluation work is just as real.
+		Evaluations: st.Accepted + st.Rejected + st.Discarded,
 		BestCost:    st.BestCost,
 		Done:        s.done,
+		Speculated:  st.Speculated,
+		Discarded:   st.Discarded,
+		MoveStats:   s.e.MoveStatsSnapshot(),
 	}
 }
 

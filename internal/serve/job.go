@@ -51,6 +51,19 @@ type JobSpec struct {
 	WReconf float64 `json:"wReconf,omitempty"`
 	// Workers bounds the per-job worker pool (0 = NumCPU).
 	Workers int `json:"workers,omitempty"`
+	// Batch, when >1, enables speculative batched move evaluation of that
+	// width for SA runs (dsexplore -batch). It changes the annealing
+	// trajectory, so it is part of the cache key through the strategy
+	// fingerprint. BatchWorkers bounds the goroutines scoring each batch
+	// (0 = GOMAXPROCS) — pure throughput, deliberately absent from the
+	// fingerprint.
+	Batch        int `json:"batch,omitempty"`
+	BatchWorkers int `json:"batchWorkers,omitempty"`
+	// EarlyStopEpsilon/EarlyStopWindow enable the driver-level adaptive
+	// early stop (dsexplore -early-stop / -early-stop-window); both are
+	// fingerprinted since truncation changes results.
+	EarlyStopEpsilon float64 `json:"earlyStopEpsilon,omitempty"`
+	EarlyStopWindow  int     `json:"earlyStopWindow,omitempty"`
 	// DeadlineMS is the real-time constraint for inline models in
 	// milliseconds (ignored for scenarios, which carry their own).
 	DeadlineMS float64 `json:"deadlineMS,omitempty"`
@@ -127,6 +140,16 @@ func resolve(spec *JobSpec) (*resolved, error) {
 	}
 	if spec.Quality > 0 {
 		r.cfg.SA.Quality = spec.Quality
+	}
+	if spec.Batch > 1 {
+		r.cfg.SA.Batch = spec.Batch
+	}
+	if spec.BatchWorkers > 0 {
+		r.cfg.SA.BatchWorkers = spec.BatchWorkers
+	}
+	if spec.EarlyStopEpsilon > 0 && spec.EarlyStopWindow > 0 {
+		r.cfg.EarlyStopEpsilon = spec.EarlyStopEpsilon
+		r.cfg.EarlyStopWindow = spec.EarlyStopWindow
 	}
 	if spec.WArea != 0 || spec.WReconf != 0 {
 		// Mirror dsexplore's local weighting exactly, so a job shipped to
