@@ -2,14 +2,16 @@
 # these targets so local runs and CI runs cannot drift apart.
 
 GO ?= go
-BENCH_JSON ?= BENCH_PR7.json
+BENCH_JSON ?= BENCH_PR8.json
 BENCH_MICRO_JSON ?= BENCH_MICRO.json
 BENCH_BASELINE ?= bench/BENCH_BASELINE.json
 BENCH_THRESHOLD ?= 0.20
-# Speculative batch width of the bench-batch-smoke leg (CI runs 1 and 8).
+# Speculative batch width and scoring backend of the bench-batch-smoke
+# leg (CI runs batch=1, batch=8 shadow, and batch=8 lanes).
 BATCH ?= 8
+BATCH_KERNEL ?= auto
 
-.PHONY: all build test race bench bench-json bench-check bench-baseline bench-batch-smoke bench-micro-json dsed-smoke docs-check fmt fmt-check vet ci
+.PHONY: all build test race bench bench-json bench-check bench-baseline bench-batch-smoke bench-diff bench-micro-json dsed-smoke docs-check fmt fmt-check vet ci
 
 all: build test
 
@@ -58,13 +60,27 @@ bench-baseline:
 	$(GO) run -race ./cmd/dsebench -scenarios layered-xl -strategies sa -json $(BENCH_BASELINE) -append
 
 # The batched-speculation smoke: two scenarios through the SA hot loop at
-# speculative batch width $(BATCH) under the race detector (CI runs the
-# serial batch=1 and speculative batch=8 legs as a matrix), each leg
-# writing a pprof CPU profile so a perf regression in either code path is
-# diagnosable straight from the CI artifact.
+# speculative batch width $(BATCH), scored by the $(BATCH_KERNEL) batch
+# kernel, under the race detector. CI runs serial batch=1 plus batch=8
+# with each scoring backend (shadow and lanes) as a matrix. The scenario
+# pair spans both evaluation paths: layered-small resolves to the full
+# rebuild (where `lanes` falls back to shadows, racing the fallback),
+# layered-large to the incremental path (racing the lane kernel itself).
+# Each leg writes a pprof CPU profile so a perf regression in any code
+# path is diagnosable straight from the CI artifact.
 bench-batch-smoke:
-	$(GO) run -race ./cmd/dsebench -scenarios layered-small,pipeline-fft-small -strategies sa \
-		-batch $(BATCH) -json BENCH_BATCH_$(BATCH).json -cpuprofile dsebench_batch$(BATCH).pprof
+	$(GO) run -race ./cmd/dsebench -scenarios layered-small,layered-large -strategies sa \
+		-batch $(BATCH) -batch-kernel $(BATCH_KERNEL) \
+		-json BENCH_BATCH_$(BATCH)_$(BATCH_KERNEL).json -cpuprofile dsebench_batch$(BATCH)_$(BATCH_KERNEL).pprof
+
+# Old-vs-new throughput report: per-cell evals/s and best-cost deltas
+# between two dsebench result files, no gating. Defaults compare the
+# committed baseline against this checkout's fresh $(BENCH_JSON) (run
+# `make bench-json` or `make bench-check` first).
+BENCH_DIFF_OLD ?= $(BENCH_BASELINE)
+BENCH_DIFF_NEW ?= $(BENCH_JSON)
+bench-diff:
+	$(GO) run ./cmd/dsebench -diff $(BENCH_DIFF_OLD) $(BENCH_DIFF_NEW)
 
 # Measured run of the key micro-benchmarks (the ones whose trajectory the
 # perf PRs track), with allocation stats, as a test2json stream.

@@ -13,7 +13,9 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"reflect"
 	"runtime"
+	"runtime/debug"
 	"testing"
 
 	"repro/internal/anneal"
@@ -354,6 +356,68 @@ func BenchmarkPortfolio(b *testing.B) {
 		if out.Eval.Makespan <= 0 {
 			b.Fatal("empty result")
 		}
+	}
+}
+
+// ---------- scratch-buffer pooling (runner) ----------
+
+// TestRunnerScratchPoolingAllocs pins the evaluator-recycling contract of
+// the multi-run drivers (runner/scratch.go): once the pool is warm, a
+// batch run allocates strictly less than a fresh exploration of the same
+// seed — the instance-sized SoA evaluator state is reused, not rebuilt —
+// while producing a bit-identical outcome.
+func TestRunnerScratchPoolingAllocs(t *testing.T) {
+	app, arch := motionSetup(2000)
+	cfg := core.DefaultConfig()
+	cfg.MaxIters = 600
+	cfg.Warmup = 150
+	cfg.QuenchIters = 150
+	// The recycler only carries incremental-path state; force that path so
+	// the assertion is meaningful on this small instance.
+	cfg.EvalMode = core.EvalIncremental
+
+	pooled, err := runner.SA(app, arch, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := core.Prepare(app, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := func(seed int64) *core.Result {
+		c := cfg
+		c.Seed = seed
+		res, err := prep.Explore(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	// Bit-identity: the recycled run must reproduce the fresh run exactly.
+	const seed = 42
+	want := fresh(seed)
+	out, err := pooled(context.Background(), 0, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Eval != want.BestEval {
+		t.Fatalf("recycled run diverged: eval %+v, want %+v", out.Eval, want.BestEval)
+	}
+	if !reflect.DeepEqual(out.Best, want.Best) {
+		t.Fatal("recycled run found a different best mapping")
+	}
+
+	// Keep the sync.Pool from being drained by a GC cycle mid-measurement.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	pooledAllocs := testing.AllocsPerRun(3, func() {
+		if _, err := pooled(context.Background(), 0, seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+	freshAllocs := testing.AllocsPerRun(3, func() { fresh(seed) })
+	if pooledAllocs >= freshAllocs {
+		t.Fatalf("pooling saved nothing: %.0f allocs/run pooled, %.0f fresh", pooledAllocs, freshAllocs)
 	}
 }
 

@@ -27,6 +27,8 @@
 // adaptive early stop. -append merges this invocation's rows into an
 // existing -json file, so a matrix can be assembled in slices; -baseline
 // then gates the whole merged file, not just this invocation's rows.
+// -diff OLD.json NEW.json runs nothing: it prints the per-cell evals/s
+// and best-cost deltas between two result files (`make bench-diff`).
 //
 // Usage:
 //
@@ -37,6 +39,7 @@
 //	dsebench -smoke -cache                      # cold vs warm cell times
 //	dsebench -smoke -baseline bench/BENCH_BASELINE.json -threshold 0.20
 //	dsebench -scenarios layered-xl -strategies sa -batch 8 -json b.json -append
+//	dsebench -diff bench/BENCH_BASELINE.json BENCH_PR8.json
 //
 // Exit codes: 0 success, 1 run error, 2 flag-usage error (the flag
 // package's convention), 3 regression vs baseline.
@@ -53,6 +56,7 @@ import (
 	"strings"
 
 	"repro/internal/apps"
+	"repro/internal/core"
 	"repro/internal/prof"
 	"repro/internal/report"
 	"repro/internal/runner"
@@ -80,10 +84,12 @@ func main() {
 		verbose    = flag.Bool("v", false, "print each cell as it completes")
 		batch      = flag.Int("batch", 0, "speculative batch width for SA cells (<=1 = serial)")
 		batchWk    = flag.Int("batch-workers", 0, "goroutines scoring each speculated batch (0 = GOMAXPROCS; never changes results)")
+		batchKn    = flag.String("batch-kernel", "", "batch scoring backend: auto (default), shadow, or lanes — bit-identical results, throughput only")
 		earlyStop  = flag.Float64("early-stop", 0, "adaptive early stop: end a run when best cost improves < this fraction over -early-stop-window steps (0 = off)")
 		earlyStopW = flag.Int("early-stop-window", 32, "sliding-window length (driver steps) of -early-stop")
 		appendJSON = flag.Bool("append", false, "merge rows into an existing -json file instead of overwriting it")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the matrix to this file")
+		diffOld    = flag.String("diff", "", "diff mode: print per-cell evals/s and best-cost deltas from this old result file to the NEW.json positional argument; no cells are run")
 	)
 	flag.Parse()
 
@@ -91,8 +97,28 @@ func main() {
 		printCatalog()
 		return
 	}
+	if *diffOld != "" {
+		if flag.NArg() != 1 {
+			log.Fatal("usage: dsebench -diff OLD.json NEW.json")
+		}
+		oldFile, err := report.LoadBench(*diffOld)
+		if err != nil {
+			log.Fatal(err)
+		}
+		newFile, err := report.LoadBench(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s -> %s\n", *diffOld, flag.Arg(0))
+		report.DiffBench(os.Stdout, oldFile, newFile)
+		return
+	}
 
 	scens, err := scenario.Select(*sel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kernel, err := core.ParseBatchKernel(*batchKn)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -107,6 +133,7 @@ func main() {
 		MaxSteps:     *maxSteps,
 		Batch:        *batch,
 		BatchWorkers: *batchWk,
+		BatchKernel:  kernel,
 	}
 	if *earlyStop > 0 {
 		opts.EarlyStopEpsilon = *earlyStop
@@ -169,6 +196,7 @@ func main() {
 	}
 	if *batch > 1 {
 		file.Params["batch"] = fmt.Sprint(*batch)
+		file.Params["batchKernel"] = kernel.String()
 	}
 	if *earlyStop > 0 {
 		file.Params["earlyStop"] = fmt.Sprintf("%g/%d", *earlyStop, *earlyStopW)

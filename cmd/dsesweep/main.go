@@ -58,10 +58,16 @@ func main() {
 		cacheOn    = flag.Bool("cache", false, "memoize run outcomes across sweep points (repeated sizes/seeds become cache hits)")
 		batch      = flag.Int("batch", 0, "speculative batch width for SA moves (<=1 = serial; changes the trajectory deterministically)")
 		batchWk    = flag.Int("batch-workers", 0, "goroutines scoring each speculated batch (0 = GOMAXPROCS; never changes results)")
+		batchKn    = flag.String("batch-kernel", "", "batch scoring backend: auto (default), shadow, or lanes — bit-identical results, throughput only")
 		earlyStop  = flag.Float64("early-stop", 0, "adaptive early stop: end a run when best cost improves < this fraction over -early-stop-window steps (0 = off)")
 		earlyStopW = flag.Int("early-stop-window", 32, "sliding-window length (driver steps) of -early-stop")
 	)
 	flag.Parse()
+
+	kernel, err := core.ParseBatchKernel(*batchKn)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	stopProfiles := prof.Start(*cpuprofile, *memprofile)
 	defer stopProfiles()
@@ -95,6 +101,7 @@ func main() {
 		cfg.EnableCtxSplit = *splits
 		cfg.Batch = *batch
 		cfg.BatchWorkers = *batchWk
+		cfg.BatchKernel = kernel
 		scfg := search.DefaultConfig()
 		scfg.SA = cfg
 		if *earlyStop > 0 {

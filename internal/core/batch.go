@@ -46,6 +46,15 @@ func (e *Explorer) SpeculateBatch(rng *rand.Rand, k int) int {
 			*c = specCand{kind: -1}
 		}
 	}
+	e.laneLazy = false
+	if e.useLanes() {
+		// The lane backend (lanes.go) scores lazily: everything before
+		// this point — the serial draw loop — is byte-for-byte the
+		// trajectory the shadow backend produces, and scores are filled
+		// in shared-sweep chunks as Candidate walks the round.
+		e.lanesBegin(k)
+		return k
+	}
 	w := e.specWorkers(k)
 	if w <= 1 {
 		e.speculating = true
@@ -82,8 +91,15 @@ func (e *Explorer) SpeculateBatch(rng *rand.Rand, k int) int {
 	return k
 }
 
-// Candidate implements anneal.BatchProblem.
+// Candidate implements anneal.BatchProblem. Under the lane backend the
+// verdict is computed on demand: the consumer walks candidates in draw
+// order and stops at the first acceptance, so scoring ahead of the read
+// cursor in doubling chunks bounds wasted sweeps while preserving the
+// exact scores the eager backends produce.
 func (e *Explorer) Candidate(i int) (kind int, ok bool, cost float64) {
+	if e.laneLazy && i >= e.laneScored {
+		e.lanesEnsure(i)
+	}
 	c := &e.spec[i]
 	return c.kind, c.ok, c.cost
 }
@@ -156,12 +172,17 @@ func (e *Explorer) newShadow() *Explorer {
 	}
 	s.cfg.Trace, s.cfg.Stop, s.cfg.Schedule, s.cfg.FrontMetrics = nil, nil, nil, nil
 	if e.inc != nil {
-		inc, err := sched.NewIncEvaluator(e.app, e.arch)
-		if err != nil {
-			// The master built one over the same models; this cannot fail.
-			panic(fmt.Sprintf("core: shadow evaluator: %v", err))
+		if e.cfg.Recycler != nil {
+			s.inc = e.cfg.Recycler.GetIncEvaluator()
 		}
-		s.inc = inc
+		if s.inc == nil {
+			inc, err := sched.NewIncEvaluator(e.app, e.arch)
+			if err != nil {
+				// The master built one over the same models; this cannot fail.
+				panic(fmt.Sprintf("core: shadow evaluator: %v", err))
+			}
+			s.inc = inc
+		}
 	}
 	s.mv.e = s
 	return s

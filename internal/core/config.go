@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/anneal"
@@ -99,6 +100,61 @@ const (
 	EvalIncremental
 )
 
+// BatchKernel selects the backend that scores a speculated batch of
+// candidate moves (Config.Batch > 1). Both backends produce bit-identical
+// candidate scores, verdicts and consume order — the trajectory stays a
+// pure function of (Seed, Batch) — so the choice is, like BatchWorkers,
+// pure throughput tuning and never appears in fingerprints or cache keys.
+type BatchKernel int
+
+const (
+	// BatchKernelAuto (the default) picks per instance: the lane kernel
+	// when the run resolved to the incremental evaluation path — its
+	// persistent graphs are what the lanes sweep, and the same cone-size
+	// heuristic that favors incremental updates also keeps per-candidate
+	// lane divergence sparse — and the shadow backend otherwise.
+	BatchKernelAuto BatchKernel = iota
+	// BatchKernelShadow scores each candidate with an independent
+	// apply → evaluate → revert pass, fanned out over shadow explorers
+	// when BatchWorkers allows.
+	BatchKernelShadow
+	// BatchKernelLanes scores all candidates of a round as lanes of one
+	// pair of shared topological sweeps on a single goroutine
+	// (sched.LaneEval); BatchWorkers is ignored. Falls back to the
+	// shadow backend when the run evaluates by full rebuild (there are
+	// no persistent graphs to sweep).
+	BatchKernelLanes
+)
+
+// batchKernelNames are the stable external names used by -batch-kernel.
+var batchKernelNames = map[BatchKernel]string{
+	BatchKernelAuto:   "auto",
+	BatchKernelShadow: "shadow",
+	BatchKernelLanes:  "lanes",
+}
+
+// String returns the kernel's stable external name.
+func (b BatchKernel) String() string {
+	if s, ok := batchKernelNames[b]; ok {
+		return s
+	}
+	return "?"
+}
+
+// ParseBatchKernel maps a -batch-kernel flag value ("", "auto",
+// "shadow", "lanes") to a BatchKernel.
+func ParseBatchKernel(s string) (BatchKernel, error) {
+	switch s {
+	case "", "auto":
+		return BatchKernelAuto, nil
+	case "shadow":
+		return BatchKernelShadow, nil
+	case "lanes":
+		return BatchKernelLanes, nil
+	}
+	return 0, fmt.Errorf("unknown batch kernel %q (want auto, shadow or lanes)", s)
+}
+
 // resolve maps EvalAuto to a concrete path for the given instance.
 func (m EvalMode) resolve(app *model.App, arch *model.Arch) EvalMode {
 	if m != EvalAuto {
@@ -193,6 +249,28 @@ type Config struct {
 	// bit-identical for any worker count, so it never appears in
 	// fingerprints or cache keys.
 	BatchWorkers int
+	// BatchKernel selects the batch scoring backend (zero value = Auto).
+	// Like BatchWorkers it only affects speed, never results, and is
+	// excluded from fingerprints and cache keys.
+	BatchKernel BatchKernel
+	// Recycler, when non-nil, recycles the large instance-sized evaluator
+	// state across runs instead of reallocating it per run (the multi-run
+	// drivers pool it with a sync.Pool). Install rebuilds every dynamic
+	// layer when an explorer adopts an evaluator — the same wholesale
+	// resynchronization quench restarts already perform — so a recycled
+	// run is bit-identical to a fresh one. Pure throughput: excluded from
+	// fingerprints and cache keys, and never makes a run uncacheable.
+	Recycler Recycler
+}
+
+// Recycler recycles incremental evaluators across exploration runs over
+// one (app, arch) pair. Get may return nil (the explorer then builds a
+// fresh evaluator); Put hands back an evaluator the finished run no
+// longer touches. Implementations must be safe for concurrent use, and
+// must never serve an evaluator built over different models.
+type Recycler interface {
+	GetIncEvaluator() *sched.IncEvaluator
+	PutIncEvaluator(*sched.IncEvaluator)
 }
 
 // DefaultConfig mirrors the paper's Figure 2 run: 1200 warmup iterations,
@@ -235,6 +313,9 @@ type Result struct {
 	Stats anneal.Stats
 	// MoveStats counts per-kind proposals and acceptances across the run.
 	MoveStats MoveStats
+	// LaneStats carries the lane batch backend's telemetry (all zeros
+	// when the shadow backend — or no batching — scored the run).
+	LaneStats LaneStats
 	// MetDeadline reports whether the best solution satisfies the
 	// configured deadline (vacuously true when no deadline is set).
 	MetDeadline bool

@@ -89,6 +89,20 @@ type Explorer struct {
 	specLog     []specCand
 	specEpoch   uint64
 	speculating bool
+
+	// Lane batch backend state (lanes.go): the shared-sweep evaluator,
+	// built on first lane-scored round, its run telemetry, and the lazy
+	// scoring cursor — candidates [0, laneScored) of the current round
+	// have verdicts, the next chunk is 1<<laneChunkIdx lanes wide.
+	laneEval     *sched.LaneEval
+	laneStats    LaneStats
+	laneLazy     bool
+	laneK        int
+	laneScored   int
+	laneChunkIdx int
+	// laneStale records that serial chunk evaluations left the installed
+	// graphs speculatively patched; the next lane chunk resyncs first.
+	laneStale bool
 }
 
 // candidatePools caches the mapping scans of the proposal helpers. Each
@@ -192,11 +206,16 @@ func (p *Prepared) New(cfg Config) (*Explorer, error) {
 		e.frontCoords = make([]float64, len(cfg.FrontMetrics))
 	}
 	if cfg.EvalMode.resolve(p.app, p.arch) == EvalIncremental {
-		inc, err := sched.NewIncEvaluator(p.app, p.arch)
-		if err != nil {
-			return nil, err
+		if cfg.Recycler != nil {
+			e.inc = cfg.Recycler.GetIncEvaluator()
 		}
-		e.inc = inc
+		if e.inc == nil {
+			inc, err := sched.NewIncEvaluator(p.app, p.arch)
+			if err != nil {
+				return nil, err
+			}
+			e.inc = inc
+		}
 	}
 	weights := moveWeights(cfg.ExploreArch)
 	if cfg.AdaptiveMoves {
@@ -512,24 +531,53 @@ func (e *Explorer) Finish() *Result {
 	r := e.run
 	if r == nil {
 		e.KeepBest()
-		return &Result{
+		res := &Result{
 			Best:        e.best.Clone(),
 			BestEval:    e.bestRes,
 			InitialEval: e.curRes,
 			MoveStats:   e.MoveStatsSnapshot(),
+			LaneStats:   e.LaneStatsSnapshot(),
 			MetDeadline: e.cfg.Deadline <= 0 || e.bestRes.Makespan <= e.cfg.Deadline,
 			Front:       e.front,
 		}
+		e.releaseEvaluators()
+		return res
 	}
-	return &Result{
+	res := &Result{
 		Best:        e.best.Clone(),
 		BestEval:    e.bestRes,
 		InitialEval: r.initial,
 		Stats:       e.StatsSnapshot(),
 		MoveStats:   e.MoveStatsSnapshot(),
+		LaneStats:   e.LaneStatsSnapshot(),
 		MetDeadline: e.cfg.Deadline <= 0 || e.bestRes.Makespan <= e.cfg.Deadline,
 		Front:       e.front,
 	}
+	e.releaseEvaluators()
+	return res
+}
+
+// releaseEvaluators hands the run's incremental evaluators — the
+// master's and any shadows' — back to the configured recycler so the
+// next run over the same models can adopt them instead of reallocating.
+// Idempotent: Finish may be called more than once, the evaluators are
+// released exactly once.
+func (e *Explorer) releaseEvaluators() {
+	rec := e.cfg.Recycler
+	if rec == nil {
+		return
+	}
+	if e.inc != nil {
+		rec.PutIncEvaluator(e.inc)
+		e.inc = nil
+	}
+	for _, s := range e.shadows {
+		if s.inc != nil {
+			rec.PutIncEvaluator(s.inc)
+			s.inc = nil
+		}
+	}
+	e.shadows = e.shadows[:0]
 }
 
 // Run executes the exploration and returns the best solution found: Start

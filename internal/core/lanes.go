@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/objective"
+	"repro/internal/sched"
+)
+
+// The lane batch backend: instead of scoring each speculated candidate
+// with an independent apply → evaluate → revert pass (batch.go), all
+// candidates of a round are staged as lanes of one pair of shared
+// topological sweeps (sched.LaneEval) and scored together on a single
+// goroutine. Each candidate's mapping mutation is still applied and
+// rolled back through the journal — that is what derives the lane's
+// layer diffs — but the evaluator's installed graphs are never patched
+// and never need a revert resynchronization, so the per-candidate cost
+// collapses to the staging diff plus the candidate's share of the
+// shared sweep. Scores are bit-identical to the shadow backend: both
+// resolve each candidate to the same effective schedule graph, whose
+// longest-path fixed point is unique.
+
+// LaneStats is the lane kernel's telemetry, accumulated across a run.
+// The average lanes per round (Lanes/Rounds) is the lane occupancy; the
+// per-lane relaxations over shared node visits (LaneRelax/SweepNodes)
+// is the shared-sweep ratio — how many candidates each traversed node
+// served on average.
+type LaneStats struct {
+	// Rounds counts lane-scored speculation rounds (one per batch chunk
+	// of up to sched.MaxLanes candidates).
+	Rounds int64
+	// Lanes counts candidates staged into those rounds (drawn moves
+	// whose mutation succeeded).
+	Lanes int64
+	// SweepNodes counts distinct (node, pass) visits across the shared
+	// sweeps — work paid once per round regardless of width.
+	SweepNodes int64
+	// LaneRelax counts per-lane relaxations inside those visits — work
+	// paid per diverged lane.
+	LaneRelax int64
+}
+
+// useLanes reports whether speculated batches are scored by the lane
+// kernel. Explicit Shadow disables it; Lanes and Auto both require the
+// incremental evaluation path — without it there are no persistent
+// graphs to lane-sweep (and a full-rebuild instance is small enough
+// that move cones span most of the schedule, so sparse lane divergence
+// would not pay anyway). That makes Auto's heuristic exactly the
+// EvalAuto cone-size heuristic: the backends agree on when a move's
+// affected cone is small relative to the graph.
+func (e *Explorer) useLanes() bool {
+	if e.inc == nil {
+		return false
+	}
+	return e.cfg.BatchKernel != BatchKernelShadow
+}
+
+// lanesBegin arms lazy lane scoring for a freshly drawn round of k
+// candidates. Nothing is evaluated yet: the consume loop (stepBatched)
+// asks for scores in draw order via Candidate, and an acceptance ends the
+// round — candidates past it are discarded *unscored*, exactly as the
+// shadow backend's are discarded after being scored. Scores are pure
+// functions of (solution, candidate), so deferring them is invisible to
+// the trajectory; it only removes the wasted sweeps.
+func (e *Explorer) lanesBegin(k int) {
+	e.laneLazy = true
+	e.laneK = k
+	e.laneScored = 0
+	e.laneChunkIdx = 0
+}
+
+// laneSerialWidth is the chunk width below which the serial incremental
+// evaluator beats the lane sweep: a narrow chunk has no cross-lane
+// sharing to amortize the sweep's multi-pass relaxation, while the
+// journaled apply → evaluate → revert settles in a single Pearce-Kelly
+// pass. Scores are identical either way (both backends resolve the same
+// effective graph), so the cutover is invisible to the trajectory.
+const laneSerialWidth = 2
+
+// lanesEnsure scores forward in chunks until candidate i has a verdict.
+// Chunk widths double (1, 2, 4, ...): at most 2x the consumed prefix is
+// ever swept, and a round that rejects everything still coalesces into a
+// handful of wide shared sweeps. Narrow chunks go through the serial
+// evaluator; wide ones through the lane kernel.
+func (e *Explorer) lanesEnsure(i int) {
+	for e.laneScored <= i {
+		w := 1 << e.laneChunkIdx
+		if w > sched.MaxLanes {
+			w = sched.MaxLanes
+		}
+		if rem := e.laneK - e.laneScored; w > rem {
+			w = rem
+		}
+		if w <= laneSerialWidth {
+			e.speculating = true
+			for j := 0; j < w; j++ {
+				e.evalCandidate(&e.spec[e.laneScored+j])
+			}
+			e.speculating = false
+			// Revert leaves the evaluator stale on purpose (moves.go): the
+			// speculated layers are re-marked into the change set for the
+			// next Update to re-derive. The serial consume loop absorbs
+			// that naturally; a following lane chunk must not.
+			e.laneStale = true
+		} else {
+			e.lanesChunk(e.laneScored, w)
+		}
+		e.laneScored += w
+		e.laneChunkIdx++
+	}
+}
+
+// lanesChunk scores e.spec[base : base+chunk] with the lane kernel.
+// Candidates keep their draw order; lane l of the chunk is the chunk's
+// l-th candidate, so verdicts and costs land exactly where the consume
+// loop expects them.
+func (e *Explorer) lanesChunk(base, chunk int) {
+	if e.laneEval == nil {
+		e.laneEval = sched.NewLaneEval(e.inc)
+	}
+	if e.laneStale {
+		// Serial chunks left the installed graphs speculatively patched
+		// (Revert defers the resync to the next Update). Re-derive the
+		// stale layers from the — unchanged — current mapping so lane
+		// staging diffs against true base state again.
+		if _, err := e.inc.Update(e.cur, e.cs); err != nil {
+			panic(fmt.Sprintf("core: lane resync rejected the installed solution: %v", err))
+		}
+		e.cs.Reset()
+		e.laneStale = false
+	}
+	e.speculating = true
+	e.laneEval.Begin(chunk)
+	// Mapping-derived cost terms must be read while the candidate's
+	// mutation is applied; costs are assembled only after the sweeps.
+	var hwArea, usedCost [sched.MaxLanes]float64
+	staged := 0
+	for l := 0; l < chunk; l++ {
+		c := &e.spec[base+l]
+		if c.kind < 0 {
+			continue
+		}
+		e.mv.kind, e.mv.a, e.mv.b, e.mv.c, e.mv.d, e.mv.p = c.kind, c.a, c.b, c.c, c.d, c.p
+		e.journal.reset()
+		prevTick := e.stateTick
+		e.stateTick++
+		if !e.mv.mutate() {
+			e.rollback()
+			e.stateTick = prevTick
+			c.ok = false
+			continue
+		}
+		e.laneEval.Stage(l, e.cur, e.cs)
+		if e.needsMap {
+			hwArea[l] = float64(objective.HWAreaOf(e.app, e.cur))
+			usedCost[l] = objective.UsedResourceCostOf(e.arch, e.cur)
+		}
+		e.rollback()
+		e.stateTick = prevTick
+		// The evaluator was never touched, so the restored mapping
+		// matches every installed layer: this candidate's marks can be
+		// dropped rather than ride along to the next real update.
+		e.cs.Reset()
+		staged++
+	}
+	e.laneStats.Rounds++
+	e.laneStats.Lanes += int64(staged)
+	if staged > 0 {
+		e.laneEval.Finish()
+		for l := 0; l < chunk; l++ {
+			c := &e.spec[base+l]
+			if c.kind < 0 || !c.ok {
+				continue
+			}
+			if !e.laneEval.Feasible(l) {
+				c.ok = false
+				continue
+			}
+			res := e.laneEval.Result(l)
+			v := objective.FromResult(res)
+			if e.needsMap {
+				// Exactly what costOf's CompleteMapping would fill in.
+				v[objective.HWArea] = hwArea[l]
+				v[objective.UsedResourceCost] = usedCost[l]
+			}
+			c.cost = e.scal.Cost(res, v)
+		}
+	}
+	sn, lr := e.laneEval.Counters()
+	e.laneStats.SweepNodes, e.laneStats.LaneRelax = sn, lr
+	e.speculating = false
+}
+
+// LaneStatsSnapshot returns the lane-kernel telemetry accumulated so
+// far (all zeros when the shadow backend scored every round).
+func (e *Explorer) LaneStatsSnapshot() LaneStats { return e.laneStats }

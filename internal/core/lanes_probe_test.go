@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/model"
+	"repro/internal/scenario/archgen"
+)
+
+// layeredXLLike reproduces the shape of the layered-xl scenario (160-task
+// DAG, 4 processors + 2 RCs) without importing the scenario package.
+func layeredXLLike(t *testing.T) (*model.App, *model.Arch) {
+	t.Helper()
+	g, ok := apps.Lookup("layered")
+	if !ok {
+		t.Fatal("no layered family")
+	}
+	rng := rand.New(rand.NewSource(305))
+	app, err := g.Build(rng, apps.XL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acfg := archgen.DefaultConfig()
+	acfg.Processors = 4
+	acfg.RCs = 2
+	acfg.NCLBMin = 2500
+	acfg.NCLBMax = 4000
+	arch, err := archgen.Generate(rng, acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app, arch
+}
+
+// TestLaneSweepProbe prints the lane sweep's work breakdown on a
+// layered-XL-sized run. Diagnostic only; enable with LANE_PROBE=1.
+func TestLaneSweepProbe(t *testing.T) {
+	if os.Getenv("LANE_PROBE") == "" {
+		t.Skip("set LANE_PROBE=1 to run the sweep profiler")
+	}
+	app, arch := layeredXLLike(t)
+	cfg := DefaultConfig()
+	cfg.MaxIters = 4000
+	cfg.Seed = 42
+	cfg.Batch = 8
+	cfg.BatchKernel = BatchKernelLanes
+	prep, err := Prepare(app, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := prep.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	for {
+		more, err := e.Step(256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !more {
+			break
+		}
+	}
+	res := e.Finish()
+	le := e.laneEval
+	p1n, p1r, p1p, p1k := int64(0), int64(0), int64(0), int64(0)
+	if le.P1() != nil {
+		p1n, p1r = le.P1().Counters()
+		p1p, p1k = le.P1().Profile()
+	}
+	fn, fr := le.Full().Counters()
+	fp, fk := le.Full().Profile()
+	ls := res.LaneStats
+	fmt.Printf("rounds=%d lanes=%d (occ %.2f)\n", ls.Rounds, ls.Lanes, float64(ls.Lanes)/float64(ls.Rounds))
+	fmt.Printf("p1:   nodes=%d relax=%d passSum=%d killed=%d  relax/lane=%.0f passes/lane=%.2f\n",
+		p1n, p1r, p1p, p1k, float64(p1r)/float64(ls.Lanes), float64(p1p)/float64(ls.Lanes))
+	fmt.Printf("full: nodes=%d relax=%d passSum=%d killed=%d  relax/lane=%.0f passes/lane=%.2f\n",
+		fn, fr, fp, fk, float64(fr)/float64(ls.Lanes), float64(fp)/float64(ls.Lanes))
+}

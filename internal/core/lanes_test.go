@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/model"
+	"repro/internal/objective"
+)
+
+// laneScenario is one (app, arch) pair the lane-kernel suite replays;
+// the set spans contention and contention-free buses, context churn,
+// and every move kind including architecture exploration.
+type laneScenario struct {
+	name string
+	app  *model.App
+	arch *model.Arch
+	cfg  Config
+}
+
+func laneScenarios(t *testing.T) []laneScenario {
+	t.Helper()
+	mcfg := apps.DefaultMotionConfig()
+	motion := apps.MotionDetection(mcfg)
+
+	base := DefaultConfig()
+	base.MaxIters = 1000
+	base.Warmup = 200
+	base.QuenchIters = 300
+	// Force the incremental path so the lane kernel engages on these
+	// small instances (EvalAuto would resolve them to full rebuilds).
+	base.EvalMode = EvalIncremental
+
+	wide := base
+	wide.Seed = 23
+	wide.ExploreArch = true
+	wide.EnableCtxSplit = true
+	wide.Deadline = model.FromMillis(20)
+
+	rcfg := apps.DefaultRandomConfig()
+	rcfg.Tasks = 30
+	layered, err := apps.Layered(rand.New(rand.NewSource(9)), rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []laneScenario{
+		{name: "motion/2000", app: motion, arch: apps.MotionArch(2000, mcfg), cfg: base},
+		{name: "layered30/wide", app: layered, arch: wideArch(true), cfg: wide},
+		{name: "layered30/wide/free", app: layered, arch: wideArch(false), cfg: wide},
+	}
+}
+
+// TestLaneKernelEquivalence is the lane backend's bit-identity guard:
+// for batch widths 1, 2 and 8, the lane-scored run must reproduce the
+// shadow-scored run — every per-iteration cost, makespan and accept
+// decision, the best evaluation, and all run statistics. Width 1 is
+// additionally compared against the plain serial loop (batch disabled),
+// closing the chain Lanes ≡ Shadow ≡ serial.
+func TestLaneKernelEquivalence(t *testing.T) {
+	for _, sc := range laneScenarios(t) {
+		cfg := sc.cfg
+		cfg.Batch = 0
+		cfg.BatchKernel = BatchKernelLanes
+		resSerial, traceSerial := runWithConfig(t, sc.app, sc.arch, cfg)
+
+		for _, batch := range []int{1, 2, 4, 8} {
+			shadowCfg := sc.cfg
+			shadowCfg.Batch = batch
+			shadowCfg.BatchKernel = BatchKernelShadow
+			resShadow, traceShadow := runWithConfig(t, sc.app, sc.arch, shadowCfg)
+
+			lanesCfg := sc.cfg
+			lanesCfg.Batch = batch
+			lanesCfg.BatchKernel = BatchKernelLanes
+			resLanes, traceLanes := runWithConfig(t, sc.app, sc.arch, lanesCfg)
+
+			assertSameTrajectory(t, sc.name+"/lanes-vs-shadow", resShadow, resLanes, traceShadow, traceLanes)
+			if batch <= 1 {
+				assertSameTrajectory(t, sc.name+"/batch1-vs-serial", resSerial, resLanes, traceSerial, traceLanes)
+				continue
+			}
+			// Narrow rounds are scored entirely by the serial cutover
+			// (chunks 1 and 2 never reach the sweep), so lane telemetry
+			// is only guaranteed once a round can hold a chunk wider
+			// than laneSerialWidth.
+			if batch >= 8 && (resLanes.LaneStats.Rounds == 0 || resLanes.LaneStats.Lanes == 0) {
+				t.Fatalf("%s: batch=%d lane run recorded no lane telemetry: %+v", sc.name, batch, resLanes.LaneStats)
+			}
+			if resShadow.LaneStats != (LaneStats{}) {
+				t.Fatalf("%s: shadow run recorded lane telemetry: %+v", sc.name, resShadow.LaneStats)
+			}
+		}
+	}
+}
+
+// TestLaneKernelDeterminismAndFront: a lane-scored run is a pure
+// function of (seed, batch) — a rerun reproduces every iteration — and
+// its in-run Pareto archive is point-for-point identical to the shadow
+// backend's (kernel choice must never leak into the front).
+func TestLaneKernelDeterminismAndFront(t *testing.T) {
+	sc := laneScenarios(t)[1] // layered30/wide: every move kind
+	cfg := sc.cfg
+	cfg.Batch = 8
+	cfg.FrontMetrics = []objective.Metric{objective.HWArea, objective.Makespan}
+
+	cfg.BatchKernel = BatchKernelLanes
+	resA, traceA := runWithConfig(t, sc.app, sc.arch, cfg)
+	resB, traceB := runWithConfig(t, sc.app, sc.arch, cfg)
+	assertSameTrajectory(t, "lane rerun", resA, resB, traceA, traceB)
+	if resA.LaneStats != resB.LaneStats {
+		t.Fatalf("lane telemetry not deterministic:\n  a %+v\n  b %+v", resA.LaneStats, resB.LaneStats)
+	}
+
+	cfg.BatchKernel = BatchKernelShadow
+	resS, traceS := runWithConfig(t, sc.app, sc.arch, cfg)
+	assertSameTrajectory(t, "front: lanes vs shadow", resS, resA, traceS, traceA)
+	sp, lp := resS.Front.Points(), resA.Front.Points()
+	if len(sp) != len(lp) {
+		t.Fatalf("front sizes differ: shadow %d, lanes %d", len(sp), len(lp))
+	}
+	for i := range sp {
+		if sp[i].ID != lp[i].ID {
+			t.Fatalf("front point %d differs: shadow %+v, lanes %+v", i, sp[i], lp[i])
+		}
+		for d := range sp[i].V {
+			if sp[i].V[d] != lp[i].V[d] {
+				t.Fatalf("front point %d coord %d differs: shadow %v, lanes %v", i, d, sp[i].V[d], lp[i].V[d])
+			}
+		}
+	}
+}
+
+// TestLaneKernelAutoAndFallback: Auto must pick the lane kernel exactly
+// when the run resolved to the incremental path, and an explicit Lanes
+// request on a full-rebuild run must quietly fall back to the shadow
+// backend — in every case with results identical to the explicit
+// choice.
+func TestLaneKernelAutoAndFallback(t *testing.T) {
+	sc := laneScenarios(t)[0] // motion/2000
+	cfg := sc.cfg
+	cfg.Batch = 8
+
+	// Incremental: Auto == Lanes, and the kernel actually engages.
+	cfg.BatchKernel = BatchKernelAuto
+	resAuto, traceAuto := runWithConfig(t, sc.app, sc.arch, cfg)
+	cfg.BatchKernel = BatchKernelLanes
+	resLanes, traceLanes := runWithConfig(t, sc.app, sc.arch, cfg)
+	assertSameTrajectory(t, "auto-vs-lanes", resAuto, resLanes, traceAuto, traceLanes)
+	if resAuto.LaneStats.Rounds == 0 {
+		t.Fatalf("auto on incremental run never engaged the lane kernel: %+v", resAuto.LaneStats)
+	}
+
+	// Full rebuild: Lanes falls back to shadow, bit-identically.
+	full := cfg
+	full.EvalMode = EvalFull
+	full.BatchKernel = BatchKernelLanes
+	resFallback, traceFallback := runWithConfig(t, sc.app, sc.arch, full)
+	full.BatchKernel = BatchKernelShadow
+	resShadow, traceShadow := runWithConfig(t, sc.app, sc.arch, full)
+	assertSameTrajectory(t, "fallback-vs-shadow", resShadow, resFallback, traceShadow, traceFallback)
+	if resFallback.LaneStats != (LaneStats{}) {
+		t.Fatalf("full-rebuild run recorded lane telemetry: %+v", resFallback.LaneStats)
+	}
+}

@@ -1,0 +1,182 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// laneRefOp is one recorded lane edit, replayed against an independent
+// from-scratch evaluator to produce the reference answer.
+type laneRefOp struct {
+	kind int // 0 = SetDur, 1 = AddEdge, 2 = RemoveEdge
+	u, v int
+	w, d int64
+}
+
+// applyRef builds the lane's effective graph the way the resolution rule
+// defines it — removals first, then insertions (so insert wins), with
+// duration overrides applied in order (so the last wins) — and returns a
+// fresh evaluator over it, or nil when the result is cyclic.
+func applyRef(g *DAG, dur []int64, ops []laneRefOp) *Evaluator {
+	cg := g.Clone()
+	cd := append([]int64(nil), dur...)
+	for _, op := range ops {
+		if op.kind == 2 {
+			cg.RemoveEdge(op.u, op.v)
+		}
+	}
+	for _, op := range ops {
+		switch op.kind {
+		case 0:
+			cd[op.v] = op.d
+		case 1:
+			cg.AddEdge(op.u, op.v, op.w)
+		}
+	}
+	ref, err := NewEvaluator(cg, cd)
+	if err != nil {
+		return nil
+	}
+	return ref
+}
+
+func randomLaneDAG(rng *rand.Rand, n int) (*DAG, []int64) {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Intn(100) < 12 {
+				g.AddEdge(u, v, int64(rng.Intn(5)))
+			}
+		}
+	}
+	dur := make([]int64, n)
+	for v := range dur {
+		dur[v] = int64(1 + rng.Intn(10))
+	}
+	return g, dur
+}
+
+// TestLaneSweepMatchesIndependentEvaluators drives a LaneSweep with
+// random per-lane diffs over random DAGs and checks every lane against
+// an evaluator built from scratch over that lane's effective graph:
+// identical feasibility verdict, start/fin for every node, and makespan.
+// Multiple rounds run against the same sweep, with the base evaluator
+// mutated between rounds, to exercise round-stamp reuse.
+func TestLaneSweepMatchesIndependentEvaluators(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		n := 8 + rng.Intn(48)
+		g, dur := randomLaneDAG(rng, n)
+		e, err := NewEvaluator(g, append([]int64(nil), dur...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ls := NewLaneSweep(e)
+		for round := 0; round < 4; round++ {
+			k := 1 + rng.Intn(8)
+			ls.Begin(k)
+			laneOps := make([][]laneRefOp, k)
+			for l := 0; l < k; l++ {
+				added := map[[2]int]bool{}
+				nops := rng.Intn(7)
+				for o := 0; o < nops; o++ {
+					switch rng.Intn(3) {
+					case 0:
+						v, d := rng.Intn(n), int64(1+rng.Intn(10))
+						ls.SetDur(l, v, d)
+						laneOps[l] = append(laneOps[l], laneRefOp{kind: 0, v: v, d: d})
+					case 1:
+						u, v := rng.Intn(n), rng.Intn(n)
+						if u == v || added[[2]int{u, v}] {
+							continue
+						}
+						added[[2]int{u, v}] = true
+						w := int64(rng.Intn(5))
+						ls.AddEdge(l, u, v, w)
+						laneOps[l] = append(laneOps[l], laneRefOp{kind: 1, u: u, v: v, w: w})
+					case 2:
+						if g.M() == 0 {
+							continue
+						}
+						es := g.Edges()
+						pick := es[rng.Intn(len(es))]
+						ls.RemoveEdge(l, pick.U, pick.V)
+						laneOps[l] = append(laneOps[l], laneRefOp{kind: 2, u: pick.U, v: pick.V})
+					}
+				}
+			}
+			ls.Run()
+			for l := 0; l < k; l++ {
+				ref := applyRef(e.Graph(), e.dur, laneOps[l])
+				if ref == nil {
+					if ls.Feasible(l) {
+						t.Fatalf("trial %d round %d lane %d: sweep says feasible, reference is cyclic (ops %v)",
+							trial, round, l, laneOps[l])
+					}
+					continue
+				}
+				if !ls.Feasible(l) {
+					t.Fatalf("trial %d round %d lane %d: sweep says infeasible, reference is acyclic (ops %v)",
+						trial, round, l, laneOps[l])
+				}
+				if got, want := ls.Makespan(l), ref.Makespan(); got != want {
+					t.Fatalf("trial %d round %d lane %d: makespan %d != reference %d (ops %v)",
+						trial, round, l, got, want, laneOps[l])
+				}
+				for v := 0; v < n; v++ {
+					if got, want := ls.Start(l, v), ref.Start(v); got != want {
+						t.Fatalf("trial %d round %d lane %d: start[%d] %d != reference %d (ops %v)",
+							trial, round, l, v, got, want, laneOps[l])
+					}
+					if got, want := ls.Fin(l, v), ref.fin[v]; got != want {
+						t.Fatalf("trial %d round %d lane %d: fin[%d] %d != reference %d (ops %v)",
+							trial, round, l, v, got, want, laneOps[l])
+					}
+				}
+			}
+			// Mutate the base between rounds: a few random valid edits
+			// through the evaluator, flushed by the next Begin.
+			for o := 0; o < 3; o++ {
+				switch rng.Intn(3) {
+				case 0:
+					e.SetDur(rng.Intn(n), int64(1+rng.Intn(10)))
+				case 1:
+					u, v := rng.Intn(n), rng.Intn(n)
+					if u != v {
+						e.AddEdge(u, v, int64(rng.Intn(5))) // ErrCycle = not inserted, fine
+					}
+				case 2:
+					es := e.Graph().Edges()
+					if len(es) > 0 {
+						pick := es[rng.Intn(len(es))]
+						e.RemoveEdge(pick.U, pick.V)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLaneSweepDisable checks that a disabled lane is skipped entirely
+// while its neighbours still converge.
+func TestLaneSweepDisable(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g, dur := randomLaneDAG(rng, 24)
+	e, err := NewEvaluator(g, append([]int64(nil), dur...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := NewLaneSweep(e)
+	ls.Begin(2)
+	ls.SetDur(0, 3, 99)
+	ls.SetDur(1, 3, 55)
+	ls.Disable(0)
+	ls.Run()
+	ref := applyRef(e.Graph(), e.dur, []laneRefOp{{kind: 0, v: 3, d: 55}})
+	if ref == nil {
+		t.Fatal("reference unexpectedly cyclic")
+	}
+	if got, want := ls.Makespan(1), ref.Makespan(); got != want {
+		t.Fatalf("lane 1 makespan %d != reference %d", got, want)
+	}
+}

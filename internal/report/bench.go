@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 )
 
 // BenchSchema is the version stamp of the persisted dsebench format;
@@ -30,11 +31,12 @@ type BenchRow struct {
 	Tasks    int    `json:"tasks"`
 	Runs     int    `json:"runs"`
 
-	// Batch, EarlyStopEpsilon and EarlyStopWindow record the cell's
-	// speculative-batch width and adaptive early-stop parameters (omitted
-	// when the features are off — serial rows stay byte-identical to
-	// earlier schema-1 files).
+	// Batch, BatchKernel, EarlyStopEpsilon and EarlyStopWindow record the
+	// cell's speculative-batch width, batch scoring backend and adaptive
+	// early-stop parameters (omitted when the features are off — serial
+	// rows stay byte-identical to earlier schema-1 files).
 	Batch            int     `json:"batch,omitempty"`
+	BatchKernel      string  `json:"batchKernel,omitempty"`
 	EarlyStopEpsilon float64 `json:"earlyStopEpsilon,omitempty"`
 	EarlyStopWindow  int     `json:"earlyStopWindow,omitempty"`
 
@@ -58,6 +60,17 @@ type BenchRow struct {
 	EarlyStopped int              `json:"earlyStopped,omitempty"`
 	MoveProposed map[string]int64 `json:"moveProposed,omitempty"`
 	MoveAccepted map[string]int64 `json:"moveAccepted,omitempty"`
+
+	// The lane batch kernel's telemetry, summed over the cell's runs
+	// (absent for shadow-scored and serial cells): speculation rounds,
+	// candidate lanes staged into them, shared (node, pass) sweep visits,
+	// and per-lane relaxations inside those visits. Lanes/LaneRounds is
+	// the cell's lane occupancy; LaneRelax/LaneSweepNodes the
+	// shared-sweep ratio.
+	LaneRounds     int64 `json:"laneRounds,omitempty"`
+	LaneLanes      int64 `json:"laneLanes,omitempty"`
+	LaneSweepNodes int64 `json:"laneSweepNodes,omitempty"`
+	LaneRelax      int64 `json:"laneRelax,omitempty"`
 
 	// WarmWallMS and CacheHits are recorded when the cell ran a second,
 	// cache-warm pass (dsebench -cache): the warm pass's wall time and how
@@ -119,16 +132,84 @@ func LoadBench(path string) (*BenchFile, error) {
 	return &f, nil
 }
 
-// BenchTable renders the result set as an aligned text/CSV table.
+// DiffBench prints an old-vs-new comparison of two result sets: one line
+// per cell of the new file with the evaluation-throughput and best-cost
+// deltas against the matching old cell (matched by scenario/strategy
+// key, like the regression gate). Unlike CompareBench it gates nothing —
+// it is the human-readable "what did this change buy" report behind
+// `make bench-diff`. Cells present on only one side are listed as
+// new/removed.
+func DiffBench(w io.Writer, old, now *BenchFile) {
+	oldBy := make(map[string]*BenchRow, len(old.Results))
+	for i := range old.Results {
+		oldBy[old.Results[i].Key()] = &old.Results[i]
+	}
+	pct := func(o, n float64) string {
+		if o == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%+.1f%%", (n-o)/o*100)
+	}
+	fmt.Fprintf(w, "%-34s %12s %12s %8s %12s %12s %8s\n",
+		"cell", "old ev/s", "new ev/s", "delta", "old cost", "new cost", "delta")
+	seen := make(map[string]bool, len(now.Results))
+	for i := range now.Results {
+		r := &now.Results[i]
+		seen[r.Key()] = true
+		if r.Skipped != "" {
+			continue
+		}
+		o := oldBy[r.Key()]
+		if o == nil || o.Skipped != "" {
+			fmt.Fprintf(w, "%-34s %12s %12.0f %8s %12s %12.4f %8s\n",
+				r.Key(), "-", r.EvalsPerSec, "new", "-", r.BestCost, "")
+			continue
+		}
+		fmt.Fprintf(w, "%-34s %12.0f %12.0f %8s %12.4f %12.4f %8s\n",
+			r.Key(), o.EvalsPerSec, r.EvalsPerSec, pct(o.EvalsPerSec, r.EvalsPerSec),
+			o.BestCost, r.BestCost, pct(o.BestCost, r.BestCost))
+	}
+	for i := range old.Results {
+		if k := old.Results[i].Key(); !seen[k] {
+			fmt.Fprintf(w, "%-34s removed (present only in the old file)\n", k)
+		}
+	}
+}
+
+// moveKindCell renders a per-move-kind counter map as one deterministic
+// cell: kinds sorted by name, "kind=count" pairs joined by commas — the
+// commas are what the CSV writer's RFC 4180 quoting exists for.
+func moveKindCell(m map[string]int64) string {
+	if len(m) == 0 {
+		return "-"
+	}
+	kinds := make([]string, 0, len(m))
+	for k := range m {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	parts := make([]string, len(kinds))
+	for i, k := range kinds {
+		parts[i] = fmt.Sprintf("%s=%d", k, m[k])
+	}
+	return strings.Join(parts, ",")
+}
+
+// BenchTable renders the result set as an aligned text/CSV table. The
+// per-move-kind headers deliberately carry a comma ("kind=n,..."), so a
+// compliant CSV reader must honor RFC 4180 quoting.
 func BenchTable(f *BenchFile) *Table {
 	t := NewTable("scenario", "family", "size", "strategy", "tasks", "runs",
 		"best_cost", "best_ms", "mean_ms", "front", "evals", "evals_per_s", "wall_ms",
-		"warm_ms", "hits", "note")
+		"warm_ms", "hits", "speculated", "discarded",
+		"moves_proposed (kind=n,...)", "moves_accepted (kind=n,...)",
+		"lane_occ", "lane_share", "note")
 	for i := range f.Results {
 		r := &f.Results[i]
 		if r.Skipped != "" {
 			t.AddRow(r.Scenario, r.Family, r.Size, r.Strategy, r.Tasks, "-",
-				"-", "-", "-", "-", "-", "-", "-", "-", "-", "skipped: "+r.Skipped)
+				"-", "-", "-", "-", "-", "-", "-", "-", "-", "-", "-", "-", "-", "-", "-",
+				"skipped: "+r.Skipped)
 			continue
 		}
 		warm, hits := "-", "-"
@@ -136,10 +217,19 @@ func BenchTable(f *BenchFile) *Table {
 			warm = fmt.Sprintf("%.2f", r.WarmWallMS)
 			hits = fmt.Sprint(r.CacheHits)
 		}
+		laneOcc, laneShare := "-", "-"
+		if r.LaneRounds > 0 {
+			laneOcc = fmt.Sprintf("%.1f", float64(r.LaneLanes)/float64(r.LaneRounds))
+		}
+		if r.LaneSweepNodes > 0 {
+			laneShare = fmt.Sprintf("%.2f", float64(r.LaneRelax)/float64(r.LaneSweepNodes))
+		}
 		t.AddRow(r.Scenario, r.Family, r.Size, r.Strategy, r.Tasks, r.Runs,
 			fmt.Sprintf("%.4f", r.BestCost), r.BestMakespanMS, r.MeanMakespanMS,
 			r.FrontSize, r.Evaluations, fmt.Sprintf("%.0f", r.EvalsPerSec), r.WallMS,
-			warm, hits, "")
+			warm, hits, r.Speculated, r.Discarded,
+			moveKindCell(r.MoveProposed), moveKindCell(r.MoveAccepted),
+			laneOcc, laneShare, "")
 	}
 	return t
 }

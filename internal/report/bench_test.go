@@ -121,6 +121,125 @@ func TestCompareBench(t *testing.T) {
 	}
 }
 
+// TestBenchTableCSVEscapesKindColumns pins the RFC 4180 behavior of the
+// batch-telemetry columns: both the per-move-kind headers and their cells
+// carry literal commas, so a compliant writer must quote them — an
+// unquoted comma would shift every later column and corrupt the lane
+// telemetry. The test parses the CSV back with a minimal RFC 4180 reader
+// to prove the column count survives.
+func TestBenchTableCSVEscapesKindColumns(t *testing.T) {
+	f := sampleBench()
+	f.Results[0].Batch = 8
+	f.Results[0].BatchKernel = "lanes"
+	f.Results[0].Speculated = 700
+	f.Results[0].Discarded = 120
+	f.Results[0].MoveProposed = map[string]int64{"remap": 400, "swap": 300}
+	f.Results[0].MoveAccepted = map[string]int64{"remap": 90}
+	f.Results[0].LaneRounds = 100
+	f.Results[0].LaneLanes = 640
+	f.Results[0].LaneSweepNodes = 5000
+	f.Results[0].LaneRelax = 9000
+
+	var buf bytes.Buffer
+	if err := BenchTable(f).CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Comma-bearing headers and cells must arrive quoted.
+	for _, quoted := range []string{
+		`"moves_proposed (kind=n,...)"`,
+		`"moves_accepted (kind=n,...)"`,
+		`"remap=400,swap=300"`,
+	} {
+		if !strings.Contains(out, quoted) {
+			t.Fatalf("CSV lost RFC 4180 quoting of %s:\n%s", quoted, out)
+		}
+	}
+	// Single-kind cells have no comma and must stay unquoted.
+	if !strings.Contains(out, ",remap=90,") {
+		t.Fatalf("comma-free kind cell should be unquoted:\n%s", out)
+	}
+	if !strings.Contains(out, ",6.4,") || !strings.Contains(out, ",1.80,") {
+		t.Fatalf("lane occupancy/share cells missing:\n%s", out)
+	}
+
+	// Parse it back: every record must have exactly the header's width.
+	records := parseCSV(t, out)
+	if len(records) != 4 { // header + 3 rows
+		t.Fatalf("want 4 records, got %d", len(records))
+	}
+	width := len(records[0])
+	for i, rec := range records {
+		if len(rec) != width {
+			t.Fatalf("record %d has %d fields, header has %d — a comma leaked unquoted", i, len(rec), width)
+		}
+	}
+	// The kind cell round-trips to its raw (unquoted) value.
+	propCol := -1
+	for i, h := range records[0] {
+		if h == "moves_proposed (kind=n,...)" {
+			propCol = i
+		}
+	}
+	if propCol < 0 {
+		t.Fatalf("per-kind header did not round-trip: %q", records[0])
+	}
+	if got := records[1][propCol]; got != "remap=400,swap=300" {
+		t.Fatalf("kind cell = %q, want remap=400,swap=300", got)
+	}
+}
+
+// parseCSV is a minimal RFC 4180 reader (quoted fields, doubled quotes,
+// CRLF record ends) — enough to verify the writer's framing.
+func parseCSV(t *testing.T, s string) [][]string {
+	t.Helper()
+	var records [][]string
+	var rec []string
+	var field strings.Builder
+	inQuotes := false
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case inQuotes:
+			if c == '"' {
+				if i+1 < len(s) && s[i+1] == '"' {
+					field.WriteByte('"')
+					i++
+				} else {
+					inQuotes = false
+				}
+			} else {
+				field.WriteByte(c)
+			}
+		case c == '"':
+			inQuotes = true
+		case c == ',':
+			rec = append(rec, field.String())
+			field.Reset()
+		case c == '\n' || (c == '\r' && i+1 < len(s) && s[i+1] == '\n'):
+			rec = append(rec, field.String())
+			field.Reset()
+			records = append(records, rec)
+			rec = nil
+			if c == '\r' {
+				i++
+			}
+		default:
+			field.WriteByte(c)
+		}
+		i++
+	}
+	if inQuotes {
+		t.Fatalf("unterminated quote in CSV: %q", s)
+	}
+	if field.Len() > 0 || len(rec) > 0 {
+		rec = append(rec, field.String())
+		records = append(records, rec)
+	}
+	return records
+}
+
 func TestBenchTableRendersSkips(t *testing.T) {
 	var buf bytes.Buffer
 	if err := BenchTable(sampleBench()).Render(&buf); err != nil {

@@ -29,10 +29,14 @@ func SA(app *model.App, arch *model.Arch, cfg core.Config) (RunFunc, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Recycle the instance-sized evaluator scratch across the batch's
+	// runs (see scratch.go) — pure throughput, bit-identical results.
+	rec := recyclerFor(app, arch)
 	return func(ctx context.Context, run int, seed int64) (*Outcome, error) {
 		c := cfg
 		c.Seed = seed
 		c.Stop = stopFromCtx(ctx, cfg.Stop)
+		c.Recycler = rec
 		res, err := prep.Explore(c)
 		if err != nil {
 			return nil, err
@@ -58,6 +62,10 @@ func Strategy(f *search.Factory) RunFunc { return StrategyBudget(f, 0) }
 // reports the strategy's evaluation telemetry in Outcome.Evaluations —
 // the budgeted batch primitive behind the dsebench scenario matrix.
 func StrategyBudget(f *search.Factory, maxSteps int) RunFunc {
+	// Recycle evaluator scratch across the batch's runs (see scratch.go);
+	// results are bit-identical with or without it, so the factory's
+	// fingerprint — and thus every cache key — is unaffected.
+	f.SetRecycler(recyclerFor(f.App(), f.Arch()))
 	return func(ctx context.Context, run int, seed int64) (*Outcome, error) {
 		out, stats, err := search.RunStats(ctx, f, seed, maxSteps)
 		if err != nil {
@@ -79,6 +87,7 @@ func StrategyBudget(f *search.Factory, maxSteps int) RunFunc {
 			EarlyStopped: stats.EarlyStopped,
 			MoveProposed: moveKindMap(stats.MoveStats.Proposed),
 			MoveAccepted: moveKindMap(stats.MoveStats.Accepted),
+			LaneStats:    stats.LaneStats,
 		}, nil
 	}
 }

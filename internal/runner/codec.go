@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/core"
 	"repro/internal/memo"
 	"repro/internal/pareto"
 	"repro/internal/sched"
@@ -48,6 +49,12 @@ type outcomeWire struct {
 	EarlyStopped bool             `json:"earlyStopped,omitempty"`
 	MoveProposed map[string]int64 `json:"moveProposed,omitempty"`
 	MoveAccepted map[string]int64 `json:"moveAccepted,omitempty"`
+	// The lane-kernel telemetry follows the same convention: absent for
+	// shadow-scored and serial runs, so their snapshots stay byte-stable.
+	LaneRounds     int64 `json:"laneRounds,omitempty"`
+	LaneLanes      int64 `json:"laneLanes,omitempty"`
+	LaneSweepNodes int64 `json:"laneSweepNodes,omitempty"`
+	LaneRelax      int64 `json:"laneRelax,omitempty"`
 }
 
 // EncodeOutcome serializes a cached outcome for snapshot persistence.
@@ -56,17 +63,21 @@ func EncodeOutcome(o *Outcome) ([]byte, error) {
 		return nil, fmt.Errorf("runner: encoding nil outcome")
 	}
 	w := outcomeWire{
-		Best:         o.Best,
-		Eval:         o.Eval,
-		MetDeadline:  o.MetDeadline,
-		Evaluations:  o.Evaluations,
-		Cost:         o.Cost,
-		HasCost:      o.HasCost,
-		Speculated:   o.Speculated,
-		Discarded:    o.Discarded,
-		EarlyStopped: o.EarlyStopped,
-		MoveProposed: o.MoveProposed,
-		MoveAccepted: o.MoveAccepted,
+		Best:           o.Best,
+		Eval:           o.Eval,
+		MetDeadline:    o.MetDeadline,
+		Evaluations:    o.Evaluations,
+		Cost:           o.Cost,
+		HasCost:        o.HasCost,
+		Speculated:     o.Speculated,
+		Discarded:      o.Discarded,
+		EarlyStopped:   o.EarlyStopped,
+		MoveProposed:   o.MoveProposed,
+		MoveAccepted:   o.MoveAccepted,
+		LaneRounds:     o.LaneStats.Rounds,
+		LaneLanes:      o.LaneStats.Lanes,
+		LaneSweepNodes: o.LaneStats.SweepNodes,
+		LaneRelax:      o.LaneStats.LaneRelax,
 	}
 	if o.Front != nil {
 		fw := &frontWire{Dims: o.Front.Dims()}
@@ -98,6 +109,12 @@ func DecodeOutcome(b []byte) (*Outcome, error) {
 		EarlyStopped: w.EarlyStopped,
 		MoveProposed: w.MoveProposed,
 		MoveAccepted: w.MoveAccepted,
+		LaneStats: core.LaneStats{
+			Rounds:     w.LaneRounds,
+			Lanes:      w.LaneLanes,
+			SweepNodes: w.LaneSweepNodes,
+			LaneRelax:  w.LaneRelax,
+		},
 	}
 	if w.Front != nil {
 		if w.Front.Dims < 1 {

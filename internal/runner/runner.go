@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/objective"
 	"repro/internal/pareto"
@@ -96,6 +97,9 @@ type Outcome struct {
 	// kinds appear.
 	MoveProposed map[string]int64
 	MoveAccepted map[string]int64
+	// LaneStats carries the run's lane batch-kernel telemetry (all zeros
+	// for serial runs, shadow-scored runs, and non-SA strategies).
+	LaneStats core.LaneStats
 }
 
 // RunFunc executes one independent exploration run. It must derive all its
@@ -135,6 +139,8 @@ type Aggregate struct {
 	Discarded  int
 	// EarlyStopped counts runs truncated by the adaptive early-stop rule.
 	EarlyStopped int
+	// LaneStats sums the per-run lane batch-kernel telemetry.
+	LaneStats core.LaneStats
 	// MoveProposed and MoveAccepted sum the per-run per-move-kind counters
 	// (nil when no run reports any).
 	MoveProposed map[string]int64
@@ -182,6 +188,10 @@ func (a *Aggregate) add(app *model.App, r RunResult) {
 	a.Evaluations += r.Outcome.Evaluations
 	a.Speculated += r.Outcome.Speculated
 	a.Discarded += r.Outcome.Discarded
+	a.LaneStats.Rounds += r.Outcome.LaneStats.Rounds
+	a.LaneStats.Lanes += r.Outcome.LaneStats.Lanes
+	a.LaneStats.SweepNodes += r.Outcome.LaneStats.SweepNodes
+	a.LaneStats.LaneRelax += r.Outcome.LaneStats.LaneRelax
 	if r.Outcome.EarlyStopped {
 		a.EarlyStopped++
 	}

@@ -1,0 +1,49 @@
+package runner
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// Scratch pooling: every run of a batch rebuilds the same instance-sized
+// SoA state — the incremental evaluator's node/flow/layer arrays and its
+// two maintained schedule graphs — only to discard it a few hundred
+// milliseconds later. The runner's batches hold the models fixed, so that
+// state is perfectly recyclable: core.Recycler lets a finished run hand
+// its evaluator back, and Install performs the same wholesale layer
+// resynchronization on an adopted evaluator that in-run quench restarts
+// already rely on, keeping recycled runs bit-identical to fresh ones.
+//
+// The pools are keyed by the model digests — the pair that fixes every
+// SoA dimension (and, stronger, the models themselves), so an evaluator
+// can never be revived under models it was not built for. Entries are
+// sync.Pools: GC-pressure-bounded, safe for concurrent workers.
+
+// evalPools maps "appDigest|archDigest" to the *sync.Pool recycling that
+// instance's evaluators across runs and batches.
+var evalPools sync.Map
+
+// evalRecycler adapts one instance's sync.Pool to core.Recycler.
+type evalRecycler struct{ pool *sync.Pool }
+
+func (r evalRecycler) GetIncEvaluator() *sched.IncEvaluator {
+	e, _ := r.pool.Get().(*sched.IncEvaluator)
+	return e
+}
+
+func (r evalRecycler) PutIncEvaluator(e *sched.IncEvaluator) {
+	if e != nil {
+		r.pool.Put(e)
+	}
+}
+
+// recyclerFor returns the process-wide evaluator recycler of one
+// (app, arch) instance.
+func recyclerFor(app *model.App, arch *model.Arch) core.Recycler {
+	key := app.Digest() + "|" + arch.Digest()
+	p, _ := evalPools.LoadOrStore(key, &sync.Pool{})
+	return evalRecycler{pool: p.(*sync.Pool)}
+}

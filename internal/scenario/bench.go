@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/combi"
+	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/objective"
 	"repro/internal/report"
@@ -40,6 +41,10 @@ type MatrixOptions struct {
 	// (0 = GOMAXPROCS). Pure throughput tuning; results are identical for
 	// any value.
 	BatchWorkers int
+	// BatchKernel selects the batch scoring backend (core.BatchKernelAuto,
+	// the zero value, picks per instance). Like BatchWorkers it never
+	// changes results, only throughput.
+	BatchKernel core.BatchKernel
 	// EarlyStopEpsilon/EarlyStopWindow enable the driver-level adaptive
 	// early stop for every cell (see search.Config); zero disables it.
 	EarlyStopEpsilon float64
@@ -103,6 +108,10 @@ func fillRow(row *report.BenchRow, agg *runner.Aggregate, wall time.Duration) {
 	row.EarlyStopped = agg.EarlyStopped
 	row.MoveProposed = agg.MoveProposed
 	row.MoveAccepted = agg.MoveAccepted
+	row.LaneRounds = agg.LaneStats.Rounds
+	row.LaneLanes = agg.LaneStats.Lanes
+	row.LaneSweepNodes = agg.LaneStats.SweepNodes
+	row.LaneRelax = agg.LaneStats.LaneRelax
 }
 
 // RunMatrix executes every (scenario, strategy) cell of the matrix on the
@@ -134,6 +143,7 @@ func RunMatrix(ctx context.Context, scenarios []*Scenario, opts MatrixOptions) (
 			cfg.SA.Batch = opts.Batch
 		}
 		cfg.SA.BatchWorkers = opts.BatchWorkers
+		cfg.SA.BatchKernel = opts.BatchKernel
 		cfg.EarlyStopEpsilon = opts.EarlyStopEpsilon
 		cfg.EarlyStopWindow = opts.EarlyStopWindow
 		runs := s.Budget.Runs
@@ -163,6 +173,7 @@ func RunMatrix(ctx context.Context, scenarios []*Scenario, opts MatrixOptions) (
 			}
 			if name == "sa" && opts.Batch > 1 {
 				row.Batch = opts.Batch
+				row.BatchKernel = opts.BatchKernel.String()
 			}
 			if name == "brute" && app.N() > combi.MaxExhaustiveTasks {
 				row.Skipped = fmt.Sprintf("%d tasks > brute bound %d", app.N(), combi.MaxExhaustiveTasks)

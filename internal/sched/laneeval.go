@@ -1,0 +1,460 @@
+package sched
+
+import (
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+// LaneEval scores up to 64 speculative candidate mappings ("lanes")
+// against an installed IncEvaluator in one pair of shared lane sweeps,
+// without mutating the evaluator, its graphs, or its installed layers.
+//
+// Each lane is staged from the candidate's mutated mapping plus the
+// move's change set, exactly the inputs Update would get: the staging
+// re-derives the touched durations and dynamic layers as pure values,
+// diffs them against the installed state with the same trimming and
+// window-scan rules as applyPatches, and records the resulting
+// duration/edge diff in a graph.LaneSweep per maintained graph instead
+// of patching. One Run of the chain-free sweep then settles feasibility
+// and the bus transaction order for every lane at once; the contention
+// chain is re-derived per lane from those start times (same sort key as
+// sortCrossByStart) and diffed against the installed chain; and one Run
+// of the full sweep yields every lane's makespan.
+//
+// The Results are bit-identical to Update's for the same candidates:
+// both paths resolve to the same effective edge set and duration vector
+// per candidate, the longest-path fixed point of a DAG is unique, and
+// the Result sums are the same integer additions. Feasibility matches
+// too — Update fails if and only if the candidate's chain-free edge set
+// is cyclic, which is exactly the lane sweep's divergence verdict.
+// MaxLanes is the widest round a LaneEval can carry: one bit per lane
+// in the sweeps' divergence masks.
+const MaxLanes = 64
+
+type LaneEval struct {
+	e     *IncEvaluator
+	p1S   *graph.LaneSweep // nil when the bus is contention-free
+	fullS *graph.LaneSweep
+
+	k      int
+	staged uint64
+	infeas uint64
+
+	// Per-lane deltas against the installed Result sums, and makespans.
+	dSW, dHW, dComm, dInit, dDyn [64]int64
+	dCtx                         [64]int
+	mk                           [64]int64
+
+	// Per-lane cross-resource membership changes (flow node ids).
+	crossAdd [64][]int32
+	crossDel [64][]int32
+
+	// Staging scratch, stamped so nothing is cleared between lanes.
+	flowSeen   []int32 // per flow; dedup of flows seen via both endpoints
+	flowStamp  int32
+	delMark    []int32 // per flow; lane's membership removals
+	laneNextV  []int32 // per node; lane's chain successor
+	laneNextS  []int32
+	chainStamp int32
+
+	// The CLB cache entries patched for the lane in flight, restored at
+	// the end of Stage.
+	clbIdx []int32
+	clbVal []int32
+
+	freshScr  []edge3
+	laneCross []crossKey
+	uv        uvIndex
+}
+
+// NewLaneEval builds a lane evaluator over e, which must stay installed
+// while lanes are staged.
+func NewLaneEval(e *IncEvaluator) *LaneEval {
+	le := &LaneEval{
+		e:         e,
+		fullS:     graph.NewLaneSweep(e.full),
+		flowSeen:  make([]int32, e.nFlows),
+		delMark:   make([]int32, e.nFlows),
+		laneNextV: make([]int32, e.v),
+		laneNextS: make([]int32, e.v),
+	}
+	if e.p1 != nil {
+		le.p1S = graph.NewLaneSweep(e.p1)
+	}
+	return le
+}
+
+// Begin opens a round of k lanes (1..64). The evaluator must be at rest:
+// installed, with no Update in flight.
+func (le *LaneEval) Begin(k int) {
+	if !le.e.installed {
+		panic("sched: LaneEval.Begin before Install")
+	}
+	le.k = k
+	le.staged, le.infeas = 0, 0
+	le.fullS.Begin(k)
+	if le.p1S != nil {
+		le.p1S.Begin(k)
+	}
+	for l := 0; l < k; l++ {
+		le.dSW[l], le.dHW[l], le.dComm[l] = 0, 0, 0
+		le.dInit[l], le.dDyn[l], le.mk[l] = 0, 0, 0
+		le.dCtx[l] = 0
+		le.crossAdd[l] = le.crossAdd[l][:0]
+		le.crossDel[l] = le.crossDel[l][:0]
+	}
+}
+
+func (le *LaneEval) setDurBoth(l, v int, d int64) {
+	le.fullS.SetDur(l, v, d)
+	if le.p1S != nil {
+		le.p1S.SetDur(l, v, d)
+	}
+}
+
+func (le *LaneEval) addBoth(l int, ed edge3) {
+	le.fullS.AddEdge(l, int(ed.u), int(ed.v), ed.w)
+	if le.p1S != nil {
+		le.p1S.AddEdge(l, int(ed.u), int(ed.v), ed.w)
+	}
+}
+
+func (le *LaneEval) removeBoth(l int, ed edge3) {
+	le.fullS.RemoveEdge(l, int(ed.u), int(ed.v))
+	if le.p1S != nil {
+		le.p1S.RemoveEdge(l, int(ed.u), int(ed.v))
+	}
+}
+
+// Stage records candidate mapping m (mutated in place by the move whose
+// change set is cs) as lane l. It reads the mapping and the installed
+// base state; the only temporary writes are CLB-cache patches, restored
+// before returning — so the caller may revert the move right after.
+func (le *LaneEval) Stage(l int, m *Mapping, cs *ChangeSet) {
+	e := le.e
+	le.staged |= 1 << uint(l)
+	le.flowStamp++
+	le.clbIdx = le.clbIdx[:0]
+	le.clbVal = le.clbVal[:0]
+	// Tasks first: the RC layer re-derivations below read the patched CLB
+	// cache, mirroring Update.
+	for _, t32 := range cs.Tasks {
+		t := int(t32)
+		old := e.taskDurV[t]
+		if e.taskIsHW[t] {
+			le.dHW[l] -= old
+		} else {
+			le.dSW[l] -= old
+		}
+		pl := m.Assign[t]
+		var d int64
+		if pl.Kind != model.KindProcessor {
+			base := int(e.implOff[t]) + m.Impl[t]
+			d = e.hwTime[base]
+			le.clbIdx = append(le.clbIdx, t32)
+			le.clbVal = append(le.clbVal, e.clbOf[t])
+			e.clbOf[t] = e.hwCLB[base]
+			le.dHW[l] += d
+		} else {
+			d = e.swTime[pl.Res][t]
+			le.dSW[l] += d
+		}
+		if d != old {
+			le.setDurBoth(l, t, d)
+		}
+		for _, k32 := range e.flowsOf[t] {
+			kf := int(k32)
+			if le.flowSeen[kf] == le.flowStamp {
+				continue
+			}
+			le.flowSeen[kf] = le.flowStamp
+			fd := e.flowDur(m, kf)
+			oldf := e.flowDurV[kf]
+			if fd == oldf {
+				continue
+			}
+			le.dComm[l] += fd - oldf
+			le.setDurBoth(l, e.nTasks+kf, fd)
+			if e.p1 != nil {
+				// At rest, membership in the cross-resource list is exactly
+				// "comm duration > 0" (finish compacts stale entries).
+				fn := int32(e.nTasks + kf)
+				if oldf > 0 && fd == 0 {
+					le.crossDel[l] = append(le.crossDel[l], fn)
+				} else if oldf == 0 && fd > 0 {
+					le.crossAdd[l] = append(le.crossAdd[l], fn)
+				}
+			}
+		}
+	}
+	for _, p32 := range cs.Procs {
+		p := int(p32)
+		fr := le.freshScr[:0]
+		order := m.SWOrders[p]
+		for i := 1; i < len(order); i++ {
+			fr = append(fr, edge3{u: int32(order[i-1]), v: int32(order[i])})
+		}
+		le.freshScr = fr
+		le.diffLayer(l, e.swEdges[p], fr)
+	}
+	for _, r32 := range cs.RCs {
+		le.stageLaneRC(l, m, int(r32))
+	}
+	for i, t := range le.clbIdx {
+		e.clbOf[t] = le.clbVal[i]
+	}
+}
+
+// stageLaneRC is the pure counterpart of stageRC: it derives RC r's
+// fresh context layer, boot duration and sum contributions for lane l
+// without writing any of them back.
+func (le *LaneEval) stageLaneRC(l int, m *Mapping, r int) {
+	e := le.e
+	le.dInit[l] -= e.rcInit[r]
+	le.dDyn[l] -= e.rcDyn[r]
+	le.dCtx[l] -= int(e.rcCtx[r])
+	fr := le.freshScr[:0]
+	e.nonEmpty = e.nonEmpty[:0]
+	for ci := range m.Contexts[r] {
+		if len(m.Contexts[r][ci].Tasks) > 0 {
+			e.nonEmpty = append(e.nonEmpty, int32(ci))
+		}
+	}
+	le.dCtx[l] += len(e.nonEmpty)
+	boot := int32(e.BootNode(r))
+	var newInit, newDyn int64
+	if len(e.nonEmpty) > 0 {
+		tr := int64(e.arch.RCs[r].TR)
+		prevTerm := e.termBuf[:0]
+		for x, ci32 := range e.nonEmpty {
+			ci := int(ci32)
+			curInit, curTerm := e.collectBoth(m, r, ci, e.initialBuf[:0], e.termBuf2[:0])
+			var w int64
+			for _, t := range m.Contexts[r][ci].Tasks {
+				w += int64(e.clbOf[t])
+			}
+			w *= tr
+			if x == 0 {
+				newInit = w
+				for _, t := range curInit {
+					fr = append(fr, edge3{u: boot, v: t})
+				}
+			} else {
+				newDyn += w
+				for _, tp := range prevTerm {
+					for _, tn := range curInit {
+						fr = append(fr, edge3{u: tp, v: tn, w: w})
+					}
+				}
+			}
+			e.initialBuf = curInit
+			e.termBuf, e.termBuf2 = curTerm, prevTerm
+			prevTerm = curTerm
+		}
+	}
+	le.dInit[l] += newInit
+	le.dDyn[l] += newDyn
+	// The installed boot duration is always rcInit of the last commit.
+	if newInit != e.rcInit[r] {
+		le.setDurBoth(l, int(boot), newInit)
+	}
+	le.freshScr = fr
+	le.diffLayer(l, e.rcEdges[r], fr)
+}
+
+// diffLayer diffs a freshly derived layer against the installed list
+// with the same rules as stage/applyPatches — common prefix/suffix
+// trimming, removals of old-window edges absent from the fresh window,
+// insertions of fresh-window edges absent (or reweighted) in the old —
+// and records the diff as lane ops.
+func (le *LaneEval) diffLayer(l int, old, fr []edge3) {
+	a := 0
+	for a < len(old) && a < len(fr) && old[a] == fr[a] {
+		a++
+	}
+	ob, fb := len(old), len(fr)
+	for ob > a && fb > a && old[ob-1] == fr[fb-1] {
+		ob--
+		fb--
+	}
+	oldWin, frWin := old[a:ob], fr[a:fb]
+	if len(oldWin) == 0 && len(frWin) == 0 {
+		return
+	}
+	hashed := len(frWin) > uvSmall && len(oldWin) > 1
+	if hashed {
+		le.uv.build(frWin)
+	}
+	for _, oe := range oldWin {
+		var fi int
+		if hashed {
+			fi = le.uv.find(oe.u, oe.v)
+		} else {
+			fi = findUV(frWin, oe.u, oe.v)
+		}
+		if fi < 0 {
+			le.removeBoth(l, oe)
+		}
+	}
+	hashed = len(oldWin) > uvSmall && len(frWin) > 1
+	if hashed {
+		le.uv.build(oldWin)
+	}
+	for _, ne := range frWin {
+		var oi int
+		if hashed {
+			oi = le.uv.find(ne.u, ne.v)
+		} else {
+			oi = findUV(oldWin, ne.u, ne.v)
+		}
+		if oi >= 0 && oldWin[oi].w == ne.w {
+			continue
+		}
+		le.addBoth(l, ne)
+	}
+}
+
+// stageChain re-derives lane l's bus contention chain from its chain-free
+// start times — the same (start, node id) key sortCrossByStart uses — and
+// records the diff against the installed chain into the full sweep.
+func (le *LaneEval) stageChain(l int) {
+	e := le.e
+	le.chainStamp++
+	st := le.chainStamp
+	for _, fn := range le.crossDel[l] {
+		le.delMark[int(fn)-e.nTasks] = st
+	}
+	scr := le.laneCross[:0]
+	for _, n := range e.crossIdx {
+		if le.delMark[int(n)-e.nTasks] == st {
+			continue
+		}
+		scr = append(scr, crossKey{s: le.p1S.Start(l, int(n)), id: n})
+	}
+	for _, n := range le.crossAdd[l] {
+		scr = append(scr, crossKey{s: le.p1S.Start(l, int(n)), id: n})
+	}
+	for i := 1; i < len(scr); i++ {
+		x := scr[i]
+		j := i - 1
+		for j >= 0 && (scr[j].s > x.s || (scr[j].s == x.s && scr[j].id > x.id)) {
+			scr[j+1] = scr[j]
+			j--
+		}
+		scr[j+1] = x
+	}
+	le.laneCross = scr
+	if len(scr) > 1 {
+		for i := 0; i+1 < len(scr); i++ {
+			le.laneNextV[scr[i].id] = scr[i+1].id
+			le.laneNextS[scr[i].id] = st
+		}
+	}
+	// Remove installed links whose lane successor changed or vanished
+	// (a ≤1-member lane chain removes every link, like dropChain).
+	for _, a := range e.busNodes {
+		old := e.busNext[a]
+		if old < 0 {
+			continue
+		}
+		ln := int32(-1)
+		if le.laneNextS[a] == st {
+			ln = le.laneNextV[a]
+		}
+		if ln != old {
+			le.fullS.RemoveEdge(l, int(a), int(old))
+		}
+	}
+	if len(scr) > 1 {
+		for i := 0; i+1 < len(scr); i++ {
+			a, b := scr[i].id, scr[i+1].id
+			if e.busNext[a] != b {
+				le.fullS.AddEdge(l, int(a), int(b), 0)
+			}
+		}
+	}
+}
+
+// Finish runs the sweeps: the chain-free sweep settles feasibility and
+// transaction order, each feasible lane's chain diff is staged, and the
+// full sweep yields the makespans.
+func (le *LaneEval) Finish() {
+	if le.p1S != nil {
+		le.p1S.Run()
+		for l := 0; l < le.k; l++ {
+			bit := uint64(1) << uint(l)
+			if le.staged&bit == 0 {
+				continue
+			}
+			if !le.p1S.Feasible(l) {
+				le.infeas |= bit
+				le.fullS.Disable(l)
+				continue
+			}
+			le.stageChain(l)
+		}
+		le.fullS.Run()
+		for l := 0; l < le.k; l++ {
+			bit := uint64(1) << uint(l)
+			if le.staged&bit == 0 || le.infeas&bit != 0 {
+				continue
+			}
+			if !le.fullS.Feasible(l) {
+				// The full graph differs from the chain-free one only by the
+				// lane's chain, which follows the lane's own start order and
+				// cannot close a cycle (see patchChain).
+				panic("sched: lane full sweep diverged on a chain-free-feasible candidate")
+			}
+			le.mk[l] = le.fullS.Makespan(l)
+		}
+		return
+	}
+	le.fullS.Run()
+	for l := 0; l < le.k; l++ {
+		bit := uint64(1) << uint(l)
+		if le.staged&bit == 0 {
+			continue
+		}
+		if !le.fullS.Feasible(l) {
+			le.infeas |= bit
+			continue
+		}
+		le.mk[l] = le.fullS.Makespan(l)
+	}
+}
+
+// Feasible reports lane l's verdict after Finish. Exactly the lanes
+// whose Update would have returned ErrOrderCycle are infeasible.
+func (le *LaneEval) Feasible(l int) bool { return le.infeas>>uint(l)&1 == 0 }
+
+// Result assembles lane l's evaluation after Finish; only valid for
+// staged, feasible lanes.
+func (le *LaneEval) Result(l int) Result {
+	e := le.e
+	return Result{
+		Makespan:        model.Time(le.mk[l]),
+		InitialReconfig: model.Time(e.sumInit + le.dInit[l]),
+		DynamicReconfig: model.Time(e.sumDyn + le.dDyn[l]),
+		Comm:            model.Time(e.sumComm + le.dComm[l]),
+		ComputeSW:       model.Time(e.sumSW + le.dSW[l]),
+		ComputeHW:       model.Time(e.sumHW + le.dHW[l]),
+		Contexts:        e.sumCtx + le.dCtx[l],
+	}
+}
+
+// P1 exposes the chain-free sweep (nil on contention-free architectures)
+// and Full the full-graph sweep — for diagnostics and benchmarks.
+func (le *LaneEval) P1() *graph.LaneSweep   { return le.p1S }
+func (le *LaneEval) Full() *graph.LaneSweep { return le.fullS }
+
+// Counters returns the cumulative shared-sweep telemetry over both
+// sweeps: distinct (node, pass) visits and per-lane relaxations.
+func (le *LaneEval) Counters() (sweepNodes, laneRelax int64) {
+	sn, lr := le.fullS.Counters()
+	if le.p1S != nil {
+		a, b := le.p1S.Counters()
+		sn += a
+		lr += b
+	}
+	return sn, lr
+}

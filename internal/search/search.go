@@ -33,6 +33,9 @@ type Stats struct {
 	// MoveStats carries the SA per-move-kind proposal/acceptance counters
 	// (zero for non-SA strategies).
 	MoveStats core.MoveStats
+	// LaneStats carries the SA lane batch kernel's telemetry (zero when
+	// the shadow backend — or no batching — scored the run).
+	LaneStats core.LaneStats
 	// EarlyStopped reports that the driver's adaptive early-stop rule
 	// truncated the run (see Config.EarlyStopEpsilon).
 	EarlyStopped bool
@@ -198,6 +201,12 @@ func NewFactory(name string, app *model.App, arch *model.Arch, cfg Config) (*Fac
 
 // Name returns the factory's strategy kind.
 func (f *Factory) Name() string { return f.name }
+
+// SetRecycler installs an evaluator recycler on the SA configuration of
+// every strategy the factory builds from now on (see core.Config.Recycler
+// — pure throughput, bit-identical results, no fingerprint impact). Call
+// before the first New/Init; the multi-run drivers do.
+func (f *Factory) SetRecycler(r core.Recycler) { f.cfg.SA.Recycler = r }
 
 // New builds a fresh, uninitialized strategy instance.
 func (f *Factory) New() (Strategy, error) {

@@ -84,6 +84,7 @@ func (s *saStrategy) Stats() Stats {
 		Speculated:  st.Speculated,
 		Discarded:   st.Discarded,
 		MoveStats:   s.e.MoveStatsSnapshot(),
+		LaneStats:   s.e.LaneStatsSnapshot(),
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/objective"
 	"repro/internal/runner"
@@ -59,6 +60,10 @@ type JobSpec struct {
 	// fingerprint.
 	Batch        int `json:"batch,omitempty"`
 	BatchWorkers int `json:"batchWorkers,omitempty"`
+	// BatchKernel selects the batch scoring backend ("auto"/""/
+	// "shadow"/"lanes" — dsexplore -batch-kernel). The kernels are
+	// bit-identical, so like BatchWorkers it stays out of the fingerprint.
+	BatchKernel string `json:"batchKernel,omitempty"`
 	// EarlyStopEpsilon/EarlyStopWindow enable the driver-level adaptive
 	// early stop (dsexplore -early-stop / -early-stop-window); both are
 	// fingerprinted since truncation changes results.
@@ -147,6 +152,11 @@ func resolve(spec *JobSpec) (*resolved, error) {
 	if spec.BatchWorkers > 0 {
 		r.cfg.SA.BatchWorkers = spec.BatchWorkers
 	}
+	kernel, err := core.ParseBatchKernel(spec.BatchKernel)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	r.cfg.SA.BatchKernel = kernel
 	if spec.EarlyStopEpsilon > 0 && spec.EarlyStopWindow > 0 {
 		r.cfg.EarlyStopEpsilon = spec.EarlyStopEpsilon
 		r.cfg.EarlyStopWindow = spec.EarlyStopWindow
