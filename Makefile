@@ -11,7 +11,7 @@ BENCH_THRESHOLD ?= 0.20
 BATCH ?= 8
 BATCH_KERNEL ?= auto
 
-.PHONY: all build test race bench bench-json bench-check bench-baseline bench-batch-smoke bench-diff bench-micro-json dsed-smoke docs-check fmt fmt-check vet ci
+.PHONY: all build test race bench bench-json bench-check bench-baseline bench-batch-smoke bench-diff bench-micro-json dsed-smoke fleet-smoke fleet-report docs-check fmt fmt-check vet ci
 
 all: build test
 
@@ -100,6 +100,22 @@ bench-micro-json:
 dsed-smoke:
 	$(GO) run ./cmd/dsed -smoke -snapshot /tmp/dsed-smoke.snap
 
+# Distributed smoke: a race-built coordinator fronting three race-built
+# workers, loaded by dseload with a two-pass (cold/warm) deterministic
+# mixed-scenario replay. Asserts zero errors and a >=90% warm cache-hit
+# ratio (the sharded-routing proof), leaves FLEET_SMOKE.json as the
+# artifact. This is the CI gate of the fleet layer.
+fleet-smoke:
+	./scripts/fleet_smoke.sh
+
+# Fleet-vs-single comparison artifact: the identical deterministic
+# replay against one dsed and against a 3-worker fleet, with per-pass
+# result digests compared for bit-identity. Writes (and, on intentional
+# serving-layer changes, recommits) bench/FLEET_PR9_single.json and
+# bench/FLEET_PR9_fleet.json.
+fleet-report:
+	./scripts/fleet_report.sh
+
 # Documentation lint: every package (library and command alike) must carry
 # a package comment ("// Package x ..." or "// Command x ...").
 docs-check:
@@ -122,4 +138,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet docs-check build race bench bench-check dsed-smoke
+ci: fmt-check vet docs-check build race bench bench-check dsed-smoke fleet-smoke

@@ -50,10 +50,67 @@ import (
 	"time"
 
 	"repro/dse"
+	"repro/internal/fleet"
 	"repro/internal/memo"
 	"repro/internal/runner"
 	"repro/internal/serve"
 )
+
+// runCoordinator serves the fleet coordinator until SIGTERM/interrupt.
+func runCoordinator(addr string, beatTimeout time.Duration) {
+	c := fleet.NewCoordinator(fleet.Options{HeartbeatTimeout: beatTimeout, Logf: log.Printf})
+	defer c.Close()
+	httpSrv := &http.Server{Addr: addr, Handler: c.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutdownCtx)
+	}()
+	log.Printf("coordinating on %s (heartbeat timeout %v)", addr, beatTimeout)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Printf("coordinator shut down")
+}
+
+// fleetWorkerID derives the worker's stable fleet identity: an explicit
+// -worker-id, else hostname:port from the listen address.
+func fleetWorkerID(explicit, addr string) string {
+	if explicit != "" {
+		return explicit
+	}
+	host, _ := os.Hostname()
+	if host == "" {
+		host = "dsed"
+	}
+	_, port, err := net.SplitHostPort(addr)
+	if err != nil || port == "" {
+		return host
+	}
+	return host + ":" + port
+}
+
+// advertiseURL derives the callback URL workers hand the coordinator.
+// Wildcard listen hosts advertise the loopback address — correct for
+// single-host fleets (the smoke/test topology); multi-host deployments
+// pass -advertise explicitly.
+func advertiseURL(explicit, addr string) string {
+	if explicit != "" {
+		return strings.TrimRight(explicit, "/")
+	}
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "http://" + addr
+	}
+	switch host {
+	case "", "0.0.0.0", "::", "[::]":
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -70,8 +127,21 @@ func main() {
 		maxJobs   = flag.Int("max-jobs", 2, "concurrently executing jobs (excess queues)")
 		maxDone   = flag.Int("max-finished", 1000, "finished job records retained (oldest evicted beyond this)")
 		smoke     = flag.Bool("smoke", false, "run the self-test (cold job, cache-hit resubmit, snapshot restart, /metrics scrape) and exit")
+
+		coordinator = flag.Bool("coordinator", false, "run as a fleet coordinator: route /v1/jobs across registered dsed workers instead of computing locally")
+		beatTimeout = flag.Duration("heartbeat-timeout", 5*time.Second, "coordinator: declare a worker dead after this heartbeat silence and re-queue its jobs")
+		join        = flag.String("join", "", "worker: register with the fleet coordinator at this base URL (e.g. http://host:9400)")
+		advertise   = flag.String("advertise", "", "worker: base URL the coordinator dials back (default derived from -addr on 127.0.0.1)")
+		workerID    = flag.String("worker-id", "", "worker: stable fleet identity (default hostname:port)")
+		heartbeat   = flag.Duration("heartbeat", 2*time.Second, "worker: heartbeat interval to the coordinator")
+		drainFor    = flag.Duration("drain-timeout", 30*time.Second, "worker: on SIGTERM, wait at most this long for in-flight jobs to finish after deregistering")
 	)
 	flag.Parse()
+
+	if *coordinator {
+		runCoordinator(*addr, *beatTimeout)
+		return
+	}
 
 	pol, err := memo.ParsePolicy(*policy)
 	if err != nil {
@@ -119,13 +189,53 @@ func main() {
 			}
 		}()
 	}
+
+	// Fleet membership: register with the coordinator and heartbeat until
+	// the drain sequence stops the agent.
+	var agent *fleet.Agent
+	agentCtx, stopAgent := context.WithCancel(context.Background())
+	defer stopAgent()
+	if *join != "" {
+		agent = &fleet.Agent{
+			Coordinator: strings.TrimRight(*join, "/"),
+			ID:          fleetWorkerID(*workerID, *addr),
+			URL:         advertiseURL(*advertise, *addr),
+			Interval:    *heartbeat,
+			Logf:        log.Printf,
+		}
+		go agent.Run(agentCtx)
+	}
+
 	go func() {
 		<-ctx.Done()
+		if agent != nil {
+			// Graceful drain: leave the ring first (new jobs route to the
+			// survivors), refuse local submissions, finish what is in
+			// flight, and only then stop heartbeating and close the
+			// listener — the coordinator's watchers poll job status through
+			// the whole window.
+			log.Printf("SIGTERM: draining (deregister, finish in-flight, timeout %v)", *drainFor)
+			drainCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
+			srv.Drain()
+			if err := agent.Deregister(drainCtx); err != nil {
+				log.Printf("warning: deregister: %v", err)
+			}
+			if err := srv.WaitIdle(drainCtx); err != nil {
+				log.Printf("warning: drain timeout with %d jobs in flight", srv.ActiveJobs())
+			}
+			cancel()
+			stopAgent()
+		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		httpSrv.Shutdown(shutdownCtx)
 	}()
-	log.Printf("serving on %s (cache %v, policy %s, max-jobs %d)", *addr, !*noCache, pol, *maxJobs)
+	if agent != nil {
+		log.Printf("serving on %s (cache %v, policy %s, max-jobs %d, fleet %s as %s)",
+			*addr, !*noCache, pol, *maxJobs, *join, fleetWorkerID(*workerID, *addr))
+	} else {
+		log.Printf("serving on %s (cache %v, policy %s, max-jobs %d)", *addr, !*noCache, pol, *maxJobs)
+	}
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/serve"
 )
 
@@ -36,11 +37,13 @@ const (
 	JobCanceled = serve.StateCanceled
 )
 
-// Client talks to a dsed server. The zero value is not usable; construct
-// with NewClient.
+// Client talks to a dsed server or a fleet coordinator. The zero value
+// is not usable; construct with NewClient or NewClientWith.
 type Client struct {
-	base string
-	http *http.Client
+	base      string
+	http      *http.Client
+	retries   int
+	retryWait time.Duration
 }
 
 // apiPrefix is the versioned path prefix the client speaks. The server
@@ -48,43 +51,111 @@ type Client struct {
 // always addresses the current /v1 API.
 const apiPrefix = "/v1"
 
+// ClientOptions shapes a Client.
+type ClientOptions struct {
+	// Base is the server or coordinator URL (e.g. "http://localhost:8080").
+	Base string
+	// HTTPClient overrides the transport (nil = a fresh http.Client).
+	HTTPClient *http.Client
+	// Retries bounds how often a request refused with 503 is retried.
+	// A fleet refuses with 503 while a worker drains or the ring is
+	// momentarily empty mid-rebalance; retrying rides out the rebalance
+	// so clients observe zero failures. Negative disables retries;
+	// zero selects the default (3).
+	Retries int
+	// RetryWait is the first backoff, doubled per attempt (0 = 100ms).
+	RetryWait time.Duration
+}
+
 // NewClient creates a client for the server at base (e.g.
-// "http://localhost:8080"). Requests carry no overall timeout — job
-// streams are long-lived — so bound them with the caller's context.
+// "http://localhost:8080") with the default drain-aware retry policy.
+// Requests carry no overall timeout — job streams are long-lived — so
+// bound them with the caller's context.
 func NewClient(base string) *Client {
-	return &Client{base: strings.TrimRight(base, "/") + apiPrefix, http: &http.Client{}}
+	return NewClientWith(ClientOptions{Base: base})
+}
+
+// NewClientWith creates a client shaped by opts.
+func NewClientWith(opts ClientOptions) *Client {
+	c := &Client{
+		base:      strings.TrimRight(opts.Base, "/") + apiPrefix,
+		http:      opts.HTTPClient,
+		retries:   opts.Retries,
+		retryWait: opts.RetryWait,
+	}
+	if c.http == nil {
+		c.http = &http.Client{}
+	}
+	if c.retries == 0 {
+		c.retries = 3
+	}
+	if c.retries < 0 {
+		c.retries = 0
+	}
+	if c.retryWait <= 0 {
+		c.retryWait = 100 * time.Millisecond
+	}
+	return c
+}
+
+// backoff sleeps the attempt's retry wait, honoring ctx.
+func (c *Client) backoff(ctx context.Context, attempt int) error {
+	t := time.NewTimer(c.retryWait << attempt)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // do issues a request and decodes the JSON response into out (unless the
-// status is an error, which is surfaced with the server's message).
+// status is an error, which is surfaced with the server's message). A
+// 503 — a draining worker or a coordinator amid a rebalance — is retried
+// with exponential backoff up to the client's retry budget.
 func (c *Client) do(ctx context.Context, method, path string, body, out interface{}) error {
-	var rd io.Reader
+	var payload []byte
 	if body != nil {
 		b, err := json.Marshal(body)
 		if err != nil {
 			return err
 		}
-		rd = bytes.NewReader(b)
+		payload = b
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
-	if err != nil {
-		return err
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if payload != nil {
+			rd = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return err
+		}
+		if payload != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable && attempt < c.retries {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+			resp.Body.Close()
+			if err := c.backoff(ctx, attempt); err != nil {
+				return err
+			}
+			continue
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode >= 400 {
+			return decodeServerError(resp)
+		}
+		if out == nil {
+			return nil
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
 	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 400 {
-		return decodeServerError(resp)
-	}
-	if out == nil {
-		return nil
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 // decodeServerError parses the /v1 error envelope
@@ -162,6 +233,20 @@ func (c *Client) CacheStats(ctx context.Context) (*CacheInfo, error) {
 	return &info, nil
 }
 
+// WorkerInfo is one fleet member as reported by a coordinator's
+// GET /v1/workers (see internal/fleet).
+type WorkerInfo = fleet.WorkerInfo
+
+// Workers lists the fleet members behind a coordinator. Against a plain
+// dsed worker the endpoint does not exist and an error is returned.
+func (c *Client) Workers(ctx context.Context) ([]WorkerInfo, error) {
+	var out []WorkerInfo
+	if err := c.do(ctx, http.MethodGet, "/workers", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // WaitJob polls until the job reaches a terminal state (done, failed,
 // canceled) or ctx expires.
 func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*JobStatus, error) {
@@ -204,14 +289,27 @@ func (c *Client) RunJob(ctx context.Context, spec JobSpec, onEvent func(JobEvent
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/run", bytes.NewReader(b))
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return nil, err
+	var resp *http.Response
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/run", bytes.NewReader(b))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err = c.http.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		// A 503 precedes the stream: the worker is draining. Retry like do.
+		if resp.StatusCode == http.StatusServiceUnavailable && attempt < c.retries {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+			resp.Body.Close()
+			if err := c.backoff(ctx, attempt); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {

@@ -1,0 +1,27 @@
+// Package fleet scales the dsed job service horizontally: a
+// Coordinator fronts N dsed workers, routing every job by consistent
+// hash of its result-cache fingerprint (serve.RingKey) so the same
+// (app, arch, objective, strategy, seed, budget) job always lands on
+// the worker whose memoized result cache is warm for it.
+//
+// Membership is heartbeat-based. Workers join with POST /v1/register
+// (driven by the worker-side Agent), stay live with periodic
+// POST /v1/heartbeat, and leave gracefully with POST /v1/deregister: a
+// draining worker is off the ring immediately — new jobs route to the
+// survivors — while its in-flight jobs finish in place and keep being
+// watched to completion. A worker silent past the heartbeat timeout is
+// declared dead; its non-terminal jobs are transparently re-queued to
+// the new ring owners, where the determinism invariant (every result a
+// pure function of the job key) guarantees the recomputed outcome is
+// bit-identical to what the dead worker would have produced.
+//
+// The coordinator's job-facing API mirrors dsed's /v1 surface (submit,
+// list, status, cancel, scenarios, cache, metrics), so dse.Client and
+// cmd/dseload work unchanged against either a single worker or a
+// coordinator. The consistent-hash Ring guarantees that adding or
+// removing one of N workers remaps only ~1/N of the key space, keeping
+// every other worker's cache warm through membership churn; the
+// property tests in ring_test.go pin both the balance and the
+// minimal-disruption bounds, and fleet_test.go proves the kill/drain
+// behavior under fault injection.
+package fleet

@@ -1,0 +1,113 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// DefaultReplicas is the virtual-node count per worker. 128 points per
+// node keeps the 1k-key balance within 2x of ideal for the fleet sizes
+// the coordinator targets (3–32 workers) while keeping ring rebuilds
+// cheap; the property tests in ring_test.go pin both bounds.
+const DefaultReplicas = 128
+
+// Ring is a consistent-hash ring over worker IDs. Keys are arbitrary
+// strings (the fleet routes on the job's result-cache fingerprint), and
+// each key maps to the worker owning the first virtual node at or after
+// the key's hash point. Adding or removing one worker remaps only the
+// keys that worker owned (~1/N of the space) — the minimal-disruption
+// property that keeps every other worker's result cache warm through
+// membership changes.
+//
+// Ring is not safe for concurrent use; the Coordinator guards it with
+// its own mutex.
+type Ring struct {
+	replicas int
+	nodes    map[string]bool
+	points   []point // sorted by hash
+}
+
+type point struct {
+	hash uint64
+	node string
+}
+
+// NewRing creates an empty ring with the given virtual-node count per
+// worker (non-positive selects DefaultReplicas).
+func NewRing(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	return &Ring{replicas: replicas, nodes: map[string]bool{}}
+}
+
+// hashPoint maps a string to its position on the ring. sha256 rather
+// than a fast non-cryptographic hash: ring operations are rare
+// (membership changes and one lookup per job submission), and the even
+// avalanche keeps virtual nodes uniformly spread, which the balance
+// property depends on.
+func hashPoint(s string) uint64 {
+	h := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(h[:8])
+}
+
+// Add inserts a worker's virtual nodes. Adding a present worker is a
+// no-op.
+func (r *Ring) Add(node string) {
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, point{hashPoint(node + "#" + strconv.Itoa(i)), node})
+	}
+	sort.Slice(r.points, func(i, k int) bool { return r.points[i].hash < r.points[k].hash })
+}
+
+// Remove deletes a worker's virtual nodes. Removing an absent worker is
+// a no-op.
+func (r *Ring) Remove(node string) {
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	keep := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			keep = append(keep, p)
+		}
+	}
+	r.points = keep
+}
+
+// Owner returns the worker owning key; ok is false when the ring is
+// empty.
+func (r *Ring) Owner(key string) (node string, ok bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := hashPoint(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the highest point
+	}
+	return r.points[i].node, true
+}
+
+// Has reports whether node is on the ring.
+func (r *Ring) Has(node string) bool { return r.nodes[node] }
+
+// Nodes returns the member IDs, sorted.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.nodes) }

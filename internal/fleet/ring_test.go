@@ -1,0 +1,131 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringKeys generates n distinct fingerprint-like keys.
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("fingerprint-%04d", i)
+	}
+	return keys
+}
+
+// TestRingBalance pins the load-balance property: with the default
+// virtual-node count, 1k keys spread over the fleet within 2x of the
+// ideal per-worker share, for every fleet size the coordinator targets.
+func TestRingBalance(t *testing.T) {
+	keys := ringKeys(1000)
+	for _, workers := range []int{2, 3, 5, 8, 16, 32} {
+		r := NewRing(0)
+		for w := 0; w < workers; w++ {
+			r.Add(fmt.Sprintf("worker-%d", w))
+		}
+		counts := map[string]int{}
+		for _, k := range keys {
+			owner, ok := r.Owner(k)
+			if !ok {
+				t.Fatalf("Owner(%q) not ok on a %d-worker ring", k, workers)
+			}
+			counts[owner]++
+		}
+		if len(counts) != workers {
+			t.Errorf("%d workers: only %d received keys", workers, len(counts))
+		}
+		ideal := float64(len(keys)) / float64(workers)
+		for w, n := range counts {
+			if f := float64(n); f > 2*ideal {
+				t.Errorf("%d workers: %s owns %d keys, over 2x ideal %.1f", workers, w, n, ideal)
+			}
+		}
+	}
+}
+
+// TestRingMinimalDisruption pins the consistent-hashing property that
+// keeps caches warm through membership churn: removing 1 of N workers
+// remaps only the keys that worker owned (~1/N of the space, asserted
+// at <= 2/N for slack), and every remapped key belonged to the removed
+// worker.
+func TestRingMinimalDisruption(t *testing.T) {
+	keys := ringKeys(1000)
+	for _, workers := range []int{3, 5, 10} {
+		r := NewRing(0)
+		for w := 0; w < workers; w++ {
+			r.Add(fmt.Sprintf("worker-%d", w))
+		}
+		before := map[string]string{}
+		for _, k := range keys {
+			before[k], _ = r.Owner(k)
+		}
+		const victim = "worker-0"
+		r.Remove(victim)
+		moved := 0
+		for _, k := range keys {
+			after, ok := r.Owner(k)
+			if !ok {
+				t.Fatalf("ring empty after removing 1 of %d", workers)
+			}
+			if after != before[k] {
+				moved++
+				if before[k] != victim {
+					t.Errorf("%d workers: key %q moved %s -> %s though %s was removed",
+						workers, k, before[k], after, victim)
+				}
+			} else if before[k] == victim {
+				t.Errorf("%d workers: key %q still owned by removed %s", workers, k, victim)
+			}
+		}
+		if limit := 2 * len(keys) / workers; moved > limit {
+			t.Errorf("%d workers: removal remapped %d of %d keys, over bound %d",
+				workers, moved, len(keys), limit)
+		}
+	}
+}
+
+// TestRingRejoinRestoresOwnership pins that a worker leaving and
+// re-joining gets exactly its old keys back — virtual-node points are a
+// pure function of the worker ID.
+func TestRingRejoinRestoresOwnership(t *testing.T) {
+	keys := ringKeys(200)
+	r := NewRing(0)
+	for w := 0; w < 4; w++ {
+		r.Add(fmt.Sprintf("worker-%d", w))
+	}
+	before := map[string]string{}
+	for _, k := range keys {
+		before[k], _ = r.Owner(k)
+	}
+	r.Remove("worker-2")
+	r.Add("worker-2")
+	for _, k := range keys {
+		after, _ := r.Owner(k)
+		if after != before[k] {
+			t.Fatalf("key %q owned by %s after rejoin, was %s", k, after, before[k])
+		}
+	}
+}
+
+// TestRingEmptyAndIdempotent covers the edges: an empty ring owns
+// nothing, double-add and double-remove are no-ops.
+func TestRingEmptyAndIdempotent(t *testing.T) {
+	r := NewRing(8)
+	if _, ok := r.Owner("anything"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	r.Add("w")
+	r.Add("w")
+	if got := len(r.points); got != 8 {
+		t.Fatalf("double Add left %d points, want 8", got)
+	}
+	if owner, ok := r.Owner("anything"); !ok || owner != "w" {
+		t.Fatalf("Owner = %q, %v on a 1-worker ring", owner, ok)
+	}
+	r.Remove("w")
+	r.Remove("w")
+	if r.Len() != 0 || len(r.points) != 0 {
+		t.Fatalf("ring not empty after removes: %d nodes, %d points", r.Len(), len(r.points))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -28,6 +29,10 @@ func KeyOf(parts ...string) Key {
 	h.Sum(k[:0])
 	return k
 }
+
+// Hex renders the key as lowercase hex — the stable string form used
+// where a key crosses a process boundary (fleet ring routing, logs).
+func (k Key) Hex() string { return hex.EncodeToString(k[:]) }
 
 // Default sizing used when Options fields are zero.
 const (

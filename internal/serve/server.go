@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/memo"
@@ -44,6 +45,7 @@ type Server struct {
 	sem         chan struct{}
 	maxFinished int
 	logf        func(string, ...interface{})
+	draining    atomic.Bool
 
 	mu     sync.Mutex // guards jobs/order/nextID
 	jobs   map[string]*job
@@ -100,6 +102,52 @@ func (s *Server) pruneLocked() {
 
 // Cache returns the server's result cache (nil when disabled).
 func (s *Server) Cache() *runner.ResultCache { return s.cache }
+
+// Drain puts the server into graceful-drain mode: new submissions
+// (POST /jobs and POST /run) are refused with 503 and the stable error
+// code "draining", while status, stream, cancel, and metrics requests —
+// and every job already queued or running — proceed to completion. A
+// fleet worker drains on SIGTERM: deregister from the coordinator,
+// Drain, WaitIdle, then exit. Drain is idempotent and cannot be undone.
+func (s *Server) Drain() {
+	if !s.draining.Swap(true) {
+		s.logf("serve: draining — refusing new submissions, finishing in-flight jobs")
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// ActiveJobs counts jobs not yet in a terminal state (queued + running).
+func (s *Server) ActiveJobs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, j := range s.jobs {
+		if !terminal(j.snapshot().State) {
+			n++
+		}
+	}
+	return n
+}
+
+// WaitIdle blocks until every queued and running job has reached a
+// terminal state, or ctx expires (returning its error). The drain
+// sequence calls it after Drain so no new work can arrive behind it.
+func (s *Server) WaitIdle(ctx context.Context) error {
+	tick := time.NewTicker(20 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.ActiveJobs() == 0 {
+			return nil
+		}
+		select {
+		case <-tick.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
 
 // APIVersion is the current (and only) versioned API prefix. Every
 // endpoint lives under /v1; the unversioned paths of the original API
@@ -190,7 +238,29 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, errorEnvelope{Error: APIError{Code: errorCode(code), Message: err.Error()}})
 }
 
+// CodeDraining is the stable error-envelope code of a 503 refused by a
+// draining server. Coordinators and clients key their re-route/retry
+// logic on the 503 status; the code makes the refusal diagnosable.
+const CodeDraining = "draining"
+
+// writeDraining refuses a submission on a draining server: 503, a
+// Retry-After hint, and the "draining" envelope code.
+func writeDraining(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, errorEnvelope{Error: APIError{
+		Code:    CodeDraining,
+		Message: "serve: draining — not accepting new jobs; retry against the coordinator",
+	}})
+}
+
 func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	WriteScenarios(w)
+}
+
+// WriteScenarios writes the scenario catalog as the GET /scenarios JSON.
+// Package-level so the fleet coordinator can answer the endpoint without
+// owning a job server.
+func WriteScenarios(w http.ResponseWriter) {
 	type entry struct {
 		Name       string  `json:"name"`
 		Family     string  `json:"family"`
@@ -238,6 +308,12 @@ const maxSpecBytes = 8 << 20
 // the body — without the drain, a /run client hanging up would never
 // cancel the computation.
 func decodeSpec(w http.ResponseWriter, r *http.Request) (*JobSpec, error) {
+	return DecodeSpec(w, r)
+}
+
+// DecodeSpec is the exported spec decoder the fleet coordinator shares
+// with the job server, so both reject the same bodies the same way.
+func DecodeSpec(w http.ResponseWriter, r *http.Request) (*JobSpec, error) {
 	body := http.MaxBytesReader(w, r.Body, maxSpecBytes)
 	var spec JobSpec
 	dec := json.NewDecoder(body)
@@ -252,6 +328,10 @@ func decodeSpec(w http.ResponseWriter, r *http.Request) (*JobSpec, error) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeDraining(w)
+		return
+	}
 	spec, err := decodeSpec(w, r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -470,6 +550,10 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 // in-flight runs within one search step — and since truncated runs error
 // out, nothing partial enters the result cache.
 func (s *Server) handleRunSync(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeDraining(w)
+		return
+	}
 	spec, err := decodeSpec(w, r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Fleet vs single-dsed comparison report: replay the identical
+# deterministic 60-request mixed sequence (two passes, cold then warm)
+# against one standalone dsed and against a coordinator fronting three
+# workers, write both dseload reports, and assert the per-pass result
+# digests are bit-identical between the topologies. The two JSON files
+# are the committed proof artifact of the fleet PR (bench/FLEET_PR9_*).
+set -euo pipefail
+
+SINGLE_OUT=${FLEET_REPORT_SINGLE:-bench/FLEET_PR9_single.json}
+FLEET_OUT=${FLEET_REPORT_FLEET:-bench/FLEET_PR9_fleet.json}
+PORT=${FLEET_REPORT_PORT:-9500}
+BIN=$(mktemp -d)
+PIDS=()
+
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do kill -TERM "$pid" 2>/dev/null || true; done
+    sleep 1
+    for pid in "${PIDS[@]:-}"; do kill -KILL "$pid" 2>/dev/null || true; done
+    rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+go build -o "$BIN/dsed" ./cmd/dsed
+go build -o "$BIN/dseload" ./cmd/dseload
+
+LOAD_ARGS=(-mix "fig2-small=3,pipeline-fft-small=2,forkjoin-tiny=1"
+    -rps 20 -n 60 -passes 2 -runs 2 -max-steps 8 -max-errors 0)
+
+wait_healthy() {
+    for _ in $(seq 1 100); do
+        curl -fsS "$1/v1/healthz" >/dev/null 2>&1 && return 0
+        sleep 0.1
+    done
+    echo "fleet-report: $1 never became healthy" >&2
+    return 1
+}
+
+echo "fleet-report: single dsed"
+SINGLE=127.0.0.1:$((PORT + 9))
+"$BIN/dsed" -addr "$SINGLE" -max-jobs 4 &
+SINGLE_PID=$!
+PIDS+=($SINGLE_PID)
+wait_healthy "http://$SINGLE"
+"$BIN/dseload" -addr "http://$SINGLE" "${LOAD_ARGS[@]}" -report "$SINGLE_OUT"
+kill -TERM $SINGLE_PID 2>/dev/null || true
+
+echo "fleet-report: coordinator + 3 workers"
+COORD=127.0.0.1:${PORT}
+"$BIN/dsed" -coordinator -addr "$COORD" &
+PIDS+=($!)
+for i in 1 2 3; do
+    "$BIN/dsed" -addr "127.0.0.1:$((PORT + i))" -join "http://$COORD" \
+        -worker-id "w$i" -heartbeat 500ms -max-jobs 4 &
+    PIDS+=($!)
+done
+wait_healthy "http://$COORD"
+for _ in $(seq 1 100); do
+    n=$(curl -fsS "http://$COORD/v1/workers" 2>/dev/null | grep -c '"id"' || true)
+    [ "${n:-0}" -ge 3 ] && break
+    sleep 0.2
+done
+
+# -compare is the headline assertion: the fleet's per-pass result
+# digests must equal the single server's, and the warm pass must be
+# >=90% cache hits even though the requests are sharded 3 ways.
+"$BIN/dseload" -addr "http://$COORD" "${LOAD_ARGS[@]}" \
+    -report "$FLEET_OUT" -compare "$SINGLE_OUT" -min-hit-ratio 0.9
+
+echo "fleet-report: wrote $SINGLE_OUT and $FLEET_OUT (digests bit-identical)"
