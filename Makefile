@@ -2,10 +2,17 @@
 # these targets so local runs and CI runs cannot drift apart.
 
 GO ?= go
-BENCH_JSON ?= BENCH_PR8.json
+BENCH_JSON ?= BENCH_PR10.json
 BENCH_MICRO_JSON ?= BENCH_MICRO.json
 BENCH_BASELINE ?= bench/BENCH_BASELINE.json
 BENCH_THRESHOLD ?= 0.20
+# Bandit-vs-portfolio gate: both composites run the smoke corpus on the
+# same fixed step budget (the cap makes the slice allocation bind —
+# uncapped, every member runs to exhaustion and the comparison is
+# vacuous). The gate requires bandit to match or beat portfolio's best
+# cost on at least half the scenarios and never be >$(SCHED_GATE) worse.
+SCHED_STEPS ?= 120
+SCHED_GATE ?= 0.05
 # Speculative batch width and scoring backend of the bench-batch-smoke
 # leg (CI runs batch=1, batch=8 shadow, and batch=8 lanes).
 BATCH ?= 8
@@ -38,6 +45,8 @@ bench:
 bench-json:
 	$(GO) run ./cmd/dsebench -smoke -cache -json $(BENCH_JSON)
 	$(GO) run ./cmd/dsebench -scenarios layered-xl -strategies sa -json $(BENCH_JSON) -append
+	$(GO) run ./cmd/dsebench -smoke -strategies portfolio,bandit -max-steps $(SCHED_STEPS) \
+		-sched-gate $(SCHED_GATE) -json $(BENCH_JSON) -append
 
 # The CI regression gate: the same two slices under the race detector,
 # with the final (appending) slice comparing the whole merged matrix
@@ -49,6 +58,8 @@ bench-check:
 	$(GO) run -race ./cmd/dsebench -smoke -cache -json $(BENCH_JSON)
 	$(GO) run -race ./cmd/dsebench -scenarios layered-xl -strategies sa -json $(BENCH_JSON) -append \
 		-baseline $(BENCH_BASELINE) -threshold $(BENCH_THRESHOLD)
+	$(GO) run -race ./cmd/dsebench -smoke -strategies portfolio,bandit -max-steps $(SCHED_STEPS) \
+		-sched-gate $(SCHED_GATE) -json $(BENCH_JSON) -append
 
 # Regenerate the committed baseline after an intentional quality or speed
 # change (new scenarios, retuned budgets, algorithm work). Must mirror

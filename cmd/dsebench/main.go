@@ -21,6 +21,14 @@
 // of its key) and the row records the warm wall time and hit count — the
 // cold-vs-warm trajectory BENCH_PR5.json archives.
 //
+// -sched selects the composite cells' scheduling policy (rr or ucb) and
+// -sched-slice the UCB budget-slice length; -transfer warm-starts
+// warmable cells from the best cached outcome on the same instance pair.
+// -sched-gate 0.05 compares the matrix's bandit rows against its
+// portfolio rows — the bandit must match or beat the round-robin
+// portfolio on at least half the scenarios and never be more than 5%
+// worse, else exit 3 (the `make bench-check` adaptive-scheduling leg).
+//
 // -batch runs the SA cells with speculative batched move evaluation (a
 // different but deterministic trajectory, so batched results compare only
 // against batched baselines); -early-stop/-early-stop-window enable the
@@ -69,7 +77,7 @@ func main() {
 	var (
 		list       = flag.Bool("list", false, "print the scenario catalog and exit")
 		sel        = flag.String("scenarios", "", "comma-separated scenario or family names (empty = whole corpus)")
-		strategies = flag.String("strategies", "sa,list", "comma-separated strategy names (sa,ga,list,brute,portfolio)")
+		strategies = flag.String("strategies", "sa,list", "comma-separated strategy names (sa,ga,list,brute,portfolio,bandit)")
 		runs       = flag.Int("runs", 0, "independent runs per cell (0 = the scenario's budget)")
 		workers    = flag.Int("j", runtime.NumCPU(), "parallel runs per cell")
 		seed       = flag.Int64("seed", 0, "base of the per-run seed streams")
@@ -90,6 +98,10 @@ func main() {
 		appendJSON = flag.Bool("append", false, "merge rows into an existing -json file instead of overwriting it")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the matrix to this file")
 		diffOld    = flag.String("diff", "", "diff mode: print per-cell evals/s and best-cost deltas from this old result file to the NEW.json positional argument; no cells are run")
+		schedPol   = flag.String("sched", "", "composite-cell scheduling policy: rr or ucb (empty = each kind's default: portfolio=rr, bandit=ucb)")
+		schedSlice = flag.Int("sched-slice", 0, "UCB budget-slice length in driver steps (0 = engine default)")
+		transfer   = flag.Bool("transfer", false, "warm-start warmable cells from the best cached outcome on the same instance pair (implies -cache's result cache, without the warm rerun)")
+		schedGate  = flag.Float64("sched-gate", 0, "gate: bandit best cost must match or beat portfolio on >= half the scenarios and never be more than this fraction worse (0 = off; matrix must contain both strategies); exit 3 on failure")
 	)
 	flag.Parse()
 
@@ -139,9 +151,14 @@ func main() {
 		opts.EarlyStopEpsilon = *earlyStop
 		opts.EarlyStopWindow = *earlyStopW
 	}
-	if *cacheOn {
+	opts.Sched = *schedPol
+	opts.SchedSlice = *schedSlice
+	opts.Transfer = *transfer
+	if *cacheOn || *transfer {
+		// -transfer needs the result cache as its donor index, but only
+		// -cache asks for the warm verification rerun.
 		opts.Cache = runner.NewResultCache(*cacheSize, 0)
-		opts.Warm = true
+		opts.Warm = *cacheOn
 	}
 	if *smoke {
 		// The CI job's contract: a corpus slice small enough to finish in
@@ -200,6 +217,15 @@ func main() {
 	}
 	if *earlyStop > 0 {
 		file.Params["earlyStop"] = fmt.Sprintf("%g/%d", *earlyStop, *earlyStopW)
+	}
+	if *schedPol != "" {
+		file.Params["sched"] = *schedPol
+	}
+	if *schedSlice > 0 {
+		file.Params["schedSlice"] = fmt.Sprint(*schedSlice)
+	}
+	if *transfer {
+		file.Params["transfer"] = "true"
 	}
 	fmt.Println()
 	if err := report.BenchTable(file).Render(os.Stdout); err != nil {
@@ -283,6 +309,23 @@ func main() {
 		}
 		fmt.Printf("\nno regressions vs %s (threshold %.0f%%, %d gated cells)\n",
 			*baseline, *threshold*100, gated)
+	}
+	if *schedGate > 0 {
+		g, ok := report.CompareSched(out, "bandit", "portfolio", *schedGate)
+		if !ok {
+			fmt.Printf("\nsched gate FAILED (bandit vs portfolio, tolerance %.0f%%): %d/%d wins",
+				*schedGate*100, g.Wins, g.Cells)
+			if g.Cells == 0 {
+				fmt.Print(" — no comparable cells (run both strategies)")
+			}
+			fmt.Println()
+			for _, v := range g.Violations {
+				fmt.Println("  " + v.String())
+			}
+			os.Exit(3)
+		}
+		fmt.Printf("\nsched gate ok: bandit matched or beat portfolio on %d/%d scenario(s), none worse than %.0f%%\n",
+			g.Wins, g.Cells, *schedGate*100)
 	}
 }
 

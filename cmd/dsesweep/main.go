@@ -52,7 +52,10 @@ func main() {
 		noplot     = flag.Bool("noplot", false, "suppress the ASCII plot")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
-		strategy   = flag.String("strategy", "sa", "search strategy per run: sa, ga, list, brute, portfolio")
+		strategy   = flag.String("strategy", "sa", "search strategy per run: sa, ga, list, brute, portfolio, bandit")
+		schedPol   = flag.String("sched", "", "composite-strategy scheduling policy: rr or ucb (empty = the kind's default)")
+		schedSlice = flag.Int("sched-slice", 0, "UCB budget-slice length in driver steps (0 = engine default)")
+		transfer   = flag.Bool("transfer", false, "warm-start each sweep point from the best cached outcome on the same instance pair (needs -cache; earlier points seed later ones of the same size)")
 		wArea      = flag.Float64("w-area", 0, "objective weight on occupied hardware area (cost units per CLB)")
 		wReconf    = flag.Float64("w-reconf", 0, "objective weight on reconfiguration time (cost units per ms, initial+dynamic)")
 		cacheOn    = flag.Bool("cache", false, "memoize run outcomes across sweep points (repeated sizes/seeds become cache hits)")
@@ -104,6 +107,8 @@ func main() {
 		cfg.BatchKernel = kernel
 		scfg := search.DefaultConfig()
 		scfg.SA = cfg
+		scfg.Sched = *schedPol
+		scfg.SchedSlice = *schedSlice
 		if *earlyStop > 0 {
 			scfg.EarlyStopEpsilon = *earlyStop
 			scfg.EarlyStopWindow = *earlyStopW
@@ -118,6 +123,13 @@ func main() {
 		factory, err := search.NewFactory(*strategy, app, arch, scfg)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if *transfer {
+			// Warm-start from the best cached donor on this (app, arch)
+			// pair; must precede WithCache so the donor key reaches the
+			// cache keys. Distinct sizes are distinct arch digests, so a
+			// point only inherits from runs of its own size.
+			runner.ApplyTransfer(factory, cache)
 		}
 		fn, err := runner.WithCache(runner.CacheConfig{Cache: cache, Factory: factory})
 		if err != nil {

@@ -3,13 +3,21 @@
 // run on the motion-detection application (2000-CLB device, ~1200
 // infinite-temperature iterations, 5000 iterations total).
 //
+// With -strategy portfolio or -strategy bandit the run goes through the
+// composite scheduler instead, and the report is the per-arm budget
+// table — slices, steps and accumulated reward per member strategy,
+// plus the policy ("rr" round-robin or "ucb" deterministic UCB1) and,
+// when the run was transfer-seeded, the donor key and incumbent cost.
+//
 // Usage:
 //
 //	dsetrace [-nclb 2000] [-iters 5000] [-warmup 1200] [-seed 1]
 //	         [-quality 0.05] [-csv trace.csv] [-noplot]
+//	dsetrace -strategy bandit [-sched ucb] [-sched-slice 8] [-max-steps 400]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -18,7 +26,9 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/model"
 	"repro/internal/report"
+	"repro/internal/search"
 )
 
 func main() {
@@ -33,6 +43,11 @@ func main() {
 		csvPath = flag.String("csv", "", "write the per-iteration trace to this CSV file")
 		noplot  = flag.Bool("noplot", false, "suppress the ASCII plots")
 		splits  = flag.Bool("splits", false, "enable the context-splitting extension move")
+
+		strategy   = flag.String("strategy", "sa", "sa traces one annealing run (the paper figure); portfolio/bandit print the scheduler arm table instead")
+		schedPol   = flag.String("sched", "", "composite-strategy scheduling policy: rr or ucb (empty = the kind's default)")
+		schedSlice = flag.Int("sched-slice", 0, "UCB budget-slice length in driver steps (0 = engine default)")
+		maxSteps   = flag.Int("max-steps", 0, "cap driver steps of the composite run (0 = to exhaustion)")
 	)
 	flag.Parse()
 
@@ -47,6 +62,11 @@ func main() {
 	cfg.Quality = *quality
 	cfg.Deadline = apps.MotionDeadline
 	cfg.EnableCtxSplit = *splits
+
+	if *strategy != "sa" {
+		traceScheduler(app, arch, cfg, *strategy, *schedPol, *schedSlice, *seed, *maxSteps)
+		return
+	}
 
 	var its, ctxs, exec []float64
 	cfg.Trace = func(p core.TracePoint) {
@@ -117,5 +137,55 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("trace written to %s\n", *csvPath)
+	}
+}
+
+// traceScheduler drives one non-sa strategy run through the unified
+// engine and reports the composite scheduler's per-arm budget
+// accounting (nothing to report for plain single strategies).
+func traceScheduler(app *model.App, arch *model.Arch, saCfg core.Config, name, policy string, slice int, seed int64, maxSteps int) {
+	scfg := search.DefaultConfig()
+	scfg.SA = saCfg
+	scfg.Sched = policy
+	scfg.SchedSlice = slice
+	factory, err := search.NewFactory(name, app, arch, scfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	out, st, err := search.RunStats(context.Background(), factory, seed, maxSteps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("strategy %s: %q on %q\n\n", name, app.Name, arch.Name)
+	fmt.Printf("  best execution time   : %v (cost %.4f)\n", out.Eval.Makespan, out.Cost)
+	fmt.Printf("  %v constraint met  : %v\n", saCfg.Deadline, out.MetDeadline)
+	fmt.Printf("  driver steps          : %d (%d evaluations, wall %v)\n\n",
+		st.Steps, st.Evaluations, elapsed.Round(time.Millisecond))
+
+	if st.Sched == nil {
+		fmt.Printf("strategy %s reports no scheduler telemetry (not a composite)\n", name)
+		return
+	}
+	head := fmt.Sprintf("scheduler policy %s", st.Sched.Policy)
+	if st.Sched.Slice > 0 {
+		head += fmt.Sprintf(", slice %d steps", st.Sched.Slice)
+	}
+	fmt.Println(head + " — per-arm budget accounting:")
+	tb := report.NewTable("arm", "slices", "steps", "reward", "mean_reward")
+	for _, a := range st.Sched.Arms {
+		mean := "-"
+		if a.Slices > 0 {
+			mean = fmt.Sprintf("%.4f", a.Reward/float64(a.Slices))
+		}
+		tb.AddRow(a.Name, a.Slices, a.Steps, fmt.Sprintf("%.4f", a.Reward), mean)
+	}
+	if err := tb.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if st.Sched.TransferKey != "" {
+		fmt.Printf("\ntransfer donor %s (incumbent cost %.4f)\n", st.Sched.TransferKey, st.Sched.TransferCost)
 	}
 }

@@ -75,7 +75,10 @@ func main() {
 		dumpArch   = flag.String("dump-arch", "", "write the built-in architecture JSON here and exit")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the exploration to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
-		strategy   = flag.String("strategy", "sa", "search strategy: sa, ga, list, brute, portfolio")
+		strategy   = flag.String("strategy", "sa", "search strategy: sa, ga, list, brute, portfolio, bandit")
+		schedPol   = flag.String("sched", "", "composite-strategy scheduling policy: rr or ucb (empty = the kind's default: portfolio=rr, bandit=ucb)")
+		schedSlice = flag.Int("sched-slice", 0, "UCB budget-slice length in driver steps (0 = engine default)")
+		transfer   = flag.Bool("transfer", false, "with -server: warm-start the job from the server's best cached outcome on the same instance pair")
 		wArea      = flag.Float64("w-area", 0, "objective weight on occupied hardware area (cost units per CLB)")
 		wReconf    = flag.Float64("w-reconf", 0, "objective weight on reconfiguration time (cost units per ms, initial+dynamic)")
 		server     = flag.String("server", "", "submit the job to this dsed server (e.g. http://localhost:8080) instead of running locally")
@@ -140,6 +143,7 @@ func main() {
 			WArea: *wArea, WReconf: *wReconf,
 			Batch: *batch, BatchWorkers: *batchWk, BatchKernel: *batchKn,
 			EarlyStopEpsilon: *earlyStop, EarlyStopWindow: *earlyStopW,
+			Sched: *schedPol, SchedSlice: *schedSlice, Transfer: *transfer,
 		}
 		runRemote(*server, spec)
 		return
@@ -157,6 +161,13 @@ func main() {
 	scfg := search.DefaultConfig()
 	scfg.SA = cfg
 	scfg.FrontMetrics = []objective.Metric{objective.HWArea, objective.Makespan}
+	scfg.Sched = *schedPol
+	scfg.SchedSlice = *schedSlice
+	if *transfer {
+		// A local dsexplore invocation holds no result cache to donate
+		// from; transfer is meaningful against a dsed server.
+		log.Print("warning: -transfer has no effect without -server (no local result cache)")
+	}
 	if *earlyStop > 0 {
 		scfg.EarlyStopEpsilon = *earlyStop
 		scfg.EarlyStopWindow = *earlyStopW
@@ -314,6 +325,10 @@ func runRemote(base string, spec dse.JobSpec) {
 	fmt.Printf("  best execution time     : %.3f ms (mean %.3f ms)\n", summary.BestMakespanMS, summary.MeanMakespanMS)
 	fmt.Printf("  area/makespan front     : %d non-dominated points\n", summary.FrontSize)
 	fmt.Printf("  evaluations             : %d (%d runs from cache)\n", summary.Evaluations, summary.CacheHits)
+	if summary.TransferRuns > 0 {
+		fmt.Printf("  transfer donor          : %s (cost %.4f, %d runs seeded)\n",
+			summary.TransferKey, summary.TransferCost, summary.TransferRuns)
+	}
 	fmt.Printf("  server wall time        : %.1f ms (round trip %v)\n",
 		summary.WallMS, time.Since(start).Round(time.Millisecond))
 }

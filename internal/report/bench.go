@@ -72,6 +72,24 @@ type BenchRow struct {
 	LaneSweepNodes int64 `json:"laneSweepNodes,omitempty"`
 	LaneRelax      int64 `json:"laneRelax,omitempty"`
 
+	// Sched and SchedSlice record the composite cell's scheduling policy
+	// ("rr", "ucb") and UCB slice length; SchedSlices/SchedSteps/SchedReward
+	// sum the per-arm budget accounting over the cell's runs, keyed by
+	// member strategy name. All absent for non-composite cells, so
+	// pre-PR10 files stay byte-identical.
+	Sched       string             `json:"sched,omitempty"`
+	SchedSlice  int                `json:"schedSlice,omitempty"`
+	SchedSlices map[string]int64   `json:"schedSlices,omitempty"`
+	SchedSteps  map[string]int64   `json:"schedSteps,omitempty"`
+	SchedReward map[string]float64 `json:"schedReward,omitempty"`
+
+	// TransferKey/TransferCost/TransferRuns record the warm-start donor
+	// when the cell's runs were transfer-seeded: the donor's memo key, its
+	// incumbent cost, and how many of the cell's runs consumed it.
+	TransferKey  string  `json:"transferKey,omitempty"`
+	TransferCost float64 `json:"transferCost,omitempty"`
+	TransferRuns int     `json:"transferRuns,omitempty"`
+
 	// WarmWallMS and CacheHits are recorded when the cell ran a second,
 	// cache-warm pass (dsebench -cache): the warm pass's wall time and how
 	// many of its runs were served from the memoized result cache. The
@@ -203,12 +221,13 @@ func BenchTable(f *BenchFile) *Table {
 		"best_cost", "best_ms", "mean_ms", "front", "evals", "evals_per_s", "wall_ms",
 		"warm_ms", "hits", "speculated", "discarded",
 		"moves_proposed (kind=n,...)", "moves_accepted (kind=n,...)",
-		"lane_occ", "lane_share", "note")
+		"lane_occ", "lane_share", "sched", "arm_steps (name=n,...)", "transfer", "note")
 	for i := range f.Results {
 		r := &f.Results[i]
 		if r.Skipped != "" {
 			t.AddRow(r.Scenario, r.Family, r.Size, r.Strategy, r.Tasks, "-",
 				"-", "-", "-", "-", "-", "-", "-", "-", "-", "-", "-", "-", "-", "-", "-",
+				"-", "-", "-",
 				"skipped: "+r.Skipped)
 			continue
 		}
@@ -224,14 +243,79 @@ func BenchTable(f *BenchFile) *Table {
 		if r.LaneSweepNodes > 0 {
 			laneShare = fmt.Sprintf("%.2f", float64(r.LaneRelax)/float64(r.LaneSweepNodes))
 		}
+		sched, transfer := "-", "-"
+		if r.Sched != "" {
+			sched = r.Sched
+			if r.SchedSlice > 0 {
+				sched = fmt.Sprintf("%s/%d", r.Sched, r.SchedSlice)
+			}
+		}
+		if r.TransferRuns > 0 {
+			transfer = fmt.Sprintf("%d@%.4f", r.TransferRuns, r.TransferCost)
+		}
 		t.AddRow(r.Scenario, r.Family, r.Size, r.Strategy, r.Tasks, r.Runs,
 			fmt.Sprintf("%.4f", r.BestCost), r.BestMakespanMS, r.MeanMakespanMS,
 			r.FrontSize, r.Evaluations, fmt.Sprintf("%.0f", r.EvalsPerSec), r.WallMS,
 			warm, hits, r.Speculated, r.Discarded,
 			moveKindCell(r.MoveProposed), moveKindCell(r.MoveAccepted),
-			laneOcc, laneShare, "")
+			laneOcc, laneShare, sched, moveKindCell(r.SchedSteps), transfer, "")
 	}
 	return t
+}
+
+// SchedGate holds the bandit-vs-baseline scheduling comparison of one
+// result set: per scenario, the bandit strategy's best cost against the
+// baseline (round-robin portfolio) strategy's.
+type SchedGate struct {
+	// Cells is the number of scenarios present (unskipped) under both
+	// strategies.
+	Cells int
+	// Wins counts scenarios where the bandit's best cost <= the
+	// baseline's.
+	Wins int
+	// Violations lists scenarios where the bandit was more than the
+	// tolerance worse than the baseline, sorted by key.
+	Violations []Regression
+}
+
+// CompareSched evaluates the adaptive-scheduling acceptance gate over a
+// single result set containing both strategies: the bandit must match or
+// beat the baseline on at least half the scenarios and must never be
+// more than tol (e.g. 0.05 = 5%) worse on any. Ok reports whether both
+// conditions hold; the returned SchedGate carries the evidence either
+// way. Scenarios missing either strategy, or skipped, are ignored.
+func CompareSched(f *BenchFile, bandit, baseline string, tol float64) (SchedGate, bool) {
+	base := make(map[string]*BenchRow)
+	for i := range f.Results {
+		r := &f.Results[i]
+		if r.Strategy == baseline && r.Skipped == "" {
+			base[r.Scenario] = r
+		}
+	}
+	var g SchedGate
+	for i := range f.Results {
+		r := &f.Results[i]
+		if r.Strategy != bandit || r.Skipped != "" {
+			continue
+		}
+		b, ok := base[r.Scenario]
+		if !ok {
+			continue
+		}
+		g.Cells++
+		if r.BestCost <= b.BestCost {
+			g.Wins++
+		}
+		if b.BestCost > 0 && r.BestCost > b.BestCost*(1+tol) {
+			g.Violations = append(g.Violations, Regression{
+				Key: r.Scenario, Metric: "bestCost",
+				Old: b.BestCost, New: r.BestCost, Ratio: r.BestCost / b.BestCost,
+			})
+		}
+	}
+	sort.Slice(g.Violations, func(i, j int) bool { return g.Violations[i].Key < g.Violations[j].Key })
+	ok := g.Cells > 0 && len(g.Violations) == 0 && g.Wins*2 >= g.Cells
+	return g, ok
 }
 
 // Regression is one baseline-comparison finding.

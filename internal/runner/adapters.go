@@ -51,7 +51,7 @@ func SA(app *model.App, arch *model.Arch, cfg core.Config) (RunFunc, error) {
 }
 
 // Strategy builds the RunFunc of a batch over any strategy of the unified
-// search engine ("sa", "ga", "list", "brute", "portfolio"): each run
+// search engine ("sa", "ga", "list", "brute", "portfolio", "bandit"): each run
 // drives one fresh instance built by the factory to exhaustion. The
 // factory is constructed once, so validation and the SA preparation are
 // hoisted out of the per-run path.
@@ -88,6 +88,7 @@ func StrategyBudget(f *search.Factory, maxSteps int) RunFunc {
 			MoveProposed: moveKindMap(stats.MoveStats.Proposed),
 			MoveAccepted: moveKindMap(stats.MoveStats.Accepted),
 			LaneStats:    stats.LaneStats,
+			Sched:        stats.Sched,
 		}, nil
 	}
 }

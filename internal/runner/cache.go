@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -24,6 +25,14 @@ import (
 // whatever the engine mutates downstream.
 type ResultCache struct {
 	c *memo.Cache[*Outcome]
+
+	// The transfer-donor index (see transfer.go): per instance pair, the
+	// best outcome seen so far, kept outside the memo shards because it
+	// survives eviction and is keyed by (app, arch) rather than the full
+	// run key. Lazily initialized under donorMu; not persisted by
+	// Snapshot — replayed runs repopulate it.
+	donorMu sync.Mutex
+	donors  map[string]donorEntry
 }
 
 // ResultCacheOptions sizes and shapes a ResultCache: capacity, shard
@@ -94,6 +103,7 @@ func cloneOutcome(o *Outcome) *Outcome {
 			c.MoveAccepted[k] = v
 		}
 	}
+	c.Sched = o.Sched.Clone()
 	return &c
 }
 
@@ -230,7 +240,26 @@ func WithCache(cfg CacheConfig) (RunFunc, error) {
 	}
 	switch {
 	case cfg.Factory != nil:
-		return cached(cfg.Cache, StrategyKey(cfg.Factory, cfg.MaxSteps), StrategyBudget(cfg.Factory, cfg.MaxSteps)), nil
+		keyFor := StrategyKey(cfg.Factory, cfg.MaxSteps)
+		fn := cached(cfg.Cache, keyFor, StrategyBudget(cfg.Factory, cfg.MaxSteps))
+		if cfg.Cache != nil {
+			// Every successful outcome — fresh or replayed from a restored
+			// snapshot — is offered to the transfer-donor index, so later
+			// jobs on the same instance pair can warm-start from it (see
+			// transfer.go).
+			appD, archD := cfg.Factory.App().Digest(), cfg.Factory.Arch().Digest()
+			inner, cache := fn, cfg.Cache
+			fn = func(ctx context.Context, run int, seed int64) (*Outcome, error) {
+				out, err := inner(ctx, run, seed)
+				if err == nil {
+					if k, ok := keyFor(run, seed); ok {
+						cache.offerDonor(appD, archD, k.Hex(), out)
+					}
+				}
+				return out, err
+			}
+		}
+		return fn, nil
 	case cfg.SA != nil:
 		if cfg.App == nil || cfg.Arch == nil {
 			return nil, fmt.Errorf("runner: WithCache SA source needs App and Arch")
@@ -306,32 +335,4 @@ func cached(cache *ResultCache, keyFor KeyFunc, fn RunFunc) RunFunc {
 			return out, nil
 		}
 	}
-}
-
-// Cached wraps fn with the memoized result cache under keyFor.
-//
-// Deprecated: use WithCache with CacheConfig{Cache, Fn, Key}.
-func Cached(cache *ResultCache, keyFor KeyFunc, fn RunFunc) RunFunc {
-	return cached(cache, keyFor, fn)
-}
-
-// CachedStrategyBudget is StrategyBudget behind the result cache.
-//
-// Deprecated: use WithCache with CacheConfig{Cache, Factory, MaxSteps}.
-func CachedStrategyBudget(cache *ResultCache, f *search.Factory, maxSteps int) RunFunc {
-	return cached(cache, StrategyKey(f, maxSteps), StrategyBudget(f, maxSteps))
-}
-
-// CachedSA is runner.SA behind the result cache.
-//
-// Deprecated: use WithCache with CacheConfig{Cache, SA, App, Arch}.
-func CachedSA(cache *ResultCache, app *model.App, arch *model.Arch, cfg core.Config) (RunFunc, error) {
-	return WithCache(CacheConfig{Cache: cache, SA: &cfg, App: app, Arch: arch})
-}
-
-// CachedGA is runner.GA behind the result cache.
-//
-// Deprecated: use WithCache with CacheConfig{Cache, GA: &cfg, GADeadline: deadline, App: app, Arch: arch}.
-func CachedGA(cache *ResultCache, app *model.App, arch *model.Arch, cfg ga.Config, deadline model.Time) (RunFunc, error) {
-	return WithCache(CacheConfig{Cache: cache, GA: &cfg, GADeadline: deadline, App: app, Arch: arch})
 }

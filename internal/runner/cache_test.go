@@ -37,6 +37,16 @@ func testFactory(t *testing.T, app *model.App, arch *model.Arch) *search.Factory
 	return f
 }
 
+// mustWithCache resolves a CacheConfig or fails the test.
+func mustWithCache(t *testing.T, cfg CacheConfig) RunFunc {
+	t.Helper()
+	fn, err := WithCache(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fn
+}
+
 // outcomesEqual compares the quality fields the acceptance criteria pin.
 func outcomesEqual(a, b *Outcome) error {
 	if a.Cost != b.Cost || a.HasCost != b.HasCost {
@@ -59,7 +69,7 @@ func TestCachedStrategyBudgetBitIdentical(t *testing.T) {
 	app, arch := testInstance(t)
 	f := testFactory(t, app, arch)
 	cache := NewResultCache(64, 0)
-	fn := CachedStrategyBudget(cache, f, 0)
+	fn := mustWithCache(t, CacheConfig{Cache: cache, Factory: f})
 
 	cold, err := fn(context.Background(), 0, 7)
 	if err != nil {
@@ -102,7 +112,7 @@ func TestCachedRunnerBatchCountsHits(t *testing.T) {
 	app, arch := testInstance(t)
 	f := testFactory(t, app, arch)
 	cache := NewResultCache(64, 0)
-	fn := CachedStrategyBudget(cache, f, 0)
+	fn := mustWithCache(t, CacheConfig{Cache: cache, Factory: f})
 
 	cold, err := Run(context.Background(), app, Options{Runs: 3, Workers: 2, BaseSeed: 5}, fn)
 	if err != nil {
@@ -138,7 +148,7 @@ func TestCancelledRunNotCached(t *testing.T) {
 	keyFor := func(run int, seed int64) (memo.Key, bool) {
 		return memo.KeyOf("fixed-key"), true
 	}
-	fn := Cached(cache, keyFor, inner)
+	fn := mustWithCache(t, CacheConfig{Cache: cache, Fn: inner, Key: keyFor})
 
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
@@ -152,7 +162,7 @@ func TestCancelledRunNotCached(t *testing.T) {
 	ok := func(ctx context.Context, run int, seed int64) (*Outcome, error) {
 		return &Outcome{Best: &sched.Mapping{}, HasCost: true, Cost: 1}, nil
 	}
-	fn = Cached(cache, keyFor, ok)
+	fn = mustWithCache(t, CacheConfig{Cache: cache, Fn: ok, Key: keyFor})
 	out, err := fn(context.Background(), 0, 1)
 	if err != nil || out.FromCache {
 		t.Fatalf("retry after cancellation: %+v, %v", out, err)
@@ -181,7 +191,7 @@ func TestWaiterSurvivesLeaderCancellation(t *testing.T) {
 			return &Outcome{Best: &sched.Mapping{}, HasCost: true, Cost: 7}, nil
 		}
 	}
-	fn := Cached(cache, keyFor, inner)
+	fn := mustWithCache(t, CacheConfig{Cache: cache, Fn: inner, Key: keyFor})
 
 	leaderCtx, cancelLeader := context.WithCancel(context.Background())
 	leaderErr := make(chan error, 1)
@@ -230,7 +240,7 @@ func TestUncacheableConfigBypassesCache(t *testing.T) {
 		t.Fatal("config with a Stop hook reported a fingerprint")
 	}
 	cache := NewResultCache(64, 0)
-	fn := CachedStrategyBudget(cache, f, 0)
+	fn := mustWithCache(t, CacheConfig{Cache: cache, Factory: f})
 	if _, err := fn(context.Background(), 0, 3); err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +279,7 @@ func TestResultCacheTTL(t *testing.T) {
 	app, arch := testInstance(t)
 	f := testFactory(t, app, arch)
 	cache := NewResultCache(8, time.Nanosecond)
-	fn := CachedStrategyBudget(cache, f, 0)
+	fn := mustWithCache(t, CacheConfig{Cache: cache, Factory: f})
 	if _, err := fn(context.Background(), 0, 7); err != nil {
 		t.Fatal(err)
 	}

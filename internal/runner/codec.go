@@ -9,6 +9,7 @@ import (
 	"repro/internal/memo"
 	"repro/internal/pareto"
 	"repro/internal/sched"
+	"repro/internal/search"
 )
 
 // Outcome wire codec: the snapshot persistence format of one cached run
@@ -55,6 +56,10 @@ type outcomeWire struct {
 	LaneLanes      int64 `json:"laneLanes,omitempty"`
 	LaneSweepNodes int64 `json:"laneSweepNodes,omitempty"`
 	LaneRelax      int64 `json:"laneRelax,omitempty"`
+	// Sched carries the scheduler/transfer telemetry; absent for runs
+	// without it, so pre-PR10 snapshots decode to nil and non-scheduled
+	// outcomes encode byte-identically to earlier releases.
+	Sched *search.SchedStats `json:"sched,omitempty"`
 }
 
 // EncodeOutcome serializes a cached outcome for snapshot persistence.
@@ -78,6 +83,7 @@ func EncodeOutcome(o *Outcome) ([]byte, error) {
 		LaneLanes:      o.LaneStats.Lanes,
 		LaneSweepNodes: o.LaneStats.SweepNodes,
 		LaneRelax:      o.LaneStats.LaneRelax,
+		Sched:          o.Sched,
 	}
 	if o.Front != nil {
 		fw := &frontWire{Dims: o.Front.Dims()}
@@ -115,6 +121,7 @@ func DecodeOutcome(b []byte) (*Outcome, error) {
 			SweepNodes: w.LaneSweepNodes,
 			LaneRelax:  w.LaneRelax,
 		},
+		Sched: w.Sched,
 	}
 	if w.Front != nil {
 		if w.Front.Dims < 1 {

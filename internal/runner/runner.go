@@ -12,6 +12,7 @@ import (
 	"repro/internal/objective"
 	"repro/internal/pareto"
 	"repro/internal/sched"
+	"repro/internal/search"
 	"repro/internal/stats"
 )
 
@@ -100,6 +101,11 @@ type Outcome struct {
 	// LaneStats carries the run's lane batch-kernel telemetry (all zeros
 	// for serial runs, shadow-scored runs, and non-SA strategies).
 	LaneStats core.LaneStats
+	// Sched carries the scheduler/transfer telemetry (per-arm budget
+	// slices, steps and rewards; warm-start donor key and incumbent cost);
+	// nil for runs that neither scheduled members nor consumed a warm
+	// start.
+	Sched *search.SchedStats
 }
 
 // RunFunc executes one independent exploration run. It must derive all its
@@ -145,6 +151,22 @@ type Aggregate struct {
 	// (nil when no run reports any).
 	MoveProposed map[string]int64
 	MoveAccepted map[string]int64
+	// SchedPolicy is the scheduling policy the runs reported ("rr",
+	// "ucb"; a batch is homogeneous, so the last writer is every writer).
+	// Empty when no run carried scheduler telemetry.
+	SchedPolicy string
+	// SchedSlices, SchedSteps and SchedReward sum the per-arm scheduler
+	// telemetry across runs, keyed by member strategy name (nil when no
+	// run reports any).
+	SchedSlices map[string]int64
+	SchedSteps  map[string]int64
+	SchedReward map[string]float64
+	// TransferRuns counts runs that consumed a warm-start donor;
+	// TransferKey and TransferCost describe the first such run's donor
+	// (the batch shares one factory, so all runs name the same donor).
+	TransferRuns int
+	TransferKey  string
+	TransferCost float64
 	// Best is the overall best mapping, with its evaluation and origin.
 	// When the runs report scalarized costs (Outcome.HasCost — the
 	// strategy-engine adapters do) the winner is the lowest-cost run, so
@@ -213,6 +235,27 @@ func (a *Aggregate) add(app *model.App, r RunResult) {
 	}
 	if r.Outcome.FromCache {
 		a.CacheHits++
+	}
+	if ss := r.Outcome.Sched; ss != nil {
+		if ss.Policy != "" {
+			a.SchedPolicy = ss.Policy
+		}
+		if len(ss.Arms) > 0 && a.SchedSlices == nil {
+			a.SchedSlices = make(map[string]int64)
+			a.SchedSteps = make(map[string]int64)
+			a.SchedReward = make(map[string]float64)
+		}
+		for _, arm := range ss.Arms {
+			a.SchedSlices[arm.Name] += int64(arm.Slices)
+			a.SchedSteps[arm.Name] += int64(arm.Steps)
+			a.SchedReward[arm.Name] += arm.Reward
+		}
+		if ss.TransferKey != "" {
+			a.TransferRuns++
+			if a.TransferKey == "" {
+				a.TransferKey, a.TransferCost = ss.TransferKey, ss.TransferCost
+			}
+		}
 	}
 	// Objective-consistent winner selection: compare by scalarized cost
 	// when both sides report one, by makespan otherwise (a batch is

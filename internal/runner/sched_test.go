@@ -1,0 +1,61 @@
+package runner
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/objective"
+	"repro/internal/search"
+)
+
+// TestBanditBatchWorkerCountIndependent pins the scheduler's core
+// determinism claim at the batch level: the same bandit batch run with
+// 1 worker and with 4 workers produces identical quality fields and
+// identical per-arm scheduler accounting — slice allocation depends
+// only on the fingerprinted inputs, never on goroutine interleaving.
+// Run under -race in CI, this doubles as the scheduler's race check.
+func TestBanditBatchWorkerCountIndependent(t *testing.T) {
+	run := func(workers int) *Aggregate {
+		app, arch := testInstance(t)
+		scfg := search.DefaultConfig()
+		scfg.SA.MaxIters = 400
+		scfg.SA.Warmup = 100
+		scfg.SA.QuenchIters = 100
+		scfg.GA.Population = 16
+		scfg.GA.Generations = 4
+		scfg.GA.Stall = 2
+		scfg.SchedSlice = 4
+		scfg.FrontMetrics = []objective.Metric{objective.HWArea, objective.Makespan}
+		f, err := search.NewFactory("bandit", app, arch, scfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg, err := Run(context.Background(), app,
+			Options{Runs: 4, Workers: workers, BaseSeed: 9},
+			StrategyBudget(f, 48))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return agg
+	}
+	serial := run(1)
+	parallel := run(4)
+	if serial.BestCost != parallel.BestCost || serial.BestEval != parallel.BestEval ||
+		serial.BestRun != parallel.BestRun || serial.Evaluations != parallel.Evaluations {
+		t.Fatalf("bandit batch depends on worker count:\n1 worker: %+v\n4 workers: %+v", serial, parallel)
+	}
+	if serial.SchedPolicy != search.SchedUCB || parallel.SchedPolicy != search.SchedUCB {
+		t.Fatalf("sched policy %q/%q, want ucb", serial.SchedPolicy, parallel.SchedPolicy)
+	}
+	if !reflect.DeepEqual(serial.SchedSlices, parallel.SchedSlices) ||
+		!reflect.DeepEqual(serial.SchedSteps, parallel.SchedSteps) ||
+		!reflect.DeepEqual(serial.SchedReward, parallel.SchedReward) {
+		t.Fatalf("per-arm accounting depends on worker count:\n1 worker: %v %v %v\n4 workers: %v %v %v",
+			serial.SchedSlices, serial.SchedSteps, serial.SchedReward,
+			parallel.SchedSlices, parallel.SchedSteps, parallel.SchedReward)
+	}
+	if len(serial.SchedSteps) == 0 {
+		t.Fatal("bandit batch reported no per-arm accounting")
+	}
+}

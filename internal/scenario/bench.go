@@ -49,6 +49,18 @@ type MatrixOptions struct {
 	// early stop for every cell (see search.Config); zero disables it.
 	EarlyStopEpsilon float64
 	EarlyStopWindow  int
+	// Sched selects the composite-cell scheduling policy (search.SchedRR,
+	// search.SchedUCB; empty keeps each kind's default) and SchedSlice the
+	// UCB budget-slice length in driver steps (0 = search.DefaultSchedSlice).
+	// Non-composite cells ignore both.
+	Sched      string
+	SchedSlice int
+	// Transfer, with Cache, warm-starts every warmable cell from the best
+	// cached outcome on the same (app, arch) pair — including outcomes
+	// recorded by earlier cells of the same matrix. The donor key is part
+	// of each warm cell's fingerprint, so transfer-seeded results cache
+	// under distinct keys and stay deterministic.
+	Transfer bool
 	// Cache, when non-nil, memoizes per-run outcomes under the
 	// deterministic run key, so repeated cells (and repeated matrix
 	// invocations sharing the cache) are served without recomputation.
@@ -112,6 +124,13 @@ func fillRow(row *report.BenchRow, agg *runner.Aggregate, wall time.Duration) {
 	row.LaneLanes = agg.LaneStats.Lanes
 	row.LaneSweepNodes = agg.LaneStats.SweepNodes
 	row.LaneRelax = agg.LaneStats.LaneRelax
+	row.Sched = agg.SchedPolicy
+	row.SchedSlices = agg.SchedSlices
+	row.SchedSteps = agg.SchedSteps
+	row.SchedReward = agg.SchedReward
+	row.TransferKey = agg.TransferKey
+	row.TransferCost = agg.TransferCost
+	row.TransferRuns = agg.TransferRuns
 }
 
 // RunMatrix executes every (scenario, strategy) cell of the matrix on the
@@ -146,6 +165,8 @@ func RunMatrix(ctx context.Context, scenarios []*Scenario, opts MatrixOptions) (
 		cfg.SA.BatchKernel = opts.BatchKernel
 		cfg.EarlyStopEpsilon = opts.EarlyStopEpsilon
 		cfg.EarlyStopWindow = opts.EarlyStopWindow
+		cfg.Sched = opts.Sched
+		cfg.SchedSlice = opts.SchedSlice
 		runs := s.Budget.Runs
 		if opts.Runs > 0 {
 			runs = opts.Runs
@@ -183,6 +204,12 @@ func RunMatrix(ctx context.Context, scenarios []*Scenario, opts MatrixOptions) (
 			factory, err := search.NewFactory(name, app, arch, cfg)
 			if err != nil {
 				return rows, fmt.Errorf("scenario %s, strategy %s: %w", s.Name, name, err)
+			}
+			if opts.Transfer && opts.Cache != nil {
+				// Warm-start from the best cached donor on this instance
+				// pair, if any; must precede WithCache so the donor key is
+				// folded into the cell's cache keys.
+				runner.ApplyTransfer(factory, opts.Cache)
 			}
 			fn, err := runner.WithCache(runner.CacheConfig{Cache: opts.Cache, Factory: factory, MaxSteps: maxSteps})
 			if err != nil {

@@ -118,6 +118,20 @@ func (f *Factory) Fingerprint() (fp string, ok bool) {
 	// The early-stop knobs truncate runs, changing results, so they are
 	// fingerprinted; omitempty keeps fingerprints of non-early-stop runs
 	// byte-identical to those of earlier releases.
+	//
+	// The scheduler and transfer fields follow the same normalization
+	// discipline: Sched is emitted only when the effective policy differs
+	// from the kind's default (so a default or explicit "rr" portfolio —
+	// and every non-composite strategy — fingerprints byte-identically to
+	// pre-scheduler releases), SchedSlice is emitted as its resolved value
+	// exactly when the effective policy is ucb (slice length changes ucb
+	// trajectories; "default 8" and "explicit 8" are the same run and must
+	// share a key), and TransferKey names the warm-start donor so warm and
+	// cold runs never collide in the cache.
+	policy, slice := f.schedPolicy()
+	if f.def.composite && policy == f.def.defaultPolicy {
+		policy = ""
+	}
 	v := struct {
 		Kind             string
 		Objective        objective.Scalarizer
@@ -128,6 +142,9 @@ func (f *Factory) Fingerprint() (fp string, ok bool) {
 		SAChunk          int
 		EarlyStopEpsilon float64 `json:",omitempty"`
 		EarlyStopWindow  int     `json:",omitempty"`
+		Sched            string  `json:",omitempty"`
+		SchedSlice       int     `json:",omitempty"`
+		TransferKey      string  `json:",omitempty"`
 	}{
 		Kind:             f.name,
 		Objective:        f.scal,
@@ -138,6 +155,9 @@ func (f *Factory) Fingerprint() (fp string, ok bool) {
 		SAChunk:          f.cfg.SAChunk,
 		EarlyStopEpsilon: f.cfg.EarlyStopEpsilon,
 		EarlyStopWindow:  f.cfg.EarlyStopWindow,
+		Sched:            policy,
+		SchedSlice:       slice,
+		TransferKey:      f.WarmStartKey(),
 	}
 	b, err := json.Marshal(v)
 	if err != nil {

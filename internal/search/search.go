@@ -39,6 +39,9 @@ type Stats struct {
 	// EarlyStopped reports that the driver's adaptive early-stop rule
 	// truncated the run (see Config.EarlyStopEpsilon).
 	EarlyStopped bool
+	// Sched carries the scheduler/transfer telemetry (nil for strategies
+	// that neither schedule members nor consumed a warm start).
+	Sched *SchedStats
 }
 
 // Outcome is the best solution a strategy has found so far.
@@ -66,7 +69,7 @@ type Outcome struct {
 // are single-goroutine objects; drive each instance from one goroutine.
 type Strategy interface {
 	// Name identifies the strategy ("sa", "ga", "list", "brute",
-	// "portfolio").
+	// "portfolio", "bandit").
 	Name() string
 	// Init (re)starts the search from the given seed. Deterministic
 	// strategies (list, brute) ignore the seed.
@@ -82,9 +85,6 @@ type Strategy interface {
 	// Stats returns run telemetry.
 	Stats() Stats
 }
-
-// Names lists the registered strategy names accepted by NewFactory.
-func Names() []string { return []string{"sa", "ga", "list", "brute", "portfolio"} }
 
 // Config bundles the parameters of every strategy, so one value can
 // configure any of them (and the portfolio can mix them). The shared
@@ -104,9 +104,21 @@ type Config struct {
 	SA core.Config
 	// GA parameterizes the genetic baseline (same note).
 	GA ga.Config
-	// Portfolio names the member strategies of the "portfolio" strategy.
-	// Empty selects DefaultPortfolio.
+	// Portfolio names the member strategies of the composite strategies
+	// ("portfolio", "bandit"). Empty selects DefaultPortfolio.
 	Portfolio []string
+	// Sched selects the scheduling policy of the composite strategies:
+	// SchedRR (blind round-robin) or SchedUCB (deterministic UCB1 over
+	// observed improvement rate). Empty selects the kind's default — rr
+	// for "portfolio", ucb for "bandit" — and is ignored by non-composite
+	// strategies. The policy changes results, so it is fingerprinted
+	// (normalized so defaults reproduce pre-scheduler fingerprints
+	// byte-identically).
+	Sched string
+	// SchedSlice is the number of consecutive member steps per UCB1 slice
+	// (<=0 selects DefaultSchedSlice; ignored under rr). Fingerprinted
+	// whenever the effective policy is ucb.
+	SchedSlice int
 	// SAChunk is the number of annealing iterations per SA Step (default
 	// 64) — the granularity at which the portfolio interleaves SA with
 	// the other members.
@@ -150,53 +162,80 @@ func (c *Config) scalarizer() objective.Scalarizer {
 // is immutable after construction and safe for concurrent New calls.
 type Factory struct {
 	name string
+	def  *definition
 	app  *model.App
 	arch *model.Arch
 	cfg  Config
 	scal objective.Scalarizer
-	prep *core.Prepared // non-nil when the kind (or a portfolio member) is "sa"
+	prep *core.Prepared // non-nil when the kind (or a scheduler member) is "sa"
+	warm *WarmStart     // transfer warm start (see SetWarmStart)
 }
 
-// NewFactory validates the instance and resolves the named strategy kind.
+// NewFactory validates the instance and resolves the named strategy kind
+// against the registry.
 func NewFactory(name string, app *model.App, arch *model.Arch, cfg Config) (*Factory, error) {
+	def := registry[name]
+	if def == nil {
+		return nil, fmt.Errorf("search: unknown strategy %q (have %v)", name, Names())
+	}
+	f := &Factory{name: name, def: def, app: app, arch: arch, cfg: cfg, scal: cfg.scalarizer()}
 	members := []string{name}
-	if name == "portfolio" {
-		members = cfg.Portfolio
-		if len(members) == 0 {
-			members = DefaultPortfolio
+	if def.composite {
+		if !ValidSchedPolicy(cfg.Sched) {
+			return nil, fmt.Errorf("search: unknown sched policy %q (have %q, %q)", cfg.Sched, SchedRR, SchedUCB)
 		}
-		for _, m := range members {
-			if m == "portfolio" {
-				return nil, fmt.Errorf("search: portfolio cannot nest itself")
-			}
+		var err error
+		if members, err = f.memberNames(); err != nil {
+			return nil, err
 		}
 	}
-	f := &Factory{name: name, app: app, arch: arch, cfg: cfg, scal: cfg.scalarizer()}
 	for _, m := range members {
-		switch m {
-		case "sa":
-			if f.prep == nil {
-				prep, err := core.Prepare(app, arch)
-				if err != nil {
-					return nil, err
-				}
-				f.prep = prep
-			}
-		case "ga", "list", "brute":
-			if err := app.Validate(); err != nil {
+		if v := registry[m].validate; v != nil {
+			if err := v(f); err != nil {
 				return nil, err
 			}
-			if err := arch.Validate(); err != nil {
-				return nil, err
-			}
-			if len(arch.Processors) == 0 {
-				return nil, fmt.Errorf("search: strategy %q needs at least one processor", m)
-			}
-		default:
-			return nil, fmt.Errorf("search: unknown strategy %q (have %v)", m, Names())
 		}
 	}
 	return f, nil
+}
+
+// memberNames resolves and checks the member list of a composite kind.
+func (f *Factory) memberNames() ([]string, error) {
+	members := f.cfg.Portfolio
+	if len(members) == 0 {
+		members = DefaultPortfolio
+	}
+	for _, m := range members {
+		md := registry[m]
+		if md == nil {
+			return nil, fmt.Errorf("search: unknown strategy %q (have %v)", m, Names())
+		}
+		if md.composite {
+			return nil, fmt.Errorf("search: %s cannot nest scheduler strategy %q", f.name, m)
+		}
+	}
+	return members, nil
+}
+
+// schedPolicy resolves the effective scheduling policy and slice length of
+// a composite kind ("", 0 for the rest — their fingerprints must not move
+// with scheduler knobs they ignore).
+func (f *Factory) schedPolicy() (policy string, slice int) {
+	if !f.def.composite {
+		return "", 0
+	}
+	policy = f.cfg.Sched
+	if policy == "" {
+		policy = f.def.defaultPolicy
+	}
+	if policy != SchedUCB {
+		return policy, 0
+	}
+	slice = f.cfg.SchedSlice
+	if slice <= 0 {
+		slice = DefaultSchedSlice
+	}
+	return policy, slice
 }
 
 // Name returns the factory's strategy kind.
@@ -208,48 +247,136 @@ func (f *Factory) Name() string { return f.name }
 // before the first New/Init; the multi-run drivers do.
 func (f *Factory) SetRecycler(r core.Recycler) { f.cfg.SA.Recycler = r }
 
+// SetWarmStart installs ws as the transfer warm start of every strategy
+// the factory builds from now on: SA (standalone or as a scheduler member)
+// starts from the donor mapping instead of a random one, and the
+// schedulers additionally hold the donor as their initial incumbent.
+// Returns false — installing nothing — when ws is unusable or the kind
+// cannot consume a warm start (ga/list/brute), so a no-op transfer never
+// skews fingerprints. Call before the first New and before Fingerprint is
+// used for caching: the donor key becomes part of the fingerprint, which
+// is exactly what keeps warm-started results reproducible and
+// cache-correct.
+func (f *Factory) SetWarmStart(ws *WarmStart) bool {
+	if ws == nil || ws.Best == nil || ws.Key == "" || !f.def.warmable {
+		return false
+	}
+	w := *ws
+	if w.Front != nil && w.Front.Dims() != len(f.cfg.FrontMetrics) {
+		// A donor front in a different metric space cannot be merged.
+		w.Front = nil
+	}
+	f.warm = &w
+	return true
+}
+
+// WarmStartKey returns the installed donor's memo key ("" without one).
+func (f *Factory) WarmStartKey() string {
+	if f.warm == nil {
+		return ""
+	}
+	return f.warm.Key
+}
+
+// warmIncumbent re-evaluates the donor mapping under this factory's
+// models and objective, turning the WarmStart into an Outcome the
+// schedulers can hold as incumbent (and whose cost seeds the reward
+// baseline). The donor is validated by evaluation: a mapping that does
+// not schedule on this instance is a construction error, not a silent
+// cold start.
+func (f *Factory) warmIncumbent() (*Outcome, error) {
+	if f.warm == nil {
+		return nil, nil
+	}
+	m := f.warm.Best.Clone()
+	res, err := sched.NewEvaluator(f.app, f.arch).Evaluate(m)
+	if err != nil {
+		return nil, fmt.Errorf("search: warm-start donor mapping does not evaluate: %w", err)
+	}
+	v := objective.Eval(f.app, f.arch, m, res)
+	out := &Outcome{
+		Best:        m,
+		Eval:        res,
+		Vector:      v,
+		Cost:        f.scal.Cost(res, v),
+		MetDeadline: metDeadline(f.cfg.SA.Deadline, res),
+	}
+	if f.warm.Front != nil {
+		out.Front = f.warm.Front.Clone()
+	}
+	return out, nil
+}
+
 // New builds a fresh, uninitialized strategy instance.
 func (f *Factory) New() (Strategy, error) {
 	return f.newNamed(f.name)
 }
 
 func (f *Factory) newNamed(name string) (Strategy, error) {
-	switch name {
-	case "sa":
-		cfg := f.cfg.SA
-		cfg.Objective = &f.scal
-		cfg.FrontMetrics = f.cfg.FrontMetrics
-		chunk := f.cfg.SAChunk
-		if chunk <= 0 {
-			chunk = 64
-		}
-		return &saStrategy{prep: f.prep, cfg: cfg, chunk: chunk}, nil
-	case "ga":
-		cfg := f.cfg.GA
-		cfg.Objective = &f.scal
-		cfg.FrontMetrics = f.cfg.FrontMetrics
-		return &gaStrategy{app: f.app, arch: f.arch, cfg: cfg, deadline: f.cfg.SA.Deadline}, nil
-	case "list":
-		return newListStrategy(f.app, f.arch, f.scal, f.cfg.FrontMetrics, f.cfg.SA.Deadline), nil
-	case "brute":
-		return newBruteStrategy(f.app, f.arch, f.scal, f.cfg.FrontMetrics, f.cfg.SA.Deadline), nil
-	case "portfolio":
-		members := f.cfg.Portfolio
-		if len(members) == 0 {
-			members = DefaultPortfolio
-		}
-		ms := make([]Strategy, len(members))
-		for i, m := range members {
-			s, err := f.newNamed(m)
-			if err != nil {
-				return nil, err
-			}
-			ms[i] = s
-		}
-		return &portfolio{members: ms}, nil
-	default:
+	def := registry[name]
+	if def == nil {
 		return nil, fmt.Errorf("search: unknown strategy %q (have %v)", name, Names())
 	}
+	return def.build(f)
+}
+
+// buildSA, buildGA, buildList, buildBrute, and buildScheduler are the
+// registry build hooks (see registry.go).
+
+func buildSA(f *Factory) (Strategy, error) {
+	cfg := f.cfg.SA
+	cfg.Objective = &f.scal
+	cfg.FrontMetrics = f.cfg.FrontMetrics
+	chunk := f.cfg.SAChunk
+	if chunk <= 0 {
+		chunk = 64
+	}
+	s := &saStrategy{prep: f.prep, cfg: cfg, chunk: chunk}
+	if f.warm != nil {
+		inc, err := f.warmIncumbent()
+		if err != nil {
+			return nil, err
+		}
+		s.warm = inc
+		s.warmKey = f.warm.Key
+	}
+	return s, nil
+}
+
+func buildGA(f *Factory) (Strategy, error) {
+	cfg := f.cfg.GA
+	cfg.Objective = &f.scal
+	cfg.FrontMetrics = f.cfg.FrontMetrics
+	return &gaStrategy{app: f.app, arch: f.arch, cfg: cfg, deadline: f.cfg.SA.Deadline}, nil
+}
+
+func buildList(f *Factory) (Strategy, error) {
+	return newListStrategy(f.app, f.arch, f.scal, f.cfg.FrontMetrics, f.cfg.SA.Deadline), nil
+}
+
+func buildBrute(f *Factory) (Strategy, error) {
+	return newBruteStrategy(f.app, f.arch, f.scal, f.cfg.FrontMetrics, f.cfg.SA.Deadline), nil
+}
+
+func buildScheduler(f *Factory) (Strategy, error) {
+	members, err := f.memberNames()
+	if err != nil {
+		return nil, err
+	}
+	arms := make([]schedArm, len(members))
+	for i, m := range members {
+		s, err := f.newNamed(m)
+		if err != nil {
+			return nil, err
+		}
+		arms[i].s = s
+	}
+	policy, slice := f.schedPolicy()
+	inc, err := f.warmIncumbent()
+	if err != nil {
+		return nil, err
+	}
+	return &scheduler{name: f.name, policy: policy, slice: slice, warm: f.warm, incumbent: inc, arms: arms}, nil
 }
 
 // Run drives a freshly built instance of the factory's strategy: Init with

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/apps"
@@ -244,6 +245,10 @@ func TestPortfolioDeterministicAndBestOfMembers(t *testing.T) {
 	}
 	a, ast := run(11)
 	b, bst := run(11)
+	if !reflect.DeepEqual(ast.Sched, bst.Sched) {
+		t.Fatalf("portfolio sched telemetry not deterministic: %+v vs %+v", ast.Sched, bst.Sched)
+	}
+	ast.Sched, bst.Sched = nil, nil
 	if a.Cost != b.Cost || a.Eval != b.Eval || ast != bst {
 		t.Fatalf("portfolio not deterministic: %v/%v vs %v/%v", a.Cost, ast, b.Cost, bst)
 	}

@@ -17,10 +17,16 @@ import (
 // ---------- simulated annealing (the paper's explorer) ----------
 
 // saStrategy steps the core explorer in chunks of annealing iterations.
+// With a transfer warm start installed, every Init replaces the random
+// initial mapping with a clone of the donor incumbent (the explorer takes
+// ownership), so the annealer searches downhill from the donor instead of
+// from scratch.
 type saStrategy struct {
-	prep  *core.Prepared
-	cfg   core.Config
-	chunk int
+	prep    *core.Prepared
+	cfg     core.Config
+	chunk   int
+	warm    *Outcome // donor incumbent under this run's objective (nil = cold)
+	warmKey string   // donor memo key, for telemetry
 
 	e     *core.Explorer
 	steps int
@@ -35,6 +41,11 @@ func (s *saStrategy) Init(seed int64) error {
 	e, err := s.prep.New(cfg)
 	if err != nil {
 		return err
+	}
+	if s.warm != nil {
+		if err := e.SetSolution(s.warm.Best.Clone()); err != nil {
+			return err
+		}
 	}
 	e.Start()
 	s.e, s.steps, s.done = e, 0, false
@@ -60,7 +71,7 @@ func (s *saStrategy) Step() (bool, error) {
 func (s *saStrategy) Best() *Outcome {
 	res := s.e.Finish()
 	scal := s.cfg.Objective
-	return &Outcome{
+	out := &Outcome{
 		Best:        res.Best,
 		Eval:        res.BestEval,
 		Vector:      objective.Eval(s.prep.App(), s.prep.Arch(), res.Best, res.BestEval),
@@ -68,13 +79,23 @@ func (s *saStrategy) Best() *Outcome {
 		MetDeadline: res.MetDeadline,
 		Front:       res.Front,
 	}
+	// The explorer started from the donor, so its best is never worse than
+	// the incumbent; only the donor's archived front needs merging in.
+	if s.warm != nil && s.warm.Front != nil {
+		merged := s.warm.Front.Clone()
+		if out.Front != nil && out.Front.Dims() == merged.Dims() {
+			merged.Merge(out.Front)
+		}
+		out.Front = merged
+	}
+	return out
 }
 
 func (s *saStrategy) Stats() Stats {
 	// StatsSnapshot, not Finish: the early-stop driver probes Stats after
 	// every chunk, and Finish clones the best mapping each call.
 	st := s.e.StatsSnapshot()
-	return Stats{
+	out := Stats{
 		Steps: s.steps,
 		// Every scored candidate counts, including the speculated-and-
 		// discarded ones — their evaluation work is just as real.
@@ -86,6 +107,12 @@ func (s *saStrategy) Stats() Stats {
 		MoveStats:   s.e.MoveStatsSnapshot(),
 		LaneStats:   s.e.LaneStatsSnapshot(),
 	}
+	if s.warm != nil {
+		// A standalone warm-started SA run still reports where its
+		// incumbent came from (a scheduler overrides this with its own).
+		out.Sched = &SchedStats{TransferKey: s.warmKey, TransferCost: s.warm.Cost}
+	}
+	return out
 }
 
 // ---------- genetic algorithm (the baseline) ----------

@@ -72,6 +72,17 @@ type JobSpec struct {
 	// DeadlineMS is the real-time constraint for inline models in
 	// milliseconds (ignored for scenarios, which carry their own).
 	DeadlineMS float64 `json:"deadlineMS,omitempty"`
+	// Sched selects the composite-strategy scheduling policy ("rr",
+	// "ucb"; empty keeps the kind's default) and SchedSlice the UCB
+	// budget-slice length in driver steps (0 = the engine default). Both
+	// are fingerprinted, so they are part of the cache key; non-composite
+	// strategies ignore them.
+	Sched      string `json:"sched,omitempty"`
+	SchedSlice int    `json:"schedSlice,omitempty"`
+	// Transfer warm-starts the job from the best cached outcome on the
+	// same (app, arch) pair, when the server holds one. The donor key is
+	// folded into the job's fingerprint and cache keys.
+	Transfer bool `json:"transfer,omitempty"`
 }
 
 // resolved is a spec translated into runnable form.
@@ -82,6 +93,7 @@ type resolved struct {
 	strategy string
 	runs     int
 	maxSteps int
+	transfer bool
 }
 
 // frontMetrics is the area/makespan trade-off every job archives.
@@ -161,6 +173,15 @@ func resolve(spec *JobSpec) (*resolved, error) {
 		r.cfg.EarlyStopEpsilon = spec.EarlyStopEpsilon
 		r.cfg.EarlyStopWindow = spec.EarlyStopWindow
 	}
+	if spec.Sched != "" && !search.ValidSchedPolicy(spec.Sched) {
+		return nil, fmt.Errorf("serve: unknown sched policy %q (have %q, %q)", spec.Sched, search.SchedRR, search.SchedUCB)
+	}
+	r.cfg.Sched = spec.Sched
+	if spec.SchedSlice < 0 {
+		return nil, fmt.Errorf("serve: negative sched slice %d", spec.SchedSlice)
+	}
+	r.cfg.SchedSlice = spec.SchedSlice
+	r.transfer = spec.Transfer
 	if spec.WArea != 0 || spec.WReconf != 0 {
 		// Mirror dsexplore's local weighting exactly, so a job shipped to
 		// the server optimizes the same cost as the identical local run.
@@ -200,6 +221,13 @@ type JobSummary struct {
 	Evaluations    int     `json:"evaluations"`
 	CacheHits      int     `json:"cacheHits"`
 	WallMS         float64 `json:"wallMS"`
+	// Sched is the composite runs' scheduling policy; TransferKey,
+	// TransferCost and TransferRuns report the warm-start donor when the
+	// job was transfer-seeded. All omitted otherwise.
+	Sched        string  `json:"sched,omitempty"`
+	TransferKey  string  `json:"transferKey,omitempty"`
+	TransferCost float64 `json:"transferCost,omitempty"`
+	TransferRuns int     `json:"transferRuns,omitempty"`
 }
 
 // summarize folds a run aggregate into the wire summary.
@@ -215,6 +243,10 @@ func summarize(agg *runner.Aggregate, wall time.Duration) *JobSummary {
 		Evaluations:    agg.Evaluations,
 		CacheHits:      agg.CacheHits,
 		WallMS:         float64(wall.Microseconds()) / 1e3,
+		Sched:          agg.SchedPolicy,
+		TransferKey:    agg.TransferKey,
+		TransferCost:   agg.TransferCost,
+		TransferRuns:   agg.TransferRuns,
 	}
 	if agg.BestHasCost {
 		s.BestCost = agg.BestCost

@@ -425,6 +425,12 @@ func (s *Server) runJob(ctx context.Context, j *job, res *resolved) (*JobSummary
 	if err != nil {
 		return nil, err
 	}
+	if res.transfer {
+		// Warm-start from the best cached donor on this instance pair
+		// (no-op without a cache or donor). Must precede WithCache so the
+		// donor key is folded into the job's cache keys.
+		runner.ApplyTransfer(factory, s.cache)
+	}
 	fn, err := runner.WithCache(runner.CacheConfig{Cache: s.cache, Factory: factory, MaxSteps: res.maxSteps})
 	if err != nil {
 		return nil, err
@@ -571,6 +577,9 @@ func (s *Server) handleRunSync(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
+	}
+	if res.transfer {
+		runner.ApplyTransfer(factory, s.cache)
 	}
 	fn, err := runner.WithCache(runner.CacheConfig{Cache: s.cache, Factory: factory, MaxSteps: res.maxSteps})
 	if err != nil {
